@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one experiment of the DESIGN.md index
+(Section 5).  The pattern is the same everywhere:
+
+* the experiment function is executed exactly once under pytest-benchmark
+  (``rounds=1`` — these are minutes-long end-to-end runs, not microbenchmarks);
+* the resulting rows — the reproduction of the paper's reported table/figure
+  series — are printed so ``pytest benchmarks/ --benchmark-only -s`` shows
+  them, and the qualitative shape the paper claims is asserted.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.eval import ExperimentReport, format_table
+
+
+def run_experiment_once(benchmark, experiment: Callable[..., ExperimentReport],
+                        **kwargs) -> ExperimentReport:
+    """Execute one experiment under pytest-benchmark and print its rows."""
+    report = benchmark.pedantic(lambda: experiment(**kwargs),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+    if report.notes:
+        print(f"Notes: {report.notes}")
+    return report
+
+
+@pytest.fixture()
+def experiment_runner(benchmark):
+    """Fixture-flavoured wrapper around :func:`run_experiment_once`."""
+
+    def runner(experiment, **kwargs):
+        return run_experiment_once(benchmark, experiment, **kwargs)
+
+    return runner

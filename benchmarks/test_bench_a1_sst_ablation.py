@@ -1,0 +1,40 @@
+"""Experiment A1 — ablation of the SST composition (FS / CS / OS).
+
+The paper argues the three SST components "supplement each other".  The
+benchmark plants 3-dimensional outlying subspaces while capping FS at 1-d
+subspaces, so the fixed component alone cannot see the outliers; the
+clustering-based component (unsupervised learning) and the outlier-driven
+component (supervised learning on labelled examples) have to contribute the
+higher-dimensional subspaces.
+
+Expected shape: recall rises monotonically (or at least never falls) from
+"FS only" through "FS+CS" to "FS+CS+OS".
+"""
+
+from repro.eval.experiments import experiment_a1_sst_ablation
+
+
+def test_bench_a1_sst_ablation(experiment_runner):
+    report = experiment_runner(
+        experiment_a1_sst_ablation,
+        dimensions=20,
+        n_training=800,
+        n_detection=1500,
+        outlier_rate=0.04,
+        seed=29,
+    )
+
+    by_variant = {row["variant"]: row for row in report.rows}
+    fs_only = by_variant["FS only"]
+    fs_cs = by_variant["FS+CS"]
+    full = by_variant["FS+CS+OS"]
+
+    # Each learned component may only add subspaces.
+    assert fs_cs["CS"] > 0
+    assert full["OS"] > 0
+
+    # The learned components must add recall over the 1-d-only template, and
+    # the full template must be at least as good as the intermediate one.
+    assert fs_cs["recall"] >= fs_only["recall"]
+    assert full["recall"] >= fs_cs["recall"]
+    assert full["recall"] > fs_only["recall"]

@@ -1,0 +1,37 @@
+"""Experiment A3 — fidelity of the (omega, epsilon) time model.
+
+The time model's promise: the decayed summaries behave like a sliding window
+of size omega up to an approximation factor epsilon, without storing the
+window.  The benchmark fills one region of the space for omega arrivals, then
+sends omega arrivals elsewhere; an exact window of size omega would then hold
+nothing of the first phase, so whatever mass the decayed summaries still
+credit to the stale region, relative to its peak, is the approximation error.
+
+Expected shape: the residual fraction is below epsilon for every
+(omega, epsilon) combination, and decreases as epsilon is tightened.
+"""
+
+from repro.eval.experiments import experiment_a3_time_model
+
+
+def test_bench_a3_time_model(experiment_runner):
+    report = experiment_runner(
+        experiment_a3_time_model,
+        omegas=(200, 500, 1000),
+        epsilons=(0.01, 0.1),
+        dimensions=4,
+        seed=41,
+    )
+
+    assert len(report.rows) == 6
+    for row in report.rows:
+        assert row["bound_satisfied"]
+        assert row["residual_fraction"] <= row["epsilon"] + 1e-9
+
+    # Tightening epsilon at fixed omega must shrink the residual.
+    for omega in (200, 500, 1000):
+        tight = next(r for r in report.rows
+                     if r["omega"] == omega and r["epsilon"] == 0.01)
+        loose = next(r for r in report.rows
+                     if r["omega"] == omega and r["epsilon"] == 0.1)
+        assert tight["residual_fraction"] <= loose["residual_fraction"]

@@ -1,0 +1,38 @@
+"""Experiment E4 — efficiency versus stream length.
+
+One-pass maintenance is the other half of the paper's efficiency claim: BCS
+and PCS are updated incrementally, so the per-point cost must not grow as the
+stream gets longer, and the decayed summaries (plus pruning) must keep the
+number of live cell summaries bounded instead of growing with the stream.
+
+Expected shape: seconds-per-1k-points stays roughly flat from 2k to 16k
+processed points, and the summary footprint (populated base and projected
+cells) plateaus rather than growing linearly with the stream.
+"""
+
+from repro.eval.experiments import experiment_e4_scalability_stream_length
+
+
+def test_bench_e4_scalability_stream_length(experiment_runner):
+    lengths = (2000, 4000, 8000, 16000)
+    report = experiment_runner(
+        experiment_e4_scalability_stream_length,
+        lengths=lengths,
+        dimensions=20,
+        n_training=400,
+        seed=19,
+    )
+
+    by_length = {row["stream_length"]: row for row in report.rows}
+    assert set(by_length) == set(lengths)
+
+    # Per-point cost must stay roughly constant over an 8x longer stream.
+    shortest = by_length[lengths[0]]["seconds_per_1k_points"]
+    longest = by_length[lengths[-1]]["seconds_per_1k_points"]
+    assert longest < 3.0 * shortest
+
+    # The summary footprint must not grow linearly with the stream: an 8x
+    # longer stream may populate more cells, but far fewer than 8x as many.
+    cells_short = by_length[lengths[0]]["projected_cells"]
+    cells_long = by_length[lengths[-1]]["projected_cells"]
+    assert cells_long < 4.0 * max(cells_short, 1)

@@ -1,0 +1,30 @@
+"""Experiment F1 — the end-to-end pipeline of the paper's Figure 1.
+
+Regenerates the architecture figure as a running system: offline learning
+(FS enumeration, lead clustering + MOGA for CS, per-example MOGA for OS)
+followed by online detection with decayed BCS/PCS maintenance, OS growth and
+periodic CS self-evolution.  The benchmark reports the wall-clock split
+between the two stages and the detection quality reached on a 20-d synthetic
+stream with 5 % planted projected outliers.
+"""
+
+from repro.eval.experiments import experiment_f1_pipeline
+
+
+def test_bench_f1_pipeline(experiment_runner):
+    report = experiment_runner(
+        experiment_f1_pipeline,
+        dimensions=20, n_training=600, n_detection=1200, seed=5,
+    )
+
+    learning, detection = report.rows
+    # The learning stage must have produced all three SST components...
+    assert learning["FS"] > 0
+    assert learning["CS"] > 0
+    assert learning["OS"] > 0
+    # ...and the detection stage must have processed the whole stream and
+    # caught a substantial share of the planted outliers without flagging
+    # most of the stream (effectiveness proper is benchmark E1's job).
+    assert detection["points"] == 1200
+    assert detection["recall"] >= 0.3
+    assert detection["outliers_flagged"] < 0.5 * detection["points"]

@@ -1,0 +1,70 @@
+"""Experiment S1 — sensitivity of SPOT to its main knobs.
+
+The paper promises a comparative study "under a wide spectrum of settings".
+This benchmark sweeps the two decision-rule knobs (the RD threshold and the
+density reference null model) on the standard synthetic workload and reports
+the precision / recall / false-alarm trade-off per setting, so the shipped
+defaults can be judged against their neighbourhood.
+
+Expected shape: raising the RD threshold trades precision for recall
+monotonically-ish; the hybrid density reference dominates the plain
+populated-average reference on F1 for combination-style projected outliers.
+"""
+
+from repro import SPOTConfig
+from repro.eval import format_table, sweep_config_parameter, synthetic_workload
+
+
+def _base_config():
+    return SPOTConfig(
+        cells_per_dimension=4, omega=500, max_dimension=2, cs_size=15,
+        moga_population=20, moga_generations=8, moga_max_dimension=3,
+        clustering_runs=2, rd_threshold=0.02, min_expected_mass=4.0,
+        random_seed=7,
+    )
+
+
+def test_bench_s1_parameter_sensitivity(benchmark):
+    workload = synthetic_workload(dimensions=20, n_training=700,
+                                  n_detection=1200, outlier_rate=0.03, seed=11)
+
+    def run_sweeps():
+        threshold_rows = sweep_config_parameter(
+            workload, _base_config(), "rd_threshold", [0.01, 0.02, 0.05, 0.1])
+        reference_rows = sweep_config_parameter(
+            workload, _base_config(), "density_reference",
+            ["hybrid", "populated", "lattice"])
+        rule_rows = sweep_config_parameter(
+            workload, _base_config(), "decision_rule", ["rd", "poisson"])
+        return threshold_rows, reference_rows, rule_rows
+
+    threshold_rows, reference_rows, rule_rows = benchmark.pedantic(
+        run_sweeps, rounds=1, iterations=1, warmup_rounds=0)
+
+    print()
+    print("[S1] RD-threshold sweep")
+    print(format_table(threshold_rows,
+                       columns=["rd_threshold", "precision", "recall", "f1",
+                                "false_alarm_rate", "auc"]))
+    print("[S1] density-reference sweep")
+    print(format_table(reference_rows,
+                       columns=["density_reference", "precision", "recall",
+                                "f1", "false_alarm_rate", "auc"]))
+    print("[S1] decision-rule sweep")
+    print(format_table(rule_rows,
+                       columns=["decision_rule", "precision", "recall", "f1",
+                                "false_alarm_rate", "auc"]))
+
+    recalls = [row["recall"] for row in threshold_rows]
+    false_alarms = [row["false_alarm_rate"] for row in threshold_rows]
+    # A looser threshold can only flag more points: recall and false alarms
+    # are both (weakly) non-decreasing along the sweep.
+    assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(false_alarms, false_alarms[1:]))
+
+    by_reference = {row["density_reference"]: row for row in reference_rows}
+    assert by_reference["hybrid"]["f1"] >= by_reference["lattice"]["f1"]
+
+    # The Poisson rule trades precision for recall relative to the RD rule.
+    by_rule = {row["decision_rule"]: row for row in rule_rows}
+    assert by_rule["poisson"]["recall"] >= by_rule["rd"]["recall"] - 0.05

@@ -1,0 +1,109 @@
+"""Network intrusion monitoring with supervised learning (KDD-99 style).
+
+The scenario the paper's introduction motivates: a network monitoring feed
+with dozens of attributes, dominated by benign traffic, in which the rare
+attacks deviate only in a handful of class-specific features — projected
+outliers.  A security analyst can usually provide a few labelled attack
+examples; SPOT's *supervised* learning process turns each example into
+Outlier-driven SST Subspaces (OS) so future attacks of the same shape are
+caught, and the online OS growth keeps extending the template as new attacks
+are detected.
+
+Run with::
+
+    python examples/network_intrusion.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro import SPOT, SPOTConfig
+from repro.metrics import confusion_matrix
+from repro.streams import FEATURE_NAMES, KDDCup99Simulator, values_of
+
+
+def main() -> None:
+    # A day of simulated connection records: ~2.5 % of them are rare attacks
+    # (probes, password guessing, buffer overflows, ftp writes).
+    simulator = KDDCup99Simulator(n_points=4_000, seed=7, attack_rate_scale=1.5)
+    records = list(simulator)
+    training, live = records[:1_500], records[1_500:]
+
+    print(f"Traffic schema: {simulator.dimensionality} continuous features")
+    print(f"Attack rate in the simulated feed: {simulator.attack_rate():.3%}")
+    print("Ground-truth attack signatures (feature subsets):")
+    for attack, subspace in simulator.attack_subspaces().items():
+        names = [FEATURE_NAMES[d] for d in subspace]
+        print(f"  {attack:18s} -> {names}")
+
+    # ------------------------------------------------------------------ #
+    # Supervised learning: the analyst hands over the labelled attacks seen
+    # in the training window, plus the knowledge of which features matter.
+    # ------------------------------------------------------------------ #
+    labelled_attacks = [r.values for r in training if r.is_outlier]
+    relevant = sorted({d
+                       for subspace in simulator.attack_subspaces().values()
+                       for d in subspace})
+    print(f"\nAnalyst provides {len(labelled_attacks)} labelled attack examples "
+          f"and {len(relevant)} relevant features")
+
+    config = SPOTConfig(
+        cells_per_dimension=5,
+        omega=800,
+        max_dimension=1,        # 1-d FS over 34 features stays cheap
+        cs_size=15,
+        os_size=25,
+        rd_threshold=0.02,
+        min_expected_mass=4.0,
+        os_growth_enabled=True,  # keep learning from detected attacks
+        os_growth_moga_budget=5,
+        moga_population=24,
+        moga_generations=10,
+    )
+    detector = SPOT(config)
+    detector.learn(values_of(training),
+                   outlier_examples=labelled_attacks or None,
+                   relevant_attributes=relevant)
+    sizes = detector.sst.component_sizes()
+    print(f"SST: FS={sizes['FS']}  CS={sizes['CS']}  OS={sizes['OS']}")
+
+    # ------------------------------------------------------------------ #
+    # Online monitoring.
+    # ------------------------------------------------------------------ #
+    per_class_hits: Counter = Counter()
+    per_class_total: Counter = Counter()
+    blamed_features = defaultdict(Counter)
+    predictions, labels = [], []
+
+    for record in live:
+        result = detector.process(record.values)
+        predictions.append(result.is_outlier)
+        labels.append(record.is_outlier)
+        if record.is_outlier:
+            per_class_total[record.category] += 1
+            if result.is_outlier:
+                per_class_hits[record.category] += 1
+                for subspace in result.outlying_subspaces[:2]:
+                    for d in subspace:
+                        blamed_features[record.category][FEATURE_NAMES[d]] += 1
+
+    matrix = confusion_matrix(predictions, labels)
+    print(f"\nOverall: recall={matrix.recall:.3f}  precision={matrix.precision:.3f}  "
+          f"false-alarm rate={matrix.false_alarm_rate:.4f}")
+
+    print("\nPer attack class:")
+    for attack in sorted(per_class_total):
+        caught = per_class_hits[attack]
+        total = per_class_total[attack]
+        top_blamed = [name for name, _ in blamed_features[attack].most_common(3)]
+        print(f"  {attack:18s} caught {caught:3d}/{total:3d}   "
+              f"most-blamed features: {top_blamed}")
+
+    grown = detector.sst.component_sizes()["OS"]
+    print(f"\nOS grew to {grown} subspaces during monitoring "
+          f"({detector.summary.outliers_detected} alerts raised).")
+
+
+if __name__ == "__main__":
+    main()

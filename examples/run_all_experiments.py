@@ -1,0 +1,187 @@
+"""Regenerate every experiment of the reproduction and write EXPERIMENTS.md.
+
+This driver runs the full experiment index from DESIGN.md (Section 5) — the
+same experiments the ``benchmarks/`` suite times — at the benchmark-sized
+parameters, prints each result table, and records everything into
+``EXPERIMENTS.md`` next to the expected qualitative shape, so the
+paper-vs-measured comparison is kept in one reviewable file.
+
+Run with::
+
+    python examples/run_all_experiments.py            # full run (~5-10 min)
+    python examples/run_all_experiments.py --quick    # reduced sizes (~2 min)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.eval import format_markdown_table, format_table
+from repro.eval.experiments import (
+    experiment_a1_sst_ablation,
+    experiment_a2_self_evolution,
+    experiment_a3_time_model,
+    experiment_a4_moga_vs_exhaustive,
+    experiment_e1_effectiveness_synthetic,
+    experiment_e2_effectiveness_kdd,
+    experiment_e3_scalability_dimensions,
+    experiment_e4_scalability_stream_length,
+    experiment_f1_pipeline,
+)
+
+#: What the paper claims / what shape we expect, per experiment id.
+EXPECTATIONS = {
+    "F1": "The learning stage builds FS/CS/OS and the detection stage flags "
+          "projected outliers online with their outlying subspaces — the "
+          "running counterpart of the paper's Figure 1.",
+    "E1": "SPOT's recall/F1 on projected outliers clearly dominate the "
+          "full-space grid detector (recall ~0) and the sparsity-coefficient "
+          "batch detector (false-alarm rate near 1); the random-subspace "
+          "control does not beat SPOT at equal budget.  The exact "
+          "sliding-window kNN detector remains competitive in accuracy on "
+          "these cluster-structured synthetic streams (its weakness is the "
+          "per-point cost studied in E3, and it cannot name outlying "
+          "subspaces), which is an honest deviation from the paper's blanket "
+          "claim of dominating 'the existing method'.",
+    "E2": "Same ordering on the simulated real-life streams: the rare "
+          "attacks/faults deviate only in small feature subsets, so the "
+          "full-space view misses them while SPOT (with supervised OS on the "
+          "intrusion workload) recovers the majority at a low false-alarm "
+          "rate.",
+    "E3": "SPOT's per-point cost grows with the SST size (roughly linear in "
+          "the dimensionality under a fixed budget), not with the 2^phi "
+          "lattice; the exact kNN baseline is slower and degrades faster.",
+    "E4": "Per-point cost stays roughly flat as the stream grows 8x and the "
+          "summary footprint plateaus (decay + pruning bound the live cells).",
+    "A1": "Recall rises as CS and then OS are added to FS — the three SST "
+          "components supplement each other as the paper argues.",
+    "A2": "After the drift the frozen template loses recall; the adaptive "
+          "variant (OS growth + CS self-evolution) recovers part of it.",
+    "A3": "The mass still credited to expired regions stays below epsilon of "
+          "its peak for every (omega, epsilon), i.e. the decayed summaries "
+          "approximate the sliding window to the promised factor.",
+    "A4": "MOGA recovers most of the exhaustive top-k sparse subspaces while "
+          "evaluating an ever-smaller fraction of the lattice as phi grows.",
+}
+
+FULL_PARAMS = {
+    "F1": dict(dimensions=20, n_training=600, n_detection=1200, seed=5),
+    "E1": dict(dimension_settings=(20, 40), n_training=700, n_detection=1200,
+               outlier_rate=0.03, seed=11),
+    "E2": dict(n_training=900, n_detection=2000, attack_rate_scale=1.5,
+               seed=23, include_sensor_variant=True),
+    "E3": dict(dimension_settings=(10, 20, 40, 80), n_training=400,
+               n_detection=800, seed=17),
+    "E4": dict(lengths=(2000, 4000, 8000, 16000), dimensions=20,
+               n_training=400, seed=19),
+    "A1": dict(dimensions=20, n_training=800, n_detection=1500,
+               outlier_rate=0.04, seed=29),
+    "A2": dict(dimensions=16, n_training=700, n_before=700, n_after=700,
+               n_segments=8, seed=37),
+    "A3": dict(omegas=(200, 500, 1000), epsilons=(0.01, 0.1), dimensions=4,
+               seed=41),
+    "A4": dict(dimension_settings=(8, 10, 12), max_dimension=3, top_k=10,
+               n_points=400, seed=43),
+}
+
+QUICK_PARAMS = {
+    "F1": dict(dimensions=12, n_training=300, n_detection=500, seed=5),
+    "E1": dict(dimension_settings=(12,), n_training=350, n_detection=600,
+               outlier_rate=0.04, seed=11),
+    "E2": dict(n_training=500, n_detection=800, attack_rate_scale=2.0,
+               seed=23, include_sensor_variant=False),
+    "E3": dict(dimension_settings=(10, 20), n_training=250, n_detection=400,
+               seed=17),
+    "E4": dict(lengths=(1000, 3000), dimensions=12, n_training=250, seed=19),
+    "A1": dict(dimensions=14, n_training=400, n_detection=700,
+               outlier_rate=0.05, seed=29),
+    "A2": dict(dimensions=12, n_training=400, n_before=400, n_after=400,
+               n_segments=4, seed=37),
+    "A3": dict(omegas=(100, 300), epsilons=(0.01, 0.1), dimensions=3, seed=41),
+    "A4": dict(dimension_settings=(8, 10), max_dimension=3, top_k=8,
+               n_points=250, seed=43),
+}
+
+EXPERIMENTS = {
+    "F1": experiment_f1_pipeline,
+    "E1": experiment_e1_effectiveness_synthetic,
+    "E2": experiment_e2_effectiveness_kdd,
+    "E3": experiment_e3_scalability_dimensions,
+    "E4": experiment_e4_scalability_stream_length,
+    "A1": experiment_a1_sst_ablation,
+    "A2": experiment_a2_self_evolution,
+    "A3": experiment_a3_time_model,
+    "A4": experiment_a4_moga_vs_exhaustive,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run reduced-size experiments")
+    parser.add_argument("--output", default=None,
+                        help="where to write EXPERIMENTS.md "
+                             "(default: repository root)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to run (default: all)")
+    args = parser.parse_args(argv)
+
+    params = QUICK_PARAMS if args.quick else FULL_PARAMS
+    selected = args.only if args.only else list(EXPERIMENTS)
+    output_path = Path(args.output) if args.output else \
+        Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+
+    sections = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `python examples/run_all_experiments.py"
+        + (" --quick" if args.quick else "") + "`.",
+        "",
+        "The paper (an ICDE 2008 demonstration paper) reports no numbered "
+        "tables; its evaluation promises are reproduced as the experiment "
+        "index of DESIGN.md §5.  Each section below records the expected "
+        "qualitative shape next to the rows actually measured on this "
+        "machine (pure-Python implementation, synthetic/simulated workloads),"
+        " so absolute numbers are indicative while the orderings and trends "
+        "are the reproduction targets.",
+        "",
+    ]
+
+    for experiment_id in selected:
+        experiment = EXPERIMENTS[experiment_id]
+        kwargs = params[experiment_id]
+        print(f"\n=== Running {experiment_id} ===")
+        started = time.perf_counter()
+        report = experiment(**kwargs)
+        elapsed = time.perf_counter() - started
+        table = format_table(list(report.rows), columns=report.column_names())
+        print(table)
+        print(f"({elapsed:.1f}s)")
+
+        sections.extend([
+            f"## {report.experiment_id} — {report.title}",
+            "",
+            f"*Parameters*: `{kwargs}`  ",
+            f"*Wall-clock*: {elapsed:.1f} s",
+            "",
+            f"**Paper / expected shape**: {EXPECTATIONS[experiment_id]}",
+            "",
+            "**Measured**:",
+            "",
+            format_markdown_table(list(report.rows),
+                                  columns=report.column_names()),
+            "",
+            f"**Notes**: {report.notes}",
+            "",
+        ])
+
+    output_path.write_text("\n".join(sections))
+    print(f"\nWrote {output_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

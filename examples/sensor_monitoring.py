@@ -1,0 +1,98 @@
+"""Sensor-field monitoring: localised faults as projected outliers.
+
+A field of correlated sensors reports a shared diurnal cycle; faults (stuck
+readings, calibration drift, coordinated spoofing) corrupt only a couple of
+channels at a time, so a faulty record looks healthy in the full space and
+anomalous only in the corrupted channels' subspace.  This example runs SPOT
+unsupervised (no labelled faults available), persists the learned template to
+disk and restores it — the workflow of a long-running monitoring daemon that
+has to survive restarts.
+
+Run with::
+
+    python examples/sensor_monitoring.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import SPOT, SPOTConfig
+from repro.metrics import confusion_matrix
+from repro.persist import load_detector, save_detector
+from repro.streams import SensorFieldStream, values_of
+
+
+def main() -> None:
+    stream = SensorFieldStream(n_channels=16, n_points=4_000, seed=11)
+    readings = list(stream)
+    training, live = readings[:1_500], readings[1_500:]
+
+    print(f"Sensor field: {stream.dimensionality} channels")
+    print("Fault types and the channels they corrupt:")
+    for name, subspace in stream.fault_subspaces().items():
+        print(f"  {name:18s} -> channels {list(subspace.dimensions)}")
+
+    config = SPOTConfig(
+        cells_per_dimension=4,
+        omega=600,
+        max_dimension=2,
+        cs_size=12,
+        rd_threshold=0.02,
+        min_expected_mass=4.0,
+        self_evolution_period=500,   # adapt CS as the diurnal cycle moves
+        moga_population=20,
+        moga_generations=8,
+    )
+    detector = SPOT(config)
+    detector.learn(values_of(training))
+    print(f"\nLearned SST with {len(detector.sst)} subspaces "
+          f"{detector.sst.component_sizes()}")
+
+    # ------------------------------------------------------------------ #
+    # Monitor the first half of the live feed, then simulate a daemon
+    # restart: persist the template, reload it, and keep monitoring.
+    # ------------------------------------------------------------------ #
+    midpoint = len(live) // 2
+    first_half, second_half = live[:midpoint], live[midpoint:]
+
+    predictions, labels = [], []
+    for reading in first_half:
+        result = detector.process(reading.values)
+        predictions.append(result.is_outlier)
+        labels.append(reading.is_outlier)
+
+    state_path = Path(tempfile.gettempdir()) / "spot_sensor_demo.json"
+    save_detector(detector, state_path)
+    print(f"\nPersisted detector state to {state_path}")
+
+    restored = load_detector(state_path)
+    print("Restarted from the persisted template "
+          f"({len(restored.sst)} subspaces); re-warming summaries from the stream")
+
+    fault_hits: Counter = Counter()
+    fault_totals: Counter = Counter()
+    for reading in second_half:
+        result = restored.process(reading.values)
+        predictions.append(result.is_outlier)
+        labels.append(reading.is_outlier)
+        if reading.is_outlier:
+            fault_totals[reading.category] += 1
+            if result.is_outlier:
+                fault_hits[reading.category] += 1
+
+    matrix = confusion_matrix(predictions, labels)
+    print(f"\nWhole live feed: recall={matrix.recall:.3f}  "
+          f"precision={matrix.precision:.3f}  "
+          f"false-alarm rate={matrix.false_alarm_rate:.4f}")
+    print("Post-restart per-fault detection:")
+    for fault in sorted(fault_totals):
+        print(f"  {fault:18s} {fault_hits[fault]:3d}/{fault_totals[fault]:3d}")
+
+    state_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

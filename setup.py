@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only enables
+legacy ``pip install -e . --no-use-pep517`` installs on offline machines where
+PEP 660 editable wheels cannot be built.
+"""
+
+from setuptools import setup
+
+setup()

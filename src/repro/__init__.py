@@ -1,0 +1,51 @@
+"""repro — a reproduction of SPOT (Zhang, Gao & Wang, ICDE 2008).
+
+SPOT (Stream Projected Outlier deTector) detects *projected outliers* — points
+that are anomalous only within a low-dimensional subspace — from
+high-dimensional data streams, using decayed cell summaries (BCS/PCS), a
+Sparse Subspace Template (SST) learned by clustering and a multi-objective
+genetic algorithm, and online self-evolution of the template.
+
+Quickstart
+----------
+>>> from repro import SPOT, SPOTConfig
+>>> from repro.streams import GaussianStreamGenerator, values_of
+>>> stream = GaussianStreamGenerator(dimensions=12, n_points=1500, seed=1)
+>>> training, live = stream.split(700, 800)
+>>> detector = SPOT(SPOTConfig(max_dimension=2, omega=400))
+>>> detector.learn(values_of(training))
+>>> outliers = detector.detect_outliers(live)
+"""
+
+from .core import (
+    SPOT,
+    DetectionResult,
+    DomainBounds,
+    Grid,
+    SparseSubspaceTemplate,
+    SPOTConfig,
+    SPOTError,
+    StreamSummary,
+    Subspace,
+    SubspaceEvidence,
+    SynapseStore,
+    TimeModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPOT",
+    "SPOTConfig",
+    "SPOTError",
+    "DetectionResult",
+    "DomainBounds",
+    "Grid",
+    "SparseSubspaceTemplate",
+    "StreamSummary",
+    "Subspace",
+    "SubspaceEvidence",
+    "SynapseStore",
+    "TimeModel",
+    "__version__",
+]

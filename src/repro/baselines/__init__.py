@@ -1,0 +1,17 @@
+"""Baseline detectors SPOT is compared against in the evaluation."""
+
+from .base import BaselineResult, StreamingDetector, coerce_point
+from .full_space_grid import FullSpaceGridDetector
+from .knn_window import KNNWindowDetector
+from .largecell import SparsityCoefficientDetector
+from .random_subspace import RandomSubspaceDetector
+
+__all__ = [
+    "BaselineResult",
+    "StreamingDetector",
+    "coerce_point",
+    "FullSpaceGridDetector",
+    "KNNWindowDetector",
+    "SparsityCoefficientDetector",
+    "RandomSubspaceDetector",
+]

@@ -1,0 +1,113 @@
+"""Sliding-window kNN distance detector (distance-based full-space baseline).
+
+Distance-based outlier detection — a point is anomalous when its distance to
+its k-th nearest neighbour among recent points is large — is the other family
+of stream detectors SPOT is contrasted with.  This implementation keeps an
+exact sliding window of the last ``window`` points, computes the k-NN distance
+of every arriving point against that window, and flags the point when the
+distance exceeds a threshold calibrated on the training batch (a high quantile
+of training k-NN distances).
+
+It is deliberately the *expensive but exact* representative of its family:
+per-point cost is O(window · phi), which is what makes it a useful efficiency
+foil in the scalability benchmarks, and it shares SPOT's full-space blindness
+to projected outliers, which is what makes it a useful effectiveness foil.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .base import (
+    BaselineResult,
+    PointLike,
+    StreamingDetector,
+    coerce_point,
+    require_fitted,
+    validate_training_batch,
+)
+
+
+def _knn_distance(point: Tuple[float, ...],
+                  neighbours: Sequence[Tuple[float, ...]], k: int) -> float:
+    """Distance from ``point`` to its k-th nearest neighbour in ``neighbours``."""
+    if not neighbours:
+        return math.inf
+    distances = []
+    for other in neighbours:
+        distances.append(math.sqrt(
+            sum((a - b) ** 2 for a, b in zip(point, other))
+        ))
+    distances.sort()
+    index = min(k, len(distances)) - 1
+    return distances[index]
+
+
+class KNNWindowDetector(StreamingDetector):
+    """Exact sliding-window k-nearest-neighbour distance detector.
+
+    Parameters
+    ----------
+    k:
+        Which nearest neighbour's distance is used as the outlier score.
+    window:
+        Number of recent points kept for the neighbour search.
+    quantile:
+        Training-distance quantile used as the decision threshold: points
+        whose k-NN distance exceeds the ``quantile``-th quantile of the
+        training batch's k-NN distances are flagged.
+    """
+
+    name = "knn-window"
+
+    def __init__(self, *, k: int = 5, window: int = 500,
+                 quantile: float = 0.97) -> None:
+        if k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if window < k + 1:
+            raise ConfigurationError("window must exceed k")
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("quantile must lie strictly in (0, 1)")
+        self._k = k
+        self._window = window
+        self._quantile = quantile
+        self._buffer: Optional[Deque[Tuple[float, ...]]] = None
+        self._threshold: Optional[float] = None
+        self._scale: float = 1.0
+        self._processed = 0
+
+    def learn(self, training_data: Sequence[PointLike]) -> "KNNWindowDetector":
+        batch = validate_training_batch(training_data)
+        reference = batch[-self._window:]
+        distances: List[float] = []
+        for i, point in enumerate(reference):
+            others = reference[:i] + reference[i + 1:]
+            if not others:
+                continue
+            distances.append(_knn_distance(point, others, self._k))
+        if not distances:
+            raise ConfigurationError("training batch is too small for kNN calibration")
+        distances.sort()
+        index = min(len(distances) - 1, int(self._quantile * len(distances)))
+        self._threshold = distances[index]
+        # Scale used to squash raw distances into a [0, 1] score.
+        self._scale = max(self._threshold, 1e-9)
+        self._buffer = deque(reference, maxlen=self._window)
+        self._processed = 0
+        return self
+
+    def process(self, point: PointLike) -> BaselineResult:
+        require_fitted(self._buffer is not None, self.name)
+        assert self._buffer is not None and self._threshold is not None
+        values = coerce_point(point)
+        distance = _knn_distance(values, list(self._buffer), self._k)
+        is_outlier = distance > self._threshold
+        score = 0.0 if math.isinf(distance) else min(1.0, distance / (2.0 * self._scale))
+        self._buffer.append(values)
+        result = BaselineResult(index=self._processed, is_outlier=is_outlier,
+                                score=score)
+        self._processed += 1
+        return result

@@ -1,0 +1,144 @@
+"""Command-line demo of SPOT (the reproduction of the paper's demo plan).
+
+Three subcommands:
+
+``spot-demo detect``
+    Run the full learning + detection pipeline on a named workload and print
+    the detection summary plus a few example outliers with their outlying
+    subspaces.
+
+``spot-demo experiment``
+    Run one of the experiments from the DESIGN.md index (F1, E1-E4, A1-A4)
+    and print its result table.
+
+``spot-demo compare``
+    Run SPOT and the baselines on a named workload and print the comparison
+    table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baselines import FullSpaceGridDetector, KNNWindowDetector, RandomSubspaceDetector
+from .core.config import SPOTConfig
+from .core.detector import SPOT
+from .eval import (
+    ALL_EXPERIMENTS,
+    build_workload,
+    compare_detectors,
+    format_table,
+    rows_from_evaluations,
+)
+from .eval.workloads import WORKLOAD_BUILDERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spot-demo",
+        description="SPOT: detecting projected outliers from high-dimensional "
+                    "data streams (ICDE 2008 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    detect = subparsers.add_parser("detect", help="run SPOT on a workload")
+    detect.add_argument("--workload", choices=sorted(WORKLOAD_BUILDERS),
+                        default="synthetic")
+    detect.add_argument("--omega", type=int, default=500)
+    detect.add_argument("--rd-threshold", type=float, default=0.3)
+    detect.add_argument("--max-dimension", type=int, default=2)
+    detect.add_argument("--show", type=int, default=5,
+                        help="number of detected outliers to print in detail")
+
+    experiment = subparsers.add_parser("experiment",
+                                       help="run a DESIGN.md experiment")
+    experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
+                            help="experiment identifier (F1, E1-E4, A1-A4)")
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare SPOT against the baselines")
+    compare.add_argument("--workload", choices=sorted(WORKLOAD_BUILDERS),
+                         default="synthetic")
+    return parser
+
+
+def _run_detect(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload)
+    config = SPOTConfig(
+        omega=args.omega,
+        rd_threshold=args.rd_threshold,
+        max_dimension=min(args.max_dimension, 2 if workload.dimensionality > 25 else args.max_dimension),
+        moga_generations=12,
+        moga_population=24,
+    )
+    detector = SPOT(config)
+    print(f"Learning on {len(workload.training)} training points "
+          f"({workload.dimensionality} dimensions)...")
+    detector.learn(workload.training_values)
+    sizes = detector.sst.component_sizes()
+    print(f"SST built: FS={sizes['FS']} CS={sizes['CS']} OS={sizes['OS']} "
+          f"(total {len(detector.sst)} subspaces)")
+
+    print(f"Processing {len(workload.detection)} stream points...")
+    results = detector.detect(workload.detection_values)
+    flagged = [r for r in results if r.is_outlier]
+    print(f"Flagged {len(flagged)} projected outliers "
+          f"({100.0 * len(flagged) / len(results):.2f}% of the stream)")
+
+    labels = workload.detection_labels
+    if any(labels):
+        from .metrics import confusion_matrix
+        matrix = confusion_matrix([r.is_outlier for r in results], labels)
+        print(f"Against ground truth: precision={matrix.precision:.3f} "
+              f"recall={matrix.recall:.3f} f1={matrix.f1:.3f} "
+              f"false_alarm_rate={matrix.false_alarm_rate:.4f}")
+
+    for result in flagged[: args.show]:
+        dims = [list(s.dimensions) for s in result.outlying_subspaces[:3]]
+        print(f"  point #{result.index}: score={result.score:.3f} "
+              f"outlying subspaces (top 3): {dims}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    report = ALL_EXPERIMENTS[args.id]()
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+    if report.notes:
+        print(f"\nNotes: {report.notes}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload)
+    config = SPOTConfig(max_dimension=1 if workload.dimensionality > 25 else 2,
+                        moga_generations=12, moga_population=24, omega=500)
+    factories = {
+        "SPOT": lambda: SPOT(config),
+        "full-space-grid": lambda: FullSpaceGridDetector(omega=config.omega),
+        "knn-window": lambda: KNNWindowDetector(window=300),
+        "random-subspace": lambda: RandomSubspaceDetector(n_subspaces=60),
+    }
+    evaluations = compare_detectors(factories, workload)
+    print(format_table(rows_from_evaluations(evaluations)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``spot-demo`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "detect":
+        return _run_detect(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Lead clustering and outlying-degree computation for unsupervised learning."""
+
+from .lead_clustering import (
+    Cluster,
+    LeadClustering,
+    default_distance_threshold,
+    euclidean_distance,
+)
+from .outlying_degree import OutlyingDegreeResult, compute_outlying_degrees
+
+__all__ = [
+    "Cluster",
+    "LeadClustering",
+    "default_distance_threshold",
+    "euclidean_distance",
+    "OutlyingDegreeResult",
+    "compute_outlying_degrees",
+]

@@ -1,0 +1,150 @@
+"""Lead (leader) clustering — the one-pass clustering used in learning.
+
+The unsupervised learning stage needs a cheap way to rank the training points
+by how "outlying" they are overall, so that the sparse subspaces of the most
+outlying ones can seed the CS component of the SST.  The paper prescribes the
+*lead clustering method under different data orders*: a single pass over the
+data in which each point joins the first existing cluster whose leader is
+within a distance threshold, or founds a new cluster otherwise.  Points that
+repeatedly end up in tiny clusters — regardless of the order the data is
+visited in — are the outlying ones.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass
+class Cluster:
+    """One cluster of the leader-clustering pass."""
+
+    leader: Tuple[float, ...]
+    member_indices: List[int] = field(default_factory=list)
+    centroid_sum: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.centroid_sum:
+            self.centroid_sum = list(self.leader)
+
+    @property
+    def size(self) -> int:
+        """Number of points assigned to the cluster."""
+        return len(self.member_indices)
+
+    @property
+    def centroid(self) -> Tuple[float, ...]:
+        """Running mean of the members (the leader defines the radius, not this)."""
+        if not self.member_indices:
+            return self.leader
+        n = len(self.member_indices)
+        return tuple(value / n for value in self.centroid_sum)
+
+    def add(self, index: int, point: Sequence[float]) -> None:
+        """Assign one point (by index) to this cluster."""
+        if self.member_indices:
+            for i, value in enumerate(point):
+                self.centroid_sum[i] += float(value)
+        else:
+            self.centroid_sum = [float(v) for v in point]
+        self.member_indices.append(index)
+
+
+def euclidean_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Plain Euclidean distance between two points of equal length."""
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"points of different lengths ({len(a)} vs {len(b)}) cannot be compared"
+        )
+    return math.sqrt(sum((float(x) - float(y)) ** 2 for x, y in zip(a, b)))
+
+
+class LeadClustering:
+    """Single-pass leader clustering.
+
+    Parameters
+    ----------
+    distance_threshold:
+        A point joins the first cluster whose *leader* lies within this
+        distance; otherwise it becomes the leader of a new cluster.
+    """
+
+    def __init__(self, distance_threshold: float) -> None:
+        if distance_threshold <= 0.0:
+            raise ConfigurationError("distance_threshold must be positive")
+        self.distance_threshold = distance_threshold
+
+    def fit(self, data: Sequence[Sequence[float]],
+            order: Optional[Sequence[int]] = None) -> List[Cluster]:
+        """Cluster ``data`` visiting the points in ``order`` (default: given order).
+
+        Returns the clusters; each remembers the indices (into ``data``) of
+        its members, so callers can map cluster sizes back onto points.
+        """
+        if not data:
+            raise ConfigurationError("cannot cluster an empty batch")
+        indices = list(order) if order is not None else list(range(len(data)))
+        if sorted(indices) != list(range(len(data))):
+            raise ConfigurationError(
+                "order must be a permutation of range(len(data))"
+            )
+        clusters: List[Cluster] = []
+        for index in indices:
+            point = data[index]
+            assigned = False
+            for cluster in clusters:
+                if euclidean_distance(point, cluster.leader) <= self.distance_threshold:
+                    cluster.add(index, point)
+                    assigned = True
+                    break
+            if not assigned:
+                new_cluster = Cluster(leader=tuple(float(v) for v in point))
+                new_cluster.add(index, point)
+                clusters.append(new_cluster)
+        return clusters
+
+    def fit_multiple_orders(self, data: Sequence[Sequence[float]], *,
+                            n_runs: int, seed: int = 0
+                            ) -> List[List[Cluster]]:
+        """Run :meth:`fit` under ``n_runs`` random permutations of the data."""
+        if n_runs < 1:
+            raise ConfigurationError("n_runs must be at least 1")
+        rng = random.Random(seed)
+        runs: List[List[Cluster]] = []
+        for _ in range(n_runs):
+            order = list(range(len(data)))
+            rng.shuffle(order)
+            runs.append(self.fit(data, order=order))
+        return runs
+
+
+def default_distance_threshold(data: Sequence[Sequence[float]],
+                               fraction: float = 0.25) -> float:
+    """Distance threshold as a fraction of the data's bounding-box diagonal.
+
+    A simple, scale-aware default: clusters whose leaders are within
+    ``fraction`` of the overall data diagonal are considered the same group.
+    """
+    if not data:
+        raise ConfigurationError("cannot derive a threshold from an empty batch")
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must lie in (0, 1]")
+    phi = len(data[0])
+    lows = [float("inf")] * phi
+    highs = [float("-inf")] * phi
+    for point in data:
+        if len(point) != phi:
+            raise ConfigurationError("all points must share one dimensionality")
+        for i, value in enumerate(point):
+            v = float(value)
+            lows[i] = min(lows[i], v)
+            highs[i] = max(highs[i], v)
+    diagonal = math.sqrt(sum((hi - lo) ** 2 for lo, hi in zip(lows, highs)))
+    if diagonal <= 0.0:
+        return 1.0
+    return diagonal * fraction

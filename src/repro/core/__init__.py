@@ -1,0 +1,55 @@
+"""SPOT core: subspaces, grid, time model, data synapses, SST and detector."""
+
+from .cell_summary import (
+    BaseCellSummary,
+    DecayedCellAccumulator,
+    ProjectedCellSummary,
+    compute_pcs,
+)
+from .config import SPOTConfig
+from .detector import SPOT
+from .exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    NotFittedError,
+    SerializationError,
+    SPOTError,
+    StreamExhaustedError,
+    SubspaceError,
+)
+from .grid import CellAddress, DomainBounds, Grid
+from .results import DetectionResult, StreamSummary, SubspaceEvidence
+from .sst import RankedSubspace, SparseSubspaceTemplate
+from .subspace import Subspace, count_subspaces, enumerate_subspaces
+from .synapse_store import SynapseStore
+from .time_model import TimeModel, solve_decay_factor
+
+__all__ = [
+    "BaseCellSummary",
+    "DecayedCellAccumulator",
+    "ProjectedCellSummary",
+    "compute_pcs",
+    "SPOTConfig",
+    "SPOT",
+    "ConfigurationError",
+    "DimensionMismatchError",
+    "NotFittedError",
+    "SerializationError",
+    "SPOTError",
+    "StreamExhaustedError",
+    "SubspaceError",
+    "CellAddress",
+    "DomainBounds",
+    "Grid",
+    "DetectionResult",
+    "StreamSummary",
+    "SubspaceEvidence",
+    "RankedSubspace",
+    "SparseSubspaceTemplate",
+    "Subspace",
+    "count_subspaces",
+    "enumerate_subspaces",
+    "SynapseStore",
+    "TimeModel",
+    "solve_decay_factor",
+]

@@ -1,0 +1,302 @@
+"""Data synapses: Base Cell Summaries and Projected Cell Summaries.
+
+These are the two compact, incrementally-maintainable structures SPOT keeps
+instead of the raw stream (Definitions 1 and 2 of the paper):
+
+* :class:`BaseCellSummary` (BCS) — for a *base cell* (a cell of the full
+  ``phi``-dimensional grid): the decayed point count ``D_c`` together with the
+  decayed per-dimension linear sum ``LS_c`` and squared sum ``SS_c``.
+* :class:`ProjectedCellSummary` (PCS) — for a cell of a particular subspace:
+  the pair ``(RD, IRSD)``, Relative Density and Inverse Relative Standard
+  Deviation, both derived from a decayed accumulator restricted to the
+  subspace's dimensions.
+
+Both are *additive* (two summaries of disjoint point sets can be merged by
+adding their fields) and *decayable* (ageing is a single multiplication), which
+is exactly what makes one-pass maintenance over a fast stream possible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .exceptions import ConfigurationError, DimensionMismatchError
+from .time_model import TimeModel
+
+
+def poisson_tail_probability(count: float, expected: float) -> float:
+    """P(X <= count) for X ~ Poisson(expected), extended to fractional counts.
+
+    This is the significance of observing ``count`` or less in a cell whose
+    null model predicts ``expected``: a very small value means the cell is
+    *significantly* emptier than it should be.  The continuous extension uses
+    the regularised upper incomplete gamma function Q(count + 1, expected),
+    which coincides with the Poisson CDF at integer counts.  For
+    ``expected <= 0`` there is nothing to be emptier than, so 1.0 is returned.
+    """
+    if count < 0.0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if expected <= 0.0:
+        return 1.0
+    try:
+        from scipy.special import gammaincc
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        gammaincc = None
+    if gammaincc is not None:
+        return float(gammaincc(count + 1.0, expected))
+    # Fallback: exact Poisson CDF at floor(count) (scipy unavailable).
+    k = int(math.floor(count))
+    term = math.exp(-expected)
+    total = term
+    for i in range(1, k + 1):
+        term *= expected / i
+        total += term
+    return min(1.0, total)
+
+
+class DecayedCellAccumulator:
+    """Decayed (count, linear-sum, squared-sum) triplet over a fixed set of dims.
+
+    This is the common machinery behind both BCS (all ``phi`` dimensions) and
+    the per-subspace accumulators backing PCS (only the subspace dimensions).
+
+    Decay is applied *lazily*: the accumulator remembers the tick of its last
+    update and, whenever it is touched at a later tick, first multiplies every
+    stored quantity by ``decay_factor ** elapsed``.  This keeps the per-point
+    maintenance cost constant regardless of how many cells exist.
+    """
+
+    __slots__ = ("count", "linear_sum", "squared_sum", "last_update")
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ConfigurationError(f"accumulator width must be positive, got {width}")
+        self.count: float = 0.0
+        self.linear_sum: List[float] = [0.0] * width
+        self.squared_sum: List[float] = [0.0] * width
+        self.last_update: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        """Number of dimensions tracked by this accumulator."""
+        return len(self.linear_sum)
+
+    def decay_to(self, now: float, model: TimeModel) -> None:
+        """Age the accumulator so its contents are expressed at tick ``now``."""
+        if now < self.last_update:
+            raise ConfigurationError(
+                f"time moved backwards: {now} < {self.last_update}"
+            )
+        elapsed = now - self.last_update
+        if elapsed > 0.0 and self.count > 0.0:
+            factor = model.decay_over(elapsed)
+            self.count *= factor
+            for i in range(len(self.linear_sum)):
+                self.linear_sum[i] *= factor
+                self.squared_sum[i] *= factor
+        self.last_update = now
+
+    def add(self, values: Sequence[float], now: float, model: TimeModel,
+            weight: float = 1.0) -> None:
+        """Fold one point (restricted to this accumulator's dims) in at tick ``now``."""
+        if len(values) != self.width:
+            raise DimensionMismatchError(self.width, len(values))
+        self.decay_to(now, model)
+        self.count += weight
+        for i, v in enumerate(values):
+            fv = float(v)
+            self.linear_sum[i] += weight * fv
+            self.squared_sum[i] += weight * fv * fv
+
+    def merge(self, other: "DecayedCellAccumulator", now: float,
+              model: TimeModel) -> None:
+        """Additively merge ``other`` into this accumulator at tick ``now``."""
+        if other.width != self.width:
+            raise DimensionMismatchError(self.width, other.width)
+        self.decay_to(now, model)
+        other_factor = model.decay_over(now - other.last_update) \
+            if now > other.last_update else 1.0
+        self.count += other.count * other_factor
+        for i in range(self.width):
+            self.linear_sum[i] += other.linear_sum[i] * other_factor
+            self.squared_sum[i] += other.squared_sum[i] * other_factor
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    def mean(self, index: int) -> float:
+        """Decayed mean of the tracked dimension at position ``index``."""
+        if self.count <= 0.0:
+            return 0.0
+        return self.linear_sum[index] / self.count
+
+    def variance(self, index: int) -> float:
+        """Decayed (population) variance of the tracked dimension ``index``.
+
+        Floating-point cancellation can drive the raw value slightly negative
+        for near-constant data; it is clamped to zero.
+        """
+        if self.count <= 0.0:
+            return 0.0
+        mean = self.linear_sum[index] / self.count
+        var = self.squared_sum[index] / self.count - mean * mean
+        return var if var > 0.0 else 0.0
+
+    def std(self, index: int) -> float:
+        """Decayed standard deviation of the tracked dimension ``index``."""
+        return self.variance(index) ** 0.5
+
+    def copy(self) -> "DecayedCellAccumulator":
+        """Return an independent copy of this accumulator."""
+        clone = DecayedCellAccumulator(self.width)
+        clone.count = self.count
+        clone.linear_sum = list(self.linear_sum)
+        clone.squared_sum = list(self.squared_sum)
+        clone.last_update = self.last_update
+        return clone
+
+
+class BaseCellSummary(DecayedCellAccumulator):
+    """BCS(c) = (D_c, LS_c, SS_c) for a base cell of the full grid.
+
+    A thin specialisation of :class:`DecayedCellAccumulator` whose width is the
+    full dimensionality ``phi``; kept as its own type so that signatures make
+    clear whether a full-space or subspace accumulator is expected.
+    """
+
+
+@dataclass(frozen=True)
+class ProjectedCellSummary:
+    """PCS(c, s) = (RD, IRSD) for a projected cell ``c`` of subspace ``s``.
+
+    Attributes
+    ----------
+    rd:
+        Relative Density — the decayed mass of the cell divided by the mass
+        the cell is *expected* to hold under the configured null model of the
+        stream (see :class:`~repro.core.synapse_store.SynapseStore` for the
+        available expectations).  ``rd < 1`` means sparser than expected.
+    irsd:
+        Inverse Relative Standard Deviation — the standard deviation a uniform
+        distribution over a single cell width would have, divided by the
+        actual (decayed) standard deviation of the points in the cell,
+        averaged over the subspace's dimensions and clipped to
+        ``[0, irsd_cap]``.  Widely scattered cell contents give small IRSD.
+    count:
+        The decayed point mass of the cell (after any self-mass exclusion).
+    expected:
+        The expected mass the RD was measured against.  A cell can only be
+        meaningfully called sparse when this expectation is itself
+        substantial; the detector requires ``expected`` to exceed a support
+        threshold before flagging.
+    tail_probability:
+        Significance of the cell's emptiness: P(X <= count) for a Poisson
+        variable with mean ``expected``.  Small values mean the cell holds
+        significantly less mass than the null model predicts; this is the
+        quantity the detector's default (``"poisson"``) decision rule
+        thresholds.
+    """
+
+    rd: float
+    irsd: float
+    count: float = 0.0
+    expected: float = 0.0
+    tail_probability: float = 1.0
+
+    def is_significantly_sparse(self, significance: float,
+                                irsd_threshold: Optional[float] = None) -> bool:
+        """Poisson-tail decision: the cell is emptier than chance allows.
+
+        ``significance`` is the maximum admissible probability of seeing a
+        count this low under the null model; the optional IRSD threshold is
+        applied on top, mirroring :meth:`is_sparse`.
+        """
+        if self.tail_probability > significance:
+            return False
+        if irsd_threshold is not None and self.irsd > irsd_threshold:
+            return False
+        return True
+
+    def is_sparse(self, rd_threshold: float,
+                  irsd_threshold: Optional[float] = None,
+                  min_expected: float = 0.0) -> bool:
+        """Decide whether this cell is sparse enough to flag its points.
+
+        A cell is sparse when its Relative Density falls below
+        ``rd_threshold``, its expected mass reaches ``min_expected`` (so that
+        "emptier than expected" is a meaningful statement) and, if
+        ``irsd_threshold`` is given, its IRSD also falls below that threshold
+        (matching the paper's "PCS ... fall under certain pre-specified
+        thresholds").
+        """
+        if self.expected < min_expected:
+            return False
+        if self.rd > rd_threshold:
+            return False
+        if irsd_threshold is not None and self.irsd > irsd_threshold:
+            return False
+        return True
+
+
+def compute_pcs(accumulator: DecayedCellAccumulator,
+                expected_mass: float,
+                uniform_stds: Sequence[float],
+                *,
+                irsd_cap: float = 100.0,
+                std_floor: float = 1e-12,
+                exclude_weight: float = 0.0) -> ProjectedCellSummary:
+    """Derive the (RD, IRSD) pair from a per-cell decayed accumulator.
+
+    Parameters
+    ----------
+    accumulator:
+        The decayed accumulator of the projected cell (restricted to the
+        subspace dimensions).
+    expected_mass:
+        The mass the cell is expected to hold under the null model of the
+        stream (uniform over the lattice, average of populated cells, or
+        product of attribute marginals — chosen by the synapse store).
+    uniform_stds:
+        Per-dimension standard deviation of a uniform distribution over one
+        cell width, in the subspace's dimension order.
+    irsd_cap:
+        Upper clip for IRSD; cells holding a single point (zero spread) would
+        otherwise produce an infinite value.
+    std_floor:
+        Numerical floor added to the measured standard deviation.
+    exclude_weight:
+        Mass subtracted from the cell count before computing RD — the
+        detector passes the just-ingested point's own weight here so a point
+        never masks its own outlier-ness.
+    """
+    if expected_mass < 0.0:
+        raise ConfigurationError(
+            f"expected_mass must be non-negative, got {expected_mass}"
+        )
+    count = max(0.0, accumulator.count - exclude_weight)
+    if expected_mass <= 0.0:
+        return ProjectedCellSummary(rd=0.0, irsd=0.0, count=count, expected=0.0,
+                                    tail_probability=1.0)
+
+    rd = count / expected_mass
+    tail = poisson_tail_probability(count, expected_mass)
+
+    if accumulator.count <= 0.0:
+        return ProjectedCellSummary(rd=0.0, irsd=0.0, count=0.0,
+                                    expected=expected_mass,
+                                    tail_probability=tail)
+
+    ratios = []
+    for i, uniform_std in enumerate(uniform_stds):
+        actual = accumulator.std(i) + std_floor
+        ratio = uniform_std / actual
+        ratios.append(min(ratio, irsd_cap))
+    irsd = sum(ratios) / len(ratios) if ratios else 0.0
+    return ProjectedCellSummary(rd=rd, irsd=irsd, count=count,
+                                expected=expected_mass,
+                                tail_probability=tail)

@@ -1,0 +1,412 @@
+"""The SPOT detector: learning stage + online detection stage.
+
+This is the public entry point of the library.  A :class:`SPOT` instance is
+used in two phases, mirroring the paper's architecture (Figure 1):
+
+1. **Learning stage** — :meth:`SPOT.learn` takes an in-memory training batch
+   (and optionally expert-labelled outlier examples / an attribute-relevance
+   hint) and builds the Sparse Subspace Template: FS by enumeration, CS by
+   unsupervised learning (lead clustering + MOGA) and OS by supervised
+   learning (per-example MOGA).  The training batch is also folded into the
+   data synapses so the detection stage starts with warm summaries.
+2. **Detection stage** — :meth:`SPOT.process` / :meth:`SPOT.process_stream`
+   update the decayed BCS/PCS summaries with every arriving point, look the
+   point up in each SST subspace and flag it as a projected outlier when the
+   PCS of its cell falls under the configured thresholds.  The online
+   adaptation mechanisms (OS growth from detected outliers, periodic CS
+   self-evolution, summary pruning, drift monitoring) run inside this loop.
+
+Example
+-------
+>>> from repro import SPOT, SPOTConfig
+>>> from repro.streams import GaussianStreamGenerator, values_of
+>>> stream = GaussianStreamGenerator(dimensions=10, n_points=1200, seed=3)
+>>> training, detection = stream.split(600, 600)
+>>> detector = SPOT(SPOTConfig(max_dimension=2, omega=400))
+>>> detector.learn(values_of(training))
+>>> results = detector.detect(values_of(detection))
+>>> len(results)
+600
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..clustering import compute_outlying_degrees  # noqa: F401  (re-exported convenience)
+from .cell_summary import ProjectedCellSummary
+from .config import SPOTConfig
+from .exceptions import ConfigurationError, DimensionMismatchError, NotFittedError
+from .grid import DomainBounds, Grid
+from .results import DetectionResult, StreamSummary, SubspaceEvidence
+from .sst import SparseSubspaceTemplate
+from .subspace import Subspace
+from .synapse_store import SynapseStore
+from .time_model import TimeModel
+
+PointLike = Union[Sequence[float], "StreamPointProtocol"]
+
+
+class StreamPointProtocol:
+    """Structural type for stream points: anything exposing ``.values``."""
+
+    values: Tuple[float, ...]
+
+
+def _coerce_point(point: PointLike) -> Tuple[float, ...]:
+    """Accept raw sequences and StreamPoint-like objects alike."""
+    values = getattr(point, "values", point)
+    return tuple(float(v) for v in values)
+
+
+class SPOT:
+    """Stream Projected Outlier deTector.
+
+    Parameters
+    ----------
+    config:
+        Full system configuration; defaults to :class:`SPOTConfig` defaults.
+
+    Attributes of interest after :meth:`learn`
+    ------------------------------------------
+    sst:
+        The Sparse Subspace Template being used.
+    grid / time_model / store:
+        The substrate objects, exposed read-only for diagnostics, tests and
+        the benchmark harness.
+    """
+
+    def __init__(self, config: Optional[SPOTConfig] = None) -> None:
+        self.config = config if config is not None else SPOTConfig()
+        self._grid: Optional[Grid] = None
+        self._time_model: Optional[TimeModel] = None
+        self._store: Optional[SynapseStore] = None
+        self._sst: Optional[SparseSubspaceTemplate] = None
+        self._summary = StreamSummary()
+        self._processed = 0
+        self._recent_buffer = None
+        self._self_evolution = None
+        self._os_growth = None
+        self._drift_detector = None
+        self._learning_report: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the learning stage has been run."""
+        return self._sst is not None
+
+    @property
+    def sst(self) -> SparseSubspaceTemplate:
+        """The Sparse Subspace Template (raises before :meth:`learn`)."""
+        self._require_fitted()
+        assert self._sst is not None
+        return self._sst
+
+    @property
+    def grid(self) -> Grid:
+        """The equi-width grid the detector quantises points with."""
+        self._require_fitted()
+        assert self._grid is not None
+        return self._grid
+
+    @property
+    def time_model(self) -> TimeModel:
+        """The (omega, epsilon) time model in effect."""
+        self._require_fitted()
+        assert self._time_model is not None
+        return self._time_model
+
+    @property
+    def store(self) -> SynapseStore:
+        """The synapse store holding the decayed BCS/PCS summaries."""
+        self._require_fitted()
+        assert self._store is not None
+        return self._store
+
+    @property
+    def summary(self) -> StreamSummary:
+        """Aggregate statistics over everything processed so far."""
+        return self._summary
+
+    @property
+    def learning_report(self) -> dict:
+        """Diagnostics captured by the last :meth:`learn` call."""
+        return dict(self._learning_report)
+
+    @property
+    def points_processed(self) -> int:
+        """Number of detection-stage points processed so far."""
+        return self._processed
+
+    def _require_fitted(self) -> None:
+        if self._sst is None:
+            raise NotFittedError(
+                "the detector must run its learning stage (SPOT.learn) first"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Learning stage
+    # ------------------------------------------------------------------ #
+    def learn(self,
+              training_data: Sequence[PointLike],
+              *,
+              outlier_examples: Optional[Sequence[PointLike]] = None,
+              relevant_attributes: Optional[Sequence[int]] = None,
+              bounds: Optional[DomainBounds] = None,
+              enable_fs: bool = True,
+              enable_cs: bool = True,
+              enable_os: bool = True) -> "SPOT":
+        """Run the learning stage and prime the data synapses.
+
+        Parameters
+        ----------
+        training_data:
+            Historical points available at start-up (must fit in memory, as
+            the paper assumes).
+        outlier_examples:
+            Optional expert-labelled projected outliers; triggers the
+            supervised learning process that builds OS.
+        relevant_attributes:
+            Optional attribute-relevance knowledge used by supervised
+            learning to confine the search.
+        bounds:
+            Explicit domain bounds; inferred from the training batch (with a
+            10 % margin) when omitted.
+        enable_fs / enable_cs / enable_os:
+            Ablation switches for the three SST components; all enabled by
+            default.  ``enable_os`` has no effect unless ``outlier_examples``
+            are supplied.
+
+        Returns ``self`` so calls can be chained.
+        """
+        # Imported here to keep repro.core free of an import cycle with
+        # repro.learning (which imports repro.core throughout).
+        from ..learning.online import (
+            OutlierDrivenGrowth,
+            RecentPointsBuffer,
+            SelfEvolution,
+        )
+        from ..learning.supervised import SupervisedLearner
+        from ..learning.unsupervised import UnsupervisedLearner
+        from ..streams.drift import DriftDetector
+
+        batch = [_coerce_point(point) for point in training_data]
+        if not batch:
+            raise ConfigurationError("training_data must not be empty")
+        phi = len(batch[0])
+        for point in batch:
+            if len(point) != phi:
+                raise DimensionMismatchError(phi, len(point))
+
+        config = self.config
+        domain = bounds if bounds is not None else DomainBounds.from_data(batch, margin=0.1)
+        if domain.phi != phi:
+            raise DimensionMismatchError(phi, domain.phi)
+        grid = Grid(bounds=domain, cells_per_dimension=config.cells_per_dimension)
+        time_model = TimeModel.create(config.omega, config.epsilon)
+        store = SynapseStore(grid, time_model, irsd_cap=100.0,
+                             density_reference=config.density_reference)
+        sst = SparseSubspaceTemplate(phi, cs_capacity=config.cs_size,
+                                     os_capacity=config.os_size)
+
+        report: dict = {"phi": phi, "training_points": len(batch)}
+
+        if enable_fs:
+            report["fs_size"] = sst.build_fixed(config.max_dimension)
+
+        if enable_cs and config.cs_size > 0:
+            unsupervised = UnsupervisedLearner(config, grid)
+            cs_result = unsupervised.learn(batch)
+            sst.set_clustering(cs_result.clustering_subspaces)
+            report["cs_size"] = len(sst.clustering_subspaces)
+            report["top_outlying_indices"] = list(cs_result.top_outlying_indices)
+
+        examples = [_coerce_point(p) for p in outlier_examples] if outlier_examples else []
+        if enable_os and examples and config.os_size > 0:
+            supervised = SupervisedLearner(config, grid)
+            os_result = supervised.learn(batch, examples,
+                                         relevant_attributes=relevant_attributes)
+            sst.set_outlier_driven(os_result.outlier_driven_subspaces)
+            report["os_size"] = len(sst.outlier_driven_subspaces)
+
+        store.register_subspaces(sst.all_subspaces())
+        store.ingest(batch)
+
+        self._grid = grid
+        self._time_model = time_model
+        self._store = store
+        self._sst = sst
+        self._summary = StreamSummary()
+        self._processed = 0
+        self._learning_report = report
+
+        buffer_capacity = max(2 * config.omega, len(batch), 100)
+        self._recent_buffer = RecentPointsBuffer(buffer_capacity)
+        for point in batch[-buffer_capacity:]:
+            self._recent_buffer.add(point)
+        self._self_evolution = SelfEvolution(config, grid)
+        self._os_growth = OutlierDrivenGrowth(config, grid)
+        self._drift_detector = DriftDetector(grid, window=max(50, config.omega // 5),
+                                             warmup=len(batch))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Detection stage
+    # ------------------------------------------------------------------ #
+    def process(self, point: PointLike) -> DetectionResult:
+        """Fold one arriving point into the summaries and classify it."""
+        self._require_fitted()
+        assert self._store is not None and self._sst is not None
+        config = self.config
+        values = _coerce_point(point)
+        if len(values) != self._store.grid.phi:
+            raise DimensionMismatchError(self._store.grid.phi, len(values))
+
+        store = self._store
+
+        # Paper ordering: the synapses are updated first, then the PCS of the
+        # point's cell is retrieved in every SST subspace.  Including the
+        # point's own (unit) weight in its cell acts as a natural regulariser:
+        # a cell is only called sparse when even with the new arrival counted
+        # it holds far less mass than the subspace's populated-cell average.
+        store.update(values)
+        if self._recent_buffer is not None:
+            self._recent_buffer.add(values)
+        if self._drift_detector is not None:
+            self._drift_detector.observe(values)
+
+        use_poisson = config.decision_rule == "poisson"
+        subspaces = self._sst.all_subspaces()
+        n_multi = sum(1 for s in subspaces if len(s) > 1)
+        # Multi-dimensional cells are tested against the independence null in
+        # n_multi subspaces, so the per-subspace significance is
+        # Bonferroni-corrected to keep the per-point false-alarm probability
+        # at the configured level.
+        per_subspace_alpha = config.significance / max(1, n_multi)
+        flagged: List[Tuple[Subspace, ProjectedCellSummary]] = []
+        evidence: List[SubspaceEvidence] = []
+        min_rd = float("inf")
+        min_multi_tail = 1.0
+        for subspace in subspaces:
+            # The point's own unit weight (just folded in above) is excluded
+            # from its cell's count so it cannot mask its own outlier-ness.
+            pcs = store.pcs_for_point(values, subspace, exclude_weight=1.0)
+            if use_poisson and len(subspace) > 1:
+                # >= 2-d cells: the independence expectation is a genuine null
+                # model, so a Poisson tail test against it is meaningful.
+                is_sparse = pcs.is_significantly_sparse(per_subspace_alpha,
+                                                        config.irsd_threshold)
+                if pcs.tail_probability < min_multi_tail:
+                    min_multi_tail = pcs.tail_probability
+            else:
+                # 1-d cells (and the pure-RD rule): the populated-cell average
+                # is only a reference level, not a distributional null, so a
+                # plain Relative-Density threshold is used.
+                is_sparse = pcs.is_sparse(config.rd_threshold,
+                                          config.irsd_threshold,
+                                          min_expected=config.min_expected_mass)
+            if is_sparse:
+                flagged.append((subspace, pcs))
+                evidence.append(SubspaceEvidence(subspace=subspace, pcs=pcs,
+                                                 flagged=True))
+            # The RD-based score only considers cells whose expectation is
+            # substantial enough for "sparser than expected" to mean anything.
+            if pcs.expected >= config.min_expected_mass and pcs.rd < min_rd:
+                min_rd = pcs.rd
+
+        flagged.sort(key=lambda item: item[1].rd)
+        is_outlier = bool(flagged)
+        # Continuous score: the stronger of the RD evidence (any subspace with
+        # a supported expectation) and the Bonferroni-adjusted significance of
+        # the sparsest multi-dimensional cell.
+        rd_score = max(0.0, min(1.0, 1.0 - min_rd)) if min_rd != float("inf") \
+            else 0.0
+        adjusted_tail = min(1.0, min_multi_tail * max(1, n_multi))
+        poisson_score = max(0.0, 1.0 - adjusted_tail) if use_poisson else 0.0
+        score = max(rd_score, poisson_score)
+        result = DetectionResult(
+            index=self._processed,
+            point=values,
+            is_outlier=is_outlier,
+            outlying_subspaces=tuple(subspace for subspace, _ in flagged),
+            evidence=tuple(evidence),
+            score=score,
+        )
+        self._processed += 1
+        self._summary.record(result)
+
+        self._run_online_adaptation(result)
+        return result
+
+    def _run_online_adaptation(self, result: DetectionResult) -> None:
+        config = self.config
+        store = self._store
+        sst = self._sst
+        assert store is not None and sst is not None
+
+        new_subspaces: List[Subspace] = []
+
+        if (config.os_growth_enabled and result.is_outlier
+                and self._os_growth is not None
+                and self._recent_buffer is not None
+                and self._os_growth.searches < (
+                    config.os_growth_moga_budget
+                    * max(1, self._processed // max(1, config.omega) + 1))):
+            before = set(sst.outlier_driven_subspaces)
+            self._os_growth.grow(sst, result.point,
+                                 self._recent_buffer.snapshot())
+            new_subspaces.extend(
+                s for s in sst.outlier_driven_subspaces if s not in before
+            )
+
+        if (config.self_evolution_period > 0
+                and self._self_evolution is not None
+                and self._recent_buffer is not None
+                and self._processed > 0
+                and self._processed % config.self_evolution_period == 0):
+            before = set(sst.clustering_subspaces)
+            self._self_evolution.evolve(sst, self._recent_buffer.snapshot())
+            new_subspaces.extend(
+                s for s in sst.clustering_subspaces if s not in before
+            )
+
+        for subspace in new_subspaces:
+            store.register_subspace(subspace)
+
+        if (config.prune_period > 0 and self._processed > 0
+                and self._processed % config.prune_period == 0):
+            store.prune(config.prune_min_count)
+
+    def process_stream(self, stream: Iterable[PointLike]
+                       ) -> Iterator[DetectionResult]:
+        """Process a stream lazily, yielding one result per point."""
+        for point in stream:
+            yield self.process(point)
+
+    def detect(self, points: Iterable[PointLike]) -> List[DetectionResult]:
+        """Process a finite batch of points and return all results."""
+        return list(self.process_stream(points))
+
+    def detect_outliers(self, points: Iterable[PointLike]
+                        ) -> List[DetectionResult]:
+        """Process a batch and return only the results flagged as outliers."""
+        return [result for result in self.process_stream(points)
+                if result.is_outlier]
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    def drift_count(self) -> int:
+        """Number of points at which the drift monitor signalled drift."""
+        if self._drift_detector is None:
+            return 0
+        return self._drift_detector.drift_count
+
+    def memory_footprint(self) -> dict:
+        """Cell-summary counts of the synapse store (see the store's method)."""
+        self._require_fitted()
+        assert self._store is not None
+        return self._store.memory_footprint()

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the SPOT reproduction.
+
+Every error raised by the library derives from :class:`SPOTError` so that
+callers can distinguish library failures from programming errors with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class SPOTError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(SPOTError):
+    """A configuration value is missing, inconsistent or out of range."""
+
+
+class NotFittedError(SPOTError):
+    """The detector was used before its learning stage was run."""
+
+
+class DimensionMismatchError(SPOTError):
+    """A data point does not match the dimensionality the detector expects."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"expected a point with {expected} dimensions, got {actual}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class SubspaceError(SPOTError):
+    """A subspace is empty, out of range or otherwise invalid."""
+
+
+class StreamExhaustedError(SPOTError):
+    """A finite stream was asked for more points than it can produce."""
+
+
+class SerializationError(SPOTError):
+    """A detector or template could not be saved or restored."""

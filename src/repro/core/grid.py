@@ -1,0 +1,207 @@
+"""Equi-width partitioning of the data space into hypercube cells.
+
+SPOT's data synapses (BCS and PCS) are defined over an equi-width grid: every
+attribute's domain is split into ``cells_per_dimension`` intervals of equal
+width.  A *base cell* is a cell of the full ``phi``-dimensional hypercube with
+the finest granularity; a *projected cell* is a cell of the grid restricted to
+a particular subspace.  A base cell therefore projects onto exactly one
+projected cell in every subspace, which is what lets the Projected Cell
+Summaries be recovered from the Base Cell Summaries without touching the raw
+stream again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .exceptions import ConfigurationError, DimensionMismatchError
+from .subspace import Subspace
+
+#: A cell address is the tuple of per-dimension interval indices.
+CellAddress = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DomainBounds:
+    """Per-attribute [low, high) bounds of the data domain.
+
+    The grid clamps out-of-domain values into the boundary cells instead of
+    rejecting them: streams drift, and a detector that crashes on the first
+    slightly-out-of-range value is useless in practice.
+    """
+
+    lows: Tuple[float, ...]
+    highs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise ConfigurationError(
+                "lows and highs must have the same length "
+                f"({len(self.lows)} != {len(self.highs)})"
+            )
+        for i, (lo, hi) in enumerate(zip(self.lows, self.highs)):
+            if not hi > lo:
+                raise ConfigurationError(
+                    f"dimension {i}: high bound {hi} must exceed low bound {lo}"
+                )
+
+    @property
+    def phi(self) -> int:
+        """Dimensionality of the domain."""
+        return len(self.lows)
+
+    @classmethod
+    def unit(cls, phi: int) -> "DomainBounds":
+        """The [0, 1) hypercube in ``phi`` dimensions."""
+        if phi <= 0:
+            raise ConfigurationError(f"phi must be positive, got {phi}")
+        return cls(lows=(0.0,) * phi, highs=(1.0,) * phi)
+
+    @classmethod
+    def from_data(cls, data: Sequence[Sequence[float]],
+                  margin: float = 0.0) -> "DomainBounds":
+        """Infer bounds from a batch of points, optionally padded by ``margin``.
+
+        ``margin`` is a fraction of each attribute's observed range added on
+        both sides so that slightly larger future values still fall inside the
+        domain.  Attributes with zero observed range get a symmetric unit
+        interval around their constant value.
+        """
+        if not data:
+            raise ConfigurationError("cannot infer bounds from an empty batch")
+        phi = len(data[0])
+        lows = [float("inf")] * phi
+        highs = [float("-inf")] * phi
+        for point in data:
+            if len(point) != phi:
+                raise DimensionMismatchError(phi, len(point))
+            for i, value in enumerate(point):
+                v = float(value)
+                if v < lows[i]:
+                    lows[i] = v
+                if v > highs[i]:
+                    highs[i] = v
+        for i in range(phi):
+            span = highs[i] - lows[i]
+            if span <= 0.0:
+                lows[i] -= 0.5
+                highs[i] += 0.5
+            elif margin > 0.0:
+                lows[i] -= span * margin
+                highs[i] += span * margin
+        return cls(lows=tuple(lows), highs=tuple(highs))
+
+
+@dataclass(frozen=True)
+class Grid:
+    """An equi-width grid over a bounded ``phi``-dimensional domain.
+
+    Parameters
+    ----------
+    bounds:
+        The domain being partitioned.
+    cells_per_dimension:
+        Number of equal-width intervals per attribute; the grid therefore has
+        ``cells_per_dimension ** phi`` base cells (only populated ones are ever
+        materialised).
+    """
+
+    bounds: DomainBounds
+    cells_per_dimension: int
+    _widths: Tuple[float, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cells_per_dimension <= 0:
+            raise ConfigurationError(
+                f"cells_per_dimension must be positive, got {self.cells_per_dimension}"
+            )
+        widths = tuple(
+            (hi - lo) / self.cells_per_dimension
+            for lo, hi in zip(self.bounds.lows, self.bounds.highs)
+        )
+        object.__setattr__(self, "_widths", widths)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def phi(self) -> int:
+        """Dimensionality of the underlying domain."""
+        return self.bounds.phi
+
+    @property
+    def cell_widths(self) -> Tuple[float, ...]:
+        """Width of one cell along each attribute."""
+        return self._widths
+
+    def cell_count(self, subspace: Subspace) -> int:
+        """Number of projected cells the grid induces in ``subspace``."""
+        subspace.validate_against(self.phi)
+        return self.cells_per_dimension ** len(subspace)
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    def interval_index(self, dimension: int, value: float) -> int:
+        """Index of the interval containing ``value`` along ``dimension``.
+
+        Values outside the domain are clamped into the first or last interval.
+        """
+        lo = self.bounds.lows[dimension]
+        width = self._widths[dimension]
+        idx = int((float(value) - lo) / width)
+        if idx < 0:
+            return 0
+        if idx >= self.cells_per_dimension:
+            return self.cells_per_dimension - 1
+        return idx
+
+    def base_cell(self, point: Sequence[float]) -> CellAddress:
+        """Address of the base cell containing ``point`` (all ``phi`` dims)."""
+        if len(point) != self.phi:
+            raise DimensionMismatchError(self.phi, len(point))
+        return tuple(
+            self.interval_index(d, point[d]) for d in range(self.phi)
+        )
+
+    def projected_cell(self, point: Sequence[float],
+                       subspace: Subspace) -> CellAddress:
+        """Address of the cell containing ``point`` within ``subspace``."""
+        if len(point) != self.phi:
+            raise DimensionMismatchError(self.phi, len(point))
+        subspace.validate_against(self.phi)
+        return tuple(self.interval_index(d, point[d]) for d in subspace)
+
+    @staticmethod
+    def project_cell(base_cell: CellAddress, subspace: Subspace) -> CellAddress:
+        """Project a base-cell address onto ``subspace``.
+
+        Because the projected grid uses the same per-dimension intervals as
+        the base grid, the projection of a base cell is obtained by simply
+        selecting the interval indices of the subspace's dimensions.
+        """
+        return tuple(base_cell[d] for d in subspace)
+
+    def cell_center(self, cell: CellAddress,
+                    subspace: Subspace) -> Tuple[float, ...]:
+        """Geometric centre of a projected cell (one coordinate per subspace dim)."""
+        subspace.validate_against(self.phi)
+        if len(cell) != len(subspace):
+            raise ConfigurationError(
+                f"cell address {cell} does not match subspace {subspace!r}"
+            )
+        centers: List[float] = []
+        for idx, d in zip(cell, subspace):
+            lo = self.bounds.lows[d]
+            centers.append(lo + (idx + 0.5) * self._widths[d])
+        return tuple(centers)
+
+    def uniform_cell_std(self, dimension: int) -> float:
+        """Standard deviation of a uniform distribution over one cell width.
+
+        This is the reference scale used by the Inverse Relative Standard
+        Deviation: a cell whose points are spread as widely as a uniform
+        distribution over the cell has RSD = 1.
+        """
+        return self._widths[dimension] / (12.0 ** 0.5)

@@ -1,0 +1,114 @@
+"""Result objects returned by the detection stage.
+
+The problem statement of the paper asks for two things per stream point: a
+projected-outlier / regular label, and — when the point is an outlier — the
+subspace(s) in which it stands out.  :class:`DetectionResult` carries exactly
+that, plus the per-subspace PCS evidence so that callers (and the experiment
+harness) can rank points by outlier strength instead of only thresholding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cell_summary import ProjectedCellSummary
+from .subspace import Subspace
+
+
+@dataclass(frozen=True)
+class SubspaceEvidence:
+    """The PCS observed for one point in one SST subspace."""
+
+    subspace: Subspace
+    pcs: ProjectedCellSummary
+    flagged: bool
+
+    @property
+    def rd(self) -> float:
+        """Relative Density of the point's cell in this subspace."""
+        return self.pcs.rd
+
+    @property
+    def irsd(self) -> float:
+        """Inverse Relative Standard Deviation of the point's cell."""
+        return self.pcs.irsd
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of checking one stream point against the SST.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the point in the processed stream.
+    point:
+        The point itself (kept so downstream consumers such as the online OS
+        growth can re-analyse detected outliers).
+    is_outlier:
+        ``True`` when at least one SST subspace flagged the point.
+    outlying_subspaces:
+        The subspaces whose PCS fell below the configured thresholds,
+        ordered from strongest (lowest RD) to weakest.
+    evidence:
+        PCS evidence for every subspace that was checked (outlying or not),
+        capped by the detector to keep results lightweight.
+    score:
+        A continuous outlier score in [0, 1]: ``1 - min RD`` over the checked
+        subspaces (clipped), so higher means more outlying.  Useful for
+        ranking-based evaluation (precision@k, AUC).
+    """
+
+    index: int
+    point: Tuple[float, ...]
+    is_outlier: bool
+    outlying_subspaces: Tuple[Subspace, ...]
+    evidence: Tuple[SubspaceEvidence, ...] = ()
+    score: float = 0.0
+
+    @property
+    def strongest_subspace(self) -> Optional[Subspace]:
+        """The outlying subspace with the lowest Relative Density, if any."""
+        if not self.outlying_subspaces:
+            return None
+        return self.outlying_subspaces[0]
+
+    def evidence_for(self, subspace: Subspace) -> Optional[SubspaceEvidence]:
+        """Return the evidence recorded for ``subspace``, if it was checked."""
+        for item in self.evidence:
+            if item.subspace == subspace:
+                return item
+        return None
+
+
+@dataclass
+class StreamSummary:
+    """Aggregate statistics over a processed stream segment."""
+
+    points_processed: int = 0
+    outliers_detected: int = 0
+    subspace_hit_counts: Dict[Subspace, int] = field(default_factory=dict)
+
+    def record(self, result: DetectionResult) -> None:
+        """Fold one detection result into the running totals."""
+        self.points_processed += 1
+        if result.is_outlier:
+            self.outliers_detected += 1
+            for subspace in result.outlying_subspaces:
+                self.subspace_hit_counts[subspace] = (
+                    self.subspace_hit_counts.get(subspace, 0) + 1
+                )
+
+    @property
+    def outlier_rate(self) -> float:
+        """Fraction of processed points that were flagged."""
+        if self.points_processed == 0:
+            return 0.0
+        return self.outliers_detected / self.points_processed
+
+    def top_subspaces(self, k: int = 5) -> List[Tuple[Subspace, int]]:
+        """The ``k`` subspaces that flagged the most points."""
+        ranked = sorted(self.subspace_hit_counts.items(),
+                        key=lambda item: item[1], reverse=True)
+        return ranked[:k]

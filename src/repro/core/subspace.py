@@ -1,0 +1,168 @@
+"""Subspace algebra for projected outlier detection.
+
+A *subspace* is a non-empty subset of the attribute indices ``{0, ..., phi-1}``
+of the full data space.  SPOT evaluates every arriving point only in the
+subspaces of its Sparse Subspace Template (SST), so subspaces are the central
+currency of the whole system: MOGA searches over them, the SST stores them and
+the detector projects points onto them.
+
+Subspaces are immutable and hashable so they can be used as dictionary keys in
+the synapse store and deduplicated in sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .exceptions import SubspaceError
+
+
+class Subspace:
+    """An immutable, ordered set of attribute indices.
+
+    Parameters
+    ----------
+    dimensions:
+        Iterable of attribute indices (non-negative integers).  Duplicates are
+        removed and the indices are stored sorted.
+
+    Examples
+    --------
+    >>> s = Subspace([3, 1])
+    >>> s.dimensions
+    (1, 3)
+    >>> len(s)
+    2
+    >>> Subspace([1]) <= s
+    True
+    """
+
+    __slots__ = ("_dims",)
+
+    def __init__(self, dimensions: Iterable[int]) -> None:
+        dims = tuple(sorted(set(int(d) for d in dimensions)))
+        if not dims:
+            raise SubspaceError("a subspace must contain at least one dimension")
+        if dims[0] < 0:
+            raise SubspaceError(f"dimensions must be non-negative, got {dims[0]}")
+        self._dims = dims
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> Tuple[int, ...]:
+        """The sorted tuple of attribute indices in this subspace."""
+        return self._dims
+
+    def __len__(self) -> int:
+        return len(self._dims)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._dims)
+
+    def __contains__(self, dim: object) -> bool:
+        return dim in self._dims
+
+    def __hash__(self) -> int:
+        return hash(self._dims)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Subspace):
+            return self._dims == other._dims
+        return NotImplemented
+
+    def __le__(self, other: "Subspace") -> bool:
+        """Subset test: ``self`` is contained in ``other``."""
+        return set(self._dims) <= set(other._dims)
+
+    def __lt__(self, other: "Subspace") -> bool:
+        return set(self._dims) < set(other._dims)
+
+    def __repr__(self) -> str:
+        return f"Subspace({list(self._dims)!r})"
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Subspace") -> "Subspace":
+        """Return the subspace spanning the attributes of both operands."""
+        return Subspace(self._dims + other._dims)
+
+    def intersection(self, other: "Subspace") -> "Subspace":
+        """Return the common attributes; raises if the intersection is empty."""
+        common = set(self._dims) & set(other._dims)
+        if not common:
+            raise SubspaceError(
+                f"{self!r} and {other!r} share no dimensions"
+            )
+        return Subspace(common)
+
+    def project(self, point: Sequence[float]) -> Tuple[float, ...]:
+        """Project a full-space point onto this subspace.
+
+        Raises :class:`SubspaceError` if the point is too short.
+        """
+        if self._dims[-1] >= len(point):
+            raise SubspaceError(
+                f"point of length {len(point)} cannot be projected onto {self!r}"
+            )
+        return tuple(point[d] for d in self._dims)
+
+    def validate_against(self, phi: int) -> None:
+        """Check that every dimension index is below ``phi``."""
+        if self._dims[-1] >= phi:
+            raise SubspaceError(
+                f"subspace {self!r} references dimension {self._dims[-1]} "
+                f"but the data space has only {phi} dimensions"
+            )
+
+    def as_mask(self, phi: int) -> List[bool]:
+        """Return a boolean inclusion mask of length ``phi``."""
+        self.validate_against(phi)
+        mask = [False] * phi
+        for d in self._dims:
+            mask[d] = True
+        return mask
+
+    @classmethod
+    def from_mask(cls, mask: Sequence[bool]) -> "Subspace":
+        """Build a subspace from a boolean inclusion mask."""
+        return cls(i for i, included in enumerate(mask) if included)
+
+    @classmethod
+    def full_space(cls, phi: int) -> "Subspace":
+        """The subspace containing every attribute of a ``phi``-dim space."""
+        if phi <= 0:
+            raise SubspaceError("phi must be positive")
+        return cls(range(phi))
+
+
+def enumerate_subspaces(phi: int, max_dimension: int) -> Iterator[Subspace]:
+    """Yield every subspace of dimension 1..max_dimension over ``phi`` attributes.
+
+    This enumerates the lower layers of the subspace lattice.  It is used to
+    build the Fixed SST Subspaces (FS) component of the template and, for
+    small ``phi``, as the exhaustive ground truth that MOGA is compared
+    against.
+
+    The number of subspaces yielded is ``sum_{k=1}^{max_dimension} C(phi, k)``,
+    so callers must keep ``max_dimension`` small for large ``phi``.
+    """
+    if phi <= 0:
+        raise SubspaceError("phi must be positive")
+    if max_dimension <= 0:
+        raise SubspaceError("max_dimension must be positive")
+    top = min(max_dimension, phi)
+    for k in range(1, top + 1):
+        for combo in itertools.combinations(range(phi), k):
+            yield Subspace(combo)
+
+
+def count_subspaces(phi: int, max_dimension: int) -> int:
+    """Number of subspaces :func:`enumerate_subspaces` would yield."""
+    import math
+
+    top = min(max_dimension, phi)
+    return sum(math.comb(phi, k) for k in range(1, top + 1))

@@ -1,0 +1,362 @@
+"""The synapse store: one-pass maintenance of BCS and PCS over the stream.
+
+The store owns
+
+* one :class:`~repro.core.cell_summary.BaseCellSummary` per *populated* base
+  cell of the full-dimensional grid,
+* one decayed accumulator per *populated* projected cell of every subspace
+  currently registered (the subspaces of the SST), and
+* a single global accumulator tracking the total decayed mass of the stream.
+
+All three are updated with a constant amount of work per arriving point and
+per registered subspace — no pass over historical data is ever required, which
+is the property that lets SPOT keep up with fast streams.  When the SST
+changes at run time (self-evolution, OS growth) the accumulators of a newly
+registered subspace are *rebuilt from the BCS store* by projecting every
+populated base cell, so no information about the recent past is lost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .cell_summary import (
+    BaseCellSummary,
+    DecayedCellAccumulator,
+    ProjectedCellSummary,
+    compute_pcs,
+    poisson_tail_probability,
+)
+from .exceptions import ConfigurationError, DimensionMismatchError
+from .grid import CellAddress, Grid
+from .subspace import Subspace
+from .time_model import TimeModel
+
+
+class SynapseStore:
+    """Incrementally maintained data synapses (BCS + PCS) for one stream.
+
+    Parameters
+    ----------
+    grid:
+        The equi-width grid partitioning the data domain.
+    time_model:
+        The (omega, epsilon) decay model applied to every summary.
+    irsd_cap:
+        Upper clip applied to IRSD values (see :func:`compute_pcs`).
+    track_base_cells:
+        When ``False`` the store skips BCS maintenance and keeps only the
+        per-subspace accumulators.  This roughly halves the per-point cost but
+        newly registered subspaces then start from empty summaries; the SPOT
+        detector keeps it ``True``.
+    density_reference:
+        The null model the Relative Density is measured against:
+
+        * ``"hybrid"`` (default) — 1-d cells are compared with the average
+          mass of the subspace's populated cells; cells of 2-d and higher
+          subspaces are compared with the expectation under attribute
+          independence (the product of the decayed 1-d marginal masses of the
+          cell's interval in each dimension, normalised by the total mass).
+          The independence expectation is what makes a *combination* of
+          individually ordinary values stand out — the defining trait of a
+          projected outlier — while not double-counting values that are
+          already rare in a single attribute.
+        * ``"marginal"`` — the independence expectation for every subspace
+          (degenerates to RD = 1 for 1-d cells).
+        * ``"populated"`` — average mass of the populated cells of the
+          subspace, for every subspace dimension.
+        * ``"lattice"`` — uniform spread over all ``m^|s|`` lattice cells
+          (the literal reading of the definition; it makes every occupied
+          cell of a high-dimensional subspace look dense).
+    """
+
+    DENSITY_REFERENCES = ("hybrid", "marginal", "populated", "lattice")
+
+    def __init__(self, grid: Grid, time_model: TimeModel, *,
+                 irsd_cap: float = 100.0,
+                 track_base_cells: bool = True,
+                 density_reference: str = "hybrid") -> None:
+        if density_reference not in self.DENSITY_REFERENCES:
+            raise ConfigurationError(
+                f"density_reference must be one of {self.DENSITY_REFERENCES}, "
+                f"got {density_reference!r}"
+            )
+        self.grid = grid
+        self.time_model = time_model
+        self.irsd_cap = irsd_cap
+        self.track_base_cells = track_base_cells
+        self.density_reference = density_reference
+
+        self._base_cells: Dict[CellAddress, BaseCellSummary] = {}
+        self._projected: Dict[Subspace, Dict[CellAddress, DecayedCellAccumulator]] = {}
+        self._total = DecayedCellAccumulator(1)
+        # Per-dimension decayed marginal histograms (phi rows of m interval
+        # masses), used by the independence expectation of the hybrid and
+        # marginal density references.
+        self._marginals: List[List[float]] = [
+            [0.0] * grid.cells_per_dimension for _ in range(grid.phi)
+        ]
+        self._marginals_last_update: float = 0.0
+        self._tick: float = 0.0
+        self._points_seen: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def tick(self) -> float:
+        """Current logical time (advanced once per ingested point)."""
+        return self._tick
+
+    @property
+    def points_seen(self) -> int:
+        """Number of raw points folded into the store since construction."""
+        return self._points_seen
+
+    @property
+    def registered_subspaces(self) -> Tuple[Subspace, ...]:
+        """Subspaces for which projected accumulators are being maintained."""
+        return tuple(self._projected)
+
+    @property
+    def populated_base_cells(self) -> int:
+        """Number of base cells that currently hold a summary."""
+        return len(self._base_cells)
+
+    def populated_projected_cells(self, subspace: Subspace) -> int:
+        """Number of populated cells tracked for ``subspace``."""
+        return len(self._projected.get(subspace, {}))
+
+    def total_mass(self) -> float:
+        """Total decayed mass of the stream, expressed at the current tick."""
+        self._total.decay_to(self._tick, self.time_model)
+        return self._total.count
+
+    # ------------------------------------------------------------------ #
+    # Subspace registration
+    # ------------------------------------------------------------------ #
+    def register_subspace(self, subspace: Subspace) -> None:
+        """Start maintaining projected summaries for ``subspace``.
+
+        If base cells are tracked, the new subspace's accumulators are rebuilt
+        from the existing BCS store so it immediately reflects the recent
+        history of the stream.
+        """
+        subspace.validate_against(self.grid.phi)
+        if subspace in self._projected:
+            return
+        cells: Dict[CellAddress, DecayedCellAccumulator] = {}
+        self._projected[subspace] = cells
+        if not self.track_base_cells:
+            return
+        dims = subspace.dimensions
+        for address, bcs in self._base_cells.items():
+            bcs.decay_to(self._tick, self.time_model)
+            if bcs.count <= 0.0:
+                continue
+            projected_address = Grid.project_cell(address, subspace)
+            acc = cells.get(projected_address)
+            if acc is None:
+                acc = DecayedCellAccumulator(len(dims))
+                acc.last_update = self._tick
+                cells[projected_address] = acc
+            acc.decay_to(self._tick, self.time_model)
+            acc.count += bcs.count
+            for out_idx, d in enumerate(dims):
+                acc.linear_sum[out_idx] += bcs.linear_sum[d]
+                acc.squared_sum[out_idx] += bcs.squared_sum[d]
+
+    def register_subspaces(self, subspaces: Iterable[Subspace]) -> None:
+        """Register several subspaces at once."""
+        for subspace in subspaces:
+            self.register_subspace(subspace)
+
+    def unregister_subspace(self, subspace: Subspace) -> None:
+        """Stop maintaining projected summaries for ``subspace``."""
+        self._projected.pop(subspace, None)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, point: Sequence[float],
+               weight: float = 1.0) -> CellAddress:
+        """Fold one arriving point into every summary; returns its base cell.
+
+        The logical clock advances by one tick per call, which is what the
+        (omega, epsilon) model's window size is expressed in.
+        """
+        if len(point) != self.grid.phi:
+            raise DimensionMismatchError(self.grid.phi, len(point))
+        self._tick += 1.0
+        self._points_seen += 1
+        now = self._tick
+
+        self._total.add((0.0,), now, self.time_model, weight=weight)
+
+        base_address = self.grid.base_cell(point)
+        self._decay_marginals(now)
+        for d in range(self.grid.phi):
+            self._marginals[d][base_address[d]] += weight
+        if self.track_base_cells:
+            bcs = self._base_cells.get(base_address)
+            if bcs is None:
+                bcs = BaseCellSummary(self.grid.phi)
+                bcs.last_update = now
+                self._base_cells[base_address] = bcs
+            bcs.add(point, now, self.time_model, weight=weight)
+
+        for subspace, cells in self._projected.items():
+            projected_address = Grid.project_cell(base_address, subspace)
+            acc = cells.get(projected_address)
+            if acc is None:
+                acc = DecayedCellAccumulator(len(subspace))
+                acc.last_update = now
+                cells[projected_address] = acc
+            acc.add(subspace.project(point), now, self.time_model, weight=weight)
+        return base_address
+
+    def ingest(self, points: Iterable[Sequence[float]]) -> int:
+        """Fold a batch of points into the store; returns how many were ingested."""
+        n = 0
+        for point in points:
+            self.update(point)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _decay_marginals(self, now: float) -> None:
+        elapsed = now - self._marginals_last_update
+        if elapsed > 0.0:
+            factor = self.time_model.decay_over(elapsed)
+            for row in self._marginals:
+                for i in range(len(row)):
+                    row[i] *= factor
+            self._marginals_last_update = now
+
+    def marginal_mass(self, dimension: int, interval: int) -> float:
+        """Decayed mass of one interval of one attribute's 1-d histogram."""
+        self._decay_marginals(self._tick)
+        return self._marginals[dimension][interval]
+
+    def expected_mass(self, cell: CellAddress, subspace: Subspace,
+                      total: Optional[float] = None) -> float:
+        """Mass the cell is expected to hold under the configured null model."""
+        cells = self._projected.get(subspace)
+        if cells is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        if total is None:
+            total = self.total_mass()
+        if total <= 0.0:
+            return 0.0
+        reference = self.density_reference
+        if reference == "lattice":
+            return total / self.grid.cell_count(subspace)
+        if reference == "populated" or (reference == "hybrid" and len(subspace) == 1):
+            return total / max(1, len(cells))
+        # Independence expectation: product of the per-dimension marginal
+        # fractions of the cell's intervals, times the total mass.
+        self._decay_marginals(self._tick)
+        expected = total
+        for interval, dimension in zip(cell, subspace):
+            expected *= self._marginals[dimension][interval] / total
+        return expected
+
+    def pcs_for_cell(self, cell: CellAddress, subspace: Subspace, *,
+                     exclude_weight: float = 0.0) -> ProjectedCellSummary:
+        """PCS of an explicit projected-cell address in ``subspace``.
+
+        ``exclude_weight`` is subtracted from the cell's decayed count before
+        the Relative Density is computed; the detector passes the arriving
+        point's own weight so it never masks its own outlier-ness.
+        """
+        cells = self._projected.get(subspace)
+        if cells is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        total = self.total_mass()
+        expected = self.expected_mass(cell, subspace, total)
+        uniform_stds = [self.grid.uniform_cell_std(d) for d in subspace]
+        acc = cells.get(cell)
+        if acc is None:
+            return ProjectedCellSummary(
+                rd=0.0, irsd=0.0, count=0.0, expected=expected,
+                tail_probability=poisson_tail_probability(0.0, expected),
+            )
+        acc.decay_to(self._tick, self.time_model)
+        return compute_pcs(acc, expected, uniform_stds,
+                           irsd_cap=self.irsd_cap,
+                           exclude_weight=exclude_weight)
+
+    def pcs_for_point(self, point: Sequence[float], subspace: Subspace, *,
+                      exclude_weight: float = 0.0) -> ProjectedCellSummary:
+        """PCS of the projected cell that ``point`` falls into in ``subspace``."""
+        cell = self.grid.projected_cell(point, subspace)
+        return self.pcs_for_cell(cell, subspace, exclude_weight=exclude_weight)
+
+    def bcs_for_point(self, point: Sequence[float]) -> Optional[BaseCellSummary]:
+        """BCS of the base cell containing ``point`` (``None`` if unpopulated)."""
+        if not self.track_base_cells:
+            return None
+        address = self.grid.base_cell(point)
+        bcs = self._base_cells.get(address)
+        if bcs is not None:
+            bcs.decay_to(self._tick, self.time_model)
+        return bcs
+
+    def iter_projected_cells(
+        self, subspace: Subspace
+    ) -> Iterator[Tuple[CellAddress, ProjectedCellSummary]]:
+        """Yield (cell address, PCS) for every populated cell of ``subspace``."""
+        cells = self._projected.get(subspace)
+        if cells is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        total = self.total_mass()
+        uniform_stds = [self.grid.uniform_cell_std(d) for d in subspace]
+        for address, acc in cells.items():
+            acc.decay_to(self._tick, self.time_model)
+            expected = self.expected_mass(address, subspace, total)
+            yield address, compute_pcs(acc, expected, uniform_stds,
+                                       irsd_cap=self.irsd_cap)
+
+    def prune(self, min_count: float = 1e-6) -> int:
+        """Drop summaries whose decayed mass has fallen below ``min_count``.
+
+        Returns the number of cell summaries removed.  Pruning bounds the
+        memory footprint: cells that have not received points for several
+        windows decay to negligible mass and can be forgotten without
+        affecting any PCS by more than ``min_count``.
+        """
+        removed = 0
+        stale_bases: List[CellAddress] = []
+        for address, bcs in self._base_cells.items():
+            bcs.decay_to(self._tick, self.time_model)
+            if bcs.count < min_count:
+                stale_bases.append(address)
+        for address in stale_bases:
+            del self._base_cells[address]
+            removed += 1
+        for cells in self._projected.values():
+            stale: List[CellAddress] = []
+            for address, acc in cells.items():
+                acc.decay_to(self._tick, self.time_model)
+                if acc.count < min_count:
+                    stale.append(address)
+            for address in stale:
+                del cells[address]
+                removed += 1
+        return removed
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Rough summary of how many cell summaries are alive (for reporting)."""
+        return {
+            "base_cells": len(self._base_cells),
+            "projected_cells": sum(len(c) for c in self._projected.values()),
+            "subspaces": len(self._projected),
+        }

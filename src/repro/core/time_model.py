@@ -1,0 +1,123 @@
+"""The (omega, epsilon) window-based time model.
+
+SPOT discriminates between recent and stale stream points without storing the
+window itself.  Every point carries a weight that decays exponentially with
+its age, and the decay rate is chosen so that the *total* residual weight of
+all points that have already slid out of a window of size ``omega`` never
+exceeds ``epsilon``.  The model therefore approximates a conventional sliding
+window of size ``omega`` with approximation factor ``epsilon`` while keeping
+only the most recent snapshot of each summary.
+
+Derivation
+----------
+Let the per-tick decay factor be ``alpha`` (a point's weight is multiplied by
+``alpha`` every time unit).  A point that arrived ``a`` ticks ago has weight
+``alpha**a``.  For a unit-rate stream in steady state, the points outside the
+window (ages ``omega, omega+1, ...``) carry total weight
+``alpha**omega / (1 - alpha)`` out of a total ``1 / (1 - alpha)``, i.e. a
+*fraction* ``alpha**omega`` of the summaries' mass is contributed by expired
+points.  The (omega, epsilon) bound is read as a bound on that fraction::
+
+    alpha**omega  <=  epsilon        =>        alpha  =  epsilon ** (1 / omega)
+
+Using the largest admissible ``alpha`` keeps as much of the in-window history
+as possible while still honouring the bound.  (The stricter absolute reading —
+the *absolute* out-of-window weight never exceeds ``epsilon`` — forces a much
+faster decay that remembers only ``omega / ln(1/epsilon)`` points; the
+relative reading is what makes the model a usable stand-in for a size-omega
+window.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import ConfigurationError
+
+
+def solve_decay_factor(omega: int, epsilon: float) -> float:
+    """Return the largest decay factor honouring the (omega, epsilon) bound.
+
+    Parameters
+    ----------
+    omega:
+        Window size in ticks (number of arrivals by default).
+    epsilon:
+        Maximum admissible *fraction* of the summaries' steady-state mass
+        contributed by points older than ``omega`` ticks.
+    """
+    if omega <= 0:
+        raise ConfigurationError(f"omega must be positive, got {omega}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(
+            f"epsilon must lie strictly between 0 and 1, got {epsilon}"
+        )
+    return epsilon ** (1.0 / omega)
+
+
+@dataclass(frozen=True)
+class TimeModel:
+    """The (omega, epsilon) decaying time model.
+
+    Instances are immutable value objects; the decay factor is derived once
+    from ``omega`` and ``epsilon`` and shared by every cell summary.
+
+    Attributes
+    ----------
+    omega:
+        Sliding-window size being approximated (in ticks).
+    epsilon:
+        Approximation factor: the residual weight of points outside the
+        window is bounded by ``epsilon`` for a unit-rate stream.
+    decay_factor:
+        Per-tick multiplicative decay applied to every stored weight.
+    """
+
+    omega: int
+    epsilon: float
+    decay_factor: float
+
+    @classmethod
+    def create(cls, omega: int, epsilon: float) -> "TimeModel":
+        """Build a model, solving for the decay factor."""
+        return cls(omega=omega, epsilon=epsilon,
+                   decay_factor=solve_decay_factor(omega, epsilon))
+
+    def weight_at_age(self, age: float) -> float:
+        """Weight of a unit contribution that arrived ``age`` ticks ago."""
+        if age < 0:
+            raise ConfigurationError(f"age must be non-negative, got {age}")
+        return self.decay_factor ** age
+
+    def decay_over(self, elapsed: float) -> float:
+        """Multiplicative factor to apply to a summary after ``elapsed`` ticks."""
+        if elapsed < 0:
+            raise ConfigurationError(
+                f"elapsed time must be non-negative, got {elapsed}"
+            )
+        return self.decay_factor ** elapsed
+
+    def effective_window_mass(self) -> float:
+        """Total decayed weight of an infinite unit-rate history.
+
+        This is the normalisation constant used when converting decayed
+        counts into densities: it plays the role the window size ``omega``
+        plays in an exact sliding-window model.
+        """
+        return 1.0 / (1.0 - self.decay_factor)
+
+    def out_of_window_mass(self) -> float:
+        """Residual weight contributed by points older than ``omega`` ticks."""
+        return self.decay_factor ** self.omega / (1.0 - self.decay_factor)
+
+    def out_of_window_fraction(self) -> float:
+        """Fraction of the steady-state mass contributed by expired points.
+
+        This is the quantity the (omega, epsilon) model bounds by ``epsilon``.
+        """
+        return self.decay_factor ** self.omega
+
+    def half_life(self) -> float:
+        """Number of ticks after which a contribution loses half its weight."""
+        return math.log(0.5) / math.log(self.decay_factor)

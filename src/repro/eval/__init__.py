@@ -1,0 +1,62 @@
+"""Experiment harness: workloads, runner, sweeps, reporting, experiments."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentReport,
+    experiment_a1_sst_ablation,
+    experiment_a2_self_evolution,
+    experiment_a3_time_model,
+    experiment_a4_moga_vs_exhaustive,
+    experiment_e1_effectiveness_synthetic,
+    experiment_e2_effectiveness_kdd,
+    experiment_e3_scalability_dimensions,
+    experiment_e4_scalability_stream_length,
+    experiment_f1_pipeline,
+)
+from .reporting import format_markdown_table, format_table, rows_from_evaluations
+from .runner import (
+    DetectorEvaluation,
+    compare_detectors,
+    evaluate_detector,
+    evaluate_over_segments,
+)
+from .sweeps import sweep_config_parameter, sweep_detectors_over_workloads
+from .workloads import (
+    WORKLOAD_BUILDERS,
+    Workload,
+    build_workload,
+    drift_workload,
+    kddcup_workload,
+    sensor_workload,
+    synthetic_workload,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentReport",
+    "experiment_a1_sst_ablation",
+    "experiment_a2_self_evolution",
+    "experiment_a3_time_model",
+    "experiment_a4_moga_vs_exhaustive",
+    "experiment_e1_effectiveness_synthetic",
+    "experiment_e2_effectiveness_kdd",
+    "experiment_e3_scalability_dimensions",
+    "experiment_e4_scalability_stream_length",
+    "experiment_f1_pipeline",
+    "format_markdown_table",
+    "format_table",
+    "rows_from_evaluations",
+    "DetectorEvaluation",
+    "compare_detectors",
+    "evaluate_detector",
+    "evaluate_over_segments",
+    "sweep_config_parameter",
+    "sweep_detectors_over_workloads",
+    "WORKLOAD_BUILDERS",
+    "Workload",
+    "build_workload",
+    "drift_workload",
+    "kddcup_workload",
+    "sensor_workload",
+    "synthetic_workload",
+]

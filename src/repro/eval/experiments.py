@@ -1,0 +1,533 @@
+"""The concrete experiments of the reproduction (DESIGN.md, Section 5).
+
+Each ``experiment_*`` function regenerates one row-set of the evaluation the
+paper describes: the head-to-head effectiveness comparisons (E1, E2), the
+efficiency/scalability studies (E3, E4), the ablations of SPOT's design
+choices (A1, A2) and the fidelity checks of its two approximation components
+(A3 — the (omega, epsilon) time model, A4 — MOGA vs exhaustive search), plus
+F1, the end-to-end pipeline reproduction of the paper's architecture figure.
+
+Every function accepts size parameters so the same code serves two callers:
+the ``benchmarks/`` suite (small sizes, timed by pytest-benchmark) and the
+EXPERIMENTS.md generator (default sizes).  Functions return an
+:class:`ExperimentReport` holding plain reporting rows; nothing is plotted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import (
+    FullSpaceGridDetector,
+    KNNWindowDetector,
+    RandomSubspaceDetector,
+    SparsityCoefficientDetector,
+)
+from ..core.config import SPOTConfig
+from ..core.detector import SPOT
+from ..core.grid import DomainBounds, Grid
+from ..core.subspace import Subspace, enumerate_subspaces
+from ..core.synapse_store import SynapseStore
+from ..core.time_model import TimeModel
+from ..metrics import confusion_matrix
+from ..moga import MOGAEngine, SparsityObjectives
+from ..streams import GaussianStreamGenerator, values_of
+from .runner import compare_detectors, evaluate_detector, evaluate_over_segments
+from .workloads import (
+    Workload,
+    drift_workload,
+    kddcup_workload,
+    sensor_workload,
+    synthetic_workload,
+)
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Rows produced by one experiment, plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: Tuple[Row, ...]
+    notes: str = ""
+
+    def column_names(self) -> List[str]:
+        """Union of the row keys, in first-appearance order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+
+# --------------------------------------------------------------------- #
+# Shared configuration helpers
+# --------------------------------------------------------------------- #
+def _spot_config(*, omega: int = 500, max_dimension: int = 2,
+                 moga_population: int = 24, moga_generations: int = 12,
+                 cells_per_dimension: int = 4, rd_threshold: float = 0.02,
+                 min_expected_mass: float = 4.0,
+                 **overrides) -> SPOTConfig:
+    """A moderately sized SPOT configuration shared by the experiments."""
+    return SPOTConfig(
+        omega=omega,
+        max_dimension=max_dimension,
+        moga_population=moga_population,
+        moga_generations=moga_generations,
+        cells_per_dimension=cells_per_dimension,
+        rd_threshold=rd_threshold,
+        min_expected_mass=min_expected_mass,
+        **overrides,
+    )
+
+
+def _standard_factories(config: SPOTConfig, *, phi: int,
+                        knn_window: int = 300) -> Dict[str, object]:
+    """The detector line-up used by the effectiveness comparisons."""
+    sst_budget = len(list(enumerate_subspaces(phi, config.max_dimension))) \
+        + config.cs_size + config.os_size
+    return {
+        "SPOT": lambda: SPOT(config),
+        "full-space-grid": lambda: FullSpaceGridDetector(
+            cells_per_dimension=config.cells_per_dimension,
+            omega=config.omega, epsilon=config.epsilon,
+            rd_threshold=config.rd_threshold),
+        "knn-window": lambda: KNNWindowDetector(window=knn_window),
+        "random-subspace": lambda: RandomSubspaceDetector(
+            n_subspaces=sst_budget, max_dimension=config.moga_max_dimension,
+            cells_per_dimension=config.cells_per_dimension,
+            omega=config.omega, epsilon=config.epsilon,
+            rd_threshold=config.rd_threshold),
+        "sparsity-coefficient": lambda: SparsityCoefficientDetector(
+            window=knn_window, refresh_every=max(50, knn_window // 4)),
+    }
+
+
+# --------------------------------------------------------------------- #
+# F1 — end-to-end pipeline (the paper's architecture figure)
+# --------------------------------------------------------------------- #
+def experiment_f1_pipeline(*, dimensions: int = 20, n_training: int = 600,
+                           n_detection: int = 1200,
+                           seed: int = 5) -> ExperimentReport:
+    """Wire every stage of Figure 1 together once and report per-stage facts."""
+    workload = synthetic_workload(dimensions=dimensions,
+                                  n_training=n_training,
+                                  n_detection=n_detection,
+                                  outlier_rate=0.05, seed=seed)
+    config = _spot_config(os_growth_enabled=True, self_evolution_period=400)
+    detector = SPOT(config)
+
+    learn_start = time.perf_counter()
+    detector.learn(workload.training_values,
+                   outlier_examples=workload.outlier_examples or None)
+    learn_seconds = time.perf_counter() - learn_start
+
+    detect_start = time.perf_counter()
+    results = detector.detect(workload.detection_values)
+    detect_seconds = time.perf_counter() - detect_start
+
+    predictions = [r.is_outlier for r in results]
+    matrix = confusion_matrix(predictions, workload.detection_labels)
+    sizes = detector.sst.component_sizes()
+    rows: Tuple[Row, ...] = (
+        {"stage": "learning", "seconds": round(learn_seconds, 3),
+         "FS": sizes["FS"], "CS": sizes["CS"], "OS": sizes["OS"],
+         "SST_total": len(detector.sst)},
+        {"stage": "detection", "seconds": round(detect_seconds, 3),
+         "points": len(results),
+         "outliers_flagged": sum(predictions),
+         "recall": round(matrix.recall, 3),
+         "precision": round(matrix.precision, 3),
+         "base_cells": detector.memory_footprint()["base_cells"],
+         "projected_cells": detector.memory_footprint()["projected_cells"]},
+    )
+    return ExperimentReport(
+        experiment_id="F1",
+        title="End-to-end SPOT pipeline (learning stage + detection stage)",
+        rows=rows,
+        notes="Reproduces the architecture of the paper's Figure 1 as a "
+              "running pipeline: offline learning builds FS/CS/OS, online "
+              "detection updates BCS/PCS and flags projected outliers.",
+    )
+
+
+# --------------------------------------------------------------------- #
+# E1 / E2 — effectiveness comparisons
+# --------------------------------------------------------------------- #
+def experiment_e1_effectiveness_synthetic(*, dimension_settings: Sequence[int] = (20, 40),
+                                          n_training: int = 800,
+                                          n_detection: int = 1500,
+                                          outlier_rate: float = 0.03,
+                                          seed: int = 11) -> ExperimentReport:
+    """SPOT vs full-space baselines on synthetic projected-outlier streams."""
+    rows: List[Row] = []
+    for dimensions in dimension_settings:
+        workload = synthetic_workload(dimensions=dimensions,
+                                      n_training=n_training,
+                                      n_detection=n_detection,
+                                      outlier_rate=outlier_rate,
+                                      seed=seed)
+        # FS keeps every 1-d and 2-d subspace: the planted outlying subspaces
+        # are 2-d, so this is the configuration the paper's FS component is
+        # for.  (E3 studies the cheaper fixed-budget configuration instead.)
+        config = _spot_config(max_dimension=2)
+        factories = _standard_factories(config, phi=dimensions)
+        for evaluation in compare_detectors(factories, workload):
+            row = evaluation.as_row()
+            row["dimensions"] = dimensions
+            rows.append(row)
+    return ExperimentReport(
+        experiment_id="E1",
+        title="Effectiveness on synthetic high-dimensional streams",
+        rows=tuple(rows),
+        notes="Expected shape: SPOT's precision/recall/F1 dominate the "
+              "full-space detectors, whose recall collapses as dimensionality "
+              "grows; the random-subspace control trails SPOT at equal budget.",
+    )
+
+
+def experiment_e2_effectiveness_kdd(*, n_training: int = 1000,
+                                    n_detection: int = 2500,
+                                    attack_rate_scale: float = 1.0,
+                                    seed: int = 23,
+                                    include_sensor_variant: bool = True
+                                    ) -> ExperimentReport:
+    """SPOT vs baselines on the KDD-Cup-99-style (and sensor) streams."""
+    rows: List[Row] = []
+    kdd = kddcup_workload(n_training=n_training, n_detection=n_detection,
+                          attack_rate_scale=attack_rate_scale, seed=seed)
+    config = _spot_config(max_dimension=1, cells_per_dimension=6)
+    factories = _standard_factories(config, phi=kdd.dimensionality)
+    for evaluation in compare_detectors(factories, kdd,
+                                        supervised_detectors=("SPOT",)):
+        rows.append(evaluation.as_row())
+
+    if include_sensor_variant:
+        sensors = sensor_workload(n_training=max(400, n_training // 2),
+                                  n_detection=max(800, n_detection // 2),
+                                  seed=seed + 1)
+        sensor_config = _spot_config(max_dimension=2)
+        sensor_factories = _standard_factories(sensor_config,
+                                               phi=sensors.dimensionality)
+        for evaluation in compare_detectors(sensor_factories, sensors):
+            rows.append(evaluation.as_row())
+
+    return ExperimentReport(
+        experiment_id="E2",
+        title="Effectiveness on simulated real-life streams (KDD-99, sensors)",
+        rows=tuple(rows),
+        notes="The attacks/faults are anomalous only in small attribute "
+              "subsets, so full-space detectors miss most of them while SPOT "
+              "(especially with supervised OS on KDD) recovers them.",
+    )
+
+
+# --------------------------------------------------------------------- #
+# E3 / E4 — efficiency and scalability
+# --------------------------------------------------------------------- #
+def experiment_e3_scalability_dimensions(*, dimension_settings: Sequence[int] = (10, 20, 40, 80),
+                                         n_training: int = 500,
+                                         n_detection: int = 1000,
+                                         seed: int = 17) -> ExperimentReport:
+    """Per-point detection cost as the stream dimensionality grows."""
+    rows: List[Row] = []
+    for dimensions in dimension_settings:
+        workload = synthetic_workload(dimensions=dimensions,
+                                      n_training=n_training,
+                                      n_detection=n_detection,
+                                      outlier_rate=0.03, seed=seed)
+        # Fixed SST budget: FS limited to 1-d subspaces plus a fixed CS size,
+        # so the subspace count grows linearly (not combinatorially) with phi.
+        config = _spot_config(max_dimension=1, cs_size=15,
+                              moga_generations=8, moga_population=20)
+        spot_eval = evaluate_detector(SPOT(config), workload,
+                                      detector_name="SPOT")
+        knn_eval = evaluate_detector(KNNWindowDetector(window=300), workload,
+                                     detector_name="knn-window")
+        sc_eval = evaluate_detector(
+            SparsityCoefficientDetector(window=300, refresh_every=100),
+            workload, detector_name="sparsity-coefficient")
+        for evaluation in (spot_eval, knn_eval, sc_eval):
+            rows.append({
+                "dimensions": dimensions,
+                "detector": evaluation.detector_name,
+                "points_per_second": round(evaluation.points_per_second, 1),
+                "seconds_per_1k_points": round(
+                    1000.0 * evaluation.detect_seconds
+                    / max(1, evaluation.points_processed), 4),
+                "recall": round(evaluation.confusion.recall, 3),
+            })
+    return ExperimentReport(
+        experiment_id="E3",
+        title="Efficiency vs dimensionality (fixed SST budget)",
+        rows=tuple(rows),
+        notes="SPOT's per-point cost grows with the SST size (linear in phi "
+              "here), not with the 2^phi lattice; the exact kNN baseline "
+              "degrades with phi through its distance computations and the "
+              "sparsity-coefficient baseline through its periodic rebuilds.",
+    )
+
+
+def experiment_e4_scalability_stream_length(*, lengths: Sequence[int] = (2000, 5000, 10000, 20000),
+                                            dimensions: int = 20,
+                                            n_training: int = 500,
+                                            seed: int = 19) -> ExperimentReport:
+    """Per-point cost and summary footprint as the stream gets longer."""
+    rows: List[Row] = []
+    for length in lengths:
+        workload = synthetic_workload(dimensions=dimensions,
+                                      n_training=n_training,
+                                      n_detection=length,
+                                      outlier_rate=0.02, seed=seed)
+        config = _spot_config(max_dimension=1, cs_size=15,
+                              moga_generations=8, moga_population=20,
+                              prune_period=2000)
+        detector = SPOT(config)
+        evaluation = evaluate_detector(detector, workload, detector_name="SPOT")
+        footprint = detector.memory_footprint()
+        rows.append({
+            "stream_length": length,
+            "points_per_second": round(evaluation.points_per_second, 1),
+            "seconds_per_1k_points": round(
+                1000.0 * evaluation.detect_seconds / max(1, length), 4),
+            "base_cells": footprint["base_cells"],
+            "projected_cells": footprint["projected_cells"],
+            "recall": round(evaluation.confusion.recall, 3),
+        })
+    return ExperimentReport(
+        experiment_id="E4",
+        title="Efficiency vs stream length (one-pass maintenance)",
+        rows=tuple(rows),
+        notes="Per-point cost should stay roughly constant as the stream "
+              "grows and the summary footprint should plateau (decay plus "
+              "pruning bound the number of live cells).",
+    )
+
+
+# --------------------------------------------------------------------- #
+# A1 / A2 — ablations
+# --------------------------------------------------------------------- #
+def experiment_a1_sst_ablation(*, dimensions: int = 20, n_training: int = 800,
+                               n_detection: int = 1500,
+                               outlier_rate: float = 0.04,
+                               seed: int = 29) -> ExperimentReport:
+    """Contribution of each SST component: FS only vs FS+CS vs FS+CS+OS."""
+    workload = synthetic_workload(dimensions=dimensions, n_training=n_training,
+                                  n_detection=n_detection,
+                                  outlier_rate=outlier_rate, seed=seed,
+                                  outlier_subspace_dim=3,
+                                  n_outlier_subspaces=3)
+    config = _spot_config(max_dimension=1, moga_max_dimension=3)
+    variants = (
+        ("FS only", {"enable_cs": False, "enable_os": False}, False),
+        ("FS+CS", {"enable_cs": True, "enable_os": False}, False),
+        ("FS+CS+OS", {"enable_cs": True, "enable_os": True}, True),
+    )
+    rows: List[Row] = []
+    for name, switches, supervised in variants:
+        detector = SPOT(config)
+        examples = workload.outlier_examples if supervised else None
+        detector.learn(workload.training_values,
+                       outlier_examples=examples, **switches)
+        results = detector.detect(workload.detection_values)
+        predictions = [r.is_outlier for r in results]
+        matrix = confusion_matrix(predictions, workload.detection_labels)
+        sizes = detector.sst.component_sizes()
+        rows.append({
+            "variant": name,
+            "FS": sizes["FS"], "CS": sizes["CS"], "OS": sizes["OS"],
+            "recall": round(matrix.recall, 3),
+            "precision": round(matrix.precision, 3),
+            "f1": round(matrix.f1, 3),
+            "false_alarm_rate": round(matrix.false_alarm_rate, 4),
+        })
+    return ExperimentReport(
+        experiment_id="A1",
+        title="SST composition ablation (FS / CS / OS supplement each other)",
+        rows=tuple(rows),
+        notes="With FS capped at 1-d subspaces and 3-d outlying subspaces "
+              "planted, FS alone misses outliers that only CS (learned) and "
+              "OS (example-driven) subspaces can expose, so recall should "
+              "rise with each added component.",
+    )
+
+
+def experiment_a2_self_evolution(*, dimensions: int = 16, n_training: int = 700,
+                                 n_before: int = 700, n_after: int = 700,
+                                 n_segments: int = 8,
+                                 seed: int = 37) -> ExperimentReport:
+    """Recall across a concept drift, with and without online adaptation."""
+    rows: List[Row] = []
+    for adaptive in (False, True):
+        workload = drift_workload(dimensions=dimensions, n_training=n_training,
+                                  n_before=n_before, n_after=n_after,
+                                  seed=seed)
+        config = _spot_config(
+            max_dimension=1,
+            moga_max_dimension=2,
+            self_evolution_period=200 if adaptive else 0,
+            os_growth_enabled=adaptive,
+        )
+        detector = SPOT(config)
+        segment_rows = evaluate_over_segments(detector, workload, n_segments)
+        for segment in segment_rows:
+            rows.append({
+                "variant": "adaptive" if adaptive else "frozen",
+                "segment": int(segment["segment"]),
+                "recall": round(segment["recall"], 3),
+                "precision": round(segment["precision"], 3),
+                "false_alarm_rate": round(segment["false_alarm_rate"], 4),
+            })
+    return ExperimentReport(
+        experiment_id="A2",
+        title="Online self-evolution and OS growth under concept drift",
+        rows=tuple(rows),
+        notes="The drift moves the outlying subspaces halfway through the "
+              "stream.  The frozen SST's recall drops in the post-drift "
+              "segments; the adaptive variant (self-evolution + OS growth) "
+              "recovers part of it.",
+    )
+
+
+# --------------------------------------------------------------------- #
+# A3 — (omega, epsilon) time-model fidelity
+# --------------------------------------------------------------------- #
+def experiment_a3_time_model(*, omegas: Sequence[int] = (200, 500, 1000),
+                             epsilons: Sequence[float] = (0.01, 0.1),
+                             dimensions: int = 4,
+                             seed: int = 41) -> ExperimentReport:
+    """Decayed summaries vs an exact sliding window, per (omega, epsilon)."""
+    rows: List[Row] = []
+    for omega, epsilon in itertools.product(omegas, epsilons):
+        model = TimeModel.create(omega, epsilon)
+        bounds = DomainBounds.unit(dimensions)
+        grid = Grid(bounds=bounds, cells_per_dimension=4)
+        store = SynapseStore(grid, model)
+        target = Subspace([0])
+        store.register_subspace(target)
+
+        # Phase 1: omega points land in the low half of dimension 0.
+        # Phase 2: omega more points land in the high half.  After phase 2 an
+        # exact window of size omega holds no phase-1 points at all, so the
+        # decayed mass still attributed to the phase-1 cell region, divided by
+        # the phase-1 mass at its peak, is the residual the model bounds.
+        generator = GaussianStreamGenerator(dimensions=dimensions,
+                                            n_points=2 * omega,
+                                            n_clusters=1, outlier_rate=0.0,
+                                            seed=seed)
+        points = [p.values for p in generator]
+        low_phase = [(0.2,) + p[1:] for p in points[:omega]]
+        high_phase = [(0.8,) + p[1:] for p in points[omega:]]
+        for point in low_phase:
+            store.update(point)
+        low_cell = grid.projected_cell(low_phase[0], target)
+        peak = store.pcs_for_cell(low_cell, target).count
+        for point in high_phase:
+            store.update(point)
+        residual = store.pcs_for_cell(low_cell, target).count
+        residual_fraction = residual / peak if peak > 0 else 0.0
+        rows.append({
+            "omega": omega,
+            "epsilon": epsilon,
+            "decay_factor": round(model.decay_factor, 6),
+            "peak_mass": round(peak, 2),
+            "residual_mass": round(residual, 4),
+            "residual_fraction": round(residual_fraction, 6),
+            "bound_satisfied": residual <= epsilon * max(peak, 1.0) + 1e-9,
+            "effective_window_mass": round(model.effective_window_mass(), 1),
+        })
+    return ExperimentReport(
+        experiment_id="A3",
+        title="(omega, epsilon) time model vs an exact sliding window",
+        rows=tuple(rows),
+        notes="After omega out-of-cell arrivals the mass still credited to "
+              "the stale cell is below epsilon times its peak mass, i.e. the "
+              "decayed summaries forget the expired window content to within "
+              "the configured approximation factor without storing the window.",
+    )
+
+
+# --------------------------------------------------------------------- #
+# A4 — MOGA vs exhaustive lattice search
+# --------------------------------------------------------------------- #
+def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 10, 12),
+                                     max_dimension: int = 3,
+                                     top_k: int = 10,
+                                     n_points: int = 400,
+                                     seed: int = 43) -> ExperimentReport:
+    """How much of the exhaustive top-k MOGA recovers, and at what cost."""
+    rows: List[Row] = []
+    for dimensions in dimension_settings:
+        generator = GaussianStreamGenerator(dimensions=dimensions,
+                                            n_points=n_points,
+                                            outlier_rate=0.05,
+                                            outlier_subspace_dim=2,
+                                            seed=seed)
+        data = values_of(list(generator))
+        bounds = DomainBounds.from_data(data, margin=0.1)
+        grid = Grid(bounds=bounds, cells_per_dimension=6)
+        targets = [p.values for p in generator if p.is_outlier][:20] or data[:20]
+
+        exhaustive_objectives = SparsityObjectives(data, grid, target_points=targets)
+        all_subspaces = list(enumerate_subspaces(dimensions, max_dimension))
+        exhaustive_scores = sorted(
+            ((s, exhaustive_objectives.sparsity_score(s)) for s in all_subspaces),
+            key=lambda item: item[1],
+        )
+        true_top = {s for s, _ in exhaustive_scores[:top_k]}
+        exhaustive_evaluations = exhaustive_objectives.evaluations
+
+        moga_objectives = SparsityObjectives(data, grid, target_points=targets)
+        engine = MOGAEngine(moga_objectives, population_size=30,
+                            generations=15, max_dimension=max_dimension,
+                            seed=seed)
+        result = engine.run()
+        # Rank the archive of everything the search evaluated by the same
+        # scalar score the exhaustive pass used, so the overlap measures
+        # subspace identity rather than score-function differences.
+        archive_scored = sorted(
+            ((s, moga_objectives.sparsity_score(s))
+             for s in moga_objectives.evaluated_subspaces()),
+            key=lambda item: item[1],
+        )
+        moga_top = {s for s, _ in archive_scored[:top_k]}
+
+        overlap = len(true_top & moga_top)
+        rows.append({
+            "dimensions": dimensions,
+            "lattice_subspaces": len(all_subspaces),
+            "exhaustive_evaluations": exhaustive_evaluations,
+            "moga_evaluations": result.evaluations,
+            "evaluation_fraction": round(result.evaluations / max(1, exhaustive_evaluations), 3),
+            "top_k": top_k,
+            "recovered": overlap,
+            "recovery_rate": round(overlap / top_k, 3),
+        })
+    return ExperimentReport(
+        experiment_id="A4",
+        title="MOGA search quality vs exhaustive lattice enumeration",
+        rows=tuple(rows),
+        notes="MOGA evaluates a fraction of the lattice yet recovers most of "
+              "the exhaustive top-k sparse subspaces; the gap between the "
+              "evaluation counts widens as dimensionality grows.",
+    )
+
+
+#: Registry used by the CLI, the benchmarks and the EXPERIMENTS.md generator.
+ALL_EXPERIMENTS = {
+    "F1": experiment_f1_pipeline,
+    "E1": experiment_e1_effectiveness_synthetic,
+    "E2": experiment_e2_effectiveness_kdd,
+    "E3": experiment_e3_scalability_dimensions,
+    "E4": experiment_e4_scalability_stream_length,
+    "A1": experiment_a1_sst_ablation,
+    "A2": experiment_a2_self_evolution,
+    "A3": experiment_a3_time_model,
+    "A4": experiment_a4_moga_vs_exhaustive,
+}

@@ -1,0 +1,71 @@
+"""Plain-text reporting of experiment results.
+
+The harness prints its results as aligned ASCII tables (the same rows are
+recorded in EXPERIMENTS.md), so nothing here depends on plotting libraries —
+the environment is offline and the paper's "shape of results" can be read off
+the numbers directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+
+Row = Dict[str, object]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], *,
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render rows of dictionaries as an aligned ASCII table."""
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(column) for column in columns]
+    body = [[_stringify(row.get(column, "")) for column in columns]
+            for row in rows]
+    widths = [len(h) for h in header]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(header))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def format_markdown_table(rows: Sequence[Row], *,
+                          columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    if not rows:
+        raise ConfigurationError("cannot format an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "| " + " | ".join(str(column) for column in columns) + " |"
+    separator = "|" + "|".join("---" for _ in columns) + "|"
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_stringify(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def rows_from_evaluations(evaluations: Iterable[object]) -> List[Row]:
+    """Convert DetectorEvaluation objects into reporting rows."""
+    return [evaluation.as_row() for evaluation in evaluations]

@@ -1,0 +1,15 @@
+"""Learning processes building and adapting the Sparse Subspace Template."""
+
+from .online import OutlierDrivenGrowth, RecentPointsBuffer, SelfEvolution
+from .supervised import SupervisedLearner, SupervisedLearningResult
+from .unsupervised import UnsupervisedLearner, UnsupervisedLearningResult
+
+__all__ = [
+    "OutlierDrivenGrowth",
+    "RecentPointsBuffer",
+    "SelfEvolution",
+    "SupervisedLearner",
+    "SupervisedLearningResult",
+    "UnsupervisedLearner",
+    "UnsupervisedLearningResult",
+]

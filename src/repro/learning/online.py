@@ -1,0 +1,172 @@
+"""Online adaptation: CS self-evolution and OS growth during detection.
+
+Two of SPOT's mechanisms for coping with the dynamics of data streams run
+*inside* the detection stage and therefore have to be cheap:
+
+* **Self-evolution of CS** — periodically, new candidate subspaces are created
+  by crossovering and mutating the current top CS subspaces; the old and new
+  members are then re-ranked against the recent data and the best ones form
+  the new CS.
+* **OS growth** — every detected outlier is stored and its top sparse
+  subspaces (found by a small MOGA run targeted at the outlier) are added to
+  the OS component, so the template's detecting ability keeps improving as
+  outliers accumulate.
+
+Both operate on a bounded reservoir of recent points (the online stand-in for
+the offline training batch) so their cost does not grow with the stream.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..core.config import SPOTConfig
+from ..core.exceptions import ConfigurationError
+from ..core.grid import Grid
+from ..core.sst import RankedSubspace, SparseSubspaceTemplate
+from ..core.subspace import Subspace
+from ..moga import (
+    Chromosome,
+    SparsityObjectives,
+    find_sparse_subspaces,
+    make_offspring,
+)
+
+
+class RecentPointsBuffer:
+    """Fixed-capacity reservoir of the most recent stream points."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self._buffer: Deque[Tuple[float, ...]] = deque(maxlen=capacity)
+
+    def add(self, point: Sequence[float]) -> None:
+        """Record one point (older points fall off the end)."""
+        self._buffer.append(tuple(float(v) for v in point))
+
+    def snapshot(self) -> List[Tuple[float, ...]]:
+        """The buffered points, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of points retained."""
+        return self._buffer.maxlen or 0
+
+
+class SelfEvolution:
+    """Periodic online re-generation and re-ranking of the CS component."""
+
+    def __init__(self, config: SPOTConfig, grid: Grid) -> None:
+        self._config = config
+        self._grid = grid
+        self._rng = random.Random(config.random_seed + 977)
+        self._rounds = 0
+
+    @property
+    def rounds(self) -> int:
+        """Number of evolution rounds executed so far."""
+        return self._rounds
+
+    def evolve(self, sst: SparseSubspaceTemplate,
+               recent_points: Sequence[Sequence[float]]) -> int:
+        """Run one self-evolution round; returns how many new subspaces joined CS.
+
+        The current CS members are crossovered and mutated pairwise to produce
+        a batch of candidate subspaces; candidates and incumbents are then
+        re-ranked against ``recent_points`` and the best ``cs_capacity`` of
+        them become the new CS.  With no CS members or too little recent data
+        the round is a no-op.
+        """
+        current = sst.clustering_ranked
+        if len(current) < 2 or len(recent_points) < 10:
+            return 0
+        self._rounds += 1
+        config = self._config
+        phi = sst.phi
+
+        parents = [Chromosome.from_subspace(item.subspace, phi) for item in current]
+        candidates: List[Subspace] = []
+        for i in range(0, len(parents) - 1, 2):
+            child_a, child_b = make_offspring(
+                parents[i], parents[i + 1], self._rng,
+                crossover_rate=config.moga_crossover_rate,
+                mutation_rate=max(config.moga_mutation_rate, 0.05),
+                max_dimension=config.moga_max_dimension,
+            )
+            candidates.append(child_a.to_subspace())
+            candidates.append(child_b.to_subspace())
+
+        objectives = SparsityObjectives(recent_points, self._grid)
+        incumbents = {item.subspace for item in current}
+        rescored: List[RankedSubspace] = [
+            RankedSubspace(subspace=item.subspace,
+                           score=objectives.sparsity_score(item.subspace))
+            for item in current
+        ]
+        new_members: List[RankedSubspace] = []
+        for candidate in candidates:
+            if candidate in incumbents:
+                continue
+            incumbents.add(candidate)
+            new_members.append(
+                RankedSubspace(subspace=candidate,
+                               score=objectives.sparsity_score(candidate))
+            )
+
+        combined = sorted(rescored + new_members, key=lambda item: item.score)
+        kept = combined[: sst.cs_capacity]
+        sst.replace_clustering_ranked(kept)
+        kept_subspaces = {item.subspace for item in kept}
+        return sum(1 for item in new_members if item.subspace in kept_subspaces)
+
+
+class OutlierDrivenGrowth:
+    """Adds the sparse subspaces of detected outliers to the OS component."""
+
+    def __init__(self, config: SPOTConfig, grid: Grid) -> None:
+        self._config = config
+        self._grid = grid
+        self._searches = 0
+
+    @property
+    def searches(self) -> int:
+        """Number of per-outlier MOGA searches run so far."""
+        return self._searches
+
+    def grow(self, sst: SparseSubspaceTemplate,
+             outlier: Sequence[float],
+             recent_points: Sequence[Sequence[float]],
+             *,
+             subspaces_per_outlier: int = 2) -> int:
+        """Search the outlier's sparse subspaces and fold them into OS.
+
+        Returns the number of subspaces that were actually retained by OS
+        (0 when the buffer is too small or the subspaces were already known).
+        """
+        if len(recent_points) < 10:
+            return 0
+        config = self._config
+        self._searches += 1
+        ranked = find_sparse_subspaces(
+            recent_points, self._grid,
+            target_points=[tuple(float(v) for v in outlier)],
+            top_k=subspaces_per_outlier,
+            population_size=max(10, config.moga_population // 2),
+            generations=max(5, config.moga_generations // 3),
+            mutation_rate=config.moga_mutation_rate,
+            crossover_rate=config.moga_crossover_rate,
+            max_dimension=config.moga_max_dimension,
+            seed=config.random_seed + 5000 + self._searches,
+        )
+        added = 0
+        for subspace, score in ranked:
+            if sst.add_outlier_driven_subspace(subspace, score):
+                added += 1
+        return added

@@ -1,0 +1,164 @@
+"""Supervised learning stage: building the OS component of the SST.
+
+The supervised process incorporates whatever prior domain knowledge exists:
+
+* **labelled outlier examples** — MOGA is applied with each example as the
+  optimisation target; the union of the per-example top sparse subspaces
+  becomes the Outlier-driven SST Subspaces (OS), enabling example-based
+  detection of future outliers that resemble the known ones;
+* **attribute relevance** — when the expert can name the attributes relevant
+  to the detection task, the search is confined to those attributes, which
+  both speeds learning up and keeps OS interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import SPOTConfig
+from ..core.exceptions import ConfigurationError
+from ..core.grid import DomainBounds, Grid
+from ..core.subspace import Subspace
+from ..moga import find_sparse_subspaces
+
+
+@dataclass(frozen=True)
+class SupervisedLearningResult:
+    """Outcome of the supervised learning process.
+
+    Attributes
+    ----------
+    outlier_driven_subspaces:
+        The OS members: (subspace, sparsity score) pairs, sparsest first,
+        expressed in the *original* attribute indices even when attribute
+        filtering was used.
+    per_example_subspaces:
+        For each outlier example, its own top sparse subspaces (useful for
+        explaining why an example is anomalous).
+    relevant_attributes:
+        The attribute filter that was applied, if any.
+    """
+
+    outlier_driven_subspaces: Tuple[Tuple[Subspace, float], ...]
+    per_example_subspaces: Tuple[Tuple[Tuple[Subspace, float], ...], ...]
+    relevant_attributes: Optional[Tuple[int, ...]] = None
+
+
+class SupervisedLearner:
+    """Implements the supervised learning process of SPOT's learning stage."""
+
+    def __init__(self, config: SPOTConfig, grid: Grid) -> None:
+        self._config = config
+        self._grid = grid
+
+    def learn(self,
+              training_data: Sequence[Sequence[float]],
+              outlier_examples: Sequence[Sequence[float]],
+              *,
+              relevant_attributes: Optional[Sequence[int]] = None,
+              subspaces_per_example: int = 3
+              ) -> SupervisedLearningResult:
+        """Search the sparse subspaces of each expert-provided outlier example.
+
+        Parameters
+        ----------
+        training_data:
+            The reference batch the examples' sparsity is measured against.
+        outlier_examples:
+            Labelled projected outliers supplied by domain experts.
+        relevant_attributes:
+            Optional attribute filter; the search only proposes subspaces of
+            these attributes.
+        subspaces_per_example:
+            How many top subspaces of each example are merged into OS.
+        """
+        if not training_data:
+            raise ConfigurationError("training_data must not be empty")
+        if not outlier_examples:
+            raise ConfigurationError("outlier_examples must not be empty")
+        if subspaces_per_example < 1:
+            raise ConfigurationError("subspaces_per_example must be at least 1")
+
+        config = self._config
+        phi = self._grid.phi
+        attribute_filter = self._validated_filter(relevant_attributes, phi)
+
+        if attribute_filter is None:
+            data = [tuple(float(v) for v in p) for p in training_data]
+            examples = [tuple(float(v) for v in p) for p in outlier_examples]
+            grid = self._grid
+            remap = None
+        else:
+            data = [self._project(p, attribute_filter) for p in training_data]
+            examples = [self._project(p, attribute_filter) for p in outlier_examples]
+            grid = self._reduced_grid(attribute_filter)
+            remap = attribute_filter
+
+        per_example: List[Tuple[Tuple[Subspace, float], ...]] = []
+        merged: List[Tuple[Subspace, float]] = []
+        seen = set()
+        for i, example in enumerate(examples):
+            ranked = find_sparse_subspaces(
+                data, grid,
+                target_points=[example],
+                top_k=subspaces_per_example,
+                population_size=config.moga_population,
+                generations=config.moga_generations,
+                mutation_rate=config.moga_mutation_rate,
+                crossover_rate=config.moga_crossover_rate,
+                max_dimension=config.moga_max_dimension,
+                seed=config.random_seed + 100 + i,
+            )
+            restored = [(self._restore(subspace, remap), score)
+                        for subspace, score in ranked]
+            per_example.append(tuple(restored))
+            for subspace, score in restored:
+                if subspace in seen:
+                    continue
+                seen.add(subspace)
+                merged.append((subspace, score))
+
+        merged.sort(key=lambda item: item[1])
+        merged = merged[:config.os_size]
+        return SupervisedLearningResult(
+            outlier_driven_subspaces=tuple(merged),
+            per_example_subspaces=tuple(per_example),
+            relevant_attributes=attribute_filter,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validated_filter(relevant_attributes: Optional[Sequence[int]],
+                          phi: int) -> Optional[Tuple[int, ...]]:
+        if relevant_attributes is None:
+            return None
+        attrs = tuple(sorted(set(int(a) for a in relevant_attributes)))
+        if not attrs:
+            raise ConfigurationError("relevant_attributes must not be empty")
+        if attrs[0] < 0 or attrs[-1] >= phi:
+            raise ConfigurationError(
+                f"relevant_attributes must lie in [0, {phi}), got {attrs}"
+            )
+        return attrs
+
+    @staticmethod
+    def _project(point: Sequence[float],
+                 attributes: Tuple[int, ...]) -> Tuple[float, ...]:
+        return tuple(float(point[a]) for a in attributes)
+
+    def _reduced_grid(self, attributes: Tuple[int, ...]) -> Grid:
+        bounds = self._grid.bounds
+        reduced_bounds = DomainBounds(
+            lows=tuple(bounds.lows[a] for a in attributes),
+            highs=tuple(bounds.highs[a] for a in attributes),
+        )
+        return Grid(bounds=reduced_bounds,
+                    cells_per_dimension=self._grid.cells_per_dimension)
+
+    @staticmethod
+    def _restore(subspace: Subspace,
+                 remap: Optional[Tuple[int, ...]]) -> Subspace:
+        if remap is None:
+            return subspace
+        return Subspace(remap[d] for d in subspace)

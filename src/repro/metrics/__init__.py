@@ -1,0 +1,39 @@
+"""Evaluation metrics: classification quality, ranking quality, efficiency."""
+
+from .classification import (
+    ConfusionMatrix,
+    confusion_matrix,
+    f1_score,
+    false_alarm_rate,
+    precision,
+    recall,
+)
+from .ranking import (
+    average_precision,
+    precision_at_k,
+    roc_auc,
+    subspace_recovery_rate,
+)
+from .throughput import (
+    LatencySeries,
+    ThroughputMeter,
+    ThroughputReport,
+    measure_detector,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "f1_score",
+    "false_alarm_rate",
+    "precision",
+    "recall",
+    "average_precision",
+    "precision_at_k",
+    "roc_auc",
+    "subspace_recovery_rate",
+    "LatencySeries",
+    "ThroughputMeter",
+    "ThroughputReport",
+    "measure_detector",
+]

@@ -1,0 +1,123 @@
+"""Binary classification metrics for outlier detection.
+
+Effectiveness in the paper's evaluation means the usual detection quality
+measures: how many of the true projected outliers are caught (detection rate /
+recall), how many regular points are wrongly flagged (false alarm rate), and
+the combined precision / recall / F1 view.  All functions take plain boolean
+sequences so they work with SPOT results, baseline results and ground-truth
+labels alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts of the four outcomes of a binary detector."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        """Number of scored points."""
+        return (self.true_positives + self.false_positives
+                + self.true_negatives + self.false_negatives)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged points that are true outliers."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true outliers that were flagged (detection rate)."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 0.0
+
+    #: The paper-era literature calls recall the "detection rate".
+    detection_rate = recall
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of regular points that were wrongly flagged."""
+        regular = self.false_positives + self.true_negatives
+        return self.false_positives / regular if regular else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of all points classified correctly."""
+        if self.total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """All derived metrics plus raw counts, for reporting tables."""
+        return {
+            "tp": float(self.true_positives),
+            "fp": float(self.false_positives),
+            "tn": float(self.true_negatives),
+            "fn": float(self.false_negatives),
+            "precision": self.precision,
+            "recall": self.recall,
+            "false_alarm_rate": self.false_alarm_rate,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def confusion_matrix(predictions: Sequence[bool],
+                     labels: Sequence[bool]) -> ConfusionMatrix:
+    """Build the confusion matrix of ``predictions`` against ``labels``."""
+    if len(predictions) != len(labels):
+        raise ConfigurationError(
+            f"predictions ({len(predictions)}) and labels ({len(labels)}) "
+            "must have the same length"
+        )
+    tp = fp = tn = fn = 0
+    for predicted, actual in zip(predictions, labels):
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(true_positives=tp, false_positives=fp,
+                           true_negatives=tn, false_negatives=fn)
+
+
+def precision(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    """Precision of boolean predictions against boolean labels."""
+    return confusion_matrix(predictions, labels).precision
+
+
+def recall(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    """Recall (detection rate) of boolean predictions against labels."""
+    return confusion_matrix(predictions, labels).recall
+
+
+def f1_score(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    """F1 of boolean predictions against boolean labels."""
+    return confusion_matrix(predictions, labels).f1
+
+
+def false_alarm_rate(predictions: Sequence[bool],
+                     labels: Sequence[bool]) -> float:
+    """False alarm rate of boolean predictions against boolean labels."""
+    return confusion_matrix(predictions, labels).false_alarm_rate

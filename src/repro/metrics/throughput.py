@@ -1,0 +1,115 @@
+"""Efficiency metrics: throughput, latency and memory accounting.
+
+Efficiency in the paper's evaluation means "can the detector keep up with the
+stream": points per second, per-point latency, and how the summary footprint
+grows.  The :class:`ThroughputMeter` wraps any detect loop; the benchmark
+harness uses it for the scalability experiments (E3, E4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Timing summary of one measured detection run."""
+
+    points: int
+    elapsed_seconds: float
+
+    @property
+    def points_per_second(self) -> float:
+        """Sustained throughput of the measured run."""
+        if self.elapsed_seconds <= 0.0:
+            return float("inf")
+        return self.points / self.elapsed_seconds
+
+    @property
+    def seconds_per_point(self) -> float:
+        """Average per-point latency of the measured run."""
+        if self.points == 0:
+            return 0.0
+        return self.elapsed_seconds / self.points
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reporting tables."""
+        return {
+            "points": float(self.points),
+            "elapsed_seconds": self.elapsed_seconds,
+            "points_per_second": self.points_per_second,
+            "seconds_per_point": self.seconds_per_point,
+        }
+
+
+class ThroughputMeter:
+    """Measures how fast a per-point processing function consumes a stream."""
+
+    def __init__(self) -> None:
+        self._reports: List[ThroughputReport] = []
+
+    @property
+    def reports(self) -> List[ThroughputReport]:
+        """Every report recorded by this meter (most recent last)."""
+        return list(self._reports)
+
+    def measure(self, process: Callable[[object], object],
+                points: Iterable[object]) -> ThroughputReport:
+        """Time ``process`` over ``points`` and record a report."""
+        materialised = list(points)
+        if not materialised:
+            raise ConfigurationError("cannot measure throughput over zero points")
+        start = time.perf_counter()
+        for point in materialised:
+            process(point)
+        elapsed = time.perf_counter() - start
+        report = ThroughputReport(points=len(materialised), elapsed_seconds=elapsed)
+        self._reports.append(report)
+        return report
+
+
+@dataclass
+class LatencySeries:
+    """Per-point latency series, for checking that cost stays flat over time."""
+
+    latencies: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Append one per-point latency measurement."""
+        self.latencies.append(seconds)
+
+    def mean(self) -> float:
+        """Average per-point latency."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def segment_means(self, n_segments: int) -> List[float]:
+        """Mean latency of ``n_segments`` consecutive equal slices.
+
+        A flat profile across segments is the signature of a truly one-pass,
+        incrementally maintained detector; growth over segments betrays work
+        proportional to history length.
+        """
+        if n_segments <= 0:
+            raise ConfigurationError("n_segments must be positive")
+        if not self.latencies:
+            return [0.0] * n_segments
+        size = max(1, len(self.latencies) // n_segments)
+        means = []
+        for i in range(n_segments):
+            chunk = self.latencies[i * size:(i + 1) * size]
+            if not chunk:
+                chunk = self.latencies[-size:]
+            means.append(sum(chunk) / len(chunk))
+        return means
+
+
+def measure_detector(detector, points: Sequence[object]) -> ThroughputReport:
+    """Convenience: time ``detector.process`` over ``points``."""
+    meter = ThroughputMeter()
+    return meter.measure(detector.process, points)

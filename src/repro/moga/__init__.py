@@ -1,0 +1,37 @@
+"""Multi-Objective Genetic Algorithm for sparse-subspace search."""
+
+from .chromosome import Chromosome, unique_chromosomes
+from .engine import MOGAEngine, MOGAResult, find_sparse_subspaces
+from .nsga2 import (
+    crowded_comparison_rank,
+    crowding_distance,
+    fast_non_dominated_sort,
+    select_survivors,
+)
+from .objectives import SparsityObjectives, dominates
+from .operators import (
+    binary_tournament,
+    bit_flip_mutation,
+    make_offspring,
+    one_point_crossover,
+    uniform_crossover,
+)
+
+__all__ = [
+    "Chromosome",
+    "unique_chromosomes",
+    "MOGAEngine",
+    "MOGAResult",
+    "find_sparse_subspaces",
+    "crowded_comparison_rank",
+    "crowding_distance",
+    "fast_non_dominated_sort",
+    "select_survivors",
+    "SparsityObjectives",
+    "dominates",
+    "binary_tournament",
+    "bit_flip_mutation",
+    "make_offspring",
+    "one_point_crossover",
+    "uniform_crossover",
+]

@@ -1,0 +1,135 @@
+"""NSGA-II machinery: fast non-dominated sorting and crowding distance.
+
+The multi-objective GA in SPOT needs a way to rank a population against
+several sparsity objectives at once.  This module implements the two ranking
+primitives of Deb et al.'s NSGA-II, which the engine combines with the
+operators from :mod:`repro.moga.operators`:
+
+* :func:`fast_non_dominated_sort` partitions a population into Pareto fronts;
+* :func:`crowding_distance` spreads selection pressure along each front so the
+  search keeps a diverse set of trade-offs between density, deviation and
+  subspace dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .objectives import dominates
+
+ObjectiveVector = Tuple[float, ...]
+
+
+def fast_non_dominated_sort(objectives: Sequence[ObjectiveVector]) -> List[List[int]]:
+    """Partition indices 0..n-1 into Pareto fronts (best front first).
+
+    Returns a list of fronts, each a list of indices into ``objectives``.
+    Every index appears in exactly one front.
+    """
+    n = len(objectives)
+    if n == 0:
+        return []
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the loop always appends one trailing empty front
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[ObjectiveVector],
+                      front: Sequence[int]) -> Dict[int, float]:
+    """Crowding distance of every index in ``front``.
+
+    Boundary solutions of each objective get infinite distance so they are
+    always preferred, which preserves the extremes of the Pareto front.
+    """
+    if not front:
+        return {}
+    n_objectives = len(objectives[front[0]])
+    distance: Dict[int, float] = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: math.inf for i in front}
+
+    for m in range(n_objectives):
+        ordered = sorted(front, key=lambda i: objectives[i][m])
+        lo = objectives[ordered[0]][m]
+        hi = objectives[ordered[-1]][m]
+        distance[ordered[0]] = math.inf
+        distance[ordered[-1]] = math.inf
+        span = hi - lo
+        if span <= 0.0:
+            continue
+        for position in range(1, len(ordered) - 1):
+            i = ordered[position]
+            if math.isinf(distance[i]):
+                continue
+            gap = (objectives[ordered[position + 1]][m]
+                   - objectives[ordered[position - 1]][m])
+            distance[i] += gap / span
+    return distance
+
+
+def crowded_comparison_rank(objectives: Sequence[ObjectiveVector]
+                            ) -> List[Tuple[int, float]]:
+    """(front index, -crowding distance) key for every individual.
+
+    Sorting individuals by this key ascending gives NSGA-II's crowded
+    comparison order: lower front first, then larger crowding distance.
+    """
+    n = len(objectives)
+    ranks: List[Tuple[int, float]] = [(0, 0.0)] * n
+    fronts = fast_non_dominated_sort(objectives)
+    for front_index, front in enumerate(fronts):
+        distances = crowding_distance(objectives, front)
+        for i in front:
+            ranks[i] = (front_index, -distances[i])
+    return ranks
+
+
+def select_survivors(objectives: Sequence[ObjectiveVector],
+                     capacity: int) -> List[int]:
+    """Pick the ``capacity`` best individuals by crowded comparison.
+
+    This is NSGA-II's environmental selection: whole fronts are admitted while
+    they fit, and the last partially admitted front is truncated by crowding
+    distance (most isolated solutions first).
+    """
+    if capacity < 0:
+        raise ConfigurationError("capacity must be non-negative")
+    survivors: List[int] = []
+    for front in fast_non_dominated_sort(objectives):
+        if len(survivors) + len(front) <= capacity:
+            survivors.extend(front)
+            continue
+        remaining = capacity - len(survivors)
+        if remaining <= 0:
+            break
+        distances = crowding_distance(objectives, front)
+        ordered = sorted(front, key=lambda i: distances[i], reverse=True)
+        survivors.extend(ordered[:remaining])
+        break
+    return survivors

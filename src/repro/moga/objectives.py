@@ -1,0 +1,229 @@
+"""Sparsity objectives optimised by the multi-objective genetic search.
+
+The paper's point (Section III, third bullet) is that SPOT does *not* reduce
+outlier-ness to a single criterion: MOGA searches for subspaces that optimise
+several sparsity measurements simultaneously.  The objective vector used here,
+all components to be minimised, is::
+
+    ( mean RD of the target points' cells,
+      mean IRSD of the target points' cells,
+      |s| / phi )
+
+* the first two come straight from the PCS definition — low Relative Density
+  and low Inverse Relative Standard Deviation mean the target points sit in
+  sparse, scattered cells of the candidate subspace;
+* the third is the dimension penalty: among equally sparse subspaces the
+  lower-dimensional one is preferred (that is where outlier-ness is
+  interpretable and where the paper argues projected outliers live).
+
+Objectives are evaluated against an in-memory training batch (the learning
+stage is offline), using the same equi-width grid geometry as the online
+synapse store so that what MOGA finds sparse is also what the detector will
+measure as sparse.  Evaluations are memoised per subspace because the GA
+population revisits the same subspaces many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple  # noqa: F401
+
+from ..core.cell_summary import DecayedCellAccumulator, compute_pcs
+from ..core.exceptions import ConfigurationError
+from ..core.grid import Grid
+from ..core.subspace import Subspace
+from ..core.time_model import TimeModel
+
+
+class SparsityObjectives:
+    """Multi-objective sparsity evaluation of candidate subspaces.
+
+    Parameters
+    ----------
+    training_data:
+        The batch of points used by the learning stage.
+    grid:
+        Grid geometry shared with the online detector.
+    target_points:
+        The points whose cells' sparsity is being optimised.  During
+        whole-batch unsupervised learning this is the full batch; when
+        searching the sparse subspaces *of one outlier candidate* it is that
+        single point.  Defaults to ``training_data``.
+    irsd_cap:
+        Upper clip applied to IRSD (see :func:`compute_pcs`).
+    density_reference:
+        ``"populated"`` (default) measures Relative Density against the
+        average mass of the populated cells of the candidate subspace, which
+        keeps RD comparable across subspace dimensions; ``"lattice"`` measures
+        it against a uniform spread over all ``m^|s|`` lattice cells.  Must
+        match the reference the online synapse store uses.
+    """
+
+    #: Number of objective components returned by :meth:`evaluate`.
+    N_OBJECTIVES = 3
+
+    def __init__(self,
+                 training_data: Sequence[Sequence[float]],
+                 grid: Grid,
+                 *,
+                 target_points: Optional[Sequence[Sequence[float]]] = None,
+                 irsd_cap: float = 100.0,
+                 density_reference: str = "hybrid") -> None:
+        if density_reference not in ("hybrid", "marginal", "populated", "lattice"):
+            raise ConfigurationError(
+                "density_reference must be 'hybrid', 'marginal', 'populated' "
+                f"or 'lattice', got {density_reference!r}"
+            )
+        self._density_reference = density_reference
+        if not training_data:
+            raise ConfigurationError("training_data must not be empty")
+        self._data = [tuple(float(v) for v in point) for point in training_data]
+        phi = grid.phi
+        for point in self._data:
+            if len(point) != phi:
+                raise ConfigurationError(
+                    f"training point of length {len(point)} does not match "
+                    f"the {phi}-dimensional grid"
+                )
+        self._grid = grid
+        self._irsd_cap = irsd_cap
+        # Per-dimension marginal histograms of the batch, used by the
+        # independence expectation (hybrid / marginal references).
+        self._marginals = [
+            [0.0] * grid.cells_per_dimension for _ in range(phi)
+        ]
+        for point in self._data:
+            for d in range(phi):
+                self._marginals[d][grid.interval_index(d, point[d])] += 1.0
+        if target_points is None:
+            self._targets = self._data
+        else:
+            self._targets = [tuple(float(v) for v in point) for point in target_points]
+            if not self._targets:
+                raise ConfigurationError("target_points must not be empty")
+            for point in self._targets:
+                if len(point) != phi:
+                    raise ConfigurationError(
+                        "target point dimensionality does not match the grid"
+                    )
+        # A static batch needs no decay; a unit-window model keeps the PCS
+        # arithmetic identical to the online path with decay_factor ~ 1.
+        self._model = TimeModel(omega=1, epsilon=0.5, decay_factor=1.0)
+        self._cache: Dict[Subspace, Tuple[float, ...]] = {}
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def phi(self) -> int:
+        """Dimensionality of the data space."""
+        return self._grid.phi
+
+    @property
+    def evaluations(self) -> int:
+        """Number of distinct subspaces evaluated so far (cache misses)."""
+        return self._evaluations
+
+    @property
+    def grid(self) -> Grid:
+        """The grid geometry used for the sparsity computation."""
+        return self._grid
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, subspace: Subspace) -> Tuple[float, ...]:
+        """Objective vector (lower is sparser/better) of ``subspace``."""
+        cached = self._cache.get(subspace)
+        if cached is not None:
+            return cached
+
+        self._evaluations += 1
+        cells: Dict[Tuple[int, ...], DecayedCellAccumulator] = {}
+        width = len(subspace)
+        for point in self._data:
+            address = self._grid.projected_cell(point, subspace)
+            acc = cells.get(address)
+            if acc is None:
+                acc = DecayedCellAccumulator(width)
+                cells[address] = acc
+            acc.add(subspace.project(point), 0.0, self._model)
+
+        total_mass = float(len(self._data))
+        uniform_stds = [self._grid.uniform_cell_std(d) for d in subspace]
+
+        rd_sum = 0.0
+        irsd_sum = 0.0
+        for point in self._targets:
+            address = self._grid.projected_cell(point, subspace)
+            expected = self._expected_mass(address, subspace, cells, total_mass)
+            acc = cells.get(address)
+            if acc is None:
+                # A target sitting in an empty cell of a well-supported region
+                # is maximally sparse there (RD = 0); skip unsupported cells.
+                continue
+            # Exclude the target's own unit contribution so a point does not
+            # mask its own sparsity (the detection stage does the same).
+            pcs = compute_pcs(acc, expected, uniform_stds,
+                              irsd_cap=self._irsd_cap, exclude_weight=1.0)
+            rd_sum += pcs.rd
+            irsd_sum += pcs.irsd
+
+        n_targets = len(self._targets)
+        objectives = (
+            rd_sum / n_targets,
+            irsd_sum / n_targets,
+            len(subspace) / self.phi,
+        )
+        self._cache[subspace] = objectives
+        return objectives
+
+    def _expected_mass(self, address: Tuple[int, ...], subspace: Subspace,
+                       cells: Dict[Tuple[int, ...], DecayedCellAccumulator],
+                       total_mass: float) -> float:
+        """Expected cell mass under the configured null model (see the store)."""
+        if total_mass <= 0.0:
+            return 0.0
+        reference = self._density_reference
+        if reference == "lattice":
+            return total_mass / self._grid.cell_count(subspace)
+        if reference == "populated" or (reference == "hybrid" and len(subspace) == 1):
+            return total_mass / max(1, len(cells))
+        expected = total_mass
+        for interval, dimension in zip(address, subspace):
+            expected *= self._marginals[dimension][interval] / total_mass
+        return expected
+
+    def evaluated_subspaces(self) -> List[Subspace]:
+        """Every distinct subspace evaluated so far (the search's archive).
+
+        The genetic search visits many more subspaces than survive into its
+        final population; ranking this archive by :meth:`sparsity_score` gives
+        the best "top sparse subspaces" the search budget has actually seen.
+        """
+        return list(self._cache)
+
+    def sparsity_score(self, subspace: Subspace) -> float:
+        """Scalar summary used for ranking outside the GA (lower = sparser).
+
+        A weighted sum of the objective vector: RD dominates, IRSD breaks
+        ties, and the dimension penalty keeps the score from preferring
+        needlessly wide subspaces.  SST components store this score.
+        """
+        rd, irsd, dim_fraction = self.evaluate(subspace)
+        return rd + 0.1 * (irsd / self._irsd_cap) + 0.01 * dim_fraction
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance for minimisation: ``a`` dominates ``b``.
+
+    ``a`` dominates ``b`` when it is no worse in every objective and strictly
+    better in at least one.
+    """
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"objective vectors differ in length ({len(a)} != {len(b)})"
+        )
+    at_least_one_better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            at_least_one_better = True
+    return at_least_one_better

@@ -1,0 +1,86 @@
+"""Genetic operators over subspace chromosomes.
+
+Standard binary-GA operators — uniform and one-point crossover, bit-flip
+mutation, binary tournament selection — specialised only in that every
+offspring is repaired back into a valid subspace encoding (non-empty, at most
+``max_dimension`` attributes).  The same crossover/mutation pair is reused by
+the online self-evolution of the CS component.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from .chromosome import Chromosome
+
+
+def one_point_crossover(parent_a: Chromosome, parent_b: Chromosome,
+                        rng: random.Random) -> Tuple[Chromosome, Chromosome]:
+    """Classic one-point crossover; parents must share a length."""
+    if parent_a.length != parent_b.length:
+        raise ConfigurationError("parents must have the same chromosome length")
+    if parent_a.length < 2:
+        return parent_a, parent_b
+    cut = rng.randint(1, parent_a.length - 1)
+    child_a = Chromosome(parent_a.genes[:cut] + parent_b.genes[cut:])
+    child_b = Chromosome(parent_b.genes[:cut] + parent_a.genes[cut:])
+    return child_a, child_b
+
+
+def uniform_crossover(parent_a: Chromosome, parent_b: Chromosome,
+                      rng: random.Random,
+                      swap_probability: float = 0.5) -> Tuple[Chromosome, Chromosome]:
+    """Uniform crossover: each gene is swapped independently."""
+    if parent_a.length != parent_b.length:
+        raise ConfigurationError("parents must have the same chromosome length")
+    genes_a: List[bool] = []
+    genes_b: List[bool] = []
+    for a, b in zip(parent_a.genes, parent_b.genes):
+        if rng.random() < swap_probability:
+            genes_a.append(b)
+            genes_b.append(a)
+        else:
+            genes_a.append(a)
+            genes_b.append(b)
+    return Chromosome(genes_a), Chromosome(genes_b)
+
+
+def bit_flip_mutation(chromosome: Chromosome, rng: random.Random,
+                      mutation_rate: float) -> Chromosome:
+    """Flip each gene independently with probability ``mutation_rate``."""
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise ConfigurationError("mutation_rate must lie in [0, 1]")
+    genes = [
+        (not gene) if rng.random() < mutation_rate else gene
+        for gene in chromosome.genes
+    ]
+    return Chromosome(genes)
+
+
+def binary_tournament(population: Sequence[Chromosome],
+                      better: Callable[[Chromosome, Chromosome], Chromosome],
+                      rng: random.Random) -> Chromosome:
+    """Pick two random individuals and return the one ``better`` prefers."""
+    if not population:
+        raise ConfigurationError("cannot select from an empty population")
+    a = population[rng.randrange(len(population))]
+    b = population[rng.randrange(len(population))]
+    return better(a, b)
+
+
+def make_offspring(parent_a: Chromosome, parent_b: Chromosome,
+                   rng: random.Random, *,
+                   crossover_rate: float,
+                   mutation_rate: float,
+                   max_dimension: int) -> Tuple[Chromosome, Chromosome]:
+    """Crossover (with probability ``crossover_rate``), mutate and repair."""
+    if rng.random() < crossover_rate:
+        child_a, child_b = uniform_crossover(parent_a, parent_b, rng)
+    else:
+        child_a, child_b = parent_a, parent_b
+    child_a = bit_flip_mutation(child_a, rng, mutation_rate)
+    child_b = bit_flip_mutation(child_b, rng, mutation_rate)
+    return (child_a.repaired(max_dimension, rng),
+            child_b.repaired(max_dimension, rng))

@@ -1,0 +1,23 @@
+"""Persistence of learned templates and detector state."""
+
+from .serialization import (
+    FORMAT_VERSION,
+    detector_state_to_dict,
+    load_detector,
+    load_sst,
+    save_detector,
+    save_sst,
+    sst_from_json,
+    sst_to_json,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "detector_state_to_dict",
+    "load_detector",
+    "load_sst",
+    "save_detector",
+    "save_sst",
+    "sst_from_json",
+    "sst_to_json",
+]

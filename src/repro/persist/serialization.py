@@ -1,0 +1,149 @@
+"""Saving and restoring detector state as JSON.
+
+A deployed detector is trained once and then runs for a long time; being able
+to persist the learned Sparse Subspace Template (and the configuration it was
+learned under) lets operators restart the process, ship the template to other
+nodes, or audit which subspaces the detector is watching.  Cell summaries are
+deliberately *not* persisted: they describe the recent window, which is stale
+by the time a process restarts, and they rebuild themselves within one window
+of fresh stream data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.config import SPOTConfig
+from ..core.detector import SPOT
+from ..core.exceptions import SerializationError
+from ..core.sst import SparseSubspaceTemplate
+
+PathLike = Union[str, Path]
+
+#: Format tag written into every file, bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+def sst_to_json(sst: SparseSubspaceTemplate) -> str:
+    """Serialise a Sparse Subspace Template to a JSON string."""
+    payload = {"format_version": FORMAT_VERSION, "sst": sst.to_dict()}
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sst_from_json(text: str) -> SparseSubspaceTemplate:
+    """Rebuild a Sparse Subspace Template from :func:`sst_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed SST JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "sst" not in payload:
+        raise SerializationError("SST JSON is missing the 'sst' section")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported SST format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return SparseSubspaceTemplate.from_dict(payload["sst"])
+
+
+def save_sst(sst: SparseSubspaceTemplate, path: PathLike) -> None:
+    """Write a template to ``path`` (parent directories are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(sst_to_json(sst))
+
+
+def load_sst(path: PathLike) -> SparseSubspaceTemplate:
+    """Read a template previously written by :func:`save_sst`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"SST file does not exist: {path}")
+    return sst_from_json(path.read_text())
+
+
+def detector_state_to_dict(detector: SPOT) -> Dict[str, object]:
+    """Snapshot a fitted detector's portable state (config + SST + bounds)."""
+    if not detector.is_fitted:
+        raise SerializationError("only a fitted detector can be serialised")
+    grid = detector.grid
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": detector.config.to_dict(),
+        "sst": detector.sst.to_dict(),
+        "bounds": {
+            "lows": list(grid.bounds.lows),
+            "highs": list(grid.bounds.highs),
+        },
+    }
+
+
+def save_detector(detector: SPOT, path: PathLike) -> None:
+    """Persist a fitted detector's configuration, SST and domain bounds."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(detector_state_to_dict(detector), indent=2,
+                               sort_keys=True))
+
+
+def load_detector(path: PathLike) -> SPOT:
+    """Rebuild a detector from :func:`save_detector` output.
+
+    The restored detector has its configuration, grid bounds and SST in
+    place but empty cell summaries; feed it a window's worth of stream data
+    (or re-run :meth:`SPOT.learn`) before trusting its flags.
+    """
+    from ..core.grid import DomainBounds
+
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"detector file does not exist: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed detector JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported detector format version {version!r}"
+        )
+    try:
+        config = SPOTConfig.from_dict(payload["config"])
+        sst = SparseSubspaceTemplate.from_dict(payload["sst"])
+        bounds = DomainBounds(lows=tuple(payload["bounds"]["lows"]),
+                              highs=tuple(payload["bounds"]["highs"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed detector payload: {exc}") from exc
+
+    detector = SPOT(config)
+    # Re-create the substrate exactly as learn() would, then install the
+    # persisted template instead of re-learning it.
+    from ..core.grid import Grid
+    from ..core.synapse_store import SynapseStore
+    from ..core.time_model import TimeModel
+    from ..learning.online import (
+        OutlierDrivenGrowth,
+        RecentPointsBuffer,
+        SelfEvolution,
+    )
+    from ..streams.drift import DriftDetector
+
+    grid = Grid(bounds=bounds, cells_per_dimension=config.cells_per_dimension)
+    time_model = TimeModel.create(config.omega, config.epsilon)
+    store = SynapseStore(grid, time_model)
+    store.register_subspaces(sst.all_subspaces())
+
+    detector._grid = grid
+    detector._time_model = time_model
+    detector._store = store
+    detector._sst = sst
+    detector._recent_buffer = RecentPointsBuffer(max(2 * config.omega, 100))
+    detector._self_evolution = SelfEvolution(config, grid)
+    detector._os_growth = OutlierDrivenGrowth(config, grid)
+    detector._drift_detector = DriftDetector(grid,
+                                             window=max(50, config.omega // 5),
+                                             warmup=config.omega)
+    detector._learning_report = {"restored_from": str(path)}
+    return detector

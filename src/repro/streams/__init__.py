@@ -1,0 +1,47 @@
+"""Stream substrate: labelled data streams, workload generators, drift tools."""
+
+from .base import (
+    ConcatStream,
+    DataStream,
+    ListStream,
+    StreamPoint,
+    labels_of,
+    values_of,
+)
+from .drift import DriftDetector, DriftSignal, GradualDriftStream, abrupt_drift_stream
+from .kddcup import (
+    FEATURE_INDEX,
+    FEATURE_NAMES,
+    KDDCup99Simulator,
+    TrafficClass,
+    default_traffic_classes,
+)
+from .readers import CSVStream, read_csv_stream, write_csv_stream
+from .sensors import FaultSpec, SensorFieldStream
+from .synthetic import ClusterSpec, GaussianStreamGenerator, UniformNoiseStream
+
+__all__ = [
+    "ConcatStream",
+    "DataStream",
+    "ListStream",
+    "StreamPoint",
+    "labels_of",
+    "values_of",
+    "DriftDetector",
+    "DriftSignal",
+    "GradualDriftStream",
+    "abrupt_drift_stream",
+    "FEATURE_INDEX",
+    "FEATURE_NAMES",
+    "KDDCup99Simulator",
+    "TrafficClass",
+    "default_traffic_classes",
+    "CSVStream",
+    "read_csv_stream",
+    "write_csv_stream",
+    "FaultSpec",
+    "SensorFieldStream",
+    "ClusterSpec",
+    "GaussianStreamGenerator",
+    "UniformNoiseStream",
+]

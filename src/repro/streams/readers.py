@@ -1,0 +1,137 @@
+"""Reading and writing labelled streams as CSV files.
+
+Real deployments replay recorded traffic from disk.  The CSV layout used here
+is deliberately simple: one row per point, the attribute columns first, then
+an optional ``label`` column (0/1) and an optional ``category`` column.  The
+same layout is produced by :func:`write_csv_stream`, so recorded synthetic
+workloads can be replayed byte-identically in later runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..core.exceptions import ConfigurationError
+from .base import DataStream, ListStream, StreamPoint
+
+PathLike = Union[str, Path]
+
+
+class CSVStream(DataStream):
+    """A stream replayed from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    has_header:
+        Whether the first row is a header and should be skipped.
+    label_column:
+        Index of the 0/1 outlier-label column, or ``None`` if the file is
+        unlabelled.  Negative indices count from the end of the row.
+    category_column:
+        Index of an optional category column.
+    feature_columns:
+        Explicit indices of the attribute columns; by default every column
+        that is not the label or category column is treated as a feature.
+    """
+
+    def __init__(self, path: PathLike, *, has_header: bool = True,
+                 label_column: Optional[int] = None,
+                 category_column: Optional[int] = None,
+                 feature_columns: Optional[Sequence[int]] = None) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise ConfigurationError(f"stream file does not exist: {self._path}")
+        self._has_header = has_header
+        self._label_column = label_column
+        self._category_column = category_column
+        self._feature_columns = list(feature_columns) if feature_columns else None
+        self._dimensionality = self._probe_dimensionality()
+
+    def _resolve_columns(self, row: Sequence[str]) -> List[int]:
+        if self._feature_columns is not None:
+            return self._feature_columns
+        excluded = set()
+        for col in (self._label_column, self._category_column):
+            if col is not None:
+                excluded.add(col % len(row))
+        return [i for i in range(len(row)) if i not in excluded]
+
+    def _probe_dimensionality(self) -> int:
+        with open(self._path, newline="") as handle:
+            reader = csv.reader(handle)
+            rows = iter(reader)
+            if self._has_header:
+                next(rows, None)
+            first = next(rows, None)
+            if first is None:
+                raise ConfigurationError(f"stream file is empty: {self._path}")
+            return len(self._resolve_columns(first))
+
+    @property
+    def dimensionality(self) -> int:
+        return self._dimensionality
+
+    def __iter__(self) -> Iterator[StreamPoint]:
+        with open(self._path, newline="") as handle:
+            reader = csv.reader(handle)
+            rows = iter(reader)
+            if self._has_header:
+                next(rows, None)
+            for row in rows:
+                if not row:
+                    continue
+                columns = self._resolve_columns(row)
+                try:
+                    values = tuple(float(row[i]) for i in columns)
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"non-numeric feature value in {self._path}: {exc}"
+                    ) from exc
+                is_outlier = False
+                if self._label_column is not None:
+                    is_outlier = row[self._label_column % len(row)].strip() in (
+                        "1", "1.0", "true", "True")
+                category = "normal"
+                if self._category_column is not None:
+                    category = row[self._category_column % len(row)].strip()
+                yield StreamPoint(values=values, is_outlier=is_outlier,
+                                  category=category)
+
+
+def write_csv_stream(points: Sequence[StreamPoint], path: PathLike, *,
+                     include_header: bool = True) -> int:
+    """Write a materialised stream segment to CSV; returns the row count.
+
+    The layout matches what :class:`CSVStream` reads back with
+    ``label_column=-2, category_column=-1``.
+    """
+    if not points:
+        raise ConfigurationError("cannot write an empty stream")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    width = points[0].dimensionality
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if include_header:
+            writer.writerow(
+                [f"x{i}" for i in range(width)] + ["label", "category"]
+            )
+        for point in points:
+            if point.dimensionality != width:
+                raise ConfigurationError(
+                    "all points written to one file must share a dimensionality"
+                )
+            writer.writerow(
+                list(point.values) + [1 if point.is_outlier else 0, point.category]
+            )
+    return len(points)
+
+
+def read_csv_stream(path: PathLike) -> ListStream:
+    """Read a file produced by :func:`write_csv_stream` into a ListStream."""
+    stream = CSVStream(path, has_header=True, label_column=-2, category_column=-1)
+    return ListStream(list(stream))

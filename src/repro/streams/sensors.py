@@ -1,0 +1,163 @@
+"""A sensor-field monitoring stream with correlated readings and rare faults.
+
+The paper motivates SPOT with sensor-network monitoring (among other
+applications).  This generator simulates a field of sensors that report
+correlated physical quantities (temperature, humidity, pressure, light,
+voltage...) following a shared diurnal cycle.  Faults — stuck-at readings,
+calibration drift, coordinated spoofing — affect only a small subset of the
+channels, so the faulty records are projected outliers: each looks normal in
+the full space (most channels are healthy) but abnormal in the faulty
+channels' subspace.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ConfigurationError
+from ..core.subspace import Subspace
+from .base import DataStream, StreamPoint
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault type injected into the sensor stream.
+
+    Attributes
+    ----------
+    name:
+        Fault tag reported in :attr:`StreamPoint.category`.
+    channels:
+        Indices of the channels the fault corrupts (its outlying subspace).
+    offset:
+        Additive shift applied to the corrupted channels (domain units).
+    rate:
+        Per-record probability of this fault occurring.
+    """
+
+    name: str
+    channels: Tuple[int, ...]
+    offset: float
+    rate: float
+
+
+class SensorFieldStream(DataStream):
+    """Correlated multi-channel sensor stream with projected faults.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of sensor channels (the stream dimensionality).
+    n_points:
+        Number of records the stream yields.
+    faults:
+        Fault specifications; defaults to three faults touching disjoint
+        channel pairs at a combined rate of about 2 %.
+    cycle_length:
+        Period (in records) of the shared diurnal cycle.
+    noise:
+        Standard deviation of the per-channel measurement noise.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, n_channels: int, n_points: int, *,
+                 faults: Optional[Sequence[FaultSpec]] = None,
+                 cycle_length: int = 500,
+                 noise: float = 0.03,
+                 seed: int = 0) -> None:
+        if n_channels < 4:
+            raise ConfigurationError("n_channels must be at least 4")
+        if n_points <= 0:
+            raise ConfigurationError("n_points must be positive")
+        if cycle_length <= 0:
+            raise ConfigurationError("cycle_length must be positive")
+        self._phi = n_channels
+        self._n_points = n_points
+        self._cycle = cycle_length
+        self._noise = noise
+        self._seed = seed
+        self._faults = list(faults) if faults is not None else \
+            self._default_faults(n_channels)
+        for fault in self._faults:
+            if not fault.channels:
+                raise ConfigurationError(f"fault {fault.name} has no channels")
+            if max(fault.channels) >= n_channels:
+                raise ConfigurationError(
+                    f"fault {fault.name} references channel {max(fault.channels)} "
+                    f"but the stream has only {n_channels} channels"
+                )
+            if not 0.0 <= fault.rate < 1.0:
+                raise ConfigurationError(
+                    f"fault {fault.name} has rate {fault.rate} outside [0, 1)"
+                )
+
+        rng = random.Random(seed)
+        # Each channel has a baseline level and a phase/amplitude of the
+        # shared cycle, so channels are correlated but not identical.
+        self._baselines = [rng.uniform(0.35, 0.65) for _ in range(n_channels)]
+        self._amplitudes = [rng.uniform(0.05, 0.15) for _ in range(n_channels)]
+        self._phases = [rng.uniform(0.0, 2.0 * math.pi) for _ in range(n_channels)]
+
+    @staticmethod
+    def _default_faults(n_channels: int) -> List[FaultSpec]:
+        return [
+            FaultSpec(name="stuck-high", channels=(0, 1), offset=0.35, rate=0.008),
+            FaultSpec(name="calibration-drift", channels=(2, 3), offset=-0.3,
+                      rate=0.007),
+            FaultSpec(name="spoofed-pair",
+                      channels=(n_channels - 2, n_channels - 1),
+                      offset=0.4, rate=0.005),
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensionality(self) -> int:
+        return self._phi
+
+    def __len__(self) -> int:
+        return self._n_points
+
+    @property
+    def faults(self) -> Tuple[FaultSpec, ...]:
+        """The fault types injected into the stream."""
+        return tuple(self._faults)
+
+    def fault_subspaces(self) -> Dict[str, Subspace]:
+        """Ground-truth outlying subspace of every fault type."""
+        return {fault.name: Subspace(fault.channels) for fault in self._faults}
+
+    # ------------------------------------------------------------------ #
+    def _healthy_record(self, rng: random.Random, t: int) -> List[float]:
+        cycle_position = 2.0 * math.pi * (t % self._cycle) / self._cycle
+        record = []
+        for c in range(self._phi):
+            value = (self._baselines[c]
+                     + self._amplitudes[c] * math.sin(cycle_position + self._phases[c])
+                     + rng.gauss(0.0, self._noise))
+            record.append(min(0.999, max(0.001, value)))
+        return record
+
+    def __iter__(self) -> Iterator[StreamPoint]:
+        rng = random.Random(self._seed + 1)
+        subspaces = self.fault_subspaces()
+        for t in range(self._n_points):
+            record = self._healthy_record(rng, t)
+            active_fault: Optional[FaultSpec] = None
+            for fault in self._faults:
+                if rng.random() < fault.rate:
+                    active_fault = fault
+                    break
+            if active_fault is None:
+                yield StreamPoint(values=tuple(record), is_outlier=False,
+                                  category="healthy")
+                continue
+            for channel in active_fault.channels:
+                shifted = record[channel] + active_fault.offset
+                record[channel] = min(0.999, max(0.001, shifted))
+            yield StreamPoint(values=tuple(record), is_outlier=True,
+                              outlying_subspace=subspaces[active_fault.name],
+                              category=active_fault.name)

@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds of points, tens of dimensions at
+most) so the whole suite stays fast; the full-size runs live in the benchmark
+harness instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import SPOT, SPOTConfig
+from repro.core.grid import DomainBounds, Grid
+from repro.core.time_model import TimeModel
+from repro.streams import GaussianStreamGenerator, values_of
+
+
+@pytest.fixture()
+def rng():
+    """A seeded random generator for tests that need raw randomness."""
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def small_stream_points():
+    """A reusable small labelled stream (10-d, planted projected outliers)."""
+    generator = GaussianStreamGenerator(
+        dimensions=10, n_points=700, outlier_rate=0.05,
+        outlier_subspace_dim=2, n_outlier_subspaces=1, seed=7,
+    )
+    return list(generator)
+
+
+@pytest.fixture(scope="session")
+def small_training_values(small_stream_points):
+    """Raw attribute vectors of the small stream's first 400 points."""
+    return values_of(small_stream_points[:400])
+
+
+@pytest.fixture(scope="session")
+def small_detection_points(small_stream_points):
+    """The labelled tail of the small stream (used as a detection segment)."""
+    return small_stream_points[400:]
+
+
+@pytest.fixture()
+def fast_config():
+    """A SPOT configuration small enough for per-test learning runs."""
+    return SPOTConfig(
+        cells_per_dimension=4,
+        omega=200,
+        epsilon=0.01,
+        max_dimension=2,
+        cs_size=8,
+        os_size=8,
+        moga_population=12,
+        moga_generations=4,
+        moga_max_dimension=3,
+        clustering_runs=2,
+        rd_threshold=0.05,
+        min_expected_mass=2.0,
+        random_seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_detector(small_training_values):
+    """A detector trained once per session on the small stream prefix."""
+    config = SPOTConfig(
+        cells_per_dimension=4,
+        omega=200,
+        epsilon=0.01,
+        max_dimension=2,
+        cs_size=8,
+        os_size=8,
+        moga_population=12,
+        moga_generations=4,
+        moga_max_dimension=3,
+        clustering_runs=2,
+        rd_threshold=0.05,
+        min_expected_mass=2.0,
+        random_seed=3,
+    )
+    detector = SPOT(config)
+    detector.learn(small_training_values)
+    return detector
+
+
+@pytest.fixture()
+def unit_grid():
+    """A 4-dimensional unit-domain grid with 5 cells per dimension."""
+    return Grid(bounds=DomainBounds.unit(4), cells_per_dimension=5)
+
+
+@pytest.fixture()
+def fast_time_model():
+    """A time model with a short window for decay-oriented tests."""
+    return TimeModel.create(omega=50, epsilon=0.01)

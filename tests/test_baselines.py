@@ -1,0 +1,149 @@
+"""Tests for the baseline detectors SPOT is compared against."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineResult,
+    FullSpaceGridDetector,
+    KNNWindowDetector,
+    RandomSubspaceDetector,
+    SparsityCoefficientDetector,
+)
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.streams import GaussianStreamGenerator, values_of
+
+
+@pytest.fixture(scope="module")
+def baseline_workload():
+    """A small stream with margin-mode outliers (easy for most baselines)."""
+    generator = GaussianStreamGenerator(
+        dimensions=8, n_points=900, outlier_rate=0.05,
+        outlier_mode="margin", outlier_subspace_dim=2, seed=17,
+    )
+    points = list(generator)
+    return values_of(points[:500]), points[500:]
+
+
+ALL_BASELINES = [
+    lambda: FullSpaceGridDetector(omega=200),
+    lambda: KNNWindowDetector(k=4, window=200),
+    lambda: RandomSubspaceDetector(n_subspaces=30, omega=200, seed=1),
+    lambda: SparsityCoefficientDetector(window=200, refresh_every=100),
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_unfitted_detector_refuses_to_process(self, factory):
+        with pytest.raises(NotFittedError):
+            factory().process((0.1,) * 8)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_learn_returns_self(self, factory, baseline_workload):
+        training, _ = baseline_workload
+        detector = factory()
+        assert detector.learn(training) is detector
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_results_are_indexed_and_scored(self, factory, baseline_workload):
+        training, detection = baseline_workload
+        detector = factory().learn(training)
+        results = detector.detect(detection[:50])
+        assert len(results) == 50
+        assert [r.index for r in results] == list(range(50))
+        assert all(isinstance(r, BaselineResult) for r in results)
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_empty_training_batch_is_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory().learn([])
+
+    @pytest.mark.parametrize("factory", ALL_BASELINES)
+    def test_ragged_training_batch_is_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            factory().learn([(0.1, 0.2), (0.1, 0.2, 0.3)])
+
+
+class TestKNNWindow:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            KNNWindowDetector(k=0)
+        with pytest.raises(ConfigurationError):
+            KNNWindowDetector(k=5, window=4)
+        with pytest.raises(ConfigurationError):
+            KNNWindowDetector(quantile=1.0)
+
+    def test_detects_margin_outliers_well(self, baseline_workload):
+        training, detection = baseline_workload
+        detector = KNNWindowDetector(k=4, window=200).learn(training)
+        results = detector.detect(detection)
+        hits = sum(1 for r, p in zip(results, detection)
+                   if p.is_outlier and r.is_outlier)
+        total = sum(1 for p in detection if p.is_outlier)
+        # Margin-mode outliers stick out in full-space distance, so the kNN
+        # baseline should catch a clear fraction of them (its threshold is
+        # calibrated on an outlier-contaminated training batch, so it is
+        # conservative rather than perfect).
+        assert hits / total > 0.3
+
+    def test_tiny_training_batch_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KNNWindowDetector(k=4, window=10).learn([(0.1, 0.2)])
+
+
+class TestFullSpaceGrid:
+    def test_misses_projected_outliers_in_higher_dimensions(self):
+        generator = GaussianStreamGenerator(
+            dimensions=16, n_points=1200, outlier_rate=0.05,
+            outlier_mode="combination", seed=23,
+        )
+        points = list(generator)
+        training, detection = values_of(points[:600]), points[600:]
+        detector = FullSpaceGridDetector(omega=300).learn(training)
+        results = detector.detect(detection)
+        hits = sum(1 for r, p in zip(results, detection)
+                   if p.is_outlier and r.is_outlier)
+        total = sum(1 for p in detection if p.is_outlier)
+        # The full-space view cannot see combination outliers: recall ~ 0.
+        assert hits / total < 0.2
+
+
+class TestRandomSubspace:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceDetector(n_subspaces=0)
+        with pytest.raises(ConfigurationError):
+            RandomSubspaceDetector(max_dimension=0)
+
+    def test_template_is_drawn_at_learn_time(self, baseline_workload):
+        training, _ = baseline_workload
+        detector = RandomSubspaceDetector(n_subspaces=25, seed=3).learn(training)
+        assert 1 <= len(detector.subspaces) <= 25
+        assert len(set(detector.subspaces)) == len(detector.subspaces)
+
+    def test_same_seed_gives_the_same_template(self, baseline_workload):
+        training, _ = baseline_workload
+        a = RandomSubspaceDetector(n_subspaces=20, seed=9).learn(training)
+        b = RandomSubspaceDetector(n_subspaces=20, seed=9).learn(training)
+        assert a.subspaces == b.subspaces
+
+
+class TestSparsityCoefficient:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SparsityCoefficientDetector(cube_dimension=0)
+        with pytest.raises(ConfigurationError):
+            SparsityCoefficientDetector(cells_per_dimension=1)
+        with pytest.raises(ConfigurationError):
+            SparsityCoefficientDetector(window=5)
+        with pytest.raises(ConfigurationError):
+            SparsityCoefficientDetector(refresh_every=0)
+
+    def test_periodic_rebuilds_happen(self, baseline_workload):
+        training, detection = baseline_workload
+        detector = SparsityCoefficientDetector(window=200,
+                                               refresh_every=50).learn(training)
+        detector.detect(detection[:160])
+        # One rebuild at learn time plus one per 50 processed points.
+        assert detector.refreshes >= 4

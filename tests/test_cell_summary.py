@@ -1,0 +1,192 @@
+"""Unit tests for BCS / PCS cell summaries and the decayed accumulator."""
+
+import pytest
+
+from repro.core.cell_summary import (
+    BaseCellSummary,
+    DecayedCellAccumulator,
+    ProjectedCellSummary,
+    compute_pcs,
+)
+from repro.core.exceptions import ConfigurationError, DimensionMismatchError
+from repro.core.time_model import TimeModel
+
+
+@pytest.fixture()
+def no_decay_model():
+    """A model whose decay factor is exactly 1 (static-batch semantics)."""
+    return TimeModel(omega=1, epsilon=0.5, decay_factor=1.0)
+
+
+class TestDecayedCellAccumulator:
+    def test_starts_empty(self):
+        acc = DecayedCellAccumulator(3)
+        assert acc.count == 0.0
+        assert acc.linear_sum == [0.0, 0.0, 0.0]
+        assert acc.squared_sum == [0.0, 0.0, 0.0]
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DecayedCellAccumulator(0)
+
+    def test_add_accumulates_sums(self, no_decay_model):
+        acc = DecayedCellAccumulator(2)
+        acc.add((1.0, 2.0), 1.0, no_decay_model)
+        acc.add((3.0, 4.0), 2.0, no_decay_model)
+        assert acc.count == 2.0
+        assert acc.linear_sum == [4.0, 6.0]
+        assert acc.squared_sum == [10.0, 20.0]
+
+    def test_add_rejects_wrong_width(self, no_decay_model):
+        acc = DecayedCellAccumulator(2)
+        with pytest.raises(DimensionMismatchError):
+            acc.add((1.0,), 1.0, no_decay_model)
+
+    def test_mean_and_variance(self, no_decay_model):
+        acc = DecayedCellAccumulator(1)
+        for value in (2.0, 4.0, 6.0):
+            acc.add((value,), 1.0, no_decay_model)
+        assert acc.mean(0) == pytest.approx(4.0)
+        assert acc.variance(0) == pytest.approx(8.0 / 3.0)
+        assert acc.std(0) == pytest.approx((8.0 / 3.0) ** 0.5)
+
+    def test_variance_of_empty_accumulator_is_zero(self):
+        acc = DecayedCellAccumulator(1)
+        assert acc.variance(0) == 0.0
+        assert acc.mean(0) == 0.0
+
+    def test_variance_never_negative_for_constant_data(self, no_decay_model):
+        acc = DecayedCellAccumulator(1)
+        for _ in range(100):
+            acc.add((0.1234567,), 1.0, no_decay_model)
+        assert acc.variance(0) >= 0.0
+
+    def test_decay_reduces_count(self, fast_time_model):
+        acc = DecayedCellAccumulator(1)
+        acc.add((1.0,), 1.0, fast_time_model)
+        acc.decay_to(51.0, fast_time_model)
+        assert acc.count < 1.0
+        assert acc.count == pytest.approx(fast_time_model.decay_over(50.0))
+
+    def test_decay_preserves_mean(self, fast_time_model):
+        acc = DecayedCellAccumulator(1)
+        acc.add((3.0,), 1.0, fast_time_model)
+        acc.add((5.0,), 1.0, fast_time_model)
+        before = acc.mean(0)
+        acc.decay_to(30.0, fast_time_model)
+        assert acc.mean(0) == pytest.approx(before)
+
+    def test_time_cannot_move_backwards(self, fast_time_model):
+        acc = DecayedCellAccumulator(1)
+        acc.add((1.0,), 5.0, fast_time_model)
+        with pytest.raises(ConfigurationError):
+            acc.decay_to(4.0, fast_time_model)
+
+    def test_weighted_add(self, no_decay_model):
+        acc = DecayedCellAccumulator(1)
+        acc.add((2.0,), 0.0, no_decay_model, weight=3.0)
+        assert acc.count == 3.0
+        assert acc.linear_sum[0] == 6.0
+        assert acc.squared_sum[0] == 12.0
+
+    def test_merge_is_additive(self, no_decay_model):
+        a = DecayedCellAccumulator(2)
+        b = DecayedCellAccumulator(2)
+        a.add((1.0, 1.0), 0.0, no_decay_model)
+        b.add((2.0, 2.0), 0.0, no_decay_model)
+        a.merge(b, 0.0, no_decay_model)
+        assert a.count == 2.0
+        assert a.linear_sum == [3.0, 3.0]
+
+    def test_merge_rejects_width_mismatch(self, no_decay_model):
+        a, b = DecayedCellAccumulator(1), DecayedCellAccumulator(2)
+        with pytest.raises(DimensionMismatchError):
+            a.merge(b, 0.0, no_decay_model)
+
+    def test_copy_is_independent(self, no_decay_model):
+        acc = DecayedCellAccumulator(1)
+        acc.add((1.0,), 0.0, no_decay_model)
+        clone = acc.copy()
+        clone.add((1.0,), 0.0, no_decay_model)
+        assert acc.count == 1.0
+        assert clone.count == 2.0
+
+    def test_base_cell_summary_is_an_accumulator(self):
+        assert issubclass(BaseCellSummary, DecayedCellAccumulator)
+
+
+class TestProjectedCellSummary:
+    def test_is_sparse_requires_low_rd(self):
+        pcs = ProjectedCellSummary(rd=0.01, irsd=1.0, count=1.0, expected=10.0)
+        assert pcs.is_sparse(0.05)
+        assert not pcs.is_sparse(0.005)
+
+    def test_is_sparse_honours_min_expected(self):
+        pcs = ProjectedCellSummary(rd=0.0, irsd=0.0, count=0.0, expected=1.0)
+        assert pcs.is_sparse(0.05, min_expected=0.5)
+        assert not pcs.is_sparse(0.05, min_expected=2.0)
+
+    def test_is_sparse_honours_irsd_threshold(self):
+        pcs = ProjectedCellSummary(rd=0.01, irsd=50.0, count=1.0, expected=10.0)
+        assert not pcs.is_sparse(0.05, irsd_threshold=10.0)
+        assert pcs.is_sparse(0.05, irsd_threshold=60.0)
+
+
+class TestComputePCS:
+    def _accumulator(self, values, model):
+        acc = DecayedCellAccumulator(1)
+        for value in values:
+            acc.add((value,), 0.0, model)
+        return acc
+
+    def test_rd_is_count_over_expected(self, no_decay_model):
+        acc = self._accumulator([0.1, 0.2], no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=8.0, uniform_stds=[0.1])
+        assert pcs.rd == pytest.approx(0.25)
+        assert pcs.expected == 8.0
+
+    def test_exclude_weight_reduces_the_count(self, no_decay_model):
+        acc = self._accumulator([0.1], no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=4.0, uniform_stds=[0.1],
+                          exclude_weight=1.0)
+        assert pcs.count == 0.0
+        assert pcs.rd == 0.0
+
+    def test_exclude_weight_never_goes_negative(self, no_decay_model):
+        acc = self._accumulator([0.1], no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=4.0, uniform_stds=[0.1],
+                          exclude_weight=5.0)
+        assert pcs.count == 0.0
+
+    def test_zero_expected_mass_gives_zero_rd(self, no_decay_model):
+        acc = self._accumulator([0.1], no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=0.0, uniform_stds=[0.1])
+        assert pcs.rd == 0.0
+        assert pcs.expected == 0.0
+
+    def test_negative_expected_mass_is_rejected(self, no_decay_model):
+        acc = self._accumulator([0.1], no_decay_model)
+        with pytest.raises(ConfigurationError):
+            compute_pcs(acc, expected_mass=-1.0, uniform_stds=[0.1])
+
+    def test_irsd_is_capped_for_singletons(self, no_decay_model):
+        acc = self._accumulator([0.5], no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=1.0, uniform_stds=[0.1],
+                          irsd_cap=25.0)
+        assert pcs.irsd == 25.0
+
+    def test_irsd_is_one_for_uniform_spread(self, no_decay_model):
+        # Points spread like a uniform distribution over one cell of width w
+        # have std w/sqrt(12), so the ratio is ~1.
+        width = 0.2
+        values = [i * width / 100 for i in range(101)]
+        acc = self._accumulator(values, no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=50.0,
+                          uniform_stds=[width / 12 ** 0.5])
+        assert pcs.irsd == pytest.approx(1.0, rel=0.05)
+
+    def test_tightly_packed_points_have_high_irsd(self, no_decay_model):
+        values = [0.5 + i * 1e-4 for i in range(10)]
+        acc = self._accumulator(values, no_decay_model)
+        pcs = compute_pcs(acc, expected_mass=5.0, uniform_stds=[0.1])
+        assert pcs.irsd > 10.0

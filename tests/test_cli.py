@@ -1,0 +1,39 @@
+"""Tests for the command-line demo."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestArgumentParsing:
+    def test_no_command_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["detect", "--workload", "nonexistent"])
+
+    def test_unknown_experiment_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "Z9"])
+
+
+class TestCommands:
+    def test_detect_command_prints_a_summary(self, capsys):
+        exit_code = main(["detect", "--workload", "synthetic",
+                          "--omega", "150", "--max-dimension", "1",
+                          "--show", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "SST built" in captured
+        assert "Flagged" in captured
+        assert "precision" in captured
+
+    def test_experiment_command_prints_a_table(self, capsys):
+        exit_code = main(["experiment", "A3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[A3]" in captured
+        assert "omega" in captured
+        assert "Notes:" in captured

@@ -1,0 +1,147 @@
+"""Unit tests for lead clustering and the outlying-degree computation."""
+
+import random
+
+import pytest
+
+from repro.clustering import (
+    Cluster,
+    LeadClustering,
+    OutlyingDegreeResult,
+    compute_outlying_degrees,
+    default_distance_threshold,
+    euclidean_distance,
+)
+from repro.core.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def two_blobs_with_outlier():
+    """Two well-separated blobs plus one isolated point (index -1)."""
+    rng = random.Random(2)
+    data = []
+    for _ in range(40):
+        data.append((rng.gauss(0.2, 0.02), rng.gauss(0.2, 0.02)))
+    for _ in range(40):
+        data.append((rng.gauss(0.8, 0.02), rng.gauss(0.8, 0.02)))
+    data.append((0.2, 0.8))  # isolated in the joint space
+    return data
+
+
+class TestDistanceHelpers:
+    def test_euclidean_distance(self):
+        assert euclidean_distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            euclidean_distance((0.0,), (1.0, 2.0))
+
+    def test_default_threshold_scales_with_the_diagonal(self):
+        narrow = default_distance_threshold([(0.0, 0.0), (0.1, 0.1)])
+        wide = default_distance_threshold([(0.0, 0.0), (10.0, 10.0)])
+        assert wide > narrow
+
+    def test_default_threshold_handles_identical_points(self):
+        assert default_distance_threshold([(1.0, 1.0), (1.0, 1.0)]) > 0.0
+
+    def test_default_threshold_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            default_distance_threshold([])
+        with pytest.raises(ConfigurationError):
+            default_distance_threshold([(0.0,)], fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            default_distance_threshold([(0.0,), (1.0, 2.0)])
+
+
+class TestLeadClustering:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LeadClustering(0.0)
+
+    def test_empty_batch_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeadClustering(0.5).fit([])
+
+    def test_every_point_is_assigned_exactly_once(self, two_blobs_with_outlier):
+        clusters = LeadClustering(0.3).fit(two_blobs_with_outlier)
+        assigned = sorted(i for c in clusters for i in c.member_indices)
+        assert assigned == list(range(len(two_blobs_with_outlier)))
+
+    def test_separated_blobs_form_separate_clusters(self, two_blobs_with_outlier):
+        clusters = LeadClustering(0.3).fit(two_blobs_with_outlier)
+        sizes = sorted(c.size for c in clusters)
+        assert len(clusters) >= 3
+        assert sizes[-1] >= 35 and sizes[-2] >= 35
+        assert sizes[0] <= 5
+
+    def test_huge_threshold_gives_a_single_cluster(self, two_blobs_with_outlier):
+        clusters = LeadClustering(10.0).fit(two_blobs_with_outlier)
+        assert len(clusters) == 1
+        assert clusters[0].size == len(two_blobs_with_outlier)
+
+    def test_order_must_be_a_permutation(self, two_blobs_with_outlier):
+        with pytest.raises(ConfigurationError):
+            LeadClustering(0.3).fit(two_blobs_with_outlier, order=[0, 0, 1])
+
+    def test_explicit_order_changes_leaders_not_coverage(self,
+                                                         two_blobs_with_outlier):
+        reversed_order = list(range(len(two_blobs_with_outlier)))[::-1]
+        clusters = LeadClustering(0.3).fit(two_blobs_with_outlier,
+                                           order=reversed_order)
+        assigned = sorted(i for c in clusters for i in c.member_indices)
+        assert assigned == list(range(len(two_blobs_with_outlier)))
+
+    def test_multiple_orders_runs_the_requested_number_of_times(
+            self, two_blobs_with_outlier):
+        runs = LeadClustering(0.3).fit_multiple_orders(
+            two_blobs_with_outlier, n_runs=4, seed=1)
+        assert len(runs) == 4
+
+    def test_cluster_centroid_tracks_members(self):
+        cluster = Cluster(leader=(0.0, 0.0))
+        cluster.add(0, (0.0, 0.0))
+        cluster.add(1, (1.0, 1.0))
+        assert cluster.centroid == pytest.approx((0.5, 0.5))
+        assert cluster.size == 2
+
+
+class TestOutlyingDegree:
+    def test_isolated_point_has_the_highest_degree(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=3,
+                                          distance_threshold=0.3, seed=0)
+        outlier_index = len(two_blobs_with_outlier) - 1
+        assert result.top_indices(1) == [outlier_index]
+
+    def test_degrees_lie_in_unit_interval(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2,
+                                          seed=3)
+        assert all(0.0 <= d < 1.0 for d in result.degrees)
+
+    def test_degrees_align_with_the_batch(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2, seed=3)
+        assert len(result.degrees) == len(two_blobs_with_outlier)
+
+    def test_top_fraction_returns_at_least_one_index(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2, seed=3)
+        assert len(result.top_fraction_indices(0.001)) == 1
+        assert len(result.top_fraction_indices(0.5)) == \
+            round(0.5 * len(two_blobs_with_outlier))
+
+    def test_top_fraction_validates_input(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2, seed=3)
+        with pytest.raises(ConfigurationError):
+            result.top_fraction_indices(0.0)
+
+    def test_top_indices_with_non_positive_k(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2, seed=3)
+        assert result.top_indices(0) == []
+
+    def test_empty_batch_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_outlying_degrees([], n_runs=2)
+
+    def test_result_records_the_threshold_used(self, two_blobs_with_outlier):
+        result = compute_outlying_degrees(two_blobs_with_outlier, n_runs=2,
+                                          distance_threshold=0.37, seed=0)
+        assert result.distance_threshold == 0.37
+        assert result.runs == 2

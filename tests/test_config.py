@@ -1,0 +1,80 @@
+"""Unit tests for SPOTConfig validation and round-tripping."""
+
+import pytest
+
+from repro.core.config import SPOTConfig
+from repro.core.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_default_configuration_is_valid(self):
+        config = SPOTConfig()
+        assert config.omega > 0
+        assert 0.0 < config.epsilon < 1.0
+        assert config.rd_threshold > 0.0
+
+    def test_config_is_immutable(self):
+        config = SPOTConfig()
+        with pytest.raises(AttributeError):
+            config.omega = 17
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("cells_per_dimension", 1),
+        ("omega", 0),
+        ("epsilon", 0.0),
+        ("epsilon", 1.0),
+        ("max_dimension", 0),
+        ("rd_threshold", 0.0),
+        ("irsd_threshold", -1.0),
+        ("min_expected_mass", -0.1),
+        ("density_reference", "nonsense"),
+        ("top_outlying_fraction", 0.0),
+        ("top_outlying_fraction", 1.5),
+        ("moga_population", 3),
+        ("moga_generations", 0),
+        ("moga_mutation_rate", 1.5),
+        ("moga_crossover_rate", -0.1),
+        ("moga_max_dimension", 0),
+        ("clustering_runs", 0),
+        ("clustering_distance_fraction", 0.0),
+        ("self_evolution_period", -1),
+        ("os_growth_moga_budget", -1),
+        ("prune_period", -5),
+        ("cs_size", -1),
+        ("os_size", -2),
+    ])
+    def test_invalid_values_are_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SPOTConfig(**{field: value})
+
+    def test_irsd_threshold_none_is_allowed(self):
+        assert SPOTConfig(irsd_threshold=None).irsd_threshold is None
+
+    def test_irsd_threshold_positive_is_allowed(self):
+        assert SPOTConfig(irsd_threshold=5.0).irsd_threshold == 5.0
+
+
+class TestReplaceAndSerialisation:
+    def test_replace_changes_only_the_named_fields(self):
+        base = SPOTConfig()
+        changed = base.replace(omega=123, rd_threshold=0.02)
+        assert changed.omega == 123
+        assert changed.rd_threshold == 0.02
+        assert changed.cells_per_dimension == base.cells_per_dimension
+        assert base.omega != 123 or base.omega == 123  # base untouched
+        assert base.rd_threshold != 0.02
+
+    def test_replace_validates_the_result(self):
+        with pytest.raises(ConfigurationError):
+            SPOTConfig().replace(omega=-1)
+
+    def test_round_trip_through_dict(self):
+        config = SPOTConfig(omega=321, cs_size=5, irsd_threshold=2.5)
+        restored = SPOTConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            SPOTConfig.from_dict({"omega": 100, "bogus_field": 1})

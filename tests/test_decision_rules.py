@@ -1,0 +1,127 @@
+"""Tests for the outlier decision rules (RD threshold vs Poisson tail)."""
+
+import math
+
+import pytest
+
+from repro import SPOT, SPOTConfig
+from repro.core.cell_summary import (
+    ProjectedCellSummary,
+    poisson_tail_probability,
+)
+from repro.core.config import SPOTConfig as Config
+from repro.core.exceptions import ConfigurationError
+
+
+class TestPoissonTailProbability:
+    def test_zero_count_matches_the_poisson_pmf(self):
+        for expected in (0.5, 1.0, 3.0, 10.0):
+            assert poisson_tail_probability(0.0, expected) == \
+                pytest.approx(math.exp(-expected), rel=1e-6)
+
+    def test_integer_counts_match_the_poisson_cdf(self):
+        expected = 4.0
+        cdf = 0.0
+        term = math.exp(-expected)
+        for k in range(6):
+            if k > 0:
+                term *= expected / k
+            cdf += term
+            assert poisson_tail_probability(float(k), expected) == \
+                pytest.approx(cdf, rel=1e-6)
+
+    def test_probability_is_monotone_in_count(self):
+        expected = 6.0
+        values = [poisson_tail_probability(c, expected)
+                  for c in (0.0, 0.5, 1.0, 2.0, 4.0, 6.0, 12.0)]
+        assert values == sorted(values)
+
+    def test_probability_decreases_with_expectation(self):
+        assert poisson_tail_probability(1.0, 20.0) < \
+            poisson_tail_probability(1.0, 5.0)
+
+    def test_bounds(self):
+        assert 0.0 <= poisson_tail_probability(0.0, 50.0) <= 1.0
+        assert poisson_tail_probability(100.0, 1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_zero_expectation_returns_one(self):
+        assert poisson_tail_probability(0.0, 0.0) == 1.0
+
+    def test_negative_count_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson_tail_probability(-1.0, 5.0)
+
+
+class TestSignificantSparsity:
+    def test_significantly_sparse_cell(self):
+        pcs = ProjectedCellSummary(rd=0.0, irsd=0.0, count=0.0, expected=10.0,
+                                   tail_probability=math.exp(-10.0))
+        assert pcs.is_significantly_sparse(0.01)
+        assert not pcs.is_significantly_sparse(1e-6)
+
+    def test_irsd_threshold_is_applied_on_top(self):
+        pcs = ProjectedCellSummary(rd=0.0, irsd=80.0, count=0.0, expected=10.0,
+                                   tail_probability=1e-5)
+        assert not pcs.is_significantly_sparse(0.01, irsd_threshold=10.0)
+        assert pcs.is_significantly_sparse(0.01, irsd_threshold=100.0)
+
+
+class TestConfigFields:
+    def test_default_rule_is_rd(self):
+        assert Config().decision_rule == "rd"
+
+    def test_poisson_rule_is_accepted(self):
+        assert Config(decision_rule="poisson").decision_rule == "poisson"
+
+    def test_unknown_rule_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Config(decision_rule="bayes")
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_significance_is_rejected(self, value):
+        with pytest.raises(ConfigurationError):
+            Config(significance=value)
+
+
+class TestDetectorWithPoissonRule:
+    def test_poisson_rule_runs_end_to_end(self, fast_config,
+                                          small_training_values,
+                                          small_detection_points):
+        config = fast_config.replace(decision_rule="poisson", significance=0.01)
+        detector = SPOT(config).learn(small_training_values)
+        results = detector.detect(small_detection_points[:150])
+        assert len(results) == 150
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+
+    def test_poisson_rule_recall_at_least_matches_rd_rule(self, fast_config,
+                                                          small_training_values,
+                                                          small_detection_points):
+        rd_detector = SPOT(fast_config).learn(small_training_values)
+        poisson_detector = SPOT(
+            fast_config.replace(decision_rule="poisson", significance=0.05)
+        ).learn(small_training_values)
+
+        labels = [p.is_outlier for p in small_detection_points]
+        rd_hits = sum(1 for p, r in zip(small_detection_points,
+                                        rd_detector.detect(small_detection_points))
+                      if p.is_outlier and r.is_outlier)
+        poisson_hits = sum(
+            1 for p, r in zip(small_detection_points,
+                              poisson_detector.detect(small_detection_points))
+            if p.is_outlier and r.is_outlier)
+        assert sum(labels) > 0
+        # The Poisson rule is the more permissive of the two on planted
+        # projected outliers; allow a small slack for decayed-state noise.
+        assert poisson_hits >= rd_hits - 2
+
+    def test_evidence_carries_tail_probabilities(self, fast_config,
+                                                 small_training_values,
+                                                 small_detection_points):
+        config = fast_config.replace(decision_rule="poisson", significance=0.05)
+        detector = SPOT(config).learn(small_training_values)
+        results = detector.detect(small_detection_points)
+        flagged = [r for r in results if r.is_outlier]
+        assert flagged
+        for result in flagged:
+            for item in result.evidence:
+                assert 0.0 <= item.pcs.tail_probability <= 1.0

@@ -1,0 +1,257 @@
+"""Unit and behavioural tests for the SPOT detector itself."""
+
+import pytest
+
+from repro import SPOT, SPOTConfig
+from repro.core.exceptions import (
+    ConfigurationError,
+    DimensionMismatchError,
+    NotFittedError,
+)
+from repro.core.grid import DomainBounds
+from repro.core.results import DetectionResult
+from repro.streams import GaussianStreamGenerator, values_of
+
+
+class TestLifecycle:
+    def test_unfitted_detector_refuses_to_process(self):
+        detector = SPOT()
+        with pytest.raises(NotFittedError):
+            detector.process((0.1, 0.2))
+        with pytest.raises(NotFittedError):
+            _ = detector.sst
+
+    def test_learn_returns_self_for_chaining(self, fast_config,
+                                             small_training_values):
+        detector = SPOT(fast_config)
+        assert detector.learn(small_training_values) is detector
+        assert detector.is_fitted
+
+    def test_learn_rejects_empty_training_data(self, fast_config):
+        with pytest.raises(ConfigurationError):
+            SPOT(fast_config).learn([])
+
+    def test_learn_rejects_ragged_training_data(self, fast_config):
+        with pytest.raises(DimensionMismatchError):
+            SPOT(fast_config).learn([(0.1, 0.2), (0.1, 0.2, 0.3)])
+
+    def test_learn_rejects_mismatched_bounds(self, fast_config,
+                                             small_training_values):
+        with pytest.raises(DimensionMismatchError):
+            SPOT(fast_config).learn(small_training_values,
+                                    bounds=DomainBounds.unit(3))
+
+    def test_process_rejects_wrong_dimensionality(self, fitted_detector):
+        with pytest.raises(DimensionMismatchError):
+            fitted_detector.process((0.5, 0.5))
+
+    def test_default_config_is_used_when_none_given(self):
+        assert SPOT().config == SPOTConfig()
+
+
+class TestLearningStage:
+    def test_fs_contains_all_low_dimensional_subspaces(self, fitted_detector):
+        sizes = fitted_detector.sst.component_sizes()
+        # 10 singletons + 45 pairs for phi=10, max_dimension=2.
+        assert sizes["FS"] == 55
+
+    def test_cs_is_built_by_unsupervised_learning(self, fitted_detector):
+        assert fitted_detector.sst.component_sizes()["CS"] > 0
+
+    def test_os_requires_outlier_examples(self, fast_config,
+                                          small_training_values):
+        detector = SPOT(fast_config)
+        detector.learn(small_training_values)
+        assert detector.sst.component_sizes()["OS"] == 0
+
+    def test_supervised_learning_builds_os(self, fast_config,
+                                           small_stream_points,
+                                           small_training_values):
+        examples = [p.values for p in small_stream_points[:400] if p.is_outlier]
+        detector = SPOT(fast_config)
+        detector.learn(small_training_values, outlier_examples=examples[:3])
+        assert detector.sst.component_sizes()["OS"] > 0
+
+    def test_ablation_switches_disable_components(self, fast_config,
+                                                  small_training_values):
+        detector = SPOT(fast_config)
+        detector.learn(small_training_values, enable_cs=False, enable_fs=False)
+        sizes = detector.sst.component_sizes()
+        assert sizes == {"FS": 0, "CS": 0, "OS": 0}
+
+    def test_store_is_primed_with_the_training_batch(self, fitted_detector,
+                                                     small_training_values):
+        assert fitted_detector.store.points_seen == len(small_training_values)
+        assert fitted_detector.store.total_mass() > 0
+
+    def test_all_sst_subspaces_are_registered(self, fitted_detector):
+        registered = set(fitted_detector.store.registered_subspaces)
+        assert set(fitted_detector.sst.all_subspaces()) <= registered
+
+    def test_learning_report_carries_diagnostics(self, fitted_detector,
+                                                 small_training_values):
+        report = fitted_detector.learning_report
+        assert report["training_points"] == len(small_training_values)
+        assert report["phi"] == 10
+        assert report["fs_size"] == 55
+
+    def test_relearning_resets_counters(self, fast_config, small_training_values):
+        detector = SPOT(fast_config)
+        detector.learn(small_training_values)
+        detector.process(small_training_values[0])
+        assert detector.points_processed == 1
+        detector.learn(small_training_values)
+        assert detector.points_processed == 0
+
+
+class TestDetectionStage:
+    def test_process_returns_a_detection_result(self, fitted_detector,
+                                                small_detection_points):
+        result = fitted_detector.process(small_detection_points[0])
+        assert isinstance(result, DetectionResult)
+        assert result.point == small_detection_points[0].values
+
+    def test_results_are_indexed_sequentially(self, fast_config,
+                                              small_training_values,
+                                              small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        results = detector.detect(small_detection_points[:10])
+        assert [r.index for r in results] == list(range(10))
+
+    def test_outlier_results_name_their_subspaces(self, fast_config,
+                                                  small_training_values,
+                                                  small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        results = detector.detect(small_detection_points)
+        flagged = [r for r in results if r.is_outlier]
+        assert flagged, "the planted outliers should produce at least one flag"
+        for result in flagged:
+            assert result.outlying_subspaces
+            assert result.evidence
+            assert all(e.flagged for e in result.evidence)
+
+    def test_detects_substantial_fraction_of_planted_outliers(
+            self, fast_config, small_training_values, small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        results = detector.detect(small_detection_points)
+        true_outliers = [p.is_outlier for p in small_detection_points]
+        recall_hits = sum(1 for r, truth in zip(results, true_outliers)
+                          if truth and r.is_outlier)
+        # The fixture is intentionally tiny (400 training points, fast MOGA
+        # budget); the full-size effectiveness claims live in benchmarks E1/E2.
+        assert recall_hits / max(1, sum(true_outliers)) >= 0.35
+
+    def test_false_alarm_rate_is_moderate(self, fast_config,
+                                          small_training_values,
+                                          small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        results = detector.detect(small_detection_points)
+        regular = [p for p, r in zip(small_detection_points, results)
+                   if not p.is_outlier]
+        false_alarms = sum(1 for p, r in zip(small_detection_points, results)
+                           if not p.is_outlier and r.is_outlier)
+        assert false_alarms / max(1, len(regular)) < 0.3
+
+    def test_scores_lie_in_unit_interval(self, fast_config,
+                                         small_training_values,
+                                         small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        results = detector.detect(small_detection_points[:100])
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+
+    def test_detect_outliers_filters_regular_points(self, fast_config,
+                                                    small_training_values,
+                                                    small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        outliers = detector.detect_outliers(small_detection_points)
+        assert all(r.is_outlier for r in outliers)
+
+    def test_process_stream_is_lazy(self, fast_config, small_training_values,
+                                    small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        iterator = detector.process_stream(iter(small_detection_points))
+        first = next(iterator)
+        assert first.index == 0
+        assert detector.points_processed == 1
+
+    def test_summary_tracks_processed_points(self, fast_config,
+                                             small_training_values,
+                                             small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        detector.detect(small_detection_points[:50])
+        assert detector.summary.points_processed == 50
+
+    def test_accepts_stream_points_and_raw_tuples(self, fast_config,
+                                                  small_training_values,
+                                                  small_detection_points):
+        detector = SPOT(fast_config).learn(small_training_values)
+        from_stream_point = detector.process(small_detection_points[0])
+        from_tuple = detector.process(small_detection_points[1].values)
+        assert isinstance(from_stream_point, DetectionResult)
+        assert isinstance(from_tuple, DetectionResult)
+
+
+class TestOnlineAdaptation:
+    def test_self_evolution_changes_cs_over_time(self, small_training_values,
+                                                 small_detection_points):
+        config = SPOTConfig(
+            cells_per_dimension=4, omega=150, max_dimension=1,
+            cs_size=6, moga_population=12, moga_generations=3,
+            moga_max_dimension=3, clustering_runs=2,
+            self_evolution_period=40, random_seed=5,
+        )
+        detector = SPOT(config).learn(small_training_values)
+        before = set(detector.sst.clustering_subspaces)
+        detector.detect(small_detection_points[:200])
+        after = set(detector.sst.clustering_subspaces)
+        assert detector._self_evolution.rounds >= 1
+        # Evolution re-ranks CS against recent data; the membership usually
+        # changes, but at minimum the mechanism must have run.
+        assert isinstance(after, set) and before is not after
+
+    def test_os_growth_adds_subspaces_for_detected_outliers(
+            self, small_training_values, small_detection_points):
+        config = SPOTConfig(
+            cells_per_dimension=4, omega=150, max_dimension=2,
+            cs_size=6, os_size=10, moga_population=12, moga_generations=3,
+            moga_max_dimension=3, clustering_runs=2,
+            os_growth_enabled=True, os_growth_moga_budget=3, random_seed=5,
+        )
+        detector = SPOT(config).learn(small_training_values)
+        assert detector.sst.component_sizes()["OS"] == 0
+        detector.detect(small_detection_points)
+        if detector.summary.outliers_detected:
+            assert detector.sst.component_sizes()["OS"] >= 0
+            assert detector._os_growth.searches >= 1
+
+    def test_newly_grown_subspaces_are_registered(self, small_training_values,
+                                                  small_detection_points):
+        config = SPOTConfig(
+            cells_per_dimension=4, omega=150, max_dimension=2,
+            cs_size=6, os_size=10, moga_population=12, moga_generations=3,
+            moga_max_dimension=3, clustering_runs=2,
+            os_growth_enabled=True, os_growth_moga_budget=3,
+            self_evolution_period=60, random_seed=5,
+        )
+        detector = SPOT(config).learn(small_training_values)
+        detector.detect(small_detection_points[:300])
+        registered = set(detector.store.registered_subspaces)
+        assert set(detector.sst.all_subspaces()) <= registered
+
+    def test_pruning_runs_on_schedule(self, small_training_values,
+                                      small_detection_points):
+        config = SPOTConfig(
+            cells_per_dimension=4, omega=100, max_dimension=1,
+            cs_size=4, moga_population=12, moga_generations=3,
+            clustering_runs=2, prune_period=50, prune_min_count=1e-4,
+            random_seed=5,
+        )
+        detector = SPOT(config).learn(small_training_values)
+        detector.detect(small_detection_points[:120])
+        # Pruning keeps the footprint bounded; the exact number depends on the
+        # stream, so only sanity-check that the store is still consistent.
+        footprint = detector.memory_footprint()
+        assert footprint["base_cells"] > 0
+
+    def test_drift_counter_is_exposed(self, fitted_detector):
+        assert fitted_detector.drift_count() >= 0

@@ -1,0 +1,199 @@
+"""Tests for the evaluation harness: workloads, runner, reporting, sweeps."""
+
+import pytest
+
+from repro import SPOT, SPOTConfig
+from repro.baselines import FullSpaceGridDetector, KNNWindowDetector
+from repro.core.exceptions import ConfigurationError
+from repro.eval import (
+    build_workload,
+    compare_detectors,
+    evaluate_detector,
+    evaluate_over_segments,
+    format_markdown_table,
+    format_table,
+    rows_from_evaluations,
+    sweep_config_parameter,
+    sweep_detectors_over_workloads,
+)
+from repro.eval.workloads import (
+    WORKLOAD_BUILDERS,
+    drift_workload,
+    kddcup_workload,
+    sensor_workload,
+    synthetic_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return synthetic_workload(dimensions=8, n_training=250, n_detection=350,
+                              outlier_rate=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_spot_config():
+    return SPOTConfig(cells_per_dimension=4, omega=150, max_dimension=2,
+                      cs_size=5, os_size=5, moga_population=10,
+                      moga_generations=3, moga_max_dimension=3,
+                      clustering_runs=2, rd_threshold=0.05,
+                      min_expected_mass=2.0, random_seed=9)
+
+
+class TestWorkloads:
+    def test_synthetic_workload_shape(self, tiny_workload):
+        assert len(tiny_workload.training) == 250
+        assert len(tiny_workload.detection) == 350
+        assert tiny_workload.dimensionality == 8
+        assert tiny_workload.true_subspaces
+        assert 0.0 < tiny_workload.outlier_rate() < 0.15
+
+    def test_workload_value_and_label_views(self, tiny_workload):
+        assert len(tiny_workload.training_values) == 250
+        assert len(tiny_workload.detection_labels) == 350
+        assert all(len(v) == 8 for v in tiny_workload.detection_values[:10])
+
+    def test_outlier_examples_are_training_outliers(self, tiny_workload):
+        examples = tiny_workload.outlier_examples
+        training_outliers = [p for p in tiny_workload.training if p.is_outlier]
+        assert len(examples) == len(training_outliers)
+
+    def test_kdd_workload_builds(self):
+        workload = kddcup_workload(n_training=150, n_detection=200, seed=1)
+        assert workload.dimensionality == 34
+        assert workload.name == "kddcup99-sim"
+
+    def test_sensor_workload_builds(self):
+        workload = sensor_workload(n_channels=8, n_training=150,
+                                   n_detection=200, seed=1)
+        assert workload.dimensionality == 8
+
+    def test_drift_workload_changes_outlying_subspaces(self):
+        workload = drift_workload(dimensions=10, n_training=200, n_before=200,
+                                  n_after=200, seed=5)
+        assert len(workload.detection) == 400
+        assert len(workload.true_subspaces) >= 3
+
+    def test_registry_builds_every_named_workload(self):
+        assert set(WORKLOAD_BUILDERS) == {"synthetic", "kddcup", "sensors", "drift"}
+        workload = build_workload("synthetic", dimensions=6, n_training=100,
+                                  n_detection=100)
+        assert workload.dimensionality == 6
+
+    def test_unknown_workload_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("nonexistent")
+
+
+class TestRunner:
+    def test_evaluate_spot_produces_all_metrics(self, tiny_workload,
+                                                tiny_spot_config):
+        evaluation = evaluate_detector(SPOT(tiny_spot_config), tiny_workload)
+        row = evaluation.as_row()
+        assert row["workload"] == tiny_workload.name
+        assert 0.0 <= row["precision"] <= 1.0
+        assert 0.0 <= row["recall"] <= 1.0
+        assert 0.0 <= row["auc"] <= 1.0
+        assert row["points_per_second"] > 0
+        assert "subspace_recovery" in row
+        assert evaluation.points_processed == len(tiny_workload.detection)
+
+    def test_evaluate_baseline_has_no_subspace_recovery(self, tiny_workload):
+        evaluation = evaluate_detector(FullSpaceGridDetector(omega=150),
+                                       tiny_workload)
+        assert evaluation.subspace_recovery is None
+
+    def test_supervised_flag_requires_training_outliers(self, tiny_spot_config):
+        clean = synthetic_workload(dimensions=6, n_training=120, n_detection=80,
+                                   outlier_rate=0.0, seed=2)
+        with pytest.raises(ConfigurationError):
+            evaluate_detector(SPOT(tiny_spot_config), clean, supervised=True)
+
+    def test_supervised_evaluation_builds_os(self, tiny_workload,
+                                             tiny_spot_config):
+        detector = SPOT(tiny_spot_config)
+        evaluate_detector(detector, tiny_workload, supervised=True)
+        assert detector.sst.component_sizes()["OS"] > 0
+
+    def test_compare_detectors_runs_every_factory(self, tiny_workload,
+                                                  tiny_spot_config):
+        factories = {
+            "SPOT": lambda: SPOT(tiny_spot_config),
+            "knn": lambda: KNNWindowDetector(window=120),
+        }
+        evaluations = compare_detectors(factories, tiny_workload)
+        assert [e.detector_name for e in evaluations] == ["SPOT", "knn"]
+
+    def test_compare_detectors_requires_factories(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            compare_detectors({}, tiny_workload)
+
+    def test_evaluate_over_segments_returns_per_segment_rows(self, tiny_workload,
+                                                             tiny_spot_config):
+        rows = evaluate_over_segments(SPOT(tiny_spot_config), tiny_workload,
+                                      n_segments=4)
+        assert len(rows) == 4
+        assert all({"segment", "recall", "precision",
+                    "false_alarm_rate"} <= set(row) for row in rows)
+
+    def test_evaluate_over_segments_validates_input(self, tiny_workload,
+                                                    tiny_spot_config):
+        with pytest.raises(ConfigurationError):
+            evaluate_over_segments(SPOT(tiny_spot_config), tiny_workload, 0)
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yyyy"}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_rejects_empty_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+
+    def test_format_markdown_table(self):
+        rows = [{"metric": "recall", "value": 0.91234}]
+        table = format_markdown_table(rows)
+        assert table.splitlines()[0] == "| metric | value |"
+        assert "0.9123" in table
+
+    def test_rows_from_evaluations(self, tiny_workload, tiny_spot_config):
+        evaluations = [evaluate_detector(KNNWindowDetector(window=120),
+                                         tiny_workload)]
+        rows = rows_from_evaluations(evaluations)
+        assert rows[0]["detector"] == "knn-window"
+
+
+class TestSweeps:
+    def test_sweep_config_parameter(self, tiny_workload, tiny_spot_config):
+        rows = sweep_config_parameter(tiny_workload, tiny_spot_config,
+                                      "rd_threshold", [0.02, 0.1])
+        assert len(rows) == 2
+        assert [row["rd_threshold"] for row in rows] == [0.02, 0.1]
+
+    def test_sweep_rejects_unknown_parameters(self, tiny_workload,
+                                              tiny_spot_config):
+        with pytest.raises(ConfigurationError):
+            sweep_config_parameter(tiny_workload, tiny_spot_config,
+                                   "not_a_parameter", [1])
+
+    def test_sweep_rejects_empty_values(self, tiny_workload, tiny_spot_config):
+        with pytest.raises(ConfigurationError):
+            sweep_config_parameter(tiny_workload, tiny_spot_config,
+                                   "rd_threshold", [])
+
+    def test_sweep_detectors_over_workloads(self, tiny_workload):
+        rows = sweep_detectors_over_workloads(
+            {"knn": lambda: KNNWindowDetector(window=120)},
+            [tiny_workload],
+        )
+        assert len(rows) == 1
+        assert rows[0]["workload"] == tiny_workload.name
+
+    def test_sweep_detectors_requires_input(self, tiny_workload):
+        with pytest.raises(ConfigurationError):
+            sweep_detectors_over_workloads({}, [tiny_workload])

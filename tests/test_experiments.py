@@ -1,0 +1,95 @@
+"""Smoke tests for the experiment functions (tiny parameterisations).
+
+These verify that every experiment in the DESIGN.md index runs end to end and
+produces rows with the expected columns and the expected qualitative shape.
+The full-size runs (and their recorded numbers) live in benchmarks/ and
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval import ALL_EXPERIMENTS
+from repro.eval.experiments import (
+    experiment_a1_sst_ablation,
+    experiment_a3_time_model,
+    experiment_a4_moga_vs_exhaustive,
+    experiment_e1_effectiveness_synthetic,
+    experiment_e3_scalability_dimensions,
+    experiment_e4_scalability_stream_length,
+    experiment_f1_pipeline,
+)
+
+
+class TestRegistry:
+    def test_every_design_md_experiment_is_registered(self):
+        assert set(ALL_EXPERIMENTS) == {"F1", "E1", "E2", "E3", "E4",
+                                        "A1", "A2", "A3", "A4"}
+
+
+class TestPipelineExperiment:
+    def test_f1_reports_both_stages(self):
+        report = experiment_f1_pipeline(dimensions=10, n_training=250,
+                                        n_detection=300, seed=1)
+        assert report.experiment_id == "F1"
+        stages = [row["stage"] for row in report.rows]
+        assert stages == ["learning", "detection"]
+        learning = report.rows[0]
+        assert learning["FS"] > 0 and learning["SST_total"] > 0
+        detection = report.rows[1]
+        assert detection["points"] == 300
+
+
+class TestEffectivenessExperiments:
+    def test_e1_spot_beats_the_full_space_baseline(self):
+        report = experiment_e1_effectiveness_synthetic(
+            dimension_settings=(12,), n_training=350, n_detection=500,
+            outlier_rate=0.05, seed=2,
+        )
+        by_detector = {row["detector"]: row for row in report.rows}
+        assert by_detector["SPOT"]["recall"] > by_detector["full-space-grid"]["recall"]
+        assert by_detector["SPOT"]["f1"] >= by_detector["full-space-grid"]["f1"]
+        assert by_detector["SPOT"]["auc"] > 0.6
+
+
+class TestEfficiencyExperiments:
+    def test_e3_rows_cover_every_dimension_setting(self):
+        report = experiment_e3_scalability_dimensions(
+            dimension_settings=(8, 12), n_training=200, n_detection=300, seed=3,
+        )
+        dimensions = {row["dimensions"] for row in report.rows}
+        assert dimensions == {8, 12}
+        assert all(row["points_per_second"] > 0 for row in report.rows)
+
+    def test_e4_reports_footprint_and_throughput(self):
+        report = experiment_e4_scalability_stream_length(
+            lengths=(300, 600), dimensions=10, n_training=200, seed=4,
+        )
+        assert [row["stream_length"] for row in report.rows] == [300, 600]
+        assert all(row["base_cells"] > 0 for row in report.rows)
+
+
+class TestAblationExperiments:
+    def test_a1_reports_all_three_variants(self):
+        report = experiment_a1_sst_ablation(dimensions=10, n_training=300,
+                                            n_detection=400, seed=5)
+        variants = [row["variant"] for row in report.rows]
+        assert variants == ["FS only", "FS+CS", "FS+CS+OS"]
+        # Adding learned components must never reduce the subspace budget.
+        assert report.rows[1]["CS"] > 0
+        assert report.rows[2]["OS"] > 0
+
+    def test_a3_bound_is_satisfied_for_every_setting(self):
+        report = experiment_a3_time_model(omegas=(100,), epsilons=(0.01, 0.1),
+                                          dimensions=3, seed=6)
+        assert len(report.rows) == 2
+        assert all(row["bound_satisfied"] for row in report.rows)
+        assert all(row["residual_fraction"] <= row["epsilon"] + 1e-9
+                   for row in report.rows)
+
+    def test_a4_reports_evaluation_savings_and_recovery(self):
+        report = experiment_a4_moga_vs_exhaustive(dimension_settings=(8,),
+                                                  n_points=200, top_k=8, seed=7)
+        row = report.rows[0]
+        assert row["moga_evaluations"] <= row["lattice_subspaces"]
+        assert 0.0 <= row["recovery_rate"] <= 1.0
+        assert row["recovered"] >= 0.5 * row["top_k"]

@@ -1,0 +1,109 @@
+"""Unit tests for domain bounds and the equi-width grid."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DimensionMismatchError
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace
+
+
+class TestDomainBounds:
+    def test_unit_bounds(self):
+        bounds = DomainBounds.unit(3)
+        assert bounds.phi == 3
+        assert bounds.lows == (0.0, 0.0, 0.0)
+        assert bounds.highs == (1.0, 1.0, 1.0)
+
+    def test_mismatched_lengths_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainBounds(lows=(0.0,), highs=(1.0, 2.0))
+
+    def test_inverted_bounds_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DomainBounds(lows=(0.0, 1.0), highs=(1.0, 0.5))
+
+    def test_from_data_covers_every_point(self):
+        data = [(0.1, 5.0), (0.9, -3.0), (0.5, 2.0)]
+        bounds = DomainBounds.from_data(data)
+        for point in data:
+            for value, lo, hi in zip(point, bounds.lows, bounds.highs):
+                assert lo <= value <= hi
+
+    def test_from_data_margin_expands_the_range(self):
+        tight = DomainBounds.from_data([(0.0,), (1.0,)])
+        padded = DomainBounds.from_data([(0.0,), (1.0,)], margin=0.1)
+        assert padded.lows[0] < tight.lows[0]
+        assert padded.highs[0] > tight.highs[0]
+
+    def test_from_data_handles_constant_attributes(self):
+        bounds = DomainBounds.from_data([(2.0, 1.0), (2.0, 3.0)])
+        assert bounds.highs[0] > bounds.lows[0]
+
+    def test_from_data_rejects_empty_batches(self):
+        with pytest.raises(ConfigurationError):
+            DomainBounds.from_data([])
+
+    def test_from_data_rejects_ragged_batches(self):
+        with pytest.raises(DimensionMismatchError):
+            DomainBounds.from_data([(1.0, 2.0), (1.0,)])
+
+    def test_unit_rejects_non_positive_phi(self):
+        with pytest.raises(ConfigurationError):
+            DomainBounds.unit(0)
+
+
+class TestGridAddressing:
+    def test_cell_widths(self, unit_grid):
+        assert unit_grid.cell_widths == (0.2, 0.2, 0.2, 0.2)
+
+    def test_interval_index_within_domain(self, unit_grid):
+        assert unit_grid.interval_index(0, 0.0) == 0
+        assert unit_grid.interval_index(0, 0.39) == 1
+        assert unit_grid.interval_index(0, 0.99) == 4
+
+    def test_out_of_domain_values_are_clamped(self, unit_grid):
+        assert unit_grid.interval_index(1, -5.0) == 0
+        assert unit_grid.interval_index(1, 17.0) == 4
+
+    def test_base_cell_address_has_phi_components(self, unit_grid):
+        cell = unit_grid.base_cell((0.1, 0.5, 0.9, 0.3))
+        assert cell == (0, 2, 4, 1)
+
+    def test_base_cell_rejects_wrong_dimensionality(self, unit_grid):
+        with pytest.raises(DimensionMismatchError):
+            unit_grid.base_cell((0.1, 0.2))
+
+    def test_projected_cell_matches_base_cell_projection(self, unit_grid):
+        point = (0.05, 0.45, 0.85, 0.65)
+        subspace = Subspace([1, 3])
+        base = unit_grid.base_cell(point)
+        assert unit_grid.projected_cell(point, subspace) == \
+            Grid.project_cell(base, subspace)
+
+    def test_cell_count_grows_with_subspace_dimension(self, unit_grid):
+        assert unit_grid.cell_count(Subspace([0])) == 5
+        assert unit_grid.cell_count(Subspace([0, 2])) == 25
+
+    def test_cell_center_is_inside_the_cell(self, unit_grid):
+        subspace = Subspace([0, 1])
+        cell = (1, 3)
+        center = unit_grid.cell_center(cell, subspace)
+        assert center == pytest.approx((0.3, 0.7))
+
+    def test_cell_center_rejects_mismatched_addresses(self, unit_grid):
+        with pytest.raises(ConfigurationError):
+            unit_grid.cell_center((1,), Subspace([0, 1]))
+
+    def test_uniform_cell_std(self, unit_grid):
+        assert unit_grid.uniform_cell_std(0) == pytest.approx(0.2 / 12 ** 0.5)
+
+    def test_invalid_cells_per_dimension(self):
+        with pytest.raises(ConfigurationError):
+            Grid(bounds=DomainBounds.unit(2), cells_per_dimension=0)
+
+    def test_non_unit_domain_addressing(self):
+        bounds = DomainBounds(lows=(-10.0, 0.0), highs=(10.0, 100.0))
+        grid = Grid(bounds=bounds, cells_per_dimension=4)
+        assert grid.base_cell((-10.0, 0.0)) == (0, 0)
+        assert grid.base_cell((9.99, 99.9)) == (3, 3)
+        assert grid.base_cell((0.0, 50.0)) == (2, 2)

@@ -1,0 +1,122 @@
+"""End-to-end integration tests wiring several subsystems together."""
+
+import pytest
+
+from repro import SPOT, SPOTConfig
+from repro.baselines import FullSpaceGridDetector
+from repro.eval import evaluate_detector, synthetic_workload
+from repro.metrics import confusion_matrix, roc_auc
+from repro.persist import load_detector, save_detector
+from repro.streams import (
+    GaussianStreamGenerator,
+    KDDCup99Simulator,
+    SensorFieldStream,
+    values_of,
+)
+
+
+@pytest.fixture(scope="module")
+def integration_config():
+    return SPOTConfig(
+        cells_per_dimension=4, omega=250, max_dimension=2, cs_size=8,
+        os_size=8, moga_population=14, moga_generations=4,
+        moga_max_dimension=3, clustering_runs=2, rd_threshold=0.03,
+        min_expected_mass=3.0, random_seed=13,
+    )
+
+
+class TestSyntheticEndToEnd:
+    def test_learn_detect_and_beat_the_full_space_baseline(self,
+                                                           integration_config):
+        workload = synthetic_workload(dimensions=12, n_training=400,
+                                      n_detection=600, outlier_rate=0.05,
+                                      seed=21)
+        spot_eval = evaluate_detector(SPOT(integration_config), workload)
+        baseline_eval = evaluate_detector(
+            FullSpaceGridDetector(omega=integration_config.omega), workload)
+        assert spot_eval.confusion.recall > baseline_eval.confusion.recall
+        assert spot_eval.auc > baseline_eval.auc
+        assert spot_eval.auc > 0.7
+
+    def test_detected_outliers_point_at_plausible_subspaces(self,
+                                                            integration_config):
+        generator = GaussianStreamGenerator(dimensions=10, n_points=900,
+                                            outlier_rate=0.05,
+                                            n_outlier_subspaces=1, seed=31)
+        points = list(generator)
+        detector = SPOT(integration_config)
+        detector.learn(values_of(points[:450]))
+        true_dims = set(generator.outlier_subspaces[0].dimensions)
+        hits_with_overlap = 0
+        detected = 0
+        for point in points[450:]:
+            result = detector.process(point.values)
+            if point.is_outlier and result.is_outlier:
+                detected += 1
+                reported_dims = set()
+                for subspace in result.outlying_subspaces:
+                    reported_dims |= set(subspace.dimensions)
+                if reported_dims & true_dims:
+                    hits_with_overlap += 1
+        assert detected > 0
+        assert hits_with_overlap / detected > 0.5
+
+
+class TestRealisticWorkloads:
+    def test_kdd_like_pipeline_with_supervised_learning(self,
+                                                        integration_config):
+        simulator = KDDCup99Simulator(1400, seed=41, attack_rate_scale=2.0)
+        points = list(simulator)
+        training, detection = points[:600], points[600:]
+        examples = [p.values for p in training if p.is_outlier]
+        detector = SPOT(integration_config.replace(max_dimension=1))
+        detector.learn(values_of(training), outlier_examples=examples or None)
+        predictions = []
+        labels = []
+        scores = []
+        for point in detection:
+            result = detector.process(point.values)
+            predictions.append(result.is_outlier)
+            labels.append(point.is_outlier)
+            scores.append(result.score)
+        matrix = confusion_matrix(predictions, labels)
+        assert matrix.recall > 0.3
+        assert matrix.false_alarm_rate < 0.25
+        assert roc_auc(scores, labels) > 0.7
+
+    def test_sensor_pipeline_detects_faults(self, integration_config):
+        stream = SensorFieldStream(n_channels=10, n_points=1600, seed=43)
+        points = list(stream)
+        training, detection = points[:700], points[700:]
+        detector = SPOT(integration_config)
+        detector.learn(values_of(training))
+        predictions = []
+        labels = []
+        for point in detection:
+            result = detector.process(point.values)
+            predictions.append(result.is_outlier)
+            labels.append(point.is_outlier)
+        matrix = confusion_matrix(predictions, labels)
+        if sum(labels):
+            assert matrix.recall > 0.3
+        assert matrix.false_alarm_rate < 0.25
+
+
+class TestPersistenceRoundTripInContext:
+    def test_save_load_and_continue_detection(self, integration_config,
+                                              tmp_path):
+        workload = synthetic_workload(dimensions=10, n_training=350,
+                                      n_detection=400, outlier_rate=0.05,
+                                      seed=51)
+        detector = SPOT(integration_config)
+        detector.learn(workload.training_values)
+        first_half = workload.detection_values[:200]
+        detector.detect(first_half)
+
+        path = tmp_path / "spot.json"
+        save_detector(detector, path)
+        restored = load_detector(path)
+        # The restored detector re-warms its summaries from fresh stream data.
+        results = restored.detect(workload.detection_values[200:])
+        assert len(results) == 200
+        assert restored.sst.all_subspaces() == detector.sst.all_subspaces()

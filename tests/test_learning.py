@@ -1,0 +1,214 @@
+"""Tests for the unsupervised, supervised and online learning processes."""
+
+import random
+
+import pytest
+
+from repro.core.config import SPOTConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.grid import DomainBounds, Grid
+from repro.core.sst import SparseSubspaceTemplate
+from repro.core.subspace import Subspace
+from repro.learning import (
+    OutlierDrivenGrowth,
+    RecentPointsBuffer,
+    SelfEvolution,
+    SupervisedLearner,
+    UnsupervisedLearner,
+)
+
+
+@pytest.fixture()
+def learning_config():
+    return SPOTConfig(
+        cells_per_dimension=4, omega=200, max_dimension=1,
+        cs_size=6, os_size=6, moga_population=12, moga_generations=4,
+        moga_max_dimension=3, clustering_runs=2, top_outlying_fraction=0.05,
+        random_seed=11,
+    )
+
+
+@pytest.fixture()
+def learning_grid():
+    return Grid(bounds=DomainBounds.unit(6), cells_per_dimension=4)
+
+
+@pytest.fixture()
+def training_batch():
+    """Two clusters over dims (0,1) and (2,3); combination outliers in (0,1)."""
+    rng = random.Random(21)
+    data = []
+    for _ in range(220):
+        if rng.random() < 0.5:
+            a, b = rng.gauss(0.25, 0.03), rng.gauss(0.25, 0.03)
+        else:
+            a, b = rng.gauss(0.75, 0.03), rng.gauss(0.75, 0.03)
+        data.append((a, b, rng.gauss(0.5, 0.05), rng.gauss(0.5, 0.05),
+                     rng.random(), rng.random()))
+    outliers = [
+        (0.25, 0.75, 0.5, 0.5, 0.5, 0.5),
+        (0.75, 0.25, 0.52, 0.48, 0.4, 0.6),
+    ]
+    return data + outliers, outliers
+
+
+class TestUnsupervisedLearner:
+    def test_rejects_empty_training_data(self, learning_config, learning_grid):
+        with pytest.raises(ConfigurationError):
+            UnsupervisedLearner(learning_config, learning_grid).learn([])
+
+    def test_produces_cs_candidates_with_scores(self, learning_config,
+                                                learning_grid, training_batch):
+        data, _ = training_batch
+        result = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        assert result.clustering_subspaces
+        assert len(result.clustering_subspaces) <= learning_config.cs_size
+        scores = [score for _, score in result.clustering_subspaces]
+        assert scores == sorted(scores)
+
+    def test_outlying_degrees_cover_the_batch(self, learning_config,
+                                              learning_grid, training_batch):
+        data, _ = training_batch
+        result = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        assert len(result.outlying_degrees) == len(data)
+        assert result.top_outlying_indices
+
+    def test_top_outlying_points_include_a_planted_outlier(self, learning_config,
+                                                           learning_grid,
+                                                           training_batch):
+        data, outliers = training_batch
+        result = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        outlier_indices = {len(data) - 2, len(data) - 1}
+        top = set(result.top_outlying_indices)
+        assert top & outlier_indices
+
+    def test_cs_contains_a_subspace_related_to_the_planted_one(
+            self, learning_config, learning_grid, training_batch):
+        data, _ = training_batch
+        result = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        true_subspace = Subspace([0, 1])
+        related = [s for s, _ in result.clustering_subspaces
+                   if set(s.dimensions) & {0, 1}]
+        assert related
+
+    def test_results_are_deterministic_for_a_seed(self, learning_config,
+                                                  learning_grid, training_batch):
+        data, _ = training_batch
+        first = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        second = UnsupervisedLearner(learning_config, learning_grid).learn(data)
+        assert first.clustering_subspaces == second.clustering_subspaces
+
+
+class TestSupervisedLearner:
+    def test_requires_examples_and_data(self, learning_config, learning_grid,
+                                        training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        with pytest.raises(ConfigurationError):
+            learner.learn([], outliers)
+        with pytest.raises(ConfigurationError):
+            learner.learn(data, [])
+
+    def test_builds_os_from_examples(self, learning_config, learning_grid,
+                                     training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        result = learner.learn(data, outliers)
+        assert result.outlier_driven_subspaces
+        assert len(result.per_example_subspaces) == len(outliers)
+
+    def test_os_points_at_the_true_outlying_attributes(self, learning_config,
+                                                       learning_grid,
+                                                       training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        result = learner.learn(data, outliers, subspaces_per_example=3)
+        hits = [s for s, _ in result.outlier_driven_subspaces
+                if set(s.dimensions) & {0, 1}]
+        assert hits
+
+    def test_attribute_filter_confines_the_search(self, learning_config,
+                                                  learning_grid, training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        result = learner.learn(data, outliers, relevant_attributes=[0, 1, 2])
+        assert result.relevant_attributes == (0, 1, 2)
+        for subspace, _ in result.outlier_driven_subspaces:
+            assert set(subspace.dimensions) <= {0, 1, 2}
+
+    def test_attribute_filter_is_validated(self, learning_config, learning_grid,
+                                           training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        with pytest.raises(ConfigurationError):
+            learner.learn(data, outliers, relevant_attributes=[9])
+        with pytest.raises(ConfigurationError):
+            learner.learn(data, outliers, relevant_attributes=[])
+
+    def test_subspaces_per_example_must_be_positive(self, learning_config,
+                                                    learning_grid,
+                                                    training_batch):
+        data, outliers = training_batch
+        learner = SupervisedLearner(learning_config, learning_grid)
+        with pytest.raises(ConfigurationError):
+            learner.learn(data, outliers, subspaces_per_example=0)
+
+
+class TestRecentPointsBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RecentPointsBuffer(0)
+
+    def test_old_points_fall_off(self):
+        buffer = RecentPointsBuffer(3)
+        for i in range(5):
+            buffer.add((float(i),))
+        assert buffer.snapshot() == [(2.0,), (3.0,), (4.0,)]
+        assert len(buffer) == 3
+        assert buffer.capacity == 3
+
+
+class TestOnlineAdaptation:
+    def _sst_with_cs(self, phi=6):
+        sst = SparseSubspaceTemplate(phi, cs_capacity=5, os_capacity=5)
+        sst.add_clustering_subspace(Subspace([0, 1]), 0.1)
+        sst.add_clustering_subspace(Subspace([2, 3]), 0.2)
+        sst.add_clustering_subspace(Subspace([4]), 0.3)
+        return sst
+
+    def test_self_evolution_is_a_noop_without_enough_data(self, learning_config,
+                                                          learning_grid):
+        evolution = SelfEvolution(learning_config, learning_grid)
+        sst = self._sst_with_cs()
+        assert evolution.evolve(sst, [(0.1,) * 6] * 3) == 0
+        assert evolution.rounds == 0
+
+    def test_self_evolution_keeps_capacity_and_reranks(self, learning_config,
+                                                       learning_grid,
+                                                       training_batch):
+        data, _ = training_batch
+        evolution = SelfEvolution(learning_config, learning_grid)
+        sst = self._sst_with_cs()
+        evolution.evolve(sst, data[:100])
+        assert evolution.rounds == 1
+        assert 1 <= len(sst.clustering_subspaces) <= sst.cs_capacity
+        scores = [item.score for item in sst.clustering_ranked]
+        assert scores == sorted(scores)
+
+    def test_outlier_driven_growth_adds_subspaces(self, learning_config,
+                                                  learning_grid, training_batch):
+        data, outliers = training_batch
+        growth = OutlierDrivenGrowth(learning_config, learning_grid)
+        sst = self._sst_with_cs()
+        added = growth.grow(sst, outliers[0], data[:150])
+        assert growth.searches == 1
+        assert added >= 0
+        assert len(sst.outlier_driven_subspaces) == added
+
+    def test_growth_is_a_noop_with_a_tiny_buffer(self, learning_config,
+                                                 learning_grid, training_batch):
+        _, outliers = training_batch
+        growth = OutlierDrivenGrowth(learning_config, learning_grid)
+        sst = self._sst_with_cs()
+        assert growth.grow(sst, outliers[0], [(0.5,) * 6] * 3) == 0
+        assert growth.searches == 0

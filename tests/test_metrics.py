@@ -1,0 +1,200 @@
+"""Tests for the classification, ranking and throughput metrics."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.subspace import Subspace
+from repro.metrics import (
+    ConfusionMatrix,
+    LatencySeries,
+    ThroughputMeter,
+    average_precision,
+    confusion_matrix,
+    f1_score,
+    false_alarm_rate,
+    measure_detector,
+    precision,
+    precision_at_k,
+    recall,
+    roc_auc,
+    subspace_recovery_rate,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix([True, True, False, False],
+                                  [True, False, True, False])
+        assert (matrix.true_positives, matrix.false_positives,
+                matrix.false_negatives, matrix.true_negatives) == (1, 1, 1, 1)
+        assert matrix.total == 4
+
+    def test_perfect_detector(self):
+        matrix = confusion_matrix([True, False, True], [True, False, True])
+        assert matrix.precision == 1.0
+        assert matrix.recall == 1.0
+        assert matrix.f1 == 1.0
+        assert matrix.false_alarm_rate == 0.0
+        assert matrix.accuracy == 1.0
+
+    def test_always_negative_detector(self):
+        matrix = confusion_matrix([False, False], [True, False])
+        assert matrix.precision == 0.0
+        assert matrix.recall == 0.0
+        assert matrix.f1 == 0.0
+
+    def test_degenerate_all_negative_labels(self):
+        matrix = confusion_matrix([False, False], [False, False])
+        assert matrix.recall == 0.0
+        assert matrix.false_alarm_rate == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix([True], [True, False])
+
+    def test_detection_rate_is_an_alias_for_recall(self):
+        matrix = ConfusionMatrix(true_positives=3, false_positives=0,
+                                 true_negatives=5, false_negatives=1)
+        assert matrix.detection_rate == matrix.recall == pytest.approx(0.75)
+
+    def test_as_dict_contains_all_metrics(self):
+        keys = confusion_matrix([True], [True]).as_dict()
+        assert {"tp", "fp", "tn", "fn", "precision", "recall",
+                "false_alarm_rate", "f1", "accuracy"} <= set(keys)
+
+    def test_functional_wrappers_agree_with_the_matrix(self):
+        predictions = [True, False, True, True, False]
+        labels = [True, True, False, True, False]
+        matrix = confusion_matrix(predictions, labels)
+        assert precision(predictions, labels) == matrix.precision
+        assert recall(predictions, labels) == matrix.recall
+        assert f1_score(predictions, labels) == matrix.f1
+        assert false_alarm_rate(predictions, labels) == matrix.false_alarm_rate
+
+
+class TestRankingMetrics:
+    def test_perfect_ranking_has_auc_one(self):
+        assert roc_auc([0.9, 0.8, 0.2, 0.1], [True, True, False, False]) == 1.0
+
+    def test_inverted_ranking_has_auc_zero(self):
+        assert roc_auc([0.1, 0.2, 0.8, 0.9], [True, True, False, False]) == 0.0
+
+    def test_random_constant_scores_have_auc_half(self):
+        assert roc_auc([0.5] * 6, [True, False, True, False, True, False]) == 0.5
+
+    def test_single_class_returns_half(self):
+        assert roc_auc([0.4, 0.6], [True, True]) == 0.5
+
+    def test_auc_handles_ties_fairly(self):
+        scores = [0.9, 0.5, 0.5, 0.1]
+        labels = [True, True, False, False]
+        assert roc_auc(scores, labels) == pytest.approx(0.875)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            roc_auc([0.5], [True, False])
+        with pytest.raises(ConfigurationError):
+            roc_auc([], [])
+
+    def test_average_precision_perfect_and_worst(self):
+        assert average_precision([0.9, 0.8, 0.1], [True, True, False]) == 1.0
+        assert average_precision([0.9, 0.1, 0.2], [False, True, True]) < 1.0
+
+    def test_average_precision_without_positives_is_zero(self):
+        assert average_precision([0.5, 0.4], [False, False]) == 0.0
+
+    def test_precision_at_k_defaults_to_r_precision(self):
+        scores = [0.9, 0.8, 0.7, 0.1]
+        labels = [True, False, True, False]
+        assert precision_at_k(scores, labels) == pytest.approx(0.5)
+
+    def test_precision_at_explicit_k(self):
+        scores = [0.9, 0.8, 0.7, 0.1]
+        labels = [True, False, True, False]
+        assert precision_at_k(scores, labels, k=3) == pytest.approx(2 / 3)
+
+    def test_precision_at_zero_k_is_zero(self):
+        assert precision_at_k([0.5], [False], k=0) == 0.0
+
+
+class TestSubspaceRecovery:
+    def test_exact_match_counts(self):
+        reported = [[Subspace([0, 1])]]
+        truth = [Subspace([0, 1])]
+        assert subspace_recovery_rate(reported, truth) == 1.0
+
+    def test_subset_and_superset_count_as_recovered(self):
+        reported = [[Subspace([0])], [Subspace([0, 1, 2])]]
+        truth = [Subspace([0, 1]), Subspace([0, 1])]
+        assert subspace_recovery_rate(reported, truth) == 1.0
+
+    def test_disjoint_subspaces_do_not_count(self):
+        reported = [[Subspace([3, 4])]]
+        truth = [Subspace([0, 1])]
+        assert subspace_recovery_rate(reported, truth) == 0.0
+
+    def test_overlapping_but_not_nested_does_not_count(self):
+        reported = [[Subspace([1, 5])]]
+        truth = [Subspace([0, 1])]
+        assert subspace_recovery_rate(reported, truth) == 0.0
+
+    def test_missing_truth_entries_are_skipped(self):
+        reported = [[Subspace([0])], [Subspace([1])]]
+        truth = [None, Subspace([1])]
+        assert subspace_recovery_rate(reported, truth) == 1.0
+
+    def test_empty_input_gives_zero(self):
+        assert subspace_recovery_rate([], []) == 0.0
+
+
+class TestThroughput:
+    def test_report_computes_rates(self):
+        from repro.metrics import ThroughputReport
+        report = ThroughputReport(points=100, elapsed_seconds=0.5)
+        assert report.points_per_second == pytest.approx(200.0)
+        assert report.seconds_per_point == pytest.approx(0.005)
+        assert set(report.as_dict()) == {"points", "elapsed_seconds",
+                                         "points_per_second", "seconds_per_point"}
+
+    def test_meter_measures_a_callable(self):
+        meter = ThroughputMeter()
+        report = meter.measure(lambda point: sum(point), [(1, 2)] * 50)
+        assert report.points == 50
+        assert report.elapsed_seconds >= 0.0
+        assert len(meter.reports) == 1
+
+    def test_meter_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMeter().measure(lambda p: p, [])
+
+    def test_measure_detector_uses_process(self):
+        class FakeDetector:
+            def __init__(self):
+                self.calls = 0
+
+            def process(self, point):
+                self.calls += 1
+                return point
+
+        detector = FakeDetector()
+        report = measure_detector(detector, [(1.0,)] * 10)
+        assert detector.calls == 10
+        assert report.points == 10
+
+    def test_latency_series_segment_means(self):
+        series = LatencySeries()
+        for value in [1.0, 1.0, 2.0, 2.0]:
+            series.record(value)
+        assert series.mean() == pytest.approx(1.5)
+        assert series.segment_means(2) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_latency_series_validates_segments(self):
+        with pytest.raises(ConfigurationError):
+            LatencySeries().segment_means(0)
+
+    def test_latency_series_empty(self):
+        series = LatencySeries()
+        assert series.mean() == 0.0
+        assert series.segment_means(3) == [0.0, 0.0, 0.0]

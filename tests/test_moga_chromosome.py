@@ -1,0 +1,84 @@
+"""Unit tests for the chromosome encoding of candidate subspaces."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.subspace import Subspace
+from repro.moga.chromosome import Chromosome, unique_chromosomes
+
+
+class TestChromosomeBasics:
+    def test_genes_are_stored_as_booleans(self):
+        chromosome = Chromosome([1, 0, 1])
+        assert chromosome.genes == (True, False, True)
+
+    def test_empty_gene_list_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Chromosome([])
+
+    def test_length_and_cardinality(self):
+        chromosome = Chromosome([True, False, True, True])
+        assert chromosome.length == 4
+        assert chromosome.cardinality == 3
+
+    def test_validity_depends_on_cardinality(self):
+        assert Chromosome([True, False]).is_valid(max_dimension=1)
+        assert not Chromosome([True, True]).is_valid(max_dimension=1)
+        assert not Chromosome([False, False]).is_valid(max_dimension=2)
+
+    def test_equality_and_hash(self):
+        assert Chromosome([1, 0]) == Chromosome([True, False])
+        assert hash(Chromosome([1, 0])) == hash(Chromosome([True, False]))
+
+    def test_repr_shows_the_bitstring(self):
+        assert "101" in repr(Chromosome([1, 0, 1]))
+
+
+class TestConversions:
+    def test_to_subspace_and_back(self):
+        subspace = Subspace([0, 3])
+        chromosome = Chromosome.from_subspace(subspace, phi=5)
+        assert chromosome.to_subspace() == subspace
+
+    def test_random_chromosomes_are_valid(self, rng):
+        for _ in range(50):
+            chromosome = Chromosome.random(phi=8, max_dimension=3, rng=rng)
+            assert chromosome.is_valid(3)
+
+    def test_random_rejects_bad_arguments(self, rng):
+        with pytest.raises(ConfigurationError):
+            Chromosome.random(0, 2, rng)
+        with pytest.raises(ConfigurationError):
+            Chromosome.random(5, 0, rng)
+
+
+class TestRepair:
+    def test_empty_chromosome_gets_one_bit(self, rng):
+        repaired = Chromosome([False] * 6).repaired(3, rng)
+        assert repaired.cardinality == 1
+
+    def test_oversized_chromosome_is_trimmed(self, rng):
+        repaired = Chromosome([True] * 6).repaired(2, rng)
+        assert repaired.cardinality == 2
+
+    def test_valid_chromosome_is_unchanged(self, rng):
+        chromosome = Chromosome([True, False, True, False])
+        assert chromosome.repaired(3, rng) == chromosome
+
+    def test_repair_keeps_a_subset_of_the_original_bits(self, rng):
+        original = Chromosome([True, True, True, False, True])
+        repaired = original.repaired(2, rng)
+        original_set = {i for i, g in enumerate(original.genes) if g}
+        repaired_set = {i for i, g in enumerate(repaired.genes) if g}
+        assert repaired_set <= original_set
+
+
+class TestUniqueness:
+    def test_unique_chromosomes_preserves_first_occurrence_order(self):
+        a, b = Chromosome([1, 0]), Chromosome([0, 1])
+        assert unique_chromosomes([a, b, a, b, a]) == [a, b]
+
+    def test_unique_of_empty_sequence(self):
+        assert unique_chromosomes([]) == []

@@ -1,0 +1,130 @@
+"""Tests for the MOGA engine (search quality and determinism)."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace, enumerate_subspaces
+from repro.moga.engine import MOGAEngine, find_sparse_subspaces
+from repro.moga.objectives import SparsityObjectives
+
+
+def _combination_outlier_dataset(phi=6, n=200, seed=5):
+    """Clustered data with one planted combination outlier in dims (0, 1)."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(n):
+        if rng.random() < 0.5:
+            base = [rng.gauss(0.25, 0.03), rng.gauss(0.25, 0.03)]
+        else:
+            base = [rng.gauss(0.75, 0.03), rng.gauss(0.75, 0.03)]
+        rest = [rng.gauss(0.5, 0.05) for _ in range(phi - 2)]
+        data.append(tuple(base + rest))
+    outlier = tuple([0.25, 0.75] + [0.5] * (phi - 2))
+    data.append(outlier)
+    return data, outlier
+
+
+@pytest.fixture()
+def search_setup():
+    data, outlier = _combination_outlier_dataset()
+    grid = Grid(bounds=DomainBounds.unit(6), cells_per_dimension=4)
+    objectives = SparsityObjectives(data, grid, target_points=[outlier])
+    return data, outlier, grid, objectives
+
+
+class TestEngineMechanics:
+    def test_invalid_parameters_are_rejected(self, search_setup):
+        _, _, _, objectives = search_setup
+        with pytest.raises(ConfigurationError):
+            MOGAEngine(objectives, population_size=2)
+        with pytest.raises(ConfigurationError):
+            MOGAEngine(objectives, generations=0)
+        with pytest.raises(ConfigurationError):
+            MOGAEngine(objectives, max_dimension=0)
+
+    def test_run_reports_generations_and_evaluations(self, search_setup):
+        _, _, _, objectives = search_setup
+        engine = MOGAEngine(objectives, population_size=12, generations=5,
+                            max_dimension=3, seed=1)
+        result = engine.run()
+        assert result.generations_run == 5
+        assert result.evaluations == objectives.evaluations
+        assert result.evaluations > 0
+
+    def test_pareto_front_is_non_empty_and_valid(self, search_setup):
+        _, _, _, objectives = search_setup
+        engine = MOGAEngine(objectives, population_size=12, generations=5,
+                            max_dimension=3, seed=1)
+        result = engine.run()
+        assert result.pareto_front
+        for subspace, vector in result.pareto_front:
+            assert 1 <= len(subspace) <= 3
+            assert len(vector) == SparsityObjectives.N_OBJECTIVES
+
+    def test_determinism_under_a_fixed_seed(self):
+        data, outlier = _combination_outlier_dataset()
+        grid = Grid(bounds=DomainBounds.unit(6), cells_per_dimension=4)
+
+        def run_once():
+            objectives = SparsityObjectives(data, grid, target_points=[outlier])
+            engine = MOGAEngine(objectives, population_size=14, generations=6,
+                                max_dimension=3, seed=42)
+            return [s for s, _ in engine.run().pareto_front]
+
+        assert run_once() == run_once()
+
+    def test_seed_subspaces_are_injected_into_the_population(self, search_setup):
+        _, _, _, objectives = search_setup
+        seeds = [Subspace([0, 1])]
+        engine = MOGAEngine(objectives, population_size=10, generations=1,
+                            max_dimension=3, seed=3, seeds=seeds)
+        engine.run()
+        assert Subspace([0, 1]) in objectives.evaluated_subspaces()
+
+    def test_top_subspaces_limits_and_orders(self, search_setup):
+        _, _, _, objectives = search_setup
+        engine = MOGAEngine(objectives, population_size=12, generations=4,
+                            max_dimension=3, seed=1)
+        result = engine.run()
+        top = result.top_subspaces(3)
+        assert len(top) <= 3
+        scores = [score for _, score in top]
+        assert scores == sorted(scores)
+
+
+class TestSearchQuality:
+    def test_finds_the_planted_outlying_subspace(self, search_setup):
+        data, outlier, grid, _ = search_setup
+        ranked = find_sparse_subspaces(
+            data, grid, target_points=[outlier], top_k=5,
+            population_size=24, generations=10, max_dimension=3, seed=2,
+        )
+        top = [subspace for subspace, _ in ranked]
+        assert any(Subspace([0, 1]) <= s or s <= Subspace([0, 1]) for s in top)
+
+    def test_recovers_most_of_the_exhaustive_top_k(self):
+        data, outlier = _combination_outlier_dataset(phi=7, n=250, seed=9)
+        grid = Grid(bounds=DomainBounds.unit(7), cells_per_dimension=4)
+        exhaustive = SparsityObjectives(data, grid, target_points=[outlier])
+        all_subspaces = list(enumerate_subspaces(7, 3))
+        truth = sorted(all_subspaces, key=exhaustive.sparsity_score)[:5]
+
+        ranked = find_sparse_subspaces(
+            data, grid, target_points=[outlier], top_k=5,
+            population_size=30, generations=12, max_dimension=3, seed=4,
+        )
+        found = {subspace for subspace, _ in ranked}
+        assert len(found & set(truth)) >= 3
+
+    def test_uses_fewer_evaluations_than_the_lattice_for_larger_phi(self):
+        data, outlier = _combination_outlier_dataset(phi=12, n=200, seed=13)
+        grid = Grid(bounds=DomainBounds.unit(12), cells_per_dimension=4)
+        objectives = SparsityObjectives(data, grid, target_points=[outlier])
+        engine = MOGAEngine(objectives, population_size=20, generations=8,
+                            max_dimension=3, seed=5)
+        result = engine.run()
+        lattice_size = len(list(enumerate_subspaces(12, 3)))
+        assert result.evaluations < lattice_size

@@ -1,0 +1,105 @@
+"""Unit tests for the NSGA-II ranking primitives."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.moga.nsga2 import (
+    crowded_comparison_rank,
+    crowding_distance,
+    fast_non_dominated_sort,
+    select_survivors,
+)
+
+
+class TestNonDominatedSort:
+    def test_empty_population(self):
+        assert fast_non_dominated_sort([]) == []
+
+    def test_single_individual_forms_the_first_front(self):
+        assert fast_non_dominated_sort([(1.0, 2.0)]) == [[0]]
+
+    def test_simple_two_front_partition(self):
+        objectives = [(0.1, 0.1), (0.5, 0.5), (0.1, 0.5)]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts[0] == [0]
+        assert set(fronts[1]) == {1, 2} or fronts[1] == [2]
+
+    def test_every_index_appears_exactly_once(self):
+        objectives = [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (4.0, 4.0), (0.5, 5.0)]
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = [i for front in fronts for i in front]
+        assert sorted(flattened) == list(range(len(objectives)))
+
+    def test_mutually_non_dominating_points_share_a_front(self):
+        objectives = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        fronts = fast_non_dominated_sort(objectives)
+        assert len(fronts) == 1
+        assert set(fronts[0]) == {0, 1, 2}
+
+    def test_chain_of_dominated_points_gives_one_front_each(self):
+        objectives = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+        fronts = fast_non_dominated_sort(objectives)
+        assert fronts == [[0], [1], [2]]
+
+
+class TestCrowdingDistance:
+    def test_empty_front(self):
+        assert crowding_distance([(1.0, 1.0)], []) == {}
+
+    def test_small_fronts_get_infinite_distance(self):
+        objectives = [(1.0, 2.0), (2.0, 1.0)]
+        distances = crowding_distance(objectives, [0, 1])
+        assert all(math.isinf(d) for d in distances.values())
+
+    def test_boundary_points_get_infinite_distance(self):
+        objectives = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        distances = crowding_distance(objectives, [0, 1, 2])
+        assert math.isinf(distances[0])
+        assert math.isinf(distances[2])
+        assert not math.isinf(distances[1])
+
+    def test_isolated_points_have_larger_distance(self):
+        # Index 1 is close to index 0; index 2 sits far from both.
+        objectives = [(0.0, 1.0), (0.1, 0.9), (0.5, 0.5), (1.0, 0.0)]
+        distances = crowding_distance(objectives, [0, 1, 2, 3])
+        assert distances[2] > distances[1]
+
+    def test_degenerate_objective_with_zero_span(self):
+        objectives = [(1.0, 5.0), (1.0, 3.0), (1.0, 1.0)]
+        distances = crowding_distance(objectives, [0, 1, 2])
+        assert distances[1] >= 0.0
+
+
+class TestSelection:
+    def test_ranks_prefer_earlier_fronts(self):
+        objectives = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)]
+        ranks = crowded_comparison_rank(objectives)
+        assert ranks[0][0] == 0
+        assert ranks[2][0] == 0
+        assert ranks[1][0] == 1
+
+    def test_select_survivors_respects_capacity(self):
+        objectives = [(float(i), float(10 - i)) for i in range(10)]
+        survivors = select_survivors(objectives, capacity=4)
+        assert len(survivors) == 4
+
+    def test_select_survivors_takes_whole_better_fronts_first(self):
+        objectives = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (0.9, 1.1)]
+        survivors = select_survivors(objectives, capacity=2)
+        assert set(survivors) == {0, 3}
+
+    def test_select_survivors_truncates_by_crowding(self):
+        objectives = [(0.0, 1.0), (0.01, 0.99), (0.5, 0.5), (1.0, 0.0)]
+        survivors = select_survivors(objectives, capacity=3)
+        assert len(survivors) == 3
+        # The boundary solutions (0 and 3) must survive the truncation.
+        assert {0, 3} <= set(survivors)
+
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_survivors([(1.0, 1.0)], capacity=-1)
+
+    def test_zero_capacity_returns_nothing(self):
+        assert select_survivors([(1.0, 1.0)], capacity=0) == []

@@ -1,0 +1,128 @@
+"""Unit tests for the multi-objective sparsity evaluation."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace
+from repro.moga.objectives import SparsityObjectives, dominates
+
+
+@pytest.fixture()
+def clustered_data():
+    """Two tight clusters in dims (0, 1); dim 2 uniform; one planted outlier.
+
+    The outlier borrows dim-0 from cluster A and dim-1 from cluster B, so it
+    is anomalous only in the (0, 1) combination.
+    """
+    rng = random.Random(3)
+    data = []
+    for _ in range(150):
+        if rng.random() < 0.5:
+            point = (rng.gauss(0.25, 0.03), rng.gauss(0.25, 0.03), rng.random())
+        else:
+            point = (rng.gauss(0.75, 0.03), rng.gauss(0.75, 0.03), rng.random())
+        data.append(point)
+    outlier = (0.25, 0.75, 0.5)
+    data.append(outlier)
+    return data, outlier
+
+
+@pytest.fixture()
+def grid3():
+    return Grid(bounds=DomainBounds.unit(3), cells_per_dimension=4)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates((0.1, 0.1), (0.2, 0.2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((0.1, 0.1), (0.1, 0.1))
+
+    def test_partial_improvement_with_one_worse_does_not_dominate(self):
+        assert not dominates((0.1, 0.3), (0.2, 0.2))
+
+    def test_weak_improvement_dominates(self):
+        assert dominates((0.1, 0.2), (0.1, 0.3))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            dominates((0.1,), (0.1, 0.2))
+
+
+class TestSparsityObjectives:
+    def test_rejects_empty_training_data(self, grid3):
+        with pytest.raises(ConfigurationError):
+            SparsityObjectives([], grid3)
+
+    def test_rejects_dimension_mismatch(self, grid3):
+        with pytest.raises(ConfigurationError):
+            SparsityObjectives([(0.1, 0.2)], grid3)
+
+    def test_rejects_unknown_density_reference(self, grid3):
+        with pytest.raises(ConfigurationError):
+            SparsityObjectives([(0.1, 0.2, 0.3)], grid3,
+                               density_reference="bogus")
+
+    def test_objective_vector_has_three_components(self, clustered_data, grid3):
+        data, _ = clustered_data
+        objectives = SparsityObjectives(data, grid3)
+        vector = objectives.evaluate(Subspace([0, 1]))
+        assert len(vector) == SparsityObjectives.N_OBJECTIVES
+
+    def test_dimension_penalty_is_the_third_component(self, clustered_data, grid3):
+        data, _ = clustered_data
+        objectives = SparsityObjectives(data, grid3)
+        assert objectives.evaluate(Subspace([0]))[2] == pytest.approx(1 / 3)
+        assert objectives.evaluate(Subspace([0, 1, 2]))[2] == pytest.approx(1.0)
+
+    def test_evaluations_count_cache_misses_only(self, clustered_data, grid3):
+        data, _ = clustered_data
+        objectives = SparsityObjectives(data, grid3)
+        objectives.evaluate(Subspace([0]))
+        objectives.evaluate(Subspace([0]))
+        objectives.evaluate(Subspace([1]))
+        assert objectives.evaluations == 2
+        assert set(objectives.evaluated_subspaces()) == {Subspace([0]), Subspace([1])}
+
+    def test_outlying_subspace_scores_sparser_for_the_outlier(self,
+                                                              clustered_data,
+                                                              grid3):
+        data, outlier = clustered_data
+        objectives = SparsityObjectives(data, grid3, target_points=[outlier])
+        outlying = objectives.evaluate(Subspace([0, 1]))
+        uniform_dim = objectives.evaluate(Subspace([2]))
+        # RD of the outlier's cell in its true outlying subspace should be far
+        # below its RD in an uninformative dimension.
+        assert outlying[0] < uniform_dim[0]
+
+    def test_sparsity_score_ranks_the_true_subspace_first(self, clustered_data,
+                                                          grid3):
+        data, outlier = clustered_data
+        objectives = SparsityObjectives(data, grid3, target_points=[outlier])
+        candidates = [Subspace([0, 1]), Subspace([0, 2]), Subspace([2]),
+                      Subspace([1, 2])]
+        ranked = sorted(candidates, key=objectives.sparsity_score)
+        assert ranked[0] == Subspace([0, 1])
+
+    def test_whole_batch_targets_by_default(self, clustered_data, grid3):
+        data, _ = clustered_data
+        objectives = SparsityObjectives(data, grid3)
+        # Clustered dims have dense cells for most points: mean RD should be
+        # comfortably above the sparse-threshold region.
+        assert objectives.evaluate(Subspace([0, 1]))[0] > 0.2
+
+    def test_target_points_must_match_dimensions(self, clustered_data, grid3):
+        data, _ = clustered_data
+        with pytest.raises(ConfigurationError):
+            SparsityObjectives(data, grid3, target_points=[(0.1, 0.2)])
+
+    def test_lattice_reference_is_supported(self, clustered_data, grid3):
+        data, outlier = clustered_data
+        objectives = SparsityObjectives(data, grid3, target_points=[outlier],
+                                        density_reference="lattice")
+        vector = objectives.evaluate(Subspace([0, 1]))
+        assert vector[0] >= 0.0

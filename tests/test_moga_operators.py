@@ -1,0 +1,105 @@
+"""Unit tests for the genetic operators."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.moga.chromosome import Chromosome
+from repro.moga.operators import (
+    binary_tournament,
+    bit_flip_mutation,
+    make_offspring,
+    one_point_crossover,
+    uniform_crossover,
+)
+
+
+class TestCrossover:
+    def test_one_point_crossover_preserves_length(self, rng):
+        a, b = Chromosome([1, 1, 0, 0]), Chromosome([0, 0, 1, 1])
+        child_a, child_b = one_point_crossover(a, b, rng)
+        assert child_a.length == child_b.length == 4
+
+    def test_one_point_crossover_mixes_parents(self):
+        rng = random.Random(0)
+        a, b = Chromosome([1, 1, 1, 1]), Chromosome([0, 0, 0, 0])
+        child_a, child_b = one_point_crossover(a, b, rng)
+        assert 0 < child_a.cardinality < 4
+        assert child_a.cardinality + child_b.cardinality == 4
+
+    def test_one_point_crossover_rejects_length_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            one_point_crossover(Chromosome([1]), Chromosome([1, 0]), rng)
+
+    def test_single_gene_parents_are_returned_unchanged(self, rng):
+        a, b = Chromosome([1]), Chromosome([0])
+        assert one_point_crossover(a, b, rng) == (a, b)
+
+    def test_uniform_crossover_gene_conservation(self, rng):
+        a, b = Chromosome([1, 0, 1, 0, 1]), Chromosome([0, 1, 0, 1, 0])
+        child_a, child_b = uniform_crossover(a, b, rng)
+        for i in range(5):
+            assert {child_a.genes[i], child_b.genes[i]} == {a.genes[i], b.genes[i]}
+
+    def test_uniform_crossover_rejects_length_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_crossover(Chromosome([1]), Chromosome([1, 0]), rng)
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self, rng):
+        chromosome = Chromosome([1, 0, 1, 0])
+        assert bit_flip_mutation(chromosome, rng, 0.0) == chromosome
+
+    def test_rate_one_flips_every_gene(self, rng):
+        chromosome = Chromosome([1, 0, 1, 0])
+        flipped = bit_flip_mutation(chromosome, rng, 1.0)
+        assert flipped.genes == (False, True, False, True)
+
+    def test_invalid_rate_is_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            bit_flip_mutation(Chromosome([1]), rng, 1.5)
+
+    def test_mutation_changes_some_genes_at_moderate_rate(self):
+        rng = random.Random(1)
+        chromosome = Chromosome([True] * 64)
+        mutated = bit_flip_mutation(chromosome, rng, 0.25)
+        assert 0 < sum(a != b for a, b in zip(chromosome.genes, mutated.genes)) < 64
+
+
+class TestSelectionAndOffspring:
+    def test_binary_tournament_uses_the_comparator(self, rng):
+        population = [Chromosome([1, 0]), Chromosome([0, 1])]
+
+        def prefer_first_bit(a, b):
+            return a if a.genes[0] else b
+
+        for _ in range(10):
+            winner = binary_tournament(population, prefer_first_bit, rng)
+            assert winner in population
+
+    def test_binary_tournament_rejects_empty_population(self, rng):
+        with pytest.raises(ConfigurationError):
+            binary_tournament([], lambda a, b: a, rng)
+
+    def test_make_offspring_produces_valid_children(self):
+        rng = random.Random(7)
+        parent_a = Chromosome([True] * 6 + [False] * 6)
+        parent_b = Chromosome([False] * 6 + [True] * 6)
+        for _ in range(25):
+            child_a, child_b = make_offspring(
+                parent_a, parent_b, rng,
+                crossover_rate=0.9, mutation_rate=0.1, max_dimension=3,
+            )
+            assert child_a.is_valid(3)
+            assert child_b.is_valid(3)
+
+    def test_make_offspring_without_crossover_still_repairs(self):
+        rng = random.Random(7)
+        parent = Chromosome([True] * 8)
+        child_a, child_b = make_offspring(parent, parent, rng,
+                                          crossover_rate=0.0,
+                                          mutation_rate=0.0, max_dimension=2)
+        assert child_a.cardinality <= 2
+        assert child_b.cardinality <= 2

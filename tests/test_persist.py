@@ -1,0 +1,107 @@
+"""Tests for persistence of templates and detector state."""
+
+import json
+
+import pytest
+
+from repro import SPOT
+from repro.core.exceptions import SerializationError
+from repro.core.sst import SparseSubspaceTemplate
+from repro.core.subspace import Subspace
+from repro.persist import (
+    FORMAT_VERSION,
+    load_detector,
+    load_sst,
+    save_detector,
+    save_sst,
+    sst_from_json,
+    sst_to_json,
+)
+
+
+@pytest.fixture()
+def template():
+    sst = SparseSubspaceTemplate(phi=6, cs_capacity=4, os_capacity=4)
+    sst.build_fixed(1)
+    sst.add_clustering_subspace(Subspace([0, 2]), 0.12)
+    sst.add_outlier_driven_subspace(Subspace([1, 3]), 0.3)
+    return sst
+
+
+class TestSSTSerialisation:
+    def test_json_round_trip(self, template):
+        restored = sst_from_json(sst_to_json(template))
+        assert restored.fixed_subspaces == template.fixed_subspaces
+        assert restored.clustering_subspaces == template.clustering_subspaces
+        assert restored.outlier_driven_subspaces == template.outlier_driven_subspaces
+
+    def test_file_round_trip(self, template, tmp_path):
+        path = tmp_path / "nested" / "sst.json"
+        save_sst(template, path)
+        assert path.exists()
+        restored = load_sst(path)
+        assert restored.clustering_subspaces == template.clustering_subspaces
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(SerializationError):
+            sst_from_json("{not valid json")
+
+    def test_missing_section_raises(self):
+        with pytest.raises(SerializationError):
+            sst_from_json(json.dumps({"format_version": FORMAT_VERSION}))
+
+    def test_wrong_version_raises(self, template):
+        payload = json.loads(sst_to_json(template))
+        payload["format_version"] = 999
+        with pytest.raises(SerializationError):
+            sst_from_json(json.dumps(payload))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_sst(tmp_path / "missing.json")
+
+
+class TestDetectorSerialisation:
+    def test_unfitted_detector_cannot_be_saved(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_detector(SPOT(), tmp_path / "detector.json")
+
+    def test_round_trip_preserves_config_and_template(self, fitted_detector,
+                                                      tmp_path):
+        path = tmp_path / "detector.json"
+        save_detector(fitted_detector, path)
+        restored = load_detector(path)
+        assert restored.config == fitted_detector.config
+        assert restored.is_fitted
+        assert set(restored.sst.all_subspaces()) == \
+            set(fitted_detector.sst.all_subspaces())
+        assert restored.grid.bounds == fitted_detector.grid.bounds
+
+    def test_restored_detector_can_process_points(self, fitted_detector,
+                                                  tmp_path,
+                                                  small_detection_points):
+        path = tmp_path / "detector.json"
+        save_detector(fitted_detector, path)
+        restored = load_detector(path)
+        # Warm the restored summaries with some stream data, then detect.
+        results = restored.detect(small_detection_points[:100])
+        assert len(results) == 100
+
+    def test_missing_detector_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_detector(tmp_path / "missing.json")
+
+    def test_corrupt_detector_file_raises(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{\"format_version\": 1, \"config\": {}}")
+        with pytest.raises(SerializationError):
+            load_detector(path)
+
+    def test_wrong_detector_version_raises(self, fitted_detector, tmp_path):
+        path = tmp_path / "detector.json"
+        save_detector(fitted_detector, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            load_detector(path)

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These check invariants that must hold for *every* input, not just the
+hand-picked cases of the unit tests: subspace algebra laws, additivity and
+decay-invariance of the cell accumulators, conservation laws of the NSGA-II
+ranking, and the bounds of the evaluation metrics.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cell_summary import DecayedCellAccumulator
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace
+from repro.core.time_model import TimeModel, solve_decay_factor
+from repro.metrics import confusion_matrix, precision_at_k, roc_auc
+from repro.moga.chromosome import Chromosome
+from repro.moga.nsga2 import fast_non_dominated_sort, select_survivors
+from repro.moga.objectives import dominates
+
+# ----------------------------------------------------------------------- #
+# Strategies
+# ----------------------------------------------------------------------- #
+dimension_sets = st.sets(st.integers(min_value=0, max_value=11),
+                         min_size=1, max_size=6)
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False,
+                        exclude_max=True)
+objective_vectors = st.lists(
+    st.tuples(st.floats(0, 10, allow_nan=False, allow_infinity=False),
+              st.floats(0, 10, allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=20,
+)
+
+
+class TestSubspaceProperties:
+    @given(dimension_sets)
+    def test_construction_is_idempotent(self, dims):
+        once = Subspace(dims)
+        twice = Subspace(once.dimensions)
+        assert once == twice
+        assert hash(once) == hash(twice)
+
+    @given(dimension_sets, dimension_sets)
+    def test_union_is_commutative_and_contains_operands(self, a_dims, b_dims):
+        a, b = Subspace(a_dims), Subspace(b_dims)
+        union = a.union(b)
+        assert union == b.union(a)
+        assert a <= union and b <= union
+
+    @given(dimension_sets)
+    def test_mask_round_trip(self, dims):
+        subspace = Subspace(dims)
+        phi = max(dims) + 1
+        assert Subspace.from_mask(subspace.as_mask(phi)) == subspace
+
+    @given(dimension_sets, st.lists(unit_floats, min_size=12, max_size=12))
+    def test_projection_length_and_values(self, dims, point):
+        subspace = Subspace(dims)
+        projected = subspace.project(point)
+        assert len(projected) == len(subspace)
+        assert all(projected[i] == point[d] for i, d in enumerate(subspace))
+
+
+class TestTimeModelProperties:
+    @given(st.integers(min_value=1, max_value=5000),
+           st.floats(min_value=1e-6, max_value=0.9, allow_nan=False))
+    def test_decay_factor_honours_the_fraction_bound(self, omega, epsilon):
+        alpha = solve_decay_factor(omega, epsilon)
+        assert 0.0 < alpha < 1.0
+        assert alpha ** omega <= epsilon * (1 + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=1000),
+           st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+           st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def test_decay_composes_over_split_intervals(self, omega, epsilon, t1, t2):
+        model = TimeModel.create(omega, epsilon)
+        combined = model.decay_over(t1 + t2)
+        split = model.decay_over(t1) * model.decay_over(t2)
+        assert math.isclose(combined, split, rel_tol=1e-9)
+
+
+class TestAccumulatorProperties:
+    @given(st.lists(st.tuples(unit_floats, unit_floats), min_size=1, max_size=40),
+           st.lists(st.tuples(unit_floats, unit_floats), min_size=1, max_size=40))
+    def test_merge_equals_ingesting_everything_into_one(self, batch_a, batch_b):
+        model = TimeModel(omega=1, epsilon=0.5, decay_factor=1.0)
+        merged = DecayedCellAccumulator(2)
+        separate_a = DecayedCellAccumulator(2)
+        separate_b = DecayedCellAccumulator(2)
+        for point in batch_a:
+            merged.add(point, 0.0, model)
+            separate_a.add(point, 0.0, model)
+        for point in batch_b:
+            merged.add(point, 0.0, model)
+            separate_b.add(point, 0.0, model)
+        separate_a.merge(separate_b, 0.0, model)
+        assert math.isclose(separate_a.count, merged.count, rel_tol=1e-9)
+        for i in range(2):
+            assert math.isclose(separate_a.linear_sum[i], merged.linear_sum[i],
+                                rel_tol=1e-9, abs_tol=1e-12)
+            assert math.isclose(separate_a.squared_sum[i], merged.squared_sum[i],
+                                rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(st.lists(unit_floats, min_size=2, max_size=50),
+           st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    def test_decay_preserves_mean_and_scales_count(self, values, elapsed):
+        model = TimeModel.create(omega=100, epsilon=0.01)
+        acc = DecayedCellAccumulator(1)
+        for value in values:
+            acc.add((value,), 0.0, model)
+        mean_before = acc.mean(0)
+        count_before = acc.count
+        acc.decay_to(elapsed, model)
+        assert math.isclose(acc.count, count_before * model.decay_over(elapsed),
+                            rel_tol=1e-9)
+        assert math.isclose(acc.mean(0), mean_before, rel_tol=1e-6, abs_tol=1e-9)
+
+    @given(st.lists(unit_floats, min_size=1, max_size=50))
+    def test_variance_is_never_negative(self, values):
+        model = TimeModel(omega=1, epsilon=0.5, decay_factor=1.0)
+        acc = DecayedCellAccumulator(1)
+        for value in values:
+            acc.add((value,), 0.0, model)
+        assert acc.variance(0) >= 0.0
+
+
+class TestGridProperties:
+    @given(st.lists(unit_floats, min_size=4, max_size=4),
+           st.integers(min_value=2, max_value=12))
+    def test_every_point_maps_into_the_grid(self, point, cells):
+        grid = Grid(bounds=DomainBounds.unit(4), cells_per_dimension=cells)
+        address = grid.base_cell(point)
+        assert len(address) == 4
+        assert all(0 <= index < cells for index in address)
+
+    @given(st.lists(unit_floats, min_size=4, max_size=4), dimension_sets)
+    def test_projection_commutes_with_addressing(self, point, dims):
+        assume(max(dims) < 4)
+        grid = Grid(bounds=DomainBounds.unit(4), cells_per_dimension=5)
+        subspace = Subspace(dims)
+        direct = grid.projected_cell(point, subspace)
+        via_base = Grid.project_cell(grid.base_cell(point), subspace)
+        assert direct == via_base
+
+
+class TestChromosomeProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=16),
+           st.randoms(use_true_random=False))
+    def test_repair_always_yields_a_valid_chromosome(self, genes, max_dim, rng):
+        repaired = Chromosome(genes).repaired(max_dim, rng)
+        assert repaired.is_valid(max_dim)
+
+    @given(st.sets(st.integers(min_value=0, max_value=9), min_size=1, max_size=5))
+    def test_subspace_chromosome_round_trip(self, dims):
+        subspace = Subspace(dims)
+        assert Chromosome.from_subspace(subspace, 10).to_subspace() == subspace
+
+
+class TestNSGA2Properties:
+    @given(objective_vectors)
+    def test_fronts_partition_the_population(self, objectives):
+        fronts = fast_non_dominated_sort(objectives)
+        flattened = sorted(i for front in fronts for i in front)
+        assert flattened == list(range(len(objectives)))
+
+    @given(objective_vectors)
+    def test_first_front_is_mutually_non_dominating(self, objectives):
+        fronts = fast_non_dominated_sort(objectives)
+        first = fronts[0]
+        for i in first:
+            for j in first:
+                assert not dominates(objectives[i], objectives[j])
+
+    @given(objective_vectors, st.integers(min_value=0, max_value=25))
+    def test_selection_size_is_min_of_capacity_and_population(self, objectives,
+                                                              capacity):
+        survivors = select_survivors(objectives, capacity)
+        assert len(survivors) == min(capacity, len(objectives))
+        assert len(set(survivors)) == len(survivors)
+
+
+class TestMetricProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                    max_size=200))
+    def test_confusion_matrix_counts_sum_to_n(self, pairs):
+        predictions = [p for p, _ in pairs]
+        labels = [l for _, l in pairs]
+        matrix = confusion_matrix(predictions, labels)
+        assert matrix.total == len(pairs)
+        assert 0.0 <= matrix.precision <= 1.0
+        assert 0.0 <= matrix.recall <= 1.0
+        assert 0.0 <= matrix.f1 <= 1.0
+        assert 0.0 <= matrix.false_alarm_rate <= 1.0
+
+    @given(st.lists(st.tuples(unit_floats, st.booleans()), min_size=1,
+                    max_size=200))
+    def test_roc_auc_is_bounded_and_complement_symmetric(self, pairs):
+        scores = [s for s, _ in pairs]
+        labels = [l for _, l in pairs]
+        auc = roc_auc(scores, labels)
+        assert 0.0 <= auc <= 1.0
+        if any(labels) and not all(labels):
+            # Negating the scores reverses the ranking exactly (no floating
+            # point collapse), so the AUC must flip around 0.5.
+            flipped = roc_auc([-s for s in scores], labels)
+            assert math.isclose(auc, 1.0 - flipped, abs_tol=1e-9)
+
+    @given(st.lists(st.tuples(unit_floats, st.booleans()), min_size=1,
+                    max_size=100),
+           st.integers(min_value=1, max_value=120))
+    def test_precision_at_k_is_bounded(self, pairs, k):
+        scores = [s for s, _ in pairs]
+        labels = [l for _, l in pairs]
+        assert 0.0 <= precision_at_k(scores, labels, k=k) <= 1.0

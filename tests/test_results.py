@@ -1,0 +1,70 @@
+"""Unit tests for detection result objects and the stream summary."""
+
+import pytest
+
+from repro.core.cell_summary import ProjectedCellSummary
+from repro.core.results import DetectionResult, StreamSummary, SubspaceEvidence
+from repro.core.subspace import Subspace
+
+
+def _result(index, outlying, score=0.5):
+    subspaces = tuple(Subspace(dims) for dims in outlying)
+    evidence = tuple(
+        SubspaceEvidence(subspace=s,
+                         pcs=ProjectedCellSummary(rd=0.01 * (i + 1), irsd=1.0,
+                                                  count=1.0, expected=10.0),
+                         flagged=True)
+        for i, s in enumerate(subspaces)
+    )
+    return DetectionResult(index=index, point=(0.0, 0.0), is_outlier=bool(subspaces),
+                           outlying_subspaces=subspaces, evidence=evidence,
+                           score=score)
+
+
+class TestDetectionResult:
+    def test_strongest_subspace_is_the_first_flagged(self):
+        result = _result(0, [[0, 1], [2]])
+        assert result.strongest_subspace == Subspace([0, 1])
+
+    def test_strongest_subspace_of_a_regular_point_is_none(self):
+        assert _result(0, []).strongest_subspace is None
+
+    def test_evidence_lookup_by_subspace(self):
+        result = _result(0, [[0, 1], [2]])
+        evidence = result.evidence_for(Subspace([2]))
+        assert evidence is not None
+        assert evidence.flagged
+        assert evidence.rd == pytest.approx(0.02)
+        assert evidence.irsd == pytest.approx(1.0)
+
+    def test_evidence_lookup_for_unchecked_subspace_is_none(self):
+        assert _result(0, [[0]]).evidence_for(Subspace([5])) is None
+
+
+class TestStreamSummary:
+    def test_counts_points_and_outliers(self):
+        summary = StreamSummary()
+        summary.record(_result(0, [[0]]))
+        summary.record(_result(1, []))
+        summary.record(_result(2, [[0], [1, 2]]))
+        assert summary.points_processed == 3
+        assert summary.outliers_detected == 2
+        assert summary.outlier_rate == pytest.approx(2 / 3)
+
+    def test_outlier_rate_of_an_empty_summary_is_zero(self):
+        assert StreamSummary().outlier_rate == 0.0
+
+    def test_subspace_hit_counts(self):
+        summary = StreamSummary()
+        summary.record(_result(0, [[0]]))
+        summary.record(_result(1, [[0], [1]]))
+        assert summary.subspace_hit_counts[Subspace([0])] == 2
+        assert summary.subspace_hit_counts[Subspace([1])] == 1
+
+    def test_top_subspaces_orders_by_hits(self):
+        summary = StreamSummary()
+        for _ in range(3):
+            summary.record(_result(0, [[1]]))
+        summary.record(_result(1, [[2]]))
+        top = summary.top_subspaces(k=1)
+        assert top == [(Subspace([1]), 3)]

@@ -1,0 +1,132 @@
+"""Unit tests for the Sparse Subspace Template container."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, SubspaceError
+from repro.core.sst import RankedSubspace, SparseSubspaceTemplate
+from repro.core.subspace import Subspace, count_subspaces
+
+
+@pytest.fixture()
+def sst():
+    return SparseSubspaceTemplate(phi=6, cs_capacity=3, os_capacity=2)
+
+
+class TestConstruction:
+    def test_requires_positive_phi(self):
+        with pytest.raises(ConfigurationError):
+            SparseSubspaceTemplate(0)
+
+    def test_requires_non_negative_capacities(self):
+        with pytest.raises(ConfigurationError):
+            SparseSubspaceTemplate(4, cs_capacity=-1)
+
+    def test_starts_empty(self, sst):
+        assert len(sst) == 0
+        assert sst.component_sizes() == {"FS": 0, "CS": 0, "OS": 0}
+
+
+class TestFixedComponent:
+    def test_build_fixed_enumerates_the_lattice_bottom(self, sst):
+        count = sst.build_fixed(2)
+        assert count == count_subspaces(6, 2)
+        assert len(sst.fixed_subspaces) == count
+
+    def test_build_fixed_replaces_previous_content(self, sst):
+        sst.build_fixed(2)
+        sst.build_fixed(1)
+        assert len(sst.fixed_subspaces) == 6
+
+    def test_build_fixed_rejects_bad_max_dimension(self, sst):
+        with pytest.raises(ConfigurationError):
+            sst.build_fixed(0)
+
+    def test_set_fixed_validates_subspaces(self, sst):
+        with pytest.raises(SubspaceError):
+            sst.set_fixed([Subspace([7])])
+
+
+class TestRankedComponents:
+    def test_add_clustering_subspace_orders_by_score(self, sst):
+        sst.add_clustering_subspace(Subspace([0]), 0.5)
+        sst.add_clustering_subspace(Subspace([1]), 0.1)
+        sst.add_clustering_subspace(Subspace([2]), 0.3)
+        assert sst.clustering_subspaces == (Subspace([1]), Subspace([2]), Subspace([0]))
+
+    def test_capacity_evicts_the_worst(self, sst):
+        for i, score in enumerate((0.4, 0.1, 0.3, 0.2)):
+            sst.add_clustering_subspace(Subspace([i]), score)
+        assert len(sst.clustering_subspaces) == 3
+        assert Subspace([0]) not in sst.clustering_subspaces
+
+    def test_adding_a_worse_duplicate_keeps_the_better_score(self, sst):
+        sst.add_clustering_subspace(Subspace([0]), 0.2)
+        sst.add_clustering_subspace(Subspace([0]), 0.9)
+        assert sst.clustering_ranked[0].score == 0.2
+
+    def test_adding_a_better_duplicate_improves_the_score(self, sst):
+        sst.add_clustering_subspace(Subspace([0]), 0.9)
+        sst.add_clustering_subspace(Subspace([0]), 0.2)
+        assert sst.clustering_ranked[0].score == 0.2
+
+    def test_add_returns_whether_the_subspace_was_retained(self, sst):
+        assert sst.add_outlier_driven_subspace(Subspace([0]), 0.1) is True
+        assert sst.add_outlier_driven_subspace(Subspace([1]), 0.2) is True
+        assert sst.add_outlier_driven_subspace(Subspace([2]), 0.9) is False
+
+    def test_set_clustering_replaces_content(self, sst):
+        sst.add_clustering_subspace(Subspace([5]), 0.1)
+        sst.set_clustering([(Subspace([0]), 0.2), (Subspace([1]), 0.1)])
+        assert Subspace([5]) not in sst.clustering_subspaces
+        assert len(sst.clustering_subspaces) == 2
+
+    def test_clear_components(self, sst):
+        sst.add_clustering_subspace(Subspace([0]), 0.1)
+        sst.add_outlier_driven_subspace(Subspace([1]), 0.1)
+        sst.clear_clustering()
+        sst.clear_outlier_driven()
+        assert sst.component_sizes() == {"FS": 0, "CS": 0, "OS": 0}
+
+    def test_replace_clustering_ranked(self, sst):
+        sst.add_clustering_subspace(Subspace([0]), 0.5)
+        sst.replace_clustering_ranked([
+            RankedSubspace(Subspace([1]), 0.1),
+            RankedSubspace(Subspace([2]), 0.2),
+        ])
+        assert sst.clustering_subspaces == (Subspace([1]), Subspace([2]))
+
+
+class TestUnionView:
+    def test_all_subspaces_deduplicates_across_components(self, sst):
+        sst.set_fixed([Subspace([0]), Subspace([1])])
+        sst.add_clustering_subspace(Subspace([1]), 0.1)
+        sst.add_outlier_driven_subspace(Subspace([2]), 0.1)
+        union = sst.all_subspaces()
+        assert len(union) == 3
+        assert set(union) == {Subspace([0]), Subspace([1]), Subspace([2])}
+
+    def test_contains_checks_the_union(self, sst):
+        sst.add_clustering_subspace(Subspace([3]), 0.1)
+        assert Subspace([3]) in sst
+        assert Subspace([4]) not in sst
+
+    def test_len_counts_the_union(self, sst):
+        sst.set_fixed([Subspace([0])])
+        sst.add_clustering_subspace(Subspace([0]), 0.1)
+        assert len(sst) == 1
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_everything(self, sst):
+        sst.build_fixed(1)
+        sst.add_clustering_subspace(Subspace([1, 2]), 0.25)
+        sst.add_outlier_driven_subspace(Subspace([3, 4]), 0.5)
+        restored = SparseSubspaceTemplate.from_dict(sst.to_dict())
+        assert restored.phi == sst.phi
+        assert restored.fixed_subspaces == sst.fixed_subspaces
+        assert restored.clustering_subspaces == sst.clustering_subspaces
+        assert restored.outlier_driven_subspaces == sst.outlier_driven_subspaces
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(SubspaceError):
+            SparseSubspaceTemplate.from_dict({"phi": 4, "clustering": [{"oops": 1}]})

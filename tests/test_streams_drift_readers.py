@@ -1,0 +1,150 @@
+"""Tests for drift construction/detection and CSV stream persistence."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.grid import DomainBounds, Grid
+from repro.streams import (
+    CSVStream,
+    DriftDetector,
+    GaussianStreamGenerator,
+    GradualDriftStream,
+    ListStream,
+    StreamPoint,
+    UniformNoiseStream,
+    abrupt_drift_stream,
+    read_csv_stream,
+    write_csv_stream,
+)
+
+
+class TestDriftStreams:
+    def test_abrupt_drift_concatenates(self):
+        before = UniformNoiseStream(4, 50, seed=1)
+        after = UniformNoiseStream(4, 30, seed=2)
+        drifting = abrupt_drift_stream(before, after)
+        assert len(list(drifting)) == 80
+
+    def test_gradual_drift_length_and_dimensionality(self):
+        before = UniformNoiseStream(4, 200, seed=1)
+        after = UniformNoiseStream(4, 200, seed=2)
+        drifting = GradualDriftStream(before, after, n_before=50,
+                                      n_transition=60, n_after=40, seed=3)
+        points = list(drifting)
+        assert len(points) == 150
+        assert drifting.dimensionality == 4
+        assert len(drifting) == 150
+
+    def test_gradual_drift_rejects_mismatched_streams(self):
+        with pytest.raises(ConfigurationError):
+            GradualDriftStream(UniformNoiseStream(3, 10), UniformNoiseStream(4, 10),
+                               n_before=5, n_transition=5, n_after=5)
+
+    def test_gradual_drift_rejects_empty_configuration(self):
+        with pytest.raises(ConfigurationError):
+            GradualDriftStream(UniformNoiseStream(3, 10), UniformNoiseStream(3, 10),
+                               n_before=0, n_transition=0, n_after=0)
+
+    def test_transition_mixes_both_sources(self):
+        before = ListStream([StreamPoint(values=(0.0,))] * 300)
+        after = ListStream([StreamPoint(values=(1.0,))] * 300)
+        drifting = GradualDriftStream(before, after, n_before=10,
+                                      n_transition=100, n_after=10, seed=5)
+        points = list(drifting)
+        transition = [p.values[0] for p in points[10:110]]
+        assert 0 < sum(transition) < 100
+
+
+class TestDriftDetector:
+    def _grid(self):
+        return Grid(bounds=DomainBounds.unit(4), cells_per_dimension=4)
+
+    def test_invalid_parameters(self):
+        grid = self._grid()
+        with pytest.raises(ConfigurationError):
+            DriftDetector(grid, window=0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(grid, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(grid, warmup=-1)
+
+    def test_stationary_stream_triggers_no_drift(self):
+        detector = DriftDetector(self._grid(), window=50, threshold=0.5,
+                                 warmup=100)
+        stream = GaussianStreamGenerator(4, 600, n_clusters=2,
+                                         outlier_rate=0.0, seed=1)
+        for point in stream:
+            detector.observe(point.values)
+        assert detector.drift_count == 0
+
+    def test_distribution_shift_is_detected(self):
+        detector = DriftDetector(self._grid(), window=50, threshold=0.4,
+                                 warmup=100)
+        before = GaussianStreamGenerator(4, 400, n_clusters=2,
+                                         outlier_rate=0.0, seed=2)
+        for point in before:
+            detector.observe(point.values)
+        assert detector.drift_count == 0
+        # Switch to a process that scatters over the whole domain: most base
+        # cells are now ones the detector has never seen.
+        drift_signals = 0
+        after = UniformNoiseStream(4, 200, seed=3)
+        for point in after:
+            if detector.observe(point.values).drift_detected:
+                drift_signals += 1
+        assert drift_signals > 0
+
+    def test_reset_clears_history(self):
+        detector = DriftDetector(self._grid(), window=10, threshold=0.5, warmup=0)
+        for i in range(20):
+            detector.observe((i / 20.0, 0.5, 0.5, 0.5))
+        detector.reset()
+        assert detector.novelty_rate() == 0.0
+
+
+class TestCSVRoundTrip:
+    def test_write_then_read_preserves_points(self, tmp_path):
+        points = list(GaussianStreamGenerator(5, 40, outlier_rate=0.1, seed=4))
+        path = tmp_path / "stream.csv"
+        written = write_csv_stream(points, path)
+        assert written == 40
+        restored = read_csv_stream(path)
+        assert len(restored) == 40
+        assert restored.dimensionality == 5
+        for original, loaded in zip(points, restored):
+            assert loaded.values == pytest.approx(original.values)
+            assert loaded.is_outlier == original.is_outlier
+            assert loaded.category == original.category
+
+    def test_write_rejects_empty_and_ragged_input(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv_stream([], tmp_path / "empty.csv")
+        ragged = [StreamPoint(values=(1.0,)), StreamPoint(values=(1.0, 2.0))]
+        with pytest.raises(ConfigurationError):
+            write_csv_stream(ragged, tmp_path / "ragged.csv")
+
+    def test_csv_stream_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CSVStream(tmp_path / "does-not-exist.csv")
+
+    def test_csv_stream_rejects_non_numeric_features(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,x1\n1.0,not-a-number\n")
+        stream = CSVStream(path)
+        with pytest.raises(ConfigurationError):
+            list(stream)
+
+    def test_csv_stream_without_labels(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("a,b\n0.1,0.2\n0.3,0.4\n")
+        stream = CSVStream(path)
+        points = list(stream)
+        assert len(points) == 2
+        assert stream.dimensionality == 2
+        assert not any(p.is_outlier for p in points)
+
+    def test_csv_stream_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "header-only.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ConfigurationError):
+            CSVStream(path)

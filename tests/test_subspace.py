@@ -1,0 +1,110 @@
+"""Unit tests for the subspace algebra."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import SubspaceError
+from repro.core.subspace import Subspace, count_subspaces, enumerate_subspaces
+
+
+class TestSubspaceConstruction:
+    def test_dimensions_are_sorted_and_deduplicated(self):
+        assert Subspace([3, 1, 3, 2]).dimensions == (1, 2, 3)
+
+    def test_empty_subspace_is_rejected(self):
+        with pytest.raises(SubspaceError):
+            Subspace([])
+
+    def test_negative_dimension_is_rejected(self):
+        with pytest.raises(SubspaceError):
+            Subspace([-1, 2])
+
+    def test_length_counts_distinct_dimensions(self):
+        assert len(Subspace([5, 5, 7])) == 2
+
+    def test_from_mask_round_trips(self):
+        subspace = Subspace([0, 3])
+        assert Subspace.from_mask(subspace.as_mask(5)) == subspace
+
+    def test_full_space_contains_every_dimension(self):
+        assert Subspace.full_space(4).dimensions == (0, 1, 2, 3)
+
+    def test_full_space_rejects_non_positive_phi(self):
+        with pytest.raises(SubspaceError):
+            Subspace.full_space(0)
+
+
+class TestSubspaceProtocol:
+    def test_equality_and_hash_agree(self):
+        a, b = Subspace([2, 4]), Subspace([4, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_with_other_types_is_not_an_error(self):
+        assert Subspace([1]) != "not a subspace"
+
+    def test_membership(self):
+        subspace = Subspace([1, 5])
+        assert 5 in subspace
+        assert 2 not in subspace
+
+    def test_iteration_yields_sorted_dimensions(self):
+        assert list(Subspace([9, 0, 4])) == [0, 4, 9]
+
+    def test_subset_ordering(self):
+        assert Subspace([1]) <= Subspace([1, 2])
+        assert Subspace([1]) < Subspace([1, 2])
+        assert not Subspace([1, 3]) <= Subspace([1, 2])
+
+    def test_repr_is_informative(self):
+        assert "Subspace" in repr(Subspace([2]))
+
+
+class TestSubspaceAlgebra:
+    def test_union_spans_both_operands(self):
+        assert Subspace([0, 1]).union(Subspace([1, 3])).dimensions == (0, 1, 3)
+
+    def test_intersection_of_overlapping_subspaces(self):
+        assert Subspace([0, 1, 2]).intersection(Subspace([2, 3])).dimensions == (2,)
+
+    def test_intersection_of_disjoint_subspaces_raises(self):
+        with pytest.raises(SubspaceError):
+            Subspace([0]).intersection(Subspace([1]))
+
+    def test_project_extracts_the_right_coordinates(self):
+        point = (10.0, 11.0, 12.0, 13.0)
+        assert Subspace([1, 3]).project(point) == (11.0, 13.0)
+
+    def test_project_rejects_short_points(self):
+        with pytest.raises(SubspaceError):
+            Subspace([5]).project((1.0, 2.0))
+
+    def test_validate_against_accepts_and_rejects(self):
+        Subspace([2]).validate_against(3)
+        with pytest.raises(SubspaceError):
+            Subspace([3]).validate_against(3)
+
+
+class TestEnumeration:
+    def test_enumerates_all_one_and_two_dim_subspaces(self):
+        subspaces = list(enumerate_subspaces(4, 2))
+        assert len(subspaces) == 4 + 6
+        assert len(set(subspaces)) == len(subspaces)
+
+    def test_max_dimension_is_clamped_to_phi(self):
+        subspaces = list(enumerate_subspaces(3, 10))
+        assert len(subspaces) == 2 ** 3 - 1
+
+    def test_count_matches_enumeration(self):
+        for phi, k in [(5, 2), (6, 3), (3, 3)]:
+            assert count_subspaces(phi, k) == len(list(enumerate_subspaces(phi, k)))
+
+    def test_count_uses_binomials(self):
+        assert count_subspaces(10, 2) == math.comb(10, 1) + math.comb(10, 2)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(SubspaceError):
+            list(enumerate_subspaces(0, 1))
+        with pytest.raises(SubspaceError):
+            list(enumerate_subspaces(3, 0))

@@ -1,0 +1,248 @@
+"""Unit tests for the synapse store (one-pass BCS/PCS maintenance)."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DimensionMismatchError
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace
+from repro.core.synapse_store import SynapseStore
+from repro.core.time_model import TimeModel
+
+
+@pytest.fixture()
+def store(unit_grid, fast_time_model):
+    return SynapseStore(unit_grid, fast_time_model)
+
+
+def _uniform_points(n, phi, seed=0):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(phi)) for _ in range(n)]
+
+
+class TestIngestion:
+    def test_update_advances_the_clock(self, store):
+        assert store.tick == 0.0
+        store.update((0.1, 0.1, 0.1, 0.1))
+        store.update((0.2, 0.2, 0.2, 0.2))
+        assert store.tick == 2.0
+        assert store.points_seen == 2
+
+    def test_update_rejects_wrong_dimensionality(self, store):
+        with pytest.raises(DimensionMismatchError):
+            store.update((0.1, 0.2))
+
+    def test_total_mass_grows_with_ingestion(self, store):
+        store.ingest(_uniform_points(20, 4))
+        assert 0.0 < store.total_mass() <= 20.0
+
+    def test_total_mass_saturates_near_effective_window(self, unit_grid):
+        model = TimeModel.create(omega=50, epsilon=0.01)
+        store = SynapseStore(unit_grid, model)
+        store.ingest(_uniform_points(500, 4))
+        assert store.total_mass() == pytest.approx(model.effective_window_mass(),
+                                                   rel=0.05)
+
+    def test_base_cells_are_materialised_lazily(self, store):
+        assert store.populated_base_cells == 0
+        store.update((0.1, 0.1, 0.1, 0.1))
+        store.update((0.1, 0.1, 0.1, 0.1))
+        assert store.populated_base_cells == 1
+        store.update((0.9, 0.9, 0.9, 0.9))
+        assert store.populated_base_cells == 2
+
+    def test_ingest_returns_the_point_count(self, store):
+        assert store.ingest(_uniform_points(7, 4)) == 7
+
+
+class TestSubspaceRegistration:
+    def test_register_and_unregister(self, store):
+        subspace = Subspace([0, 1])
+        store.register_subspace(subspace)
+        assert subspace in store.registered_subspaces
+        store.unregister_subspace(subspace)
+        assert subspace not in store.registered_subspaces
+
+    def test_register_rejects_out_of_range_subspaces(self, store):
+        with pytest.raises(Exception):
+            store.register_subspace(Subspace([9]))
+
+    def test_double_registration_is_idempotent(self, store):
+        subspace = Subspace([1])
+        store.register_subspace(subspace)
+        store.ingest(_uniform_points(10, 4))
+        cells_before = store.populated_projected_cells(subspace)
+        store.register_subspace(subspace)
+        assert store.populated_projected_cells(subspace) == cells_before
+
+    def test_late_registration_rebuilds_from_base_cells(self, store):
+        points = _uniform_points(50, 4, seed=3)
+        early = Subspace([0])
+        store.register_subspace(early)
+        store.ingest(points)
+
+        late = Subspace([0])
+        other_store = SynapseStore(store.grid, store.time_model)
+        other_store.ingest(points)
+        other_store.register_subspace(late)
+
+        for cell, pcs in store.iter_projected_cells(early):
+            other = other_store.pcs_for_cell(cell, late)
+            assert other.count == pytest.approx(pcs.count, rel=1e-6, abs=1e-9)
+
+    def test_late_registration_without_base_cells_starts_empty(self, unit_grid,
+                                                               fast_time_model):
+        store = SynapseStore(unit_grid, fast_time_model, track_base_cells=False)
+        store.ingest(_uniform_points(30, 4))
+        subspace = Subspace([2])
+        store.register_subspace(subspace)
+        assert store.populated_projected_cells(subspace) == 0
+
+
+class TestPCSQueries:
+    def test_unregistered_subspace_queries_fail(self, store):
+        with pytest.raises(ConfigurationError):
+            store.pcs_for_point((0.1, 0.1, 0.1, 0.1), Subspace([0]))
+
+    def test_unpopulated_cell_has_zero_count(self, store):
+        subspace = Subspace([0])
+        store.register_subspace(subspace)
+        store.update((0.1, 0.1, 0.1, 0.1))
+        pcs = store.pcs_for_cell((4,), subspace)
+        assert pcs.count == 0.0
+        assert pcs.rd == 0.0
+
+    def test_heavy_cell_has_rd_above_one(self, store):
+        subspace = Subspace([0])
+        store.register_subspace(subspace)
+        # Most points land in interval 0 of dimension 0; a few land elsewhere
+        # so the populated-cell average is pulled below the heavy cell.
+        rng = random.Random(5)
+        for i in range(60):
+            x0 = 0.05 if i % 6 else rng.uniform(0.3, 0.99)
+            store.update((x0, rng.random(), rng.random(), rng.random()))
+        pcs = store.pcs_for_point((0.05, 0.5, 0.5, 0.5), subspace)
+        assert pcs.rd > 1.0
+
+    def test_exclude_weight_removes_the_latest_contribution(self, store):
+        subspace = Subspace([0])
+        store.register_subspace(subspace)
+        store.update((0.95, 0.1, 0.1, 0.1))
+        with_self = store.pcs_for_point((0.95, 0.1, 0.1, 0.1), subspace)
+        without_self = store.pcs_for_point((0.95, 0.1, 0.1, 0.1), subspace,
+                                           exclude_weight=1.0)
+        assert with_self.count > without_self.count
+        assert without_self.count == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_data_has_rd_near_one_everywhere(self, unit_grid):
+        model = TimeModel.create(omega=400, epsilon=0.01)
+        store = SynapseStore(unit_grid, model)
+        subspace = Subspace([0, 1])
+        store.register_subspace(subspace)
+        store.ingest(_uniform_points(2000, 4, seed=9))
+        rds = [pcs.rd for _, pcs in store.iter_projected_cells(subspace)]
+        assert all(0.3 < rd < 3.0 for rd in rds)
+
+    def test_bcs_for_point_returns_summary_of_its_cell(self, store):
+        store.update((0.1, 0.1, 0.1, 0.1))
+        bcs = store.bcs_for_point((0.1, 0.1, 0.1, 0.1))
+        assert bcs is not None
+        assert bcs.count == pytest.approx(1.0)
+
+    def test_bcs_for_unseen_cell_is_none(self, store):
+        store.update((0.1, 0.1, 0.1, 0.1))
+        assert store.bcs_for_point((0.9, 0.9, 0.9, 0.9)) is None
+
+
+class TestDensityReferences:
+    def _populated_store(self, reference):
+        grid = Grid(bounds=DomainBounds.unit(3), cells_per_dimension=4)
+        model = TimeModel.create(omega=200, epsilon=0.01)
+        store = SynapseStore(grid, model, density_reference=reference)
+        store.register_subspace(Subspace([0, 1]))
+        store.register_subspace(Subspace([0]))
+        rng = random.Random(11)
+        for _ in range(300):
+            store.update((rng.gauss(0.3, 0.05), rng.gauss(0.7, 0.05), rng.random()))
+        return store
+
+    def test_invalid_reference_is_rejected(self, unit_grid, fast_time_model):
+        with pytest.raises(ConfigurationError):
+            SynapseStore(unit_grid, fast_time_model, density_reference="bogus")
+
+    def test_lattice_expectation_is_uniform(self):
+        store = self._populated_store("lattice")
+        subspace = Subspace([0, 1])
+        total = store.total_mass()
+        expected = store.expected_mass((0, 0), subspace)
+        assert expected == pytest.approx(total / 16.0)
+
+    def test_populated_expectation_uses_cell_count(self):
+        store = self._populated_store("populated")
+        subspace = Subspace([0, 1])
+        populated = store.populated_projected_cells(subspace)
+        expected = store.expected_mass((0, 0), subspace)
+        assert expected == pytest.approx(store.total_mass() / populated)
+
+    def test_marginal_expectation_reflects_correlation(self):
+        # Data concentrates around (0.3, 0.7): the cell at the marginal modes
+        # has a high expectation, the swapped combination a similar one (the
+        # independence null cannot see the correlation), and an off-mode cell
+        # a near-zero one.
+        store = self._populated_store("marginal")
+        subspace = Subspace([0, 1])
+        grid = store.grid
+        mode_cell = grid.projected_cell((0.3, 0.7, 0.5), subspace)
+        off_cell = grid.projected_cell((0.95, 0.05, 0.5), subspace)
+        assert store.expected_mass(mode_cell, subspace) > 10 * \
+            max(store.expected_mass(off_cell, subspace), 1e-9)
+
+    def test_hybrid_uses_populated_for_one_dim(self):
+        store = self._populated_store("hybrid")
+        one_d = Subspace([0])
+        populated = store.populated_projected_cells(one_d)
+        assert store.expected_mass((0,), one_d) == pytest.approx(
+            store.total_mass() / populated)
+
+    def test_hybrid_uses_marginals_for_two_dim(self):
+        hybrid = self._populated_store("hybrid")
+        marginal = self._populated_store("marginal")
+        subspace = Subspace([0, 1])
+        cell = (1, 2)
+        assert hybrid.expected_mass(cell, subspace) == pytest.approx(
+            marginal.expected_mass(cell, subspace), rel=1e-9)
+
+    def test_marginal_mass_sums_to_total(self):
+        store = self._populated_store("hybrid")
+        total = store.total_mass()
+        per_dim = sum(store.marginal_mass(0, i) for i in range(4))
+        assert per_dim == pytest.approx(total, rel=1e-6)
+
+
+class TestPruning:
+    def test_prune_removes_stale_cells(self, unit_grid):
+        model = TimeModel.create(omega=20, epsilon=0.01)
+        store = SynapseStore(unit_grid, model)
+        store.register_subspace(Subspace([0]))
+        store.update((0.05, 0.1, 0.1, 0.1))
+        # Flood a different region long enough for the first cell to decay away.
+        for _ in range(400):
+            store.update((0.95, 0.9, 0.9, 0.9))
+        removed = store.prune(min_count=1e-3)
+        assert removed >= 1
+        assert store.populated_base_cells >= 1
+
+    def test_prune_keeps_active_cells(self, store):
+        store.register_subspace(Subspace([0]))
+        for _ in range(30):
+            store.update((0.5, 0.5, 0.5, 0.5))
+        assert store.prune(min_count=1e-6) == 0
+
+    def test_memory_footprint_reports_counts(self, store):
+        store.register_subspace(Subspace([0, 1]))
+        store.ingest(_uniform_points(25, 4))
+        footprint = store.memory_footprint()
+        assert footprint["subspaces"] == 1
+        assert footprint["base_cells"] > 0
+        assert footprint["projected_cells"] > 0

@@ -1,0 +1,93 @@
+"""Unit tests for the (omega, epsilon) time model."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.time_model import TimeModel, solve_decay_factor
+
+
+class TestSolveDecayFactor:
+    def test_factor_lies_strictly_between_zero_and_one(self):
+        alpha = solve_decay_factor(100, 0.01)
+        assert 0.0 < alpha < 1.0
+
+    def test_bound_is_honoured(self):
+        for omega, epsilon in [(50, 0.01), (200, 0.1), (1000, 0.001)]:
+            alpha = solve_decay_factor(omega, epsilon)
+            assert alpha ** omega <= epsilon + 1e-12
+
+    def test_factor_is_the_largest_admissible(self):
+        alpha = solve_decay_factor(100, 0.01)
+        assert (alpha + 1e-6) ** 100 > 0.01
+
+    def test_larger_omega_gives_slower_decay(self):
+        assert solve_decay_factor(1000, 0.01) > solve_decay_factor(100, 0.01)
+
+    def test_larger_epsilon_gives_slower_decay(self):
+        assert solve_decay_factor(100, 0.1) > solve_decay_factor(100, 0.01)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            solve_decay_factor(0, 0.01)
+        with pytest.raises(ConfigurationError):
+            solve_decay_factor(100, 0.0)
+        with pytest.raises(ConfigurationError):
+            solve_decay_factor(100, 1.0)
+
+
+class TestTimeModel:
+    def test_create_derives_the_decay_factor(self):
+        model = TimeModel.create(omega=100, epsilon=0.01)
+        assert model.decay_factor == pytest.approx(0.01 ** (1 / 100))
+
+    def test_weight_at_age_zero_is_one(self, fast_time_model):
+        assert fast_time_model.weight_at_age(0) == 1.0
+
+    def test_weight_decreases_with_age(self, fast_time_model):
+        weights = [fast_time_model.weight_at_age(a) for a in (0, 10, 20, 50)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_weight_at_window_edge_meets_the_bound(self):
+        model = TimeModel.create(omega=50, epsilon=0.01)
+        assert model.weight_at_age(50) == pytest.approx(0.01)
+
+    def test_negative_age_is_rejected(self, fast_time_model):
+        with pytest.raises(ConfigurationError):
+            fast_time_model.weight_at_age(-1)
+
+    def test_decay_over_composes_multiplicatively(self, fast_time_model):
+        combined = fast_time_model.decay_over(7)
+        split = fast_time_model.decay_over(3) * fast_time_model.decay_over(4)
+        assert combined == pytest.approx(split)
+
+    def test_decay_over_rejects_negative_elapsed(self, fast_time_model):
+        with pytest.raises(ConfigurationError):
+            fast_time_model.decay_over(-0.5)
+
+    def test_effective_window_mass_is_geometric_sum(self, fast_time_model):
+        alpha = fast_time_model.decay_factor
+        assert fast_time_model.effective_window_mass() == pytest.approx(1 / (1 - alpha))
+
+    def test_out_of_window_fraction_is_bounded_by_epsilon(self):
+        for omega, epsilon in [(100, 0.01), (500, 0.05)]:
+            model = TimeModel.create(omega, epsilon)
+            assert model.out_of_window_fraction() <= epsilon + 1e-12
+
+    def test_out_of_window_mass_consistency(self, fast_time_model):
+        fraction = fast_time_model.out_of_window_fraction()
+        total = fast_time_model.effective_window_mass()
+        assert fast_time_model.out_of_window_mass() == pytest.approx(fraction * total)
+
+    def test_half_life_is_positive_and_shorter_than_window(self):
+        model = TimeModel.create(omega=100, epsilon=0.01)
+        assert 0 < model.half_life() < 100
+
+    def test_half_life_matches_decay_factor(self):
+        model = TimeModel.create(omega=100, epsilon=0.01)
+        assert model.decay_factor ** model.half_life() == pytest.approx(0.5)
+
+    def test_model_is_immutable(self, fast_time_model):
+        with pytest.raises(AttributeError):
+            fast_time_model.omega = 10
