@@ -1,0 +1,42 @@
+"""Benchmark T1 — detection throughput of the two engines.
+
+The vectorized batch engine exists for one reason: the paper's constant-work-
+per-point maintenance claim only translates into stream-scale throughput if
+that constant is paid in array passes, not Python-interpreter steps.  This
+benchmark runs the same E4-style workload (fixed SST budget, long detection
+segment) through the pure-Python reference engine and the vectorized engine
+and asserts that
+
+* both engines flag exactly the same number of outliers (the cheap, coarse
+  cross-check; the fine-grained per-point parity lives in
+  ``tests/test_process_batch_parity.py``), and
+* the vectorized engine is decisively faster.  The committed
+  ``BENCH_throughput.json`` (regenerated with ``spot-demo bench``) records
+  ~10-15x on the 10-d/20k acceptance workload; the assertion here uses a 2x
+  floor so shared-CI jitter cannot flake the suite.
+
+The sizes here are trimmed relative to ``spot-demo bench`` defaults so the
+tier-1 run stays fast.
+"""
+
+from repro.eval.experiments import experiment_t1_throughput
+
+
+def test_bench_t1_throughput(experiment_runner):
+    report = experiment_runner(
+        experiment_t1_throughput,
+        dimension_settings=(10, 30),
+        lengths={10: 6000, 30: 3000},
+    )
+    rows = {(row["dimensions"], row["engine"]): row for row in report.rows}
+    for phi in (10, 30):
+        python_row = rows[(phi, "python")]
+        vectorized_row = rows[(phi, "vectorized")]
+        assert python_row["points"] == vectorized_row["points"]
+        # Same flags out of both engines...
+        assert vectorized_row["flags_agree"] is True
+        # ...and a decisive speedup from the batch engine.
+        assert vectorized_row["speedup"] >= 2.0, (
+            f"vectorized engine only {vectorized_row['speedup']}x faster "
+            f"at {phi}-d"
+        )

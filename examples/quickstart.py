@@ -57,6 +57,7 @@ def main() -> None:
         min_expected_mass=4.0,   # ...provided at least ~4 points were expected
         moga_population=24,
         moga_generations=10,
+        engine="vectorized",     # NumPy batch engine (same flags as "python")
     )
     detector = SPOT(config)
     detector.learn(values_of(training))

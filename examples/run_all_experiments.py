@@ -30,6 +30,7 @@ from repro.eval.experiments import (
     experiment_e3_scalability_dimensions,
     experiment_e4_scalability_stream_length,
     experiment_f1_pipeline,
+    experiment_t1_throughput,
 )
 
 #: What the paper claims / what shape we expect, per experiment id.
@@ -56,6 +57,9 @@ EXPECTATIONS = {
           "lattice; the exact kNN baseline is slower and degrades faster.",
     "E4": "Per-point cost stays roughly flat as the stream grows 8x and the "
           "summary footprint plateaus (decay + pruning bound the live cells).",
+    "T1": "The vectorized batch engine flags exactly what the pure-Python "
+          "reference engine flags while sustaining roughly an order of "
+          "magnitude more points per second.",
     "A1": "Recall rises as CS and then OS are added to FS — the three SST "
           "components supplement each other as the paper argues.",
     "A2": "After the drift the frozen template loses recall; the adaptive "
@@ -77,6 +81,8 @@ FULL_PARAMS = {
                n_detection=800, seed=17),
     "E4": dict(lengths=(2000, 4000, 8000, 16000), dimensions=20,
                n_training=400, seed=19),
+    "T1": dict(dimension_settings=(10, 30), lengths={10: 10000, 30: 4000},
+               n_training=400, seed=19),
     "A1": dict(dimensions=20, n_training=800, n_detection=1500,
                outlier_rate=0.04, seed=29),
     "A2": dict(dimensions=16, n_training=700, n_before=700, n_after=700,
@@ -96,6 +102,8 @@ QUICK_PARAMS = {
     "E3": dict(dimension_settings=(10, 20), n_training=250, n_detection=400,
                seed=17),
     "E4": dict(lengths=(1000, 3000), dimensions=12, n_training=250, seed=19),
+    "T1": dict(dimension_settings=(10,), lengths={10: 3000}, n_training=250,
+               seed=19),
     "A1": dict(dimensions=14, n_training=400, n_detection=700,
                outlier_rate=0.05, seed=29),
     "A2": dict(dimensions=12, n_training=400, n_before=400, n_after=400,
@@ -111,6 +119,7 @@ EXPERIMENTS = {
     "E2": experiment_e2_effectiveness_kdd,
     "E3": experiment_e3_scalability_dimensions,
     "E4": experiment_e4_scalability_stream_length,
+    "T1": experiment_t1_throughput,
     "A1": experiment_a1_sst_ablation,
     "A2": experiment_a2_self_evolution,
     "A3": experiment_a3_time_model,

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.exceptions import ConfigurationError, NotFittedError
 
@@ -56,9 +58,17 @@ class StreamingDetector(abc.ABC):
         for point in stream:
             yield self.process(point)
 
+    def process_batch(self, points: Iterable[PointLike]) -> List[BaselineResult]:
+        """Classify a finite chunk of points at once.
+
+        The default implementation loops :meth:`process`; detectors built on
+        the vectorized synapse store override it with an array fast path.
+        """
+        return [self.process(point) for point in points]
+
     def detect(self, points: Iterable[PointLike]) -> List[BaselineResult]:
         """Classify a finite batch and return every result."""
-        return list(self.process_stream(points))
+        return self.process_batch(list(points))
 
 
 def validate_training_batch(training_data: Sequence[PointLike]) -> List[Tuple[float, ...]]:
@@ -81,3 +91,30 @@ def require_fitted(fitted: bool, detector_name: str) -> None:
         raise NotFittedError(
             f"{detector_name} must be trained with learn() before processing points"
         )
+
+
+def vectorized_scan(store, points: Sequence[PointLike], subspaces,
+                    exclude_weight: float,
+                    decide: Callable[[object], Tuple[np.ndarray, np.ndarray]],
+                    index_start: int) -> List[BaselineResult]:
+    """Shared chunked scan for baselines running on the vectorized store.
+
+    Ingests ``points`` chunk by chunk through the store's ``plan_batch`` /
+    ``commit`` machinery and turns ``decide(plan) -> (flags, scores)`` — the
+    only part that differs between grid baselines — into indexed
+    :class:`BaselineResult` rows starting at ``index_start``.
+    """
+    results: List[BaselineResult] = []
+    if not points:
+        return results
+    X = np.array([coerce_point(point) for point in points], dtype=np.float64)
+    for start in range(0, X.shape[0], store.max_batch_points()):
+        chunk = X[start:start + store.max_batch_points()]
+        plan = store.plan_batch(chunk, subspaces, exclude_weight=exclude_weight)
+        plan.commit()
+        flags, scores = decide(plan)
+        for flag, score in zip(flags.tolist(), scores.tolist()):
+            results.append(BaselineResult(index=index_start + len(results),
+                                          is_outlier=bool(flag),
+                                          score=float(score)))
+    return results

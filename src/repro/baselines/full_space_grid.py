@@ -14,9 +14,13 @@ regular points.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.config import SPOTConfig
+from ..core.exceptions import ConfigurationError
+from ..core.fast_store import VectorizedSynapseStore
 from ..core.grid import DomainBounds, Grid
 from ..core.subspace import Subspace
 from ..core.synapse_store import SynapseStore
@@ -28,6 +32,7 @@ from .base import (
     coerce_point,
     require_fitted,
     validate_training_batch,
+    vectorized_scan,
 )
 
 
@@ -40,6 +45,9 @@ class FullSpaceGridDetector(StreamingDetector):
         Same meaning as in :class:`repro.core.config.SPOTConfig`; defaults are
         taken from a default config so SPOT and this baseline are always
         compared under identical substrate settings.
+    engine:
+        ``"python"`` (default) keeps the reference store; ``"vectorized"``
+        swaps in the array-backed store and enables the batch scan path.
     """
 
     name = "full-space-grid"
@@ -47,12 +55,18 @@ class FullSpaceGridDetector(StreamingDetector):
     def __init__(self, *, cells_per_dimension: Optional[int] = None,
                  omega: Optional[int] = None,
                  epsilon: Optional[float] = None,
-                 rd_threshold: Optional[float] = None) -> None:
+                 rd_threshold: Optional[float] = None,
+                 engine: str = "python") -> None:
+        if engine not in ("python", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'python' or 'vectorized', got {engine!r}"
+            )
         defaults = SPOTConfig()
         self._cells_per_dimension = cells_per_dimension or defaults.cells_per_dimension
         self._omega = omega or defaults.omega
         self._epsilon = epsilon or defaults.epsilon
         self._rd_threshold = rd_threshold or defaults.rd_threshold
+        self._engine = engine
         self._store: Optional[SynapseStore] = None
         self._full_space: Optional[Subspace] = None
 
@@ -65,12 +79,34 @@ class FullSpaceGridDetector(StreamingDetector):
         # A full-space grid method compares each cell with the average
         # populated cell of the (single) full space — the independence
         # expectation is a subspace notion it does not have.
-        self._store = SynapseStore(grid, model, density_reference="populated")
+        store_cls = (VectorizedSynapseStore if self._engine == "vectorized"
+                     else SynapseStore)
+        self._store = store_cls(grid, model, density_reference="populated")
         self._full_space = Subspace.full_space(phi)
         self._store.register_subspace(self._full_space)
         self._store.ingest(batch)
         self._processed = 0
         return self
+
+    def process_batch(self, points: Iterable[PointLike]) -> List[BaselineResult]:
+        """Classify a chunk at once; vectorized when the store supports it."""
+        points = list(points)
+        if not isinstance(self._store, VectorizedSynapseStore):
+            return [self.process(point) for point in points]
+        require_fitted(self._store is not None, self.name)
+        assert self._full_space is not None
+
+        def decide(plan):
+            sub = plan.plans[self._full_space]
+            # Mirror of the sequential rule: PCS.is_sparse(rd_threshold) with
+            # the default zero support requirement.
+            flags = (sub.expected >= 0.0) & (sub.rd <= self._rd_threshold)
+            return flags, np.clip(1.0 - sub.rd, 0.0, 1.0)
+
+        results = vectorized_scan(self._store, points, [self._full_space],
+                                  0.0, decide, self._processed)
+        self._processed += len(results)
+        return results
 
     def process(self, point: PointLike) -> BaselineResult:
         require_fitted(self._store is not None, self.name)

@@ -11,9 +11,12 @@ benefit would be coming from the subspace *count*, not from the learning.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.config import SPOTConfig
+from ..core.fast_store import VectorizedSynapseStore
 from ..core.grid import DomainBounds, Grid
 from ..core.subspace import Subspace
 from ..core.synapse_store import SynapseStore
@@ -26,6 +29,7 @@ from .base import (
     coerce_point,
     require_fitted,
     validate_training_batch,
+    vectorized_scan,
 )
 
 
@@ -55,11 +59,17 @@ class RandomSubspaceDetector(StreamingDetector):
                  rd_threshold: Optional[float] = None,
                  min_expected_mass: Optional[float] = None,
                  significance: Optional[float] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 engine: str = "python") -> None:
         if n_subspaces < 1:
             raise ConfigurationError("n_subspaces must be at least 1")
         if max_dimension < 1:
             raise ConfigurationError("max_dimension must be at least 1")
+        if engine not in ("python", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'python' or 'vectorized', got {engine!r}"
+            )
+        self._engine = engine
         defaults = SPOTConfig()
         self._n_subspaces = n_subspaces
         self._max_dimension = max_dimension
@@ -102,11 +112,38 @@ class RandomSubspaceDetector(StreamingDetector):
         bounds = DomainBounds.from_data(batch, margin=0.1)
         grid = Grid(bounds=bounds, cells_per_dimension=self._cells_per_dimension)
         model = TimeModel.create(self._omega, self._epsilon)
-        self._store = SynapseStore(grid, model)
+        store_cls = (VectorizedSynapseStore if self._engine == "vectorized"
+                     else SynapseStore)
+        self._store = store_cls(grid, model)
         self._store.register_subspaces(subspaces)
         self._store.ingest(batch)
         self._processed = 0
         return self
+
+    def process_batch(self, points) -> List[BaselineResult]:
+        """Classify a chunk at once; vectorized when the store supports it."""
+        points = list(points)
+        if not isinstance(self._store, VectorizedSynapseStore):
+            return [self.process(point) for point in points]
+        require_fitted(self._store is not None, self.name)
+
+        def decide(plan):
+            n = plan.n
+            min_rd = np.full(n, np.inf)
+            flagged = np.zeros(n, dtype=bool)
+            for subspace in self._subspaces:
+                sub = plan.plans[subspace]
+                supported = sub.expected >= self._min_expected_mass
+                np.copyto(min_rd, sub.rd, where=supported & (sub.rd < min_rd))
+                flagged |= supported & (sub.rd <= self._rd_threshold)
+            scores = np.where(np.isfinite(min_rd),
+                              np.clip(1.0 - min_rd, 0.0, 1.0), 0.0)
+            return flagged, scores
+
+        results = vectorized_scan(self._store, points, self._subspaces,
+                                  1.0, decide, self._processed)
+        self._processed += len(results)
+        return results
 
     def process(self, point: PointLike) -> BaselineResult:
         require_fitted(self._store is not None, self.name)

@@ -1,6 +1,6 @@
 """Command-line demo of SPOT (the reproduction of the paper's demo plan).
 
-Three subcommands:
+Four subcommands:
 
 ``spot-demo detect``
     Run the full learning + detection pipeline on a named workload and print
@@ -8,17 +8,22 @@ Three subcommands:
     subspaces.
 
 ``spot-demo experiment``
-    Run one of the experiments from the DESIGN.md index (F1, E1-E4, A1-A4)
-    and print its result table.
+    Run one of the experiments from the DESIGN.md index (F1, E1-E4, T1,
+    A1-A4) and print its result table.
 
 ``spot-demo compare``
     Run SPOT and the baselines on a named workload and print the comparison
     table.
+
+``spot-demo bench``
+    Measure detection throughput of the python and vectorized engines and
+    write the machine-readable ``BENCH_throughput.json`` report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -51,16 +56,34 @@ def _build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--max-dimension", type=int, default=2)
     detect.add_argument("--show", type=int, default=5,
                         help="number of detected outliers to print in detail")
+    detect.add_argument("--engine", choices=("python", "vectorized"),
+                        default="vectorized",
+                        help="detection substrate (vectorized = NumPy fast path)")
 
     experiment = subparsers.add_parser("experiment",
                                        help="run a DESIGN.md experiment")
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
-                            help="experiment identifier (F1, E1-E4, A1-A4)")
+                            help="experiment identifier (F1, E1-E4, T1, A1-A4)")
 
     compare = subparsers.add_parser("compare",
                                     help="compare SPOT against the baselines")
     compare.add_argument("--workload", choices=sorted(WORKLOAD_BUILDERS),
                          default="synthetic")
+    compare.add_argument("--engine", choices=("python", "vectorized"),
+                         default="vectorized",
+                         help="engine used by SPOT and the grid baselines")
+
+    bench = subparsers.add_parser(
+        "bench", help="measure engine throughput and write BENCH_throughput.json")
+    bench.add_argument("--out", default="BENCH_throughput.json",
+                       help="output path of the JSON report")
+    bench.add_argument("--dimensions", type=int, nargs="+",
+                       default=[10, 30, 100],
+                       help="stream dimensionalities to benchmark")
+    bench.add_argument("--length", type=int, default=None,
+                       help="detection-stream length override for every "
+                            "dimensionality (default: 20000 at 10-d, 6000 at "
+                            "30-d, 2000 at 100-d)")
     return parser
 
 
@@ -72,6 +95,7 @@ def _run_detect(args: argparse.Namespace) -> int:
         max_dimension=min(args.max_dimension, 2 if workload.dimensionality > 25 else args.max_dimension),
         moga_generations=12,
         moga_population=24,
+        engine=args.engine,
     )
     detector = SPOT(config)
     print(f"Learning on {len(workload.training)} training points "
@@ -114,15 +138,39 @@ def _run_experiment(args: argparse.Namespace) -> int:
 def _run_compare(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload)
     config = SPOTConfig(max_dimension=1 if workload.dimensionality > 25 else 2,
-                        moga_generations=12, moga_population=24, omega=500)
+                        moga_generations=12, moga_population=24, omega=500,
+                        engine=args.engine)
     factories = {
         "SPOT": lambda: SPOT(config),
-        "full-space-grid": lambda: FullSpaceGridDetector(omega=config.omega),
+        "full-space-grid": lambda: FullSpaceGridDetector(omega=config.omega,
+                                                         engine=args.engine),
         "knn-window": lambda: KNNWindowDetector(window=300),
-        "random-subspace": lambda: RandomSubspaceDetector(n_subspaces=60),
+        "random-subspace": lambda: RandomSubspaceDetector(n_subspaces=60,
+                                                          engine=args.engine),
     }
     evaluations = compare_detectors(factories, workload)
     print(format_table(rows_from_evaluations(evaluations)))
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from .eval.experiments import experiment_t1_throughput
+
+    lengths = ({d: args.length for d in args.dimensions}
+               if args.length else None)
+    report = experiment_t1_throughput(dimension_settings=tuple(args.dimensions),
+                                      lengths=lengths)
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+
+    payload = {
+        "benchmark": "throughput",
+        "workload": "e4-style synthetic stream (fixed SST budget)",
+        "rows": list(report.rows),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nWrote {args.out}")
     return 0
 
 
@@ -136,6 +184,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "bench":
+        return _run_bench(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

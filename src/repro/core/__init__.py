@@ -7,7 +7,8 @@ from .cell_summary import (
     compute_pcs,
 )
 from .config import SPOTConfig
-from .detector import SPOT
+from .detector import SPOT, build_store
+from .fast_store import BatchPlan, CellKeyCodec, VectorizedSynapseStore
 from .exceptions import (
     ConfigurationError,
     DimensionMismatchError,
@@ -31,6 +32,10 @@ __all__ = [
     "compute_pcs",
     "SPOTConfig",
     "SPOT",
+    "build_store",
+    "BatchPlan",
+    "CellKeyCodec",
+    "VectorizedSynapseStore",
     "ConfigurationError",
     "DimensionMismatchError",
     "NotFittedError",

@@ -68,6 +68,14 @@ class SPOTConfig:
         Null model of the Relative Density ("hybrid", "marginal",
         "populated" or "lattice"); see
         :class:`~repro.core.synapse_store.SynapseStore`.
+    engine:
+        Detection substrate: ``"python"`` (default) keeps the pure-Python
+        reference store — the parity oracle — while ``"vectorized"`` swaps in
+        the NumPy array-backed store
+        (:class:`~repro.core.fast_store.VectorizedSynapseStore`) and unlocks
+        the :meth:`~repro.core.detector.SPOT.process_batch` fast path.  Both
+        engines produce the same flags and (within float tolerance) the same
+        scores.
 
     Learning / MOGA
     ---------------
@@ -120,6 +128,9 @@ class SPOTConfig:
     min_expected_mass: float = 3.0
     density_reference: str = "hybrid"
 
+    # Detection substrate
+    engine: str = "python"
+
     # Learning / MOGA
     moga_population: int = 40
     moga_generations: int = 25
@@ -164,6 +175,10 @@ class SPOTConfig:
             raise ConfigurationError(
                 "density_reference must be 'hybrid', 'marginal', 'populated' "
                 f"or 'lattice', got {self.density_reference!r}"
+            )
+        if self.engine not in ("python", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'python' or 'vectorized', got {self.engine!r}"
             )
         if not 0.0 < self.top_outlying_fraction <= 1.0:
             raise ConfigurationError("top_outlying_fraction must lie in (0, 1]")

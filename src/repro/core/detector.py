@@ -33,16 +33,28 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..clustering import compute_outlying_degrees  # noqa: F401  (re-exported convenience)
 from .cell_summary import ProjectedCellSummary
 from .config import SPOTConfig
 from .exceptions import ConfigurationError, DimensionMismatchError, NotFittedError
+from .fast_store import VectorizedSynapseStore
 from .grid import DomainBounds, Grid
 from .results import DetectionResult, StreamSummary, SubspaceEvidence
 from .sst import SparseSubspaceTemplate
 from .subspace import Subspace
 from .synapse_store import SynapseStore
 from .time_model import TimeModel
+
+
+def build_store(config: SPOTConfig, grid: Grid, time_model: TimeModel,
+                *, irsd_cap: float = 100.0):
+    """Build the synapse store the configuration's ``engine`` asks for."""
+    store_cls = (VectorizedSynapseStore if config.engine == "vectorized"
+                 else SynapseStore)
+    return store_cls(grid, time_model, irsd_cap=irsd_cap,
+                     density_reference=config.density_reference)
 
 PointLike = Union[Sequence[float], "StreamPointProtocol"]
 
@@ -89,6 +101,9 @@ class SPOT:
         self._os_growth = None
         self._drift_detector = None
         self._learning_report: dict = {}
+        # (sst version, subspace union, multi-d count) — rebuilt only when
+        # the SST mutates, not per processed point.
+        self._sst_view_cache: Optional[Tuple[int, Tuple[Subspace, ...], int]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -146,6 +161,23 @@ class SPOT:
             raise NotFittedError(
                 "the detector must run its learning stage (SPOT.learn) first"
             )
+
+    def _sst_view(self) -> Tuple[Tuple[Subspace, ...], int]:
+        """Cached (subspace union, multi-dimensional count) of the SST.
+
+        ``all_subspaces()`` and the Bonferroni count were previously rebuilt
+        for every point; they only change when a subspace is (un)registered,
+        so the cache keys on the template's version counter.
+        """
+        assert self._sst is not None
+        version = self._sst.version
+        cache = self._sst_view_cache
+        if cache is None or cache[0] != version:
+            subspaces = self._sst.all_subspaces()
+            n_multi = sum(1 for s in subspaces if len(s) > 1)
+            self._sst_view_cache = (version, subspaces, n_multi)
+            return subspaces, n_multi
+        return cache[1], cache[2]
 
     # ------------------------------------------------------------------ #
     # Learning stage
@@ -207,8 +239,7 @@ class SPOT:
             raise DimensionMismatchError(phi, domain.phi)
         grid = Grid(bounds=domain, cells_per_dimension=config.cells_per_dimension)
         time_model = TimeModel.create(config.omega, config.epsilon)
-        store = SynapseStore(grid, time_model, irsd_cap=100.0,
-                             density_reference=config.density_reference)
+        store = build_store(config, grid, time_model, irsd_cap=100.0)
         sst = SparseSubspaceTemplate(phi, cs_capacity=config.cs_size,
                                      os_capacity=config.os_size)
 
@@ -242,6 +273,7 @@ class SPOT:
         self._summary = StreamSummary()
         self._processed = 0
         self._learning_report = report
+        self._sst_view_cache = None
 
         buffer_capacity = max(2 * config.omega, len(batch), 100)
         self._recent_buffer = RecentPointsBuffer(buffer_capacity)
@@ -279,8 +311,7 @@ class SPOT:
             self._drift_detector.observe(values)
 
         use_poisson = config.decision_rule == "poisson"
-        subspaces = self._sst.all_subspaces()
-        n_multi = sum(1 for s in subspaces if len(s) > 1)
+        subspaces, n_multi = self._sst_view()
         # Multi-dimensional cells are tested against the independence null in
         # n_multi subspaces, so the per-subspace significance is
         # Bonferroni-corrected to keep the per-point false-alarm probability
@@ -380,6 +411,156 @@ class SPOT:
                 and self._processed % config.prune_period == 0):
             store.prune(config.prune_min_count)
 
+    # ------------------------------------------------------------------ #
+    # Batch detection (the vectorized fast path)
+    # ------------------------------------------------------------------ #
+    def _coerce_batch(self, points: Iterable[PointLike]) -> np.ndarray:
+        phi = self.grid.phi
+        if isinstance(points, np.ndarray):
+            X = np.asarray(points, dtype=np.float64)
+            if X.ndim == 1:
+                X = X.reshape(-1, phi) if X.size else X.reshape(0, phi)
+            if X.ndim != 2 or (X.shape[0] and X.shape[1] != phi):
+                raise DimensionMismatchError(phi, X.shape[-1])
+            return X
+        coerced = [_coerce_point(point) for point in points]
+        for values in coerced:
+            if len(values) != phi:
+                raise DimensionMismatchError(phi, len(values))
+        return np.array(coerced, dtype=np.float64).reshape(len(coerced), phi)
+
+    def _boundary_distance(self) -> int:
+        """Points until the next self-evolution / prune period boundary."""
+        config = self.config
+        distance = 1 << 30
+        for period in (config.self_evolution_period, config.prune_period):
+            if period > 0:
+                distance = min(distance, period - (self._processed % period))
+        return distance
+
+    def process_batch(self, points: Iterable[PointLike]
+                      ) -> List[DetectionResult]:
+        """Fold a chunk of arriving points in and classify every one of them.
+
+        Semantically identical to calling :meth:`process` in a loop — every
+        point is scored against the summaries as updated by the points before
+        it (never the ones after), and the online adaptation mechanisms fire
+        at exactly the same stream positions — but on the ``"vectorized"``
+        engine the quantisation, decayed-summary maintenance and RD/IRSD/
+        Poisson-tail evidence of a whole chunk are computed in NumPy array
+        passes.  On the ``"python"`` engine this simply loops ``process``.
+        """
+        self._require_fitted()
+        assert self._store is not None and self._sst is not None
+        store = self._store
+        if not isinstance(store, VectorizedSynapseStore):
+            return [self.process(point) for point in points]
+        X = self._coerce_batch(points)
+        results: List[DetectionResult] = []
+        start = 0
+        n = X.shape[0]
+        while start < n:
+            limit = min(store.max_batch_points(), self._boundary_distance())
+            end = min(n, start + limit)
+            committed = self._process_chunk_vectorized(X[start:end], results)
+            start += committed
+        return results
+
+    def _process_chunk_vectorized(self, chunk: np.ndarray,
+                                  results: List[DetectionResult]) -> int:
+        """Score one chunk, commit the longest adaptation-free prefix of it,
+        append that prefix's results, and return the prefix length."""
+        store = self._store
+        assert isinstance(store, VectorizedSynapseStore)
+        config = self.config
+        use_poisson = config.decision_rule == "poisson"
+        subspaces, n_multi = self._sst_view()
+        n = chunk.shape[0]
+
+        plan = store.plan_batch(chunk, subspaces, exclude_weight=1.0)
+
+        per_subspace_alpha = config.significance / max(1, n_multi)
+        flag_matrix = np.zeros((len(subspaces), n), dtype=bool)
+        min_rd = np.full(n, np.inf)
+        min_multi_tail = np.ones(n)
+        for si, subspace in enumerate(subspaces):
+            sub = plan.plans[subspace]
+            if use_poisson and len(subspace) > 1:
+                is_sparse = sub.tail <= per_subspace_alpha
+                np.minimum(min_multi_tail, sub.tail, out=min_multi_tail)
+            else:
+                is_sparse = ((sub.expected >= config.min_expected_mass)
+                             & (sub.rd <= config.rd_threshold))
+            if config.irsd_threshold is not None:
+                is_sparse = is_sparse & (sub.irsd <= config.irsd_threshold)
+            flag_matrix[si] = is_sparse
+            supported = sub.expected >= config.min_expected_mass
+            np.copyto(min_rd, sub.rd, where=supported & (sub.rd < min_rd))
+        any_flag = flag_matrix.any(axis=0)
+
+        rd_score = np.where(np.isfinite(min_rd),
+                            np.clip(1.0 - min_rd, 0.0, 1.0), 0.0)
+        if use_poisson:
+            adjusted = np.minimum(1.0, min_multi_tail * max(1, n_multi))
+            score = np.maximum(rd_score, np.maximum(0.0, 1.0 - adjusted))
+        else:
+            score = rd_score
+
+        # An outlier-driven MOGA search mutates the SST mid-stream, so the
+        # chunk is cut after the first flagged point that would trigger one;
+        # the rest of the chunk is re-planned against the post-growth state.
+        cut = n
+        if (config.os_growth_enabled and self._os_growth is not None
+                and self._recent_buffer is not None):
+            for p in np.flatnonzero(any_flag):
+                budget_cap = (config.os_growth_moga_budget
+                              * max(1, (self._processed + int(p) + 1)
+                                    // max(1, config.omega) + 1))
+                if self._os_growth.searches < budget_cap:
+                    cut = int(p) + 1
+                    break
+        plan.commit(cut)
+
+        values_list = [tuple(row) for row in chunk[:cut].tolist()]
+        for i in range(cut):
+            values = values_list[i]
+            if self._recent_buffer is not None:
+                self._recent_buffer.add(values)
+            if self._drift_detector is not None:
+                self._drift_detector.observe(values, cell=plan.base_cell_of(i))
+            if any_flag[i]:
+                items: List[Tuple[Subspace, ProjectedCellSummary]] = []
+                for si, subspace in enumerate(subspaces):
+                    if flag_matrix[si, i]:
+                        items.append((subspace, plan.plans[subspace].pcs_at(i)))
+                evidence = tuple(
+                    SubspaceEvidence(subspace=subspace, pcs=pcs, flagged=True)
+                    for subspace, pcs in items
+                )
+                ranked = sorted(items, key=lambda item: item[1].rd)
+                outlying = tuple(subspace for subspace, _ in ranked)
+            else:
+                evidence = ()
+                outlying = ()
+            result = DetectionResult(
+                index=self._processed,
+                point=values,
+                is_outlier=bool(any_flag[i]),
+                outlying_subspaces=outlying,
+                evidence=evidence,
+                score=float(score[i]),
+            )
+            self._processed += 1
+            self._summary.record(result)
+            results.append(result)
+
+        # Period-boundary and outlier-driven adaptation can only fire at the
+        # last committed point (the chunking above guarantees it); for every
+        # earlier point the sequential adaptation hook is a no-op.
+        if cut > 0:
+            self._run_online_adaptation(results[-1])
+        return cut
+
     def process_stream(self, stream: Iterable[PointLike]
                        ) -> Iterator[DetectionResult]:
         """Process a stream lazily, yielding one result per point."""
@@ -387,13 +568,19 @@ class SPOT:
             yield self.process(point)
 
     def detect(self, points: Iterable[PointLike]) -> List[DetectionResult]:
-        """Process a finite batch of points and return all results."""
-        return list(self.process_stream(points))
+        """Process a finite batch of points and return all results.
+
+        Routed through :meth:`process_batch`, so a ``"vectorized"``-engine
+        detector scores finite batches on the fast path automatically.
+        """
+        if not isinstance(points, (list, tuple, np.ndarray)):
+            points = list(points)
+        return self.process_batch(points)
 
     def detect_outliers(self, points: Iterable[PointLike]
                         ) -> List[DetectionResult]:
         """Process a batch and return only the results flagged as outliers."""
-        return [result for result in self.process_stream(points)
+        return [result for result in self.detect(points)
                 if result.is_outlier]
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,882 @@
+"""Vectorized batch detection substrate: the array-backed synapse store.
+
+This module is the NumPy fast path of the reproduction.  It maintains exactly
+the same decayed BCS/PCS summaries as :class:`~repro.core.synapse_store.SynapseStore`
+(the pure-Python reference oracle) but organises them for whole-batch work:
+
+* **Batch quantisation** — a chunk of arriving points is mapped to integer
+  interval indices in one ``((X - lows) / widths).astype(int64)`` pass over
+  an ``(n, phi)`` array instead of ``n * phi`` Python arithmetic operations.
+* **Packed cell keys** — projected-cell addresses are packed into single
+  ``int64`` scalars by mixed-radix encoding (:class:`CellKeyCodec`), replacing
+  the tuple-keyed dictionaries of the reference store.  Grouping, prefix sums
+  and scatter-adds then run on flat integer arrays.
+* **Structure-of-arrays summaries** — per populated cell the decayed count,
+  linear sums and squared sums live in contiguous ``float64`` arrays
+  (:class:`_CellTable`), not per-cell Python objects.
+* **Amortized global decay** — instead of time-stamping every cell and
+  lazily multiplying it on touch, all stored masses are kept in *inflated*
+  form ``w * g**-(t - t0)`` relative to a global reference tick ``t0``.
+  Ageing the whole store is then free (the deflator ``g**(t - t0)`` is applied
+  on read), and only a periodic renormalisation — when the inflation factor
+  approaches the precision budget — touches every array, at an amortized
+  O(cells / renorm_period) cost per point.
+
+The public surface mirrors :class:`SynapseStore` (``update`` / ``ingest`` /
+``register_subspace`` / ``pcs_for_point`` / ``prune`` / ...) so the two
+stores are interchangeable behind :class:`~repro.core.config.SPOTConfig`'s
+``engine`` switch, plus :meth:`VectorizedSynapseStore.plan_batch`, which
+computes per-point PCS statistics for a whole chunk at once while leaving the
+store untouched until :meth:`BatchPlan.commit` folds (a prefix of) the chunk
+in.  The prefix-commit contract is what lets the detector reproduce the
+sequential update-then-score semantics exactly: every point is scored against
+the state produced by the points before it, never by the ones after it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cell_summary import (
+    BaseCellSummary,
+    DecayedCellAccumulator,
+    ProjectedCellSummary,
+    compute_pcs,
+    poisson_tail_probability,
+)
+from .exceptions import ConfigurationError, DimensionMismatchError
+from .grid import CellAddress, Grid
+from .subspace import Subspace
+from .time_model import TimeModel
+
+try:  # scipy is a hard dependency of the scoring path; degrade gracefully.
+    from scipy.special import gammaincc as _gammaincc
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _gammaincc = None
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+#: Natural-log ceiling of the inflation factor ``g**-(t - t0)``.  Keeping the
+#: inflated magnitudes within ~1e12 of each other preserves ~4 decimal digits
+#: of headroom below float64's 15-16 significant digits, which keeps the
+#: vectorized scores within 1e-9 of the sequential oracle.
+_MAX_INFLATION_LOG = math.log(1e12)
+
+
+def _poisson_tail_vector(counts: np.ndarray, expected: np.ndarray) -> np.ndarray:
+    """Vectorized P(X <= count) for X ~ Poisson(expected); 1.0 where expected<=0."""
+    tail = np.ones_like(expected)
+    mask = expected > 0.0
+    if np.any(mask):
+        if _gammaincc is not None:
+            tail[mask] = _gammaincc(counts[mask] + 1.0, expected[mask])
+        else:  # pragma: no cover - exercised only without scipy
+            tail[mask] = [poisson_tail_probability(float(c), float(e))
+                          for c, e in zip(counts[mask], expected[mask])]
+    return tail
+
+
+class CellKeyCodec:
+    """Mixed-radix packing of ``width``-dimensional cell addresses.
+
+    Every per-dimension interval index lies in ``[0, m)``, so an address
+    ``(i_0, ..., i_{k-1})`` packs into the single integer
+    ``sum_j i_j * m**j``.  When ``m**width`` fits in a signed 64-bit integer
+    the packed keys are an ``int64`` array (the fast path used by every SST
+    subspace); otherwise — e.g. the full-space cell of a 40-dimensional
+    stream — the codec falls back to raw row bytes, which remain hashable and
+    groupable but are not vector-arithmetic friendly.
+    """
+
+    def __init__(self, cells_per_dimension: int, width: int) -> None:
+        if cells_per_dimension < 1:
+            raise ConfigurationError(
+                f"cells_per_dimension must be positive, got {cells_per_dimension}"
+            )
+        if width < 1:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.m = cells_per_dimension
+        self.width = width
+        # Exact integer check (no float log rounding): the largest packed key
+        # is m**width - 1.
+        self.packable = (cells_per_dimension ** width) - 1 <= _INT64_MAX
+        if self.packable:
+            self._radix = np.array(
+                [cells_per_dimension ** j for j in range(width)], dtype=np.int64
+            )
+        else:
+            self._radix = None
+
+    def pack(self, indices: np.ndarray) -> np.ndarray:
+        """Pack an ``(n, width)`` index matrix into ``n`` scalar keys."""
+        idx = np.ascontiguousarray(indices, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.width:
+            raise DimensionMismatchError(self.width, idx.shape[-1])
+        if self.packable:
+            return idx @ self._radix
+        return np.fromiter((row.tobytes() for row in idx),
+                           dtype=object, count=idx.shape[0])
+
+    def pack_one(self, address: Sequence[int]):
+        """Pack a single cell address into its scalar key."""
+        return self.pack(np.asarray(address, dtype=np.int64)[None, :])[0]
+
+    def unpack(self, keys: Sequence) -> np.ndarray:
+        """Inverse of :meth:`pack`: keys back to an ``(n, width)`` matrix."""
+        if self.packable:
+            arr = np.asarray(keys, dtype=np.int64)
+            out = np.empty((arr.shape[0], self.width), dtype=np.int64)
+            rest = arr
+            for j in range(self.width):
+                out[:, j] = rest % self.m
+                rest = rest // self.m
+            return out
+        rows = [np.frombuffer(key, dtype=np.int64) for key in keys]
+        return np.array(rows, dtype=np.int64).reshape(len(rows), self.width)
+
+    def unpack_one(self, key) -> CellAddress:
+        """Unpack one scalar key into its cell-address tuple."""
+        return tuple(int(v) for v in self.unpack([key])[0])
+
+
+class _CellTable:
+    """Structure-of-arrays storage for one family of cell summaries.
+
+    Slot ``i`` holds the inflated (count, linear-sum, squared-sum) triplet of
+    the cell whose packed key is ``slot_keys[i]``.  Arrays grow by doubling;
+    logical size is ``n_slots``.
+    """
+
+    __slots__ = ("width", "codec", "key_to_slot", "slot_keys",
+                 "count", "lin", "sq")
+
+    def __init__(self, width: int, codec: CellKeyCodec,
+                 initial_capacity: int = 64) -> None:
+        self.width = width
+        self.codec = codec
+        self.key_to_slot: Dict[object, int] = {}
+        self.slot_keys: List[object] = []
+        self.count = np.zeros(initial_capacity, dtype=np.float64)
+        self.lin = np.zeros((initial_capacity, width), dtype=np.float64)
+        self.sq = np.zeros((initial_capacity, width), dtype=np.float64)
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slot_keys)
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self.count.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(needed, 2 * cap)
+        self.count = np.concatenate(
+            [self.count, np.zeros(new_cap - cap, dtype=np.float64)])
+        self.lin = np.concatenate(
+            [self.lin, np.zeros((new_cap - cap, self.width), dtype=np.float64)])
+        self.sq = np.concatenate(
+            [self.sq, np.zeros((new_cap - cap, self.width), dtype=np.float64)])
+
+    def create_slot(self, key) -> int:
+        """Allocate (or return) the slot of ``key``; new slots start zeroed."""
+        slot = self.key_to_slot.get(key)
+        if slot is not None:
+            return slot
+        slot = len(self.slot_keys)
+        self.key_to_slot[key] = slot
+        self.slot_keys.append(key)
+        self._ensure_capacity(slot + 1)
+        return slot
+
+    def scale(self, factor: float) -> None:
+        """Multiply every live slot by ``factor`` (renormalisation)."""
+        n = self.n_slots
+        if n:
+            self.count[:n] *= factor
+            self.lin[:n] *= factor
+            self.sq[:n] *= factor
+
+    def compact(self, keep_mask: np.ndarray) -> int:
+        """Drop the slots where ``keep_mask`` is ``False``; returns #dropped."""
+        n = self.n_slots
+        kept = int(np.count_nonzero(keep_mask))
+        dropped = n - kept
+        if dropped == 0:
+            return 0
+        keep_idx = np.flatnonzero(keep_mask)
+        self.count[:kept] = self.count[keep_idx]
+        self.lin[:kept] = self.lin[keep_idx]
+        self.sq[:kept] = self.sq[keep_idx]
+        self.count[kept:n] = 0.0
+        self.lin[kept:n] = 0.0
+        self.sq[kept:n] = 0.0
+        self.slot_keys = [self.slot_keys[i] for i in keep_idx]
+        self.key_to_slot = {key: i for i, key in enumerate(self.slot_keys)}
+        return dropped
+
+
+def _first_occurrence_unique(keys: np.ndarray
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique`` with the unique keys ordered by first occurrence.
+
+    Returns ``(uniq, inv, first_idx)`` where ``uniq[inv[i]] == keys[i]`` and
+    ``first_idx[u]`` is the position at which ``uniq[u]`` first appears.
+    First-occurrence ordering guarantees that slots allocated for a batch are
+    numbered in stream order, which is what makes a *prefix* commit coherent.
+    """
+    uniq_sorted, first_sorted, inv_sorted = np.unique(
+        keys, return_index=True, return_inverse=True)
+    order = np.argsort(first_sorted, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    return uniq_sorted[order], rank[inv_sorted], first_sorted[order]
+
+
+def _grouped_prefix_sums(group_ids: np.ndarray, values: np.ndarray,
+                         columns: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-point running sums *within* each group, in stream order.
+
+    ``result[i] = sum(values[j] for j <= i if group_ids[j] == group_ids[i])``
+    (the point's own contribution included), computed with one stable sort and
+    one cumulative sum.  ``columns`` — an optional ``(n, k)`` matrix — gets the
+    same treatment column-wise, sharing the sort.
+    """
+    n = group_ids.shape[0]
+    if n == 0:
+        empty_cols = None if columns is None else np.empty_like(columns)
+        return np.empty(0, dtype=np.float64), empty_cols
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    csum = np.cumsum(values[order])
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=group_start[1:])
+    starts = np.flatnonzero(group_start)
+    sizes = np.diff(np.append(starts, n))
+    shifted = np.concatenate([[0.0], csum[:-1]])
+    base = np.repeat(shifted[starts], sizes)
+    prefix = np.empty(n, dtype=np.float64)
+    prefix[order] = csum - base
+
+    col_prefix = None
+    if columns is not None:
+        ccsum = np.cumsum(columns[order], axis=0)
+        cshift = np.vstack([np.zeros((1, columns.shape[1])), ccsum[:-1]])
+        cbase = np.repeat(cshift[starts], sizes, axis=0)
+        col_prefix = np.empty_like(columns)
+        col_prefix[order] = ccsum - cbase
+    return prefix, col_prefix
+
+
+class _GroupPlan:
+    """Scatter bookkeeping for one cell table over one planned chunk.
+
+    Pure read-only at plan time: existing slots are looked up but new keys are
+    only *virtually* numbered; :meth:`commit` allocates real slots for the
+    committed prefix and scatter-adds the prefix contributions.
+    """
+
+    def __init__(self, table: _CellTable, idx_sub: np.ndarray,
+                 a: np.ndarray, values: Optional[np.ndarray]) -> None:
+        self.table = table
+        self.a = a
+        self.values = values
+        self.keys = table.codec.pack(idx_sub)
+        self.uniq, self.inv, self.first_idx = _first_occurrence_unique(self.keys)
+        get = table.key_to_slot.get
+        self.slots = np.fromiter((get(key, -1) for key in self.uniq),
+                                 dtype=np.int64, count=len(self.uniq))
+        self.new_mask = self.slots < 0
+        # Prior (inflated) state per unique key; zeros for keys not yet stored.
+        existing = np.flatnonzero(~self.new_mask)
+        n_uniq = len(self.uniq)
+        self.prior_count = np.zeros(n_uniq, dtype=np.float64)
+        k = table.width
+        self.prior_lin = np.zeros((n_uniq, k), dtype=np.float64)
+        self.prior_sq = np.zeros((n_uniq, k), dtype=np.float64)
+        if existing.size:
+            slots = self.slots[existing]
+            self.prior_count[existing] = table.count[slots]
+            self.prior_lin[existing] = table.lin[slots]
+            self.prior_sq[existing] = table.sq[slots]
+        if values is not None:
+            self.av = a[:, None] * values
+            self.av2 = self.av * values
+        else:
+            self.av = None
+            self.av2 = None
+
+    def commit(self, upto: int) -> None:
+        """Fold the contributions of points ``0..upto-1`` into the table."""
+        if upto <= 0:
+            return
+        table = self.table
+        n_uniq = len(self.uniq)
+        slot_arr = np.empty(n_uniq, dtype=np.int64)
+        for u in range(n_uniq):
+            if self.new_mask[u]:
+                if self.first_idx[u] < upto:
+                    slot_arr[u] = table.create_slot(self.uniq[u])
+                else:
+                    # Never touched by the committed prefix: bincount below
+                    # yields exactly zero for it, so any sentinel works.
+                    slot_arr[u] = -1
+            else:
+                slot_arr[u] = self.slots[u]
+        inv = self.inv[:upto]
+        adds = np.bincount(inv, weights=self.a[:upto], minlength=n_uniq)
+        touched = np.flatnonzero(slot_arr >= 0)
+        dest = slot_arr[touched]
+        table.count[dest] += adds[touched]
+        if self.av is not None:
+            for j in range(table.width):
+                ladd = np.bincount(inv, weights=self.av[:upto, j],
+                                   minlength=n_uniq)
+                sadd = np.bincount(inv, weights=self.av2[:upto, j],
+                                   minlength=n_uniq)
+                table.lin[dest, j] += ladd[touched]
+                table.sq[dest, j] += sadd[touched]
+
+
+class _SubspacePlan(_GroupPlan):
+    """A :class:`_GroupPlan` plus the per-point PCS statistics of a subspace."""
+
+    def __init__(self, store: "VectorizedSynapseStore", subspace: Subspace,
+                 table: _CellTable, idx: np.ndarray, X: np.ndarray,
+                 a: np.ndarray, defl: np.ndarray, total_true: np.ndarray,
+                 marg_prefix: Dict[int, np.ndarray],
+                 exclude_weight: float) -> None:
+        dims = np.fromiter(subspace.dimensions, dtype=np.int64)
+        super().__init__(table, idx[:, dims], a, X[:, dims])
+        self.subspace = subspace
+        k = len(dims)
+        n = idx.shape[0]
+
+        prefix_count, prefix_cols = _grouped_prefix_sums(
+            self.inv, a, np.concatenate([self.av, self.av2], axis=1))
+
+        self.count_true = (self.prior_count[self.inv] + prefix_count) * defl
+        lin_true = (self.prior_lin[self.inv] + prefix_cols[:, :k]) \
+            * defl[:, None]
+        sq_true = (self.prior_sq[self.inv] + prefix_cols[:, k:]) \
+            * defl[:, None]
+
+        # Populated-cell count as seen by each point: cells known before the
+        # batch plus every batch cell first touched at or before the point
+        # (the sequential path materialises the arriving point's cell before
+        # scoring it, so the point's own cell always counts).
+        first_touch = np.zeros(n, dtype=np.float64)
+        new_firsts = self.first_idx[self.new_mask]
+        if new_firsts.size:
+            first_touch[new_firsts] = 1.0
+        self.cells_prefix = table.n_slots + np.cumsum(first_touch)
+
+        reference = store.density_reference
+        if reference == "lattice":
+            expected = total_true / float(store.grid.cell_count(subspace))
+        elif reference == "populated" or (reference == "hybrid" and k == 1):
+            expected = total_true / np.maximum(1.0, self.cells_prefix)
+        else:
+            expected = total_true.copy()
+            for d in subspace.dimensions:
+                expected *= marg_prefix[d] / total_true
+        self.expected = expected
+
+        self.count_excl = np.maximum(0.0, self.count_true - exclude_weight)
+        supported = expected > 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rd = np.where(supported, self.count_excl / expected, 0.0)
+        # IRSD from the decayed moments (full count — the arriving point's own
+        # spread contribution is *not* excluded, matching compute_pcs).
+        safe_count = np.maximum(self.count_true, 1e-300)
+        mean = lin_true / safe_count[:, None]
+        var = sq_true / safe_count[:, None] - mean * mean
+        np.maximum(var, 0.0, out=var)
+        std = np.sqrt(var)
+        ratios = np.minimum(
+            store._uniform_stds[subspace][None, :] / (std + 1e-12),
+            store.irsd_cap)
+        irsd = np.add.reduce(ratios, axis=1) / float(k)
+        empty = self.count_true <= 0.0
+        self.rd = np.where(supported & ~empty, rd, 0.0)
+        self.irsd = np.where(supported & ~empty, irsd, 0.0)
+        self._tail: Optional[np.ndarray] = None
+
+    @property
+    def tail(self) -> np.ndarray:
+        """Poisson tail probabilities, computed on first use (lazy: the RD
+        decision rule never needs them for unflagged points)."""
+        if self._tail is None:
+            self._tail = _poisson_tail_vector(self.count_excl, self.expected)
+        return self._tail
+
+    def tail_at(self, i: int) -> float:
+        """Tail probability of one point without materialising the vector."""
+        if self._tail is not None:
+            return float(self._tail[i])
+        if self.expected[i] <= 0.0:
+            return 1.0
+        if _gammaincc is not None:
+            return float(_gammaincc(self.count_excl[i] + 1.0, self.expected[i]))
+        return poisson_tail_probability(float(self.count_excl[i]),
+                                        float(self.expected[i]))
+
+    def pcs_at(self, i: int) -> ProjectedCellSummary:
+        """Materialise the PCS of point ``i`` (for DetectionResult evidence)."""
+        return ProjectedCellSummary(
+            rd=float(self.rd[i]),
+            irsd=float(self.irsd[i]),
+            count=float(self.count_excl[i]),
+            expected=float(self.expected[i]),
+            tail_probability=self.tail_at(i),
+        )
+
+
+class BatchPlan:
+    """Per-point PCS statistics of one planned chunk, before any mutation.
+
+    Produced by :meth:`VectorizedSynapseStore.plan_batch`; read the per-
+    subspace statistics from :attr:`plans`, then :meth:`commit` a prefix (or
+    the whole chunk) to fold the corresponding points into the store.
+    """
+
+    def __init__(self, store: "VectorizedSynapseStore", X: np.ndarray,
+                 subspaces: Sequence[Subspace], exclude_weight: float,
+                 weights: Optional[np.ndarray]) -> None:
+        self.store = store
+        self.n = X.shape[0]
+        self.X = X
+        self.idx = store._quantize(X)
+        g = store.time_model.decay_factor
+        ticks = store._tick + 1.0 + np.arange(self.n, dtype=np.float64)
+        base_weights = np.ones(self.n) if weights is None else weights
+        self.a = base_weights * np.power(g, -(ticks - store._t0))
+        self.defl = np.power(g, ticks - store._t0)
+        self.cumsum_a = np.cumsum(self.a)
+        self.total_true = (store._total_infl + self.cumsum_a) * self.defl
+
+        # Marginal prefix masses, only for the dimensions some subspace's
+        # independence expectation will actually read.
+        need_dims: List[int] = []
+        for subspace in subspaces:
+            reference = store.density_reference
+            if reference == "marginal" or (
+                    reference == "hybrid" and len(subspace) > 1):
+                need_dims.extend(subspace.dimensions)
+        marg_prefix: Dict[int, np.ndarray] = {}
+        m = store.grid.cells_per_dimension
+        rows = np.arange(self.n)
+        for d in sorted(set(need_dims)):
+            col = self.idx[:, d]
+            onehot = np.zeros((self.n, m), dtype=np.float64)
+            onehot[rows, col] = self.a
+            csum = np.cumsum(onehot, axis=0)
+            marg_prefix[d] = (store._marg[d, col] + csum[rows, col]) * self.defl
+        self.marg_prefix = marg_prefix
+
+        self.base_plan: Optional[_GroupPlan] = None
+        if store.track_base_cells:
+            self.base_plan = _GroupPlan(store._base, self.idx, self.a, X)
+
+        self.plans: Dict[Subspace, _SubspacePlan] = {}
+        for subspace in subspaces:
+            table = store._projected.get(subspace)
+            if table is None:
+                raise ConfigurationError(
+                    f"subspace {subspace!r} is not registered with this store"
+                )
+            self.plans[subspace] = _SubspacePlan(
+                store, subspace, table, self.idx, X, self.a, self.defl,
+                self.total_true, marg_prefix, exclude_weight)
+        self.committed = 0
+
+    def base_cell_of(self, i: int) -> CellAddress:
+        """Base-cell address tuple of point ``i`` (for drift monitoring)."""
+        return tuple(int(v) for v in self.idx[i])
+
+    def commit(self, upto: Optional[int] = None) -> int:
+        """Fold points ``0..upto-1`` into the store; returns #points folded.
+
+        Only a single prefix commit per plan is supported — after a partial
+        commit the store has advanced, so the remaining points must be
+        re-planned against the new state (the detector does exactly that when
+        an online-adaptation trigger splits a chunk).
+        """
+        if self.committed:
+            raise ConfigurationError("a BatchPlan can only be committed once")
+        store = self.store
+        upto = self.n if upto is None else int(upto)
+        if upto < 0 or upto > self.n:
+            raise ConfigurationError(
+                f"commit prefix {upto} out of range [0, {self.n}]"
+            )
+        if upto == 0:
+            return 0
+        store._total_infl += float(self.cumsum_a[upto - 1])
+        m = store.grid.cells_per_dimension
+        for d in range(store.grid.phi):
+            store._marg[d] += np.bincount(self.idx[:upto, d],
+                                          weights=self.a[:upto], minlength=m)
+        if self.base_plan is not None:
+            self.base_plan.commit(upto)
+        for plan in self.plans.values():
+            plan.commit(upto)
+        store._tick += float(upto)
+        store._points_seen += upto
+        self.committed = upto
+        return upto
+
+
+class VectorizedSynapseStore:
+    """Array-backed drop-in replacement for :class:`SynapseStore`.
+
+    Maintains identical decayed BCS/PCS summaries (same grid, same
+    (omega, epsilon) decay, same density references) with NumPy
+    structure-of-arrays storage, packed integer cell keys and amortized
+    global decay.  See the module docstring for the layout; see
+    :class:`SynapseStore` for the semantics of every query.
+    """
+
+    DENSITY_REFERENCES = ("hybrid", "marginal", "populated", "lattice")
+
+    def __init__(self, grid: Grid, time_model: TimeModel, *,
+                 irsd_cap: float = 100.0,
+                 track_base_cells: bool = True,
+                 density_reference: str = "hybrid") -> None:
+        if density_reference not in self.DENSITY_REFERENCES:
+            raise ConfigurationError(
+                f"density_reference must be one of {self.DENSITY_REFERENCES}, "
+                f"got {density_reference!r}"
+            )
+        self.grid = grid
+        self.time_model = time_model
+        self.irsd_cap = irsd_cap
+        self.track_base_cells = track_base_cells
+        self.density_reference = density_reference
+
+        phi = grid.phi
+        m = grid.cells_per_dimension
+        self._lows = np.asarray(grid.bounds.lows, dtype=np.float64)
+        self._widths = np.asarray(grid.cell_widths, dtype=np.float64)
+        self._base_codec = CellKeyCodec(m, phi)
+        self._base = _CellTable(phi, self._base_codec)
+        self._projected: Dict[Subspace, _CellTable] = {}
+        self._uniform_stds: Dict[Subspace, np.ndarray] = {}
+        self._marg = np.zeros((phi, m), dtype=np.float64)
+        self._total_infl = 0.0
+        self._t0 = 0.0
+        self._tick = 0.0
+        self._points_seen = 0
+        g = time_model.decay_factor
+        self._neg_log_g = -math.log(g)
+        # Largest number of ticks a single plan may span before the inflation
+        # factor would blow through the precision budget.
+        self._max_batch = max(1, min(
+            4096, int(_MAX_INFLATION_LOG / max(self._neg_log_g, 1e-12))))
+
+    # ------------------------------------------------------------------ #
+    # Introspection (mirrors SynapseStore)
+    # ------------------------------------------------------------------ #
+    @property
+    def tick(self) -> float:
+        """Current logical time (advanced once per ingested point)."""
+        return self._tick
+
+    @property
+    def points_seen(self) -> int:
+        """Number of raw points folded into the store since construction."""
+        return self._points_seen
+
+    @property
+    def registered_subspaces(self) -> Tuple[Subspace, ...]:
+        """Subspaces for which projected accumulators are being maintained."""
+        return tuple(self._projected)
+
+    @property
+    def populated_base_cells(self) -> int:
+        """Number of base cells that currently hold a summary."""
+        return self._base.n_slots if self.track_base_cells else 0
+
+    def populated_projected_cells(self, subspace: Subspace) -> int:
+        """Number of populated cells tracked for ``subspace``."""
+        table = self._projected.get(subspace)
+        return table.n_slots if table is not None else 0
+
+    def max_batch_points(self) -> int:
+        """Largest chunk :meth:`plan_batch` accepts (precision-bounded)."""
+        return self._max_batch
+
+    def total_mass(self) -> float:
+        """Total decayed mass of the stream, expressed at the current tick."""
+        return self._total_infl * self._deflator()
+
+    # ------------------------------------------------------------------ #
+    # Decay bookkeeping
+    # ------------------------------------------------------------------ #
+    def _deflator(self, tick: Optional[float] = None) -> float:
+        tick = self._tick if tick is None else tick
+        return self.time_model.decay_factor ** (tick - self._t0)
+
+    def _maybe_renormalize(self, horizon_tick: float) -> None:
+        """Re-anchor the inflated representation if ``horizon_tick`` would
+        push the inflation factor past the precision budget."""
+        if self._neg_log_g * (horizon_tick - self._t0) <= _MAX_INFLATION_LOG:
+            return
+        factor = self._deflator()
+        self._total_infl *= factor
+        self._marg *= factor
+        self._base.scale(factor)
+        for table in self._projected.values():
+            table.scale(factor)
+        self._t0 = self._tick
+
+    def _quantize(self, X: np.ndarray) -> np.ndarray:
+        """Whole-batch interval indices (clamped into the boundary cells)."""
+        idx = ((X - self._lows) / self._widths).astype(np.int64)
+        np.clip(idx, 0, self.grid.cells_per_dimension - 1, out=idx)
+        return idx
+
+    @staticmethod
+    def _as_matrix(points, phi: int) -> np.ndarray:
+        X = np.asarray(points, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1) if X.size else X.reshape(0, phi)
+        if X.ndim != 2 or (X.shape[0] and X.shape[1] != phi):
+            raise DimensionMismatchError(phi, X.shape[-1] if X.ndim else 0)
+        return X
+
+    # ------------------------------------------------------------------ #
+    # Subspace registration
+    # ------------------------------------------------------------------ #
+    def register_subspace(self, subspace: Subspace) -> None:
+        """Start maintaining projected summaries for ``subspace``.
+
+        Rebuilt from the array BCS store (one grouped reduction over the
+        populated base cells), mirroring the reference store's rebuild.
+        """
+        subspace.validate_against(self.grid.phi)
+        if subspace in self._projected:
+            return
+        dims = np.fromiter(subspace.dimensions, dtype=np.int64)
+        codec = CellKeyCodec(self.grid.cells_per_dimension, len(dims))
+        table = _CellTable(len(dims), codec)
+        self._projected[subspace] = table
+        self._uniform_stds[subspace] = np.array(
+            [self.grid.uniform_cell_std(d) for d in subspace],
+            dtype=np.float64)
+        if not self.track_base_cells or self._base.n_slots == 0:
+            return
+        n = self._base.n_slots
+        counts = self._base.count[:n]
+        live = counts > 0.0
+        if not np.any(live):
+            return
+        base_idx = self._base_codec.unpack(self._base.slot_keys)[live]
+        keys = codec.pack(base_idx[:, dims])
+        uniq, inv, _ = _first_occurrence_unique(keys)
+        n_uniq = len(uniq)
+        table._ensure_capacity(n_uniq)
+        table.count[:n_uniq] = np.bincount(inv, weights=counts[live],
+                                           minlength=n_uniq)
+        for j, d in enumerate(dims):
+            table.lin[:n_uniq, j] = np.bincount(
+                inv, weights=self._base.lin[:n, d][live], minlength=n_uniq)
+            table.sq[:n_uniq, j] = np.bincount(
+                inv, weights=self._base.sq[:n, d][live], minlength=n_uniq)
+        table.slot_keys = list(uniq)
+        table.key_to_slot = {key: i for i, key in enumerate(table.slot_keys)}
+
+    def register_subspaces(self, subspaces: Iterable[Subspace]) -> None:
+        """Register several subspaces at once."""
+        for subspace in subspaces:
+            self.register_subspace(subspace)
+
+    def unregister_subspace(self, subspace: Subspace) -> None:
+        """Stop maintaining projected summaries for ``subspace``."""
+        self._projected.pop(subspace, None)
+        self._uniform_stds.pop(subspace, None)
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def _ingest_chunk(self, chunk: np.ndarray,
+                      weights: Optional[np.ndarray]) -> BatchPlan:
+        """Fold one chunk into every summary (no per-point statistics)."""
+        self._maybe_renormalize(self._tick + chunk.shape[0])
+        plan = BatchPlan(self, chunk, (), 0.0, weights)
+        for subspace, table in self._projected.items():
+            dims = np.fromiter(subspace.dimensions, dtype=np.int64)
+            plan.plans[subspace] = _GroupPlan(  # type: ignore[assignment]
+                table, plan.idx[:, dims], plan.a, chunk[:, dims])
+        plan.commit()
+        return plan
+
+    def update(self, point: Sequence[float],
+               weight: float = 1.0) -> CellAddress:
+        """Fold one arriving point into every summary; returns its base cell."""
+        if len(point) != self.grid.phi:
+            raise DimensionMismatchError(self.grid.phi, len(point))
+        X = self._as_matrix([tuple(float(v) for v in point)], self.grid.phi)
+        plan = self._ingest_chunk(X, np.array([float(weight)]))
+        return plan.base_cell_of(0)
+
+    def ingest(self, points) -> int:
+        """Fold a batch of points into the store; returns how many were ingested.
+
+        Points are quantised and scattered in whole-array chunks — this is
+        the fast warm-up path the learning stage uses.
+        """
+        X = self._as_matrix([tuple(getattr(p, "values", p)) for p in points]
+                            if not isinstance(points, np.ndarray) else points,
+                            self.grid.phi)
+        total = 0
+        for start in range(0, X.shape[0], self._max_batch):
+            self._ingest_chunk(X[start:start + self._max_batch], None)
+            total += X[start:start + self._max_batch].shape[0]
+        return total
+
+    def plan_batch(self, X: np.ndarray, subspaces: Sequence[Subspace], *,
+                   exclude_weight: float = 0.0,
+                   weights: Optional[np.ndarray] = None) -> BatchPlan:
+        """Score a chunk against the current state without mutating it.
+
+        Returns a :class:`BatchPlan` whose per-subspace statistics honour the
+        sequential update-then-score ordering: point ``i`` is evaluated as if
+        points ``0..i`` (and nothing later) had been folded in.  The chunk
+        must not exceed :meth:`max_batch_points`.
+        """
+        X = self._as_matrix(X, self.grid.phi)
+        if X.shape[0] > self._max_batch:
+            raise ConfigurationError(
+                f"chunk of {X.shape[0]} points exceeds the precision-bounded "
+                f"batch limit {self._max_batch}; split it"
+            )
+        self._maybe_renormalize(self._tick + X.shape[0])
+        return BatchPlan(self, X, subspaces, exclude_weight, weights)
+
+    # ------------------------------------------------------------------ #
+    # Queries (mirrors SynapseStore)
+    # ------------------------------------------------------------------ #
+    def marginal_mass(self, dimension: int, interval: int) -> float:
+        """Decayed mass of one interval of one attribute's 1-d histogram."""
+        return float(self._marg[dimension, interval]) * self._deflator()
+
+    def expected_mass(self, cell: CellAddress, subspace: Subspace,
+                      total: Optional[float] = None) -> float:
+        """Mass the cell is expected to hold under the configured null model."""
+        table = self._projected.get(subspace)
+        if table is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        if total is None:
+            total = self.total_mass()
+        if total <= 0.0:
+            return 0.0
+        reference = self.density_reference
+        if reference == "lattice":
+            return total / self.grid.cell_count(subspace)
+        if reference == "populated" or (reference == "hybrid" and len(subspace) == 1):
+            return total / max(1, table.n_slots)
+        defl = self._deflator()
+        expected = total
+        for interval, dimension in zip(cell, subspace):
+            expected *= self._marg[dimension, interval] * defl / total
+        return expected
+
+    def _accumulator_at(self, table: _CellTable, slot: int,
+                        defl: float) -> DecayedCellAccumulator:
+        acc = DecayedCellAccumulator(table.width)
+        acc.count = float(table.count[slot]) * defl
+        acc.linear_sum = [float(v) * defl for v in table.lin[slot]]
+        acc.squared_sum = [float(v) * defl for v in table.sq[slot]]
+        acc.last_update = self._tick
+        return acc
+
+    def pcs_for_cell(self, cell: CellAddress, subspace: Subspace, *,
+                     exclude_weight: float = 0.0) -> ProjectedCellSummary:
+        """PCS of an explicit projected-cell address in ``subspace``."""
+        table = self._projected.get(subspace)
+        if table is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        total = self.total_mass()
+        expected = self.expected_mass(cell, subspace, total)
+        slot = table.key_to_slot.get(table.codec.pack_one(cell))
+        if slot is None:
+            return ProjectedCellSummary(
+                rd=0.0, irsd=0.0, count=0.0, expected=expected,
+                tail_probability=poisson_tail_probability(0.0, expected),
+            )
+        acc = self._accumulator_at(table, slot, self._deflator())
+        return compute_pcs(acc, expected,
+                           [float(v) for v in self._uniform_stds[subspace]],
+                           irsd_cap=self.irsd_cap,
+                           exclude_weight=exclude_weight)
+
+    def pcs_for_point(self, point: Sequence[float], subspace: Subspace, *,
+                      exclude_weight: float = 0.0) -> ProjectedCellSummary:
+        """PCS of the projected cell that ``point`` falls into in ``subspace``."""
+        cell = self.grid.projected_cell(point, subspace)
+        return self.pcs_for_cell(cell, subspace, exclude_weight=exclude_weight)
+
+    def bcs_for_point(self, point: Sequence[float]) -> Optional[BaseCellSummary]:
+        """BCS of the base cell containing ``point`` (``None`` if unpopulated)."""
+        if not self.track_base_cells:
+            return None
+        address = self.grid.base_cell(point)
+        slot = self._base.key_to_slot.get(self._base_codec.pack_one(address))
+        if slot is None:
+            return None
+        acc = self._accumulator_at(self._base, slot, self._deflator())
+        bcs = BaseCellSummary(self.grid.phi)
+        bcs.count = acc.count
+        bcs.linear_sum = acc.linear_sum
+        bcs.squared_sum = acc.squared_sum
+        bcs.last_update = acc.last_update
+        return bcs
+
+    def iter_projected_cells(
+        self, subspace: Subspace
+    ) -> Iterator[Tuple[CellAddress, ProjectedCellSummary]]:
+        """Yield (cell address, PCS) for every populated cell of ``subspace``."""
+        table = self._projected.get(subspace)
+        if table is None:
+            raise ConfigurationError(
+                f"subspace {subspace!r} is not registered with this store"
+            )
+        total = self.total_mass()
+        uniform_stds = [float(v) for v in self._uniform_stds[subspace]]
+        defl = self._deflator()
+        for slot, key in enumerate(list(table.slot_keys)):
+            address = table.codec.unpack_one(key)
+            expected = self.expected_mass(address, subspace, total)
+            acc = self._accumulator_at(table, slot, defl)
+            yield address, compute_pcs(acc, expected, uniform_stds,
+                                       irsd_cap=self.irsd_cap)
+
+    def prune(self, min_count: float = 1e-6) -> int:
+        """Drop summaries whose decayed mass has fallen below ``min_count``."""
+        removed = 0
+        defl = self._deflator()
+        if self.track_base_cells and self._base.n_slots:
+            n = self._base.n_slots
+            removed += self._base.compact(self._base.count[:n] * defl
+                                          >= min_count)
+        for table in self._projected.values():
+            n = table.n_slots
+            if n:
+                removed += table.compact(table.count[:n] * defl >= min_count)
+        return removed
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Rough summary of how many cell summaries are alive (for reporting)."""
+        return {
+            "base_cells": self.populated_base_cells,
+            "projected_cells": sum(t.n_slots for t in self._projected.values()),
+            "subspaces": len(self._projected),
+        }

@@ -68,6 +68,17 @@ class SparseSubspaceTemplate:
         self._fixed: List[Subspace] = []
         self._clustering: List[RankedSubspace] = []
         self._outlier_driven: List[RankedSubspace] = []
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation of the template.
+
+        Consumers that derive anything from the member subspaces (the
+        detector's cached subspace union, the store's per-subspace caches)
+        compare this counter instead of re-walking the components per point.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Component views
@@ -138,6 +149,7 @@ class SparseSubspaceTemplate:
         if max_dimension < 1:
             raise ConfigurationError("max_dimension must be at least 1")
         self._fixed = list(enumerate_subspaces(self.phi, max_dimension))
+        self._version += 1
         return len(self._fixed)
 
     def set_fixed(self, subspaces: Iterable[Subspace]) -> None:
@@ -147,6 +159,7 @@ class SparseSubspaceTemplate:
             subspace.validate_against(self.phi)
             validated.append(subspace)
         self._fixed = validated
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # CS / OS
@@ -155,6 +168,7 @@ class SparseSubspaceTemplate:
                        capacity: int, subspace: Subspace,
                        score: float) -> bool:
         subspace.validate_against(self.phi)
+        self._version += 1
         for existing in component:
             if existing.subspace == subspace:
                 if score < existing.score:
@@ -182,12 +196,14 @@ class SparseSubspaceTemplate:
     def set_clustering(self, ranked: Iterable[Tuple[Subspace, float]]) -> None:
         """Replace CS with the given (subspace, score) pairs."""
         self._clustering = []
+        self._version += 1
         for subspace, score in ranked:
             self.add_clustering_subspace(subspace, score)
 
     def set_outlier_driven(self, ranked: Iterable[Tuple[Subspace, float]]) -> None:
         """Replace OS with the given (subspace, score) pairs."""
         self._outlier_driven = []
+        self._version += 1
         for subspace, score in ranked:
             self.add_outlier_driven_subspace(subspace, score)
 
@@ -195,16 +211,19 @@ class SparseSubspaceTemplate:
                                   ranked: Sequence[RankedSubspace]) -> None:
         """Replace CS wholesale with pre-ranked members (self-evolution)."""
         self._clustering = []
+        self._version += 1
         for item in ranked:
             self.add_clustering_subspace(item.subspace, item.score)
 
     def clear_clustering(self) -> None:
         """Drop every CS member (used by the FS-only ablation)."""
         self._clustering = []
+        self._version += 1
 
     def clear_outlier_driven(self) -> None:
         """Drop every OS member (used by ablations)."""
         self._outlier_driven = []
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Serialisation helpers

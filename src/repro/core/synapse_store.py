@@ -92,11 +92,18 @@ class SynapseStore:
         self._total = DecayedCellAccumulator(1)
         # Per-dimension decayed marginal histograms (phi rows of m interval
         # masses), used by the independence expectation of the hybrid and
-        # marginal density references.
+        # marginal density references.  Decay is applied through a single
+        # lazily-maintained scale factor (true mass = raw * scale) so that a
+        # tick costs O(1) instead of an O(phi * m) sweep over every bucket;
+        # the raw values are renormalised when the scale underflows.
         self._marginals: List[List[float]] = [
             [0.0] * grid.cells_per_dimension for _ in range(grid.phi)
         ]
+        self._marginals_scale: float = 1.0
         self._marginals_last_update: float = 0.0
+        # Per-subspace uniform-cell standard deviations, filled on
+        # registration so the PCS hot path never rebuilds them per point.
+        self._uniform_stds: Dict[Subspace, List[float]] = {}
         self._tick: float = 0.0
         self._points_seen: int = 0
 
@@ -147,6 +154,8 @@ class SynapseStore:
             return
         cells: Dict[CellAddress, DecayedCellAccumulator] = {}
         self._projected[subspace] = cells
+        self._uniform_stds[subspace] = [self.grid.uniform_cell_std(d)
+                                        for d in subspace]
         if not self.track_base_cells:
             return
         dims = subspace.dimensions
@@ -174,6 +183,7 @@ class SynapseStore:
     def unregister_subspace(self, subspace: Subspace) -> None:
         """Stop maintaining projected summaries for ``subspace``."""
         self._projected.pop(subspace, None)
+        self._uniform_stds.pop(subspace, None)
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -195,8 +205,9 @@ class SynapseStore:
 
         base_address = self.grid.base_cell(point)
         self._decay_marginals(now)
+        inv_scale = weight / self._marginals_scale
         for d in range(self.grid.phi):
-            self._marginals[d][base_address[d]] += weight
+            self._marginals[d][base_address[d]] += inv_scale
         if self.track_base_cells:
             bcs = self._base_cells.get(base_address)
             if bcs is None:
@@ -227,18 +238,29 @@ class SynapseStore:
     # Queries
     # ------------------------------------------------------------------ #
     def _decay_marginals(self, now: float) -> None:
+        """Advance the marginal histograms' logical time in O(1).
+
+        Instead of multiplying every bucket of every dimension on every tick
+        (the former O(phi * m) sweep), decay is folded into one scalar scale
+        factor; additions divide by it and reads multiply by it.  The raw
+        buckets are renormalised when the scale becomes so small that the
+        inflated raw values would start losing precision.
+        """
         elapsed = now - self._marginals_last_update
         if elapsed > 0.0:
-            factor = self.time_model.decay_over(elapsed)
-            for row in self._marginals:
-                for i in range(len(row)):
-                    row[i] *= factor
+            self._marginals_scale *= self.time_model.decay_over(elapsed)
             self._marginals_last_update = now
+            if self._marginals_scale < 1e-150:
+                scale = self._marginals_scale
+                for row in self._marginals:
+                    for i in range(len(row)):
+                        row[i] *= scale
+                self._marginals_scale = 1.0
 
     def marginal_mass(self, dimension: int, interval: int) -> float:
         """Decayed mass of one interval of one attribute's 1-d histogram."""
         self._decay_marginals(self._tick)
-        return self._marginals[dimension][interval]
+        return self._marginals[dimension][interval] * self._marginals_scale
 
     def expected_mass(self, cell: CellAddress, subspace: Subspace,
                       total: Optional[float] = None) -> float:
@@ -260,9 +282,10 @@ class SynapseStore:
         # Independence expectation: product of the per-dimension marginal
         # fractions of the cell's intervals, times the total mass.
         self._decay_marginals(self._tick)
+        scale = self._marginals_scale
         expected = total
         for interval, dimension in zip(cell, subspace):
-            expected *= self._marginals[dimension][interval] / total
+            expected *= self._marginals[dimension][interval] * scale / total
         return expected
 
     def pcs_for_cell(self, cell: CellAddress, subspace: Subspace, *,
@@ -280,7 +303,7 @@ class SynapseStore:
             )
         total = self.total_mass()
         expected = self.expected_mass(cell, subspace, total)
-        uniform_stds = [self.grid.uniform_cell_std(d) for d in subspace]
+        uniform_stds = self._uniform_stds[subspace]
         acc = cells.get(cell)
         if acc is None:
             return ProjectedCellSummary(
@@ -318,7 +341,7 @@ class SynapseStore:
                 f"subspace {subspace!r} is not registered with this store"
             )
         total = self.total_mass()
-        uniform_stds = [self.grid.uniform_cell_std(d) for d in subspace]
+        uniform_stds = self._uniform_stds[subspace]
         for address, acc in cells.items():
             acc.decay_to(self._tick, self.time_model)
             expected = self.expected_mass(address, subspace, total)

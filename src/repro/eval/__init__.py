@@ -12,6 +12,7 @@ from .experiments import (
     experiment_e3_scalability_dimensions,
     experiment_e4_scalability_stream_length,
     experiment_f1_pipeline,
+    experiment_t1_throughput,
 )
 from .reporting import format_markdown_table, format_table, rows_from_evaluations
 from .runner import (
@@ -29,6 +30,7 @@ from .workloads import (
     kddcup_workload,
     sensor_workload,
     synthetic_workload,
+    throughput_workload,
 )
 
 __all__ = [
@@ -43,6 +45,7 @@ __all__ = [
     "experiment_e3_scalability_dimensions",
     "experiment_e4_scalability_stream_length",
     "experiment_f1_pipeline",
+    "experiment_t1_throughput",
     "format_markdown_table",
     "format_table",
     "rows_from_evaluations",
@@ -59,4 +62,5 @@ __all__ = [
     "kddcup_workload",
     "sensor_workload",
     "synthetic_workload",
+    "throughput_workload",
 ]

@@ -195,12 +195,35 @@ def drift_workload(*, dimensions: int = 16, n_training: int = 800,
     )
 
 
+def throughput_workload(*, dimensions: int = 10, n_training: int = 500,
+                        n_detection: int = 20000, outlier_rate: float = 0.02,
+                        seed: int = 19) -> Workload:
+    """Long synthetic stream used by the engine throughput benchmark (T1).
+
+    Shaped like the E4 stream-length study — a modest training prefix
+    followed by a detection segment long enough that per-point maintenance
+    cost, not learning, dominates the wall clock.
+    """
+    generator = GaussianStreamGenerator(
+        dimensions=dimensions,
+        n_points=n_training + n_detection,
+        outlier_rate=outlier_rate,
+        outlier_subspace_dim=2,
+        n_outlier_subspaces=2,
+        seed=seed,
+    )
+    return _split(generator, n_training, n_detection,
+                  name=f"throughput-{dimensions}d",
+                  true_subspaces=generator.outlier_subspaces)
+
+
 #: Registry of the named workload constructors, for the CLI and the harness.
 WORKLOAD_BUILDERS = {
     "synthetic": synthetic_workload,
     "kddcup": kddcup_workload,
     "sensors": sensor_workload,
     "drift": drift_workload,
+    "throughput": throughput_workload,
 }
 
 

@@ -118,10 +118,11 @@ def load_detector(path: PathLike) -> SPOT:
         raise SerializationError(f"malformed detector payload: {exc}") from exc
 
     detector = SPOT(config)
-    # Re-create the substrate exactly as learn() would, then install the
-    # persisted template instead of re-learning it.
+    # Re-create the substrate exactly as learn() would — including the
+    # configured engine's store flavour — then install the persisted template
+    # instead of re-learning it.
+    from ..core.detector import build_store
     from ..core.grid import Grid
-    from ..core.synapse_store import SynapseStore
     from ..core.time_model import TimeModel
     from ..learning.online import (
         OutlierDrivenGrowth,
@@ -132,7 +133,7 @@ def load_detector(path: PathLike) -> SPOT:
 
     grid = Grid(bounds=bounds, cells_per_dimension=config.cells_per_dimension)
     time_model = TimeModel.create(config.omega, config.epsilon)
-    store = SynapseStore(grid, time_model)
+    store = build_store(config, grid, time_model)
     store.register_subspaces(sst.all_subspaces())
 
     detector._grid = grid

@@ -146,9 +146,15 @@ class DriftDetector:
             return 0.0
         return sum(self._recent) / len(self._recent)
 
-    def observe(self, point: Sequence[float]) -> DriftSignal:
-        """Feed one point; returns whether drift is currently signalled."""
-        cell = self._grid.base_cell(point)
+    def observe(self, point: Sequence[float],
+                cell: Optional[tuple] = None) -> DriftSignal:
+        """Feed one point; returns whether drift is currently signalled.
+
+        ``cell`` lets batch callers hand over the point's already-quantised
+        base-cell address so it is not recomputed per point.
+        """
+        if cell is None:
+            cell = self._grid.base_cell(point)
         novel = cell not in self._seen_cells
         self._seen_cells.add(cell)
         self._recent.append(novel)

@@ -75,7 +75,8 @@ class TestWorkloads:
         assert len(workload.true_subspaces) >= 3
 
     def test_registry_builds_every_named_workload(self):
-        assert set(WORKLOAD_BUILDERS) == {"synthetic", "kddcup", "sensors", "drift"}
+        assert set(WORKLOAD_BUILDERS) == {"synthetic", "kddcup", "sensors",
+                                          "drift", "throughput"}
         workload = build_workload("synthetic", dimensions=6, n_training=100,
                                   n_detection=100)
         assert workload.dimensionality == 6

@@ -1,0 +1,326 @@
+"""Tests of the vectorized synapse store against the pure-Python oracle.
+
+The :class:`~repro.core.fast_store.VectorizedSynapseStore` must be a drop-in
+replacement for :class:`~repro.core.synapse_store.SynapseStore`: same decayed
+masses, same PCS values, same populated-cell bookkeeping, same pruning —
+only the internal representation (packed keys, structure-of-arrays, amortized
+inflated decay) differs.  Tolerances: mass/RD/expectation/tail quantities
+must agree to 1e-9 (relative); IRSD is compared at 1e-4 because its
+``E[x^2] - E[x]^2`` variance formulation amplifies representation-order
+float noise by ``(mean/std)^2`` on near-degenerate cells.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DimensionMismatchError
+from repro.core.fast_store import CellKeyCodec, VectorizedSynapseStore
+from repro.core.grid import DomainBounds, Grid
+from repro.core.subspace import Subspace
+from repro.core.synapse_store import SynapseStore
+from repro.core.time_model import TimeModel
+
+
+def _close(a: float, b: float, tol: float = 1e-9) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def _assert_pcs_close(a, b, context=""):
+    for field, tol in (("rd", 1e-9), ("count", 1e-9), ("expected", 1e-9),
+                       ("tail_probability", 1e-9), ("irsd", 1e-4)):
+        va, vb = getattr(a, field), getattr(b, field)
+        assert _close(va, vb, tol), f"{context} {field}: {va} vs {vb}"
+
+
+def _make_pair(phi=6, m=5, omega=200, reference="hybrid"):
+    grid = Grid(bounds=DomainBounds.unit(phi), cells_per_dimension=m)
+    model = TimeModel.create(omega, 0.01)
+    py = SynapseStore(grid, model, density_reference=reference)
+    vec = VectorizedSynapseStore(grid, model, density_reference=reference)
+    return grid, py, vec
+
+
+def _subspaces(phi):
+    return ([Subspace([d]) for d in range(phi)]
+            + [Subspace([0, 1]), Subspace([2, 4]), Subspace([1, 3, 5])])
+
+
+def _points(n, phi, seed=3):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(phi)) for _ in range(n)]
+
+
+class TestCellKeyCodec:
+    def test_round_trip_at_domain_boundaries(self):
+        # The corners of the address lattice are where packing bugs live:
+        # all-zero, all-max, and single-dimension extremes.
+        for m, k in ((2, 1), (5, 3), (4, 7), (6, 10)):
+            codec = CellKeyCodec(m, k)
+            assert codec.packable
+            corners = [(0,) * k, (m - 1,) * k]
+            for d in range(k):
+                lo = [0] * k
+                lo[d] = m - 1
+                corners.append(tuple(lo))
+                hi = [m - 1] * k
+                hi[d] = 0
+                corners.append(tuple(hi))
+            for address in corners:
+                assert codec.unpack_one(codec.pack_one(address)) == address
+
+    def test_round_trip_random_addresses(self):
+        rng = random.Random(11)
+        for m, k in ((5, 4), (10, 6), (3, 20)):
+            codec = CellKeyCodec(m, k)
+            addresses = np.array(
+                [[rng.randrange(m) for _ in range(k)] for _ in range(200)],
+                dtype=np.int64)
+            keys = codec.pack(addresses)
+            assert np.array_equal(codec.unpack(keys), addresses)
+            # Packing is injective: distinct addresses map to distinct keys.
+            distinct = {tuple(row) for row in addresses.tolist()}
+            assert len(set(keys.tolist())) == len(distinct)
+
+    def test_int64_boundary_uses_widest_packable_radix(self):
+        # 5**27 - 1 < 2**63 - 1 < 5**28 - 1: width 27 packs, width 28 falls
+        # back to the byte representation.
+        assert CellKeyCodec(5, 27).packable
+        codec = CellKeyCodec(5, 28)
+        assert not codec.packable
+        address = tuple([4] * 28)
+        assert codec.unpack_one(codec.pack_one(address)) == address
+
+    def test_fallback_round_trip_random(self):
+        rng = random.Random(13)
+        codec = CellKeyCodec(5, 40)
+        assert not codec.packable
+        addresses = np.array(
+            [[rng.randrange(5) for _ in range(40)] for _ in range(50)],
+            dtype=np.int64)
+        keys = codec.pack(addresses)
+        assert np.array_equal(codec.unpack(keys), addresses)
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ConfigurationError):
+            CellKeyCodec(0, 3)
+        with pytest.raises(ConfigurationError):
+            CellKeyCodec(5, 0)
+        codec = CellKeyCodec(5, 3)
+        with pytest.raises(DimensionMismatchError):
+            codec.pack(np.zeros((4, 2), dtype=np.int64))
+
+
+class TestStoreParity:
+    @pytest.mark.parametrize("reference",
+                             ["hybrid", "marginal", "populated", "lattice"])
+    def test_masses_and_pcs_match_oracle(self, reference):
+        phi = 6
+        grid, py, vec = _make_pair(reference=reference)
+        subspaces = _subspaces(phi)
+        py.register_subspaces(subspaces)
+        vec.register_subspaces(subspaces)
+        points = _points(500, phi)
+        for point in points:
+            py.update(point)
+        vec.ingest(points)
+
+        assert _close(py.total_mass(), vec.total_mass())
+        for d in range(phi):
+            for i in range(grid.cells_per_dimension):
+                assert _close(py.marginal_mass(d, i), vec.marginal_mass(d, i))
+        assert py.memory_footprint() == vec.memory_footprint()
+        queries = points[:40] + _points(40, phi, seed=99)
+        for query in queries:
+            for subspace in subspaces:
+                _assert_pcs_close(
+                    py.pcs_for_point(query, subspace, exclude_weight=1.0),
+                    vec.pcs_for_point(query, subspace, exclude_weight=1.0),
+                    f"{reference} {subspace!r}")
+
+    def test_sequential_update_matches_batch_ingest(self):
+        phi = 6
+        _, _, vec_seq = _make_pair()
+        _, _, vec_batch = _make_pair()
+        subspaces = _subspaces(phi)
+        vec_seq.register_subspaces(subspaces)
+        vec_batch.register_subspaces(subspaces)
+        points = _points(300, phi, seed=21)
+        for point in points:
+            vec_seq.update(point)
+        vec_batch.ingest(points)
+        assert _close(vec_seq.total_mass(), vec_batch.total_mass())
+        assert vec_seq.memory_footprint() == vec_batch.memory_footprint()
+        for query in points[:30]:
+            for subspace in subspaces:
+                _assert_pcs_close(vec_seq.pcs_for_point(query, subspace),
+                                  vec_batch.pcs_for_point(query, subspace))
+
+    def test_register_subspace_rebuilds_from_base_cells(self):
+        phi = 6
+        _, py, vec = _make_pair()
+        points = _points(400, phi, seed=7)
+        for point in points:
+            py.update(point)
+        vec.ingest(points)
+        late = Subspace([0, 3, 5])
+        py.register_subspace(late)
+        vec.register_subspace(late)
+        assert (py.populated_projected_cells(late)
+                == vec.populated_projected_cells(late))
+        for query in points[:40]:
+            _assert_pcs_close(py.pcs_for_point(query, late),
+                              vec.pcs_for_point(query, late), "rebuild")
+
+    def test_prune_drops_the_same_cells(self):
+        phi = 6
+        _, py, vec = _make_pair(omega=80)
+        subspaces = _subspaces(phi)
+        py.register_subspaces(subspaces)
+        vec.register_subspaces(subspaces)
+        points = _points(1200, phi, seed=17)
+        for point in points:
+            py.update(point)
+        vec.ingest(points)
+        assert py.prune(1e-4) == vec.prune(1e-4)
+        assert py.memory_footprint() == vec.memory_footprint()
+
+    def test_amortized_decay_survives_renormalization(self):
+        # A small omega makes the inflation factor hit the precision ceiling
+        # every few hundred ticks, forcing many renormalisation passes.
+        phi = 6
+        _, py, vec = _make_pair(omega=50)
+        assert vec.max_batch_points() < 1000
+        subspaces = _subspaces(phi)
+        py.register_subspaces(subspaces)
+        vec.register_subspaces(subspaces)
+        points = _points(4000, phi, seed=29)
+        for point in points:
+            py.update(point)
+        vec.ingest(points)
+        assert _close(py.total_mass(), vec.total_mass())
+        for query in points[-30:]:
+            for subspace in subspaces:
+                _assert_pcs_close(
+                    py.pcs_for_point(query, subspace, exclude_weight=1.0),
+                    vec.pcs_for_point(query, subspace, exclude_weight=1.0),
+                    "renorm")
+
+    def test_fallback_codec_full_space_subspace(self):
+        phi = 40  # 5**40 overflows int64 -> byte-key fallback
+        grid = Grid(bounds=DomainBounds.unit(phi), cells_per_dimension=5)
+        model = TimeModel.create(200, 0.01)
+        py = SynapseStore(grid, model, density_reference="populated")
+        vec = VectorizedSynapseStore(grid, model,
+                                     density_reference="populated")
+        full = Subspace.full_space(phi)
+        py.register_subspace(full)
+        vec.register_subspace(full)
+        points = _points(200, phi, seed=31)
+        for point in points:
+            py.update(point)
+        vec.ingest(points)
+        assert py.memory_footprint() == vec.memory_footprint()
+        for query in points[:20]:
+            _assert_pcs_close(py.pcs_for_point(query, full),
+                              vec.pcs_for_point(query, full), "fallback")
+
+
+class TestBatchPlan:
+    def test_plan_statistics_match_sequential_scoring(self):
+        phi = 6
+        _, py, vec = _make_pair()
+        subspaces = _subspaces(phi)
+        py.register_subspaces(subspaces)
+        vec.register_subspaces(subspaces)
+        warm = _points(200, phi, seed=41)
+        for point in warm:
+            py.update(point)
+        vec.ingest(warm)
+
+        batch = _points(400, phi, seed=43)
+        sequential = {s: [] for s in subspaces}
+        for point in batch:
+            py.update(point)
+            for subspace in subspaces:
+                sequential[subspace].append(
+                    py.pcs_for_point(point, subspace, exclude_weight=1.0))
+
+        plan = vec.plan_batch(np.array(batch), subspaces, exclude_weight=1.0)
+        plan.commit()
+        for subspace in subspaces:
+            sub = plan.plans[subspace]
+            tail = sub.tail
+            for i, pcs in enumerate(sequential[subspace]):
+                assert _close(pcs.rd, float(sub.rd[i]))
+                assert _close(pcs.count, float(sub.count_excl[i]))
+                assert _close(pcs.expected, float(sub.expected[i]))
+                assert _close(pcs.tail_probability, float(tail[i]))
+                assert _close(pcs.irsd, float(sub.irsd[i]), 1e-4)
+        assert _close(py.total_mass(), vec.total_mass())
+        assert py.memory_footprint() == vec.memory_footprint()
+
+    def test_partial_commit_then_replan_matches_full_stream(self):
+        phi = 6
+        _, py, vec = _make_pair()
+        subspaces = _subspaces(phi)
+        py.register_subspaces(subspaces)
+        vec.register_subspaces(subspaces)
+        warm = _points(150, phi, seed=47)
+        for point in warm:
+            py.update(point)
+        vec.ingest(warm)
+
+        batch = _points(300, phi, seed=53)
+        plan = vec.plan_batch(np.array(batch), subspaces, exclude_weight=1.0)
+        plan.commit(101)
+        rest = vec.plan_batch(np.array(batch[101:]), subspaces,
+                              exclude_weight=1.0)
+        rest.commit()
+        for point in batch:
+            py.update(point)
+        assert _close(py.total_mass(), vec.total_mass())
+        assert py.memory_footprint() == vec.memory_footprint()
+        for query in batch[:30]:
+            for subspace in subspaces:
+                _assert_pcs_close(py.pcs_for_point(query, subspace),
+                                  vec.pcs_for_point(query, subspace),
+                                  "partial")
+
+    def test_plan_is_read_only_until_commit(self):
+        phi = 6
+        _, _, vec = _make_pair()
+        subspaces = _subspaces(phi)
+        vec.register_subspaces(subspaces)
+        vec.ingest(_points(100, phi, seed=59))
+        before_total = vec.total_mass()
+        before_footprint = vec.memory_footprint()
+        before_tick = vec.tick
+        plan = vec.plan_batch(np.array(_points(50, phi, seed=61)), subspaces)
+        assert vec.total_mass() == before_total
+        assert vec.memory_footprint() == before_footprint
+        assert vec.tick == before_tick
+        plan.commit(0)
+        assert vec.tick == before_tick
+
+    def test_plan_rejects_second_commit_and_oversized_chunks(self):
+        phi = 6
+        _, _, vec = _make_pair()
+        vec.register_subspace(Subspace([0]))
+        plan = vec.plan_batch(np.array(_points(10, phi, seed=67)),
+                              [Subspace([0])])
+        plan.commit()
+        with pytest.raises(ConfigurationError):
+            plan.commit()
+        too_big = np.zeros((vec.max_batch_points() + 1, phi))
+        with pytest.raises(ConfigurationError):
+            vec.plan_batch(too_big, [Subspace([0])])
+
+    def test_plan_rejects_unregistered_subspace(self):
+        phi = 6
+        _, _, vec = _make_pair()
+        with pytest.raises(ConfigurationError):
+            vec.plan_batch(np.array(_points(5, phi)), [Subspace([0])])

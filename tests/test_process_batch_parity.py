@@ -1,0 +1,158 @@
+"""Engine parity suite: ``SPOT.process_batch`` vs the sequential oracle.
+
+The contract of the vectorized batch engine is that it is *semantically
+invisible*: for any configuration — density reference, decision rule, IRSD
+gate, online adaptation — the flags it produces are identical to the
+pure-Python sequential path, the flagged subspace sets coincide, and the
+continuous scores agree to 1e-9.  (The *ordering* inside
+``outlying_subspaces`` may legally differ when two subspaces carry exactly
+tied Relative Densities, because float-representation noise breaks the tie
+arbitrarily; membership and the decision itself never differ.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SPOTConfig
+from repro.core.detector import SPOT
+from repro.core.exceptions import ConfigurationError
+from repro.core.fast_store import VectorizedSynapseStore
+from repro.core.synapse_store import SynapseStore
+from repro.streams import GaussianStreamGenerator, values_of
+
+BASE = dict(max_dimension=2, omega=400, moga_generations=6, moga_population=12,
+            cells_per_dimension=4, rd_threshold=0.05, min_expected_mass=3.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = GaussianStreamGenerator(dimensions=7, n_points=1300,
+                                     outlier_rate=0.04,
+                                     outlier_subspace_dim=2,
+                                     n_outlier_subspaces=2, seed=5)
+    training, detection = stream.split(500, 800)
+    return values_of(training), values_of(detection)
+
+
+def _run_pair(training, detection, **overrides):
+    kwargs = dict(BASE)
+    kwargs.update(overrides)
+    py = SPOT(SPOTConfig(engine="python", **kwargs)).learn(training)
+    sequential = [py.process(values) for values in detection]
+    vec = SPOT(SPOTConfig(engine="vectorized", **kwargs)).learn(training)
+    batched = vec.process_batch(detection)
+    return py, sequential, vec, batched
+
+
+def _assert_parity(sequential, batched):
+    assert len(sequential) == len(batched)
+    for seq, bat in zip(sequential, batched):
+        assert seq.index == bat.index
+        assert seq.point == bat.point
+        assert seq.is_outlier == bat.is_outlier, (
+            f"flag mismatch at {seq.index}: {seq.score} vs {bat.score}")
+        assert set(seq.outlying_subspaces) == set(bat.outlying_subspaces)
+        assert abs(seq.score - bat.score) <= 1e-9, (
+            f"score mismatch at {seq.index}: {seq.score} vs {bat.score}")
+        assert len(seq.evidence) == len(bat.evidence)
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("reference",
+                             ["hybrid", "marginal", "populated", "lattice"])
+    def test_density_references(self, workload, reference):
+        training, detection = workload
+        _, sequential, _, batched = _run_pair(
+            training, detection, density_reference=reference)
+        _assert_parity(sequential, batched)
+
+    @pytest.mark.parametrize("rule", ["rd", "poisson"])
+    def test_decision_rules(self, workload, rule):
+        training, detection = workload
+        py, sequential, vec, batched = _run_pair(
+            training, detection, decision_rule=rule)
+        _assert_parity(sequential, batched)
+        assert any(result.is_outlier for result in sequential), \
+            "parity run must exercise flagged points"
+        assert py.summary.outliers_detected == vec.summary.outliers_detected
+
+    def test_irsd_gate(self, workload):
+        training, detection = workload
+        _, sequential, _, batched = _run_pair(
+            training, detection, irsd_threshold=50.0)
+        _assert_parity(sequential, batched)
+
+    def test_online_adaptation_triggers(self, workload):
+        # OS growth fires a MOGA search at every flagged outlier, CS
+        # self-evolution and pruning fire on period boundaries — all three
+        # mutate state mid-stream, so the batch engine must cut its chunks at
+        # exactly the same stream positions the sequential loop adapts at.
+        training, detection = workload
+        py, sequential, vec, batched = _run_pair(
+            training, detection,
+            os_growth_enabled=True, self_evolution_period=170,
+            prune_period=130, rd_threshold=0.1,
+            moga_generations=4, moga_population=10)
+        _assert_parity(sequential, batched)
+        assert py.sst.all_subspaces() == vec.sst.all_subspaces()
+        assert len(py.sst.outlier_driven_subspaces) > 0, \
+            "OS growth must actually have fired for this test to bite"
+
+    def test_sequential_process_on_vectorized_engine(self, workload):
+        training, detection = workload
+        py = SPOT(SPOTConfig(engine="python", **BASE)).learn(training)
+        sequential = [py.process(values) for values in detection]
+        vec = SPOT(SPOTConfig(engine="vectorized", **BASE)).learn(training)
+        point_by_point = [vec.process(values) for values in detection]
+        _assert_parity(sequential, point_by_point)
+
+    def test_process_batch_on_python_engine_is_the_sequential_loop(self, workload):
+        training, detection = workload
+        looped = SPOT(SPOTConfig(engine="python", **BASE)).learn(training)
+        expected = [looped.process(values) for values in detection]
+        batched_detector = SPOT(SPOTConfig(engine="python", **BASE)).learn(training)
+        got = batched_detector.process_batch(detection)
+        assert expected == got
+
+    def test_detect_routes_through_the_batch_path(self, workload):
+        training, detection = workload
+        vec = SPOT(SPOTConfig(engine="vectorized", **BASE)).learn(training)
+        assert isinstance(vec.store, VectorizedSynapseStore)
+        via_detect = vec.detect(detection[:200])
+        reference = SPOT(SPOTConfig(engine="python", **BASE)).learn(training)
+        _assert_parity([reference.process(v) for v in detection[:200]],
+                       via_detect)
+
+    def test_batch_splitting_is_invisible(self, workload):
+        # Feeding the stream in many small batches must equal one big batch.
+        training, detection = workload
+        one = SPOT(SPOTConfig(engine="vectorized", **BASE)).learn(training)
+        whole = one.process_batch(detection)
+        many = SPOT(SPOTConfig(engine="vectorized", **BASE)).learn(training)
+        pieces = []
+        step = 57
+        for start in range(0, len(detection), step):
+            pieces.extend(many.process_batch(detection[start:start + step]))
+        assert len(whole) == len(pieces)
+        for a, b in zip(whole, pieces):
+            assert a.is_outlier == b.is_outlier
+            assert abs(a.score - b.score) <= 1e-9
+            assert set(a.outlying_subspaces) == set(b.outlying_subspaces)
+
+
+class TestEngineConfiguration:
+    def test_engine_field_selects_store_class(self, workload):
+        training, _ = workload
+        py = SPOT(SPOTConfig(engine="python", **BASE)).learn(training)
+        assert isinstance(py.store, SynapseStore)
+        vec = SPOT(SPOTConfig(engine="vectorized", **BASE)).learn(training)
+        assert isinstance(vec.store, VectorizedSynapseStore)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SPOTConfig(engine="fortran")
+
+    def test_engine_survives_config_round_trip(self):
+        config = SPOTConfig(engine="vectorized")
+        assert SPOTConfig.from_dict(config.to_dict()).engine == "vectorized"
