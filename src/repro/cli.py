@@ -1,6 +1,6 @@
 """Command-line demo of SPOT (the reproduction of the paper's demo plan).
 
-Four subcommands:
+Six subcommands:
 
 ``spot-demo detect``
     Run the full learning + detection pipeline on a named workload and print
@@ -8,7 +8,7 @@ Four subcommands:
     subspaces.
 
 ``spot-demo experiment``
-    Run one of the experiments from the DESIGN.md index (F1, E1-E4, T1,
+    Run one of the experiments from the DESIGN.md index (F1, E1-E5, T1,
     A1-A4) and print its result table.
 
 ``spot-demo compare``
@@ -18,18 +18,30 @@ Four subcommands:
 ``spot-demo bench``
     Measure detection throughput of the python and vectorized engines and
     write the machine-readable ``BENCH_throughput.json`` report.
+
+``spot-demo serve``
+    Run the sharded multi-tenant detection service over a synthetic
+    multiplexed workload (optionally checkpointing), print per-shard serving
+    statistics, and optionally write the ``BENCH_service.json`` report.
+
+``spot-demo replay``
+    Restore a service from a ``serve`` checkpoint directory and resume the
+    recorded workload from the checkpointed stream position.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .baselines import FullSpaceGridDetector, KNNWindowDetector, RandomSubspaceDetector
 from .core.config import SPOTConfig
 from .core.detector import SPOT
+from .core.exceptions import ConfigurationError
 from .eval import (
     ALL_EXPERIMENTS,
     build_workload,
@@ -38,6 +50,21 @@ from .eval import (
     rows_from_evaluations,
 )
 from .eval.workloads import WORKLOAD_BUILDERS
+
+
+def _git_describe() -> Optional[str]:
+    """Best-effort ``git describe`` of the working tree the CLI runs from."""
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +111,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="detection-stream length override for every "
                             "dimensionality (default: 20000 at 10-d, 6000 at "
                             "30-d, 2000 at 100-d)")
+    bench.add_argument("--seed", type=int, default=19,
+                       help="workload seed (recorded in the report)")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sharded multi-tenant detection service")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--tenants", type=int, default=8)
+    serve.add_argument("--dimensions", type=int, default=10)
+    serve.add_argument("--points", type=int, default=1500,
+                       help="detection points per tenant")
+    serve.add_argument("--training", type=int, default=80,
+                       help="training points per tenant (shared prototype)")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="micro-batch coalescing limit per shard")
+    serve.add_argument("--max-delay", type=float, default=0.002,
+                       help="max seconds a partial micro-batch waits for more "
+                            "points")
+    serve.add_argument("--workers", choices=("thread", "process"),
+                       default="thread", help="shard worker flavour")
+    serve.add_argument("--seed", type=int, default=19)
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for service checkpoints (final "
+                            "checkpoint is always written when set)")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="also checkpoint every N submitted points")
+    serve.add_argument("--stop-after", type=int, default=None,
+                       help="serve only the first N workload points, so the "
+                            "final checkpoint records a mid-stream position "
+                            "that 'replay' can resume from")
+    serve.add_argument("--bench-out", default=None,
+                       help="write the service benchmark report (e.g. "
+                            "BENCH_service.json); also runs the serving "
+                            "baselines for the speedup comparison")
+
+    replay = subparsers.add_parser(
+        "replay", help="restore a service checkpoint and resume its workload")
+    replay.add_argument("--checkpoint-dir", required=True,
+                        help="directory written by 'serve --checkpoint-dir'")
+    replay.add_argument("--points", type=int, default=None,
+                        help="cap on how many remaining points to replay "
+                             "(default: all)")
     return parser
 
 
@@ -154,23 +222,169 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from .eval.experiments import experiment_t1_throughput
+    from .eval.experiments import experiment_t1_throughput, t1_bench_config
 
     lengths = ({d: args.length for d in args.dimensions}
                if args.length else None)
     report = experiment_t1_throughput(dimension_settings=tuple(args.dimensions),
-                                      lengths=lengths)
+                                      lengths=lengths, seed=args.seed)
     print(f"[{report.experiment_id}] {report.title}")
     print(format_table(list(report.rows), columns=report.column_names()))
 
     payload = {
         "benchmark": "throughput",
         "workload": "e4-style synthetic stream (fixed SST budget)",
+        # Reproduction metadata: the engine of every row, the workload seed
+        # and the exact detector configuration make the recorded trajectory
+        # comparable across revisions; "git" pins the code state.
+        "engines": sorted({str(row["engine"]) for row in report.rows}),
+        "seed": args.seed,
+        "dimensions": list(args.dimensions),
+        "length_override": args.length,
+        "config": t1_bench_config().to_dict(),
+        "git": _git_describe(),
         "rows": list(report.rows),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"\nWrote {args.out}")
+    return 0
+
+
+def _print_service_stats(stats: dict) -> None:
+    shard_rows = stats.pop("shards")
+    print(format_table([stats]))
+    print()
+    print(format_table(shard_rows))
+
+
+def _serve_workload_params(args: argparse.Namespace) -> dict:
+    return {
+        "n_tenants": args.tenants,
+        "dimensions": args.dimensions,
+        "n_training_per_tenant": args.training,
+        "n_detection_per_tenant": args.points,
+        "seed": args.seed,
+    }
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .eval.experiments import experiment_e5_service, t1_bench_config
+    from .eval.workloads import multi_tenant_workload
+    from .service import DetectionService, ServiceConfig
+
+    workload_params = _serve_workload_params(args)
+    if args.bench_out:
+        # Benchmark mode: run the service *and* the serving baselines through
+        # the E5 experiment so the report carries the speedup comparison.
+        # Checkpoint/stop-after options only apply to a plain serve run, and
+        # silently dropping them would misrepresent what was measured.
+        if args.checkpoint_dir or args.checkpoint_every or \
+                args.stop_after is not None:
+            raise ConfigurationError(
+                "--bench-out cannot be combined with --checkpoint-dir, "
+                "--checkpoint-every or --stop-after; run them as separate "
+                "serve invocations")
+        report = experiment_e5_service(
+            n_shards=args.shards, max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            worker_mode=args.workers, **workload_params)
+        print(f"[{report.experiment_id}] {report.title}")
+        print(format_table(list(report.rows), columns=report.column_names()))
+        if report.notes:
+            print(f"\nNotes: {report.notes}")
+        payload = {
+            "benchmark": "service",
+            "workload": "multiplexed multi-tenant e4-style streams",
+            "workload_params": workload_params,
+            "service": {
+                "n_shards": args.shards,
+                "max_batch": args.max_batch,
+                "max_delay": args.max_delay,
+                "worker_mode": args.workers,
+            },
+            "config": t1_bench_config(engine="vectorized").to_dict(),
+            "git": _git_describe(),
+            "rows": list(report.rows),
+        }
+        with open(args.bench_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nWrote {args.bench_out}")
+        return 0
+
+    workload = multi_tenant_workload(**workload_params)
+    config = t1_bench_config(engine="vectorized")
+    print(f"Learning the prototype on {len(workload.training)} shared "
+          f"training points ({workload.dimensionality} dimensions, "
+          f"{len(workload.tenants)} tenants)...")
+    prototype = SPOT(config)
+    prototype.learn(workload.training_values)
+
+    service = DetectionService.from_prototype(prototype, ServiceConfig(
+        n_shards=args.shards,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        worker_mode=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+    ))
+    if args.checkpoint_dir:
+        # Recorded in every checkpoint (periodic ones included) so any
+        # snapshot of this run — not just the final one — replays.
+        service.set_checkpoint_extra({"serve": dict(workload_params)})
+    service.start()
+    to_serve = list(workload.detection)
+    if args.stop_after is not None:
+        to_serve = to_serve[: args.stop_after]
+    print(f"Serving {len(to_serve)} of {len(workload.detection)} points "
+          f"across {args.shards} shards ({args.workers} workers)...")
+    service.submit_tagged(to_serve)
+    service.drain()
+    if args.checkpoint_dir:
+        service.checkpoint()
+        print(f"Checkpointed {args.shards} shards to {args.checkpoint_dir} "
+              f"(total checkpoints this run: {service.checkpoints_taken})")
+    service.stop()
+    outliers = sum(1 for r in service.results() if r.is_outlier)
+    print(f"Flagged {outliers} projected outliers across "
+          f"{len(workload.tenants)} tenants\n")
+    _print_service_stats(service.stats())
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from .core.exceptions import SerializationError
+    from .eval.workloads import multi_tenant_workload
+    from .service import CheckpointManager, DetectionService
+
+    manager = CheckpointManager(args.checkpoint_dir)
+    manifest = manager.manifest()
+    serve_params = (manifest.get("extra") or {}).get("serve")
+    if not serve_params:
+        raise SerializationError(
+            "this checkpoint was not written by 'spot-demo serve' "
+            "(no recorded workload); replay needs the workload parameters")
+    offset = int(manifest["points_submitted"])
+    workload = multi_tenant_workload(**serve_params)
+    remaining = list(workload.detection[offset:])
+    if args.points is not None:
+        remaining = remaining[: args.points]
+    print(f"Restoring {manifest['n_shards']} shards from "
+          f"{args.checkpoint_dir} (stream position {offset})...")
+    service = DetectionService.restore(args.checkpoint_dir)
+    service.start()
+    if not remaining:
+        print("Nothing left to replay: the checkpoint is at the end of the "
+              "recorded workload.")
+        service.stop()
+        return 0
+    print(f"Resuming {len(remaining)} points...")
+    service.submit_tagged(remaining)
+    service.drain()
+    service.stop()
+    outliers = sum(1 for r in service.results() if r.is_outlier)
+    print(f"Flagged {outliers} projected outliers after resumption\n")
+    _print_service_stats(service.stats())
     return 0
 
 
@@ -186,6 +400,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "replay":
+        return _run_replay(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

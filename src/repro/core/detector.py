@@ -584,6 +584,92 @@ class SPOT:
                 if result.is_outlier]
 
     # ------------------------------------------------------------------ #
+    # Full-state export / restore (checkpointing)
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Snapshot everything a mid-stream detector is, losslessly.
+
+        Unlike :func:`repro.persist.save_detector` (config + SST only, for
+        shipping templates between deployments), the exported state also
+        carries the live cell summaries, the recent-points reservoir, the
+        drift monitor and the online-adaptation counters/RNG state, so a
+        detector rebuilt with :meth:`from_state` resumes the stream
+        decision-identically to one that was never interrupted.  The payload
+        is plain JSON-serialisable data; sharded services snapshot each shard
+        through this method.
+        """
+        self._require_fitted()
+        assert self._store is not None and self._sst is not None
+        grid = self.grid
+        return {
+            "config": self.config.to_dict(),
+            "bounds": {
+                "lows": list(grid.bounds.lows),
+                "highs": list(grid.bounds.highs),
+            },
+            "sst": self._sst.to_dict(),
+            "processed": self._processed,
+            "summary": self._summary.state_to_dict(),
+            "learning_report": dict(self._learning_report),
+            "store": self._store.state_to_dict(),
+            "recent_buffer": (self._recent_buffer.state_to_dict()
+                              if self._recent_buffer is not None else None),
+            "drift": (self._drift_detector.state_to_dict()
+                      if self._drift_detector is not None else None),
+            "self_evolution": (self._self_evolution.state_to_dict()
+                               if self._self_evolution is not None else None),
+            "os_growth": (self._os_growth.state_to_dict()
+                          if self._os_growth is not None else None),
+        }
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "SPOT":
+        """Rebuild a detector from :meth:`export_state` output."""
+        from ..learning.online import (
+            OutlierDrivenGrowth,
+            RecentPointsBuffer,
+            SelfEvolution,
+        )
+        from ..streams.drift import DriftDetector
+
+        config = SPOTConfig.from_dict(payload["config"])
+        bounds = DomainBounds(lows=tuple(payload["bounds"]["lows"]),
+                              highs=tuple(payload["bounds"]["highs"]))
+        detector = cls(config)
+        grid = Grid(bounds=bounds,
+                    cells_per_dimension=config.cells_per_dimension)
+        time_model = TimeModel.create(config.omega, config.epsilon)
+        store = build_store(config, grid, time_model)
+        # The snapshot carries the live projected tables, so the store's
+        # registration-time rebuild from base cells is bypassed entirely.
+        store.restore_state(payload["store"])
+
+        detector._grid = grid
+        detector._time_model = time_model
+        detector._store = store
+        detector._sst = SparseSubspaceTemplate.from_dict(payload["sst"])
+        detector._processed = int(payload["processed"])
+        detector._summary = StreamSummary.from_state(payload["summary"])
+        detector._learning_report = dict(payload.get("learning_report") or {})
+
+        if payload.get("recent_buffer") is not None:
+            detector._recent_buffer = RecentPointsBuffer.from_state(
+                payload["recent_buffer"])
+        if payload.get("drift") is not None:
+            drift = DriftDetector(grid)
+            drift.restore_state(payload["drift"])
+            detector._drift_detector = drift
+        if payload.get("self_evolution") is not None:
+            evolution = SelfEvolution(config, grid)
+            evolution.restore_state(payload["self_evolution"])
+            detector._self_evolution = evolution
+        if payload.get("os_growth") is not None:
+            growth = OutlierDrivenGrowth(config, grid)
+            growth.restore_state(payload["os_growth"])
+            detector._os_growth = growth
+        return detector
+
+    # ------------------------------------------------------------------ #
     # Diagnostics
     # ------------------------------------------------------------------ #
     def drift_count(self) -> int:

@@ -880,3 +880,78 @@ class VectorizedSynapseStore:
             "projected_cells": sum(t.n_slots for t in self._projected.values()),
             "subspaces": len(self._projected),
         }
+
+    # ------------------------------------------------------------------ #
+    # Full-state snapshot (checkpointing)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _table_state(table: _CellTable) -> Dict[str, object]:
+        n = table.n_slots
+        return {
+            # Cell addresses are stored unpacked (per-dimension interval
+            # indices) so the snapshot is codec-independent: byte-fallback
+            # keys would not survive JSON, packed int64 keys would.
+            "addresses": table.codec.unpack(table.slot_keys).tolist() if n else [],
+            "count": table.count[:n].tolist(),
+            "lin": table.lin[:n].tolist(),
+            "sq": table.sq[:n].tolist(),
+        }
+
+    def _restore_table(self, table: _CellTable,
+                       payload: Dict[str, object]) -> None:
+        addresses = payload["addresses"]
+        n = len(addresses)
+        if n == 0:
+            return
+        keys = table.codec.pack(np.asarray(addresses, dtype=np.int64))
+        table._ensure_capacity(n)
+        table.slot_keys = list(keys)
+        table.key_to_slot = {key: i for i, key in enumerate(table.slot_keys)}
+        table.count[:n] = np.asarray(payload["count"], dtype=np.float64)
+        table.lin[:n] = np.asarray(payload["lin"], dtype=np.float64)
+        table.sq[:n] = np.asarray(payload["sq"], dtype=np.float64)
+
+    def state_to_dict(self) -> Dict[str, object]:
+        """Loss-free snapshot of the store (see :meth:`SynapseStore.state_to_dict`).
+
+        The inflated representation is serialised as-is together with its
+        reference tick ``t0`` — no deflation pass — so restoring reproduces
+        the exact float64 values and a resumed stream stays bit-identical to
+        an uninterrupted one.  ``tolist`` hands back Python floats whose
+        ``repr`` JSON round-trips exactly.
+        """
+        return {
+            "tick": self._tick,
+            "t0": self._t0,
+            "points_seen": self._points_seen,
+            "total_infl": self._total_infl,
+            "marg": self._marg.tolist(),
+            "base": self._table_state(self._base),
+            "projected": [
+                dict(self._table_state(table), dims=list(subspace.dimensions))
+                for subspace, table in self._projected.items()
+            ],
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_to_dict`, applied to a freshly built store."""
+        self._tick = float(payload["tick"])
+        self._t0 = float(payload["t0"])
+        self._points_seen = int(payload["points_seen"])
+        self._total_infl = float(payload["total_infl"])
+        self._marg = np.asarray(payload["marg"], dtype=np.float64)
+        self._base = _CellTable(self.grid.phi, self._base_codec)
+        self._restore_table(self._base, payload["base"])
+        self._projected = {}
+        self._uniform_stds = {}
+        m = self.grid.cells_per_dimension
+        for item in payload["projected"]:
+            subspace = Subspace(item["dims"])
+            subspace.validate_against(self.grid.phi)
+            codec = CellKeyCodec(m, len(subspace))
+            table = _CellTable(len(subspace), codec)
+            self._restore_table(table, item)
+            self._projected[subspace] = table
+            self._uniform_stds[subspace] = np.array(
+                [self.grid.uniform_cell_std(d) for d in subspace],
+                dtype=np.float64)

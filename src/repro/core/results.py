@@ -112,3 +112,24 @@ class StreamSummary:
         ranked = sorted(self.subspace_hit_counts.items(),
                         key=lambda item: item[1], reverse=True)
         return ranked[:k]
+
+    def state_to_dict(self) -> Dict[str, object]:
+        """Snapshot for detector checkpointing."""
+        return {
+            "points_processed": self.points_processed,
+            "outliers_detected": self.outliers_detected,
+            "subspace_hits": [[list(subspace.dimensions), count]
+                              for subspace, count
+                              in self.subspace_hit_counts.items()],
+        }
+
+    @classmethod
+    def from_state(cls, payload: Dict[str, object]) -> "StreamSummary":
+        """Rebuild a summary from :meth:`state_to_dict` output."""
+        summary = cls(
+            points_processed=int(payload["points_processed"]),
+            outliers_detected=int(payload["outliers_detected"]),
+        )
+        for dims, count in payload["subspace_hits"]:
+            summary.subspace_hit_counts[Subspace(dims)] = int(count)
+        return summary

@@ -383,3 +383,89 @@ class SynapseStore:
             "projected_cells": sum(len(c) for c in self._projected.values()),
             "subspaces": len(self._projected),
         }
+
+    # ------------------------------------------------------------------ #
+    # Full-state snapshot (checkpointing)
+    # ------------------------------------------------------------------ #
+    def state_to_dict(self) -> Dict[str, object]:
+        """Loss-free snapshot of every summary the store maintains.
+
+        Unlike the template-only persistence in :mod:`repro.persist`, this
+        captures the *live* decayed summaries (base cells, projected cells,
+        marginals, total mass and the logical clock) exactly as they are, so a
+        store rebuilt with :meth:`restore_state` continues the stream
+        bit-identically.  All values are plain Python floats/ints/lists; JSON
+        round-trips them without loss.
+        """
+
+        def _cells(cells) -> List[List[object]]:
+            return [[list(address), acc.count, list(acc.linear_sum),
+                     list(acc.squared_sum), acc.last_update]
+                    for address, acc in cells.items()]
+
+        return {
+            "tick": self._tick,
+            "points_seen": self._points_seen,
+            "total": {"count": self._total.count,
+                      "last_update": self._total.last_update},
+            "marginals": [list(row) for row in self._marginals],
+            "marginals_scale": self._marginals_scale,
+            "marginals_last_update": self._marginals_last_update,
+            "base_cells": _cells(self._base_cells),
+            "projected": [
+                {"dims": list(subspace.dimensions), "cells": _cells(cells)}
+                for subspace, cells in self._projected.items()
+            ],
+        }
+
+    def restore_state(self, payload: Dict[str, object]) -> None:
+        """Inverse of :meth:`state_to_dict`, applied to a freshly built store.
+
+        Replaces every summary wholesale; the store must have been constructed
+        with the same grid, time model and options the snapshot was taken
+        under (the detector-level checkpoint in :mod:`repro.persist`
+        guarantees this by rebuilding the substrate from the persisted
+        configuration first).
+        """
+        self._tick = float(payload["tick"])
+        self._points_seen = int(payload["points_seen"])
+        total = payload["total"]
+        self._total = DecayedCellAccumulator(1)
+        self._total.count = float(total["count"])
+        self._total.last_update = float(total["last_update"])
+        self._marginals = [[float(v) for v in row]
+                           for row in payload["marginals"]]
+        self._marginals_scale = float(payload["marginals_scale"])
+        self._marginals_last_update = float(payload["marginals_last_update"])
+
+        def _accumulator(entry, width: int) -> DecayedCellAccumulator:
+            _, count, lin, sq, last_update = entry
+            acc = DecayedCellAccumulator(width)
+            acc.count = float(count)
+            acc.linear_sum = [float(v) for v in lin]
+            acc.squared_sum = [float(v) for v in sq]
+            acc.last_update = float(last_update)
+            return acc
+
+        self._base_cells = {}
+        for entry in payload["base_cells"]:
+            address = tuple(int(i) for i in entry[0])
+            bcs = BaseCellSummary(self.grid.phi)
+            bcs.count = float(entry[1])
+            bcs.linear_sum = [float(v) for v in entry[2]]
+            bcs.squared_sum = [float(v) for v in entry[3]]
+            bcs.last_update = float(entry[4])
+            self._base_cells[address] = bcs
+
+        self._projected = {}
+        self._uniform_stds = {}
+        for item in payload["projected"]:
+            subspace = Subspace(item["dims"])
+            subspace.validate_against(self.grid.phi)
+            width = len(subspace)
+            self._projected[subspace] = {
+                tuple(int(i) for i in entry[0]): _accumulator(entry, width)
+                for entry in item["cells"]
+            }
+            self._uniform_stds[subspace] = [self.grid.uniform_cell_std(d)
+                                            for d in subspace]

@@ -19,8 +19,10 @@ from ..streams import (
     GradualDriftStream,
     KDDCup99Simulator,
     ListStream,
+    MultiplexedStream,
     SensorFieldStream,
     StreamPoint,
+    TaggedStreamPoint,
     abrupt_drift_stream,
 )
 
@@ -215,6 +217,94 @@ def throughput_workload(*, dimensions: int = 10, n_training: int = 500,
     return _split(generator, n_training, n_detection,
                   name=f"throughput-{dimensions}d",
                   true_subspaces=generator.outlier_subspaces)
+
+
+@dataclass(frozen=True)
+class MultiTenantWorkload:
+    """A multiplexed serving workload: shared training + tagged detection.
+
+    The detection segment interleaves the streams of ``tenants`` independent
+    tenants (deterministically, given the seed); each point carries its
+    tenant id so the sharded service can route it.  The training prefix
+    interleaves a slice of every tenant so one learned prototype detector is
+    meaningful for all of them.
+    """
+
+    name: str
+    training: Tuple[StreamPoint, ...]
+    detection: Tuple[TaggedStreamPoint, ...]
+    tenants: Tuple[str, ...]
+
+    @property
+    def dimensionality(self) -> int:
+        """Attribute count of the workload's points."""
+        return self.training[0].dimensionality if self.training else 0
+
+    @property
+    def training_values(self) -> List[Tuple[float, ...]]:
+        """Raw attribute vectors of the shared training batch."""
+        return [point.values for point in self.training]
+
+    @property
+    def detection_values(self) -> List[Tuple[float, ...]]:
+        """Raw attribute vectors of the tagged detection segment, in order."""
+        return [point.values for point in self.detection]
+
+    def detection_for(self, tenant: str) -> List[TaggedStreamPoint]:
+        """The detection points of one tenant, in arrival order."""
+        return [point for point in self.detection if point.stream_id == tenant]
+
+
+def multi_tenant_workload(*, n_tenants: int = 8, dimensions: int = 10,
+                          n_training_per_tenant: int = 80,
+                          n_detection_per_tenant: int = 1500,
+                          outlier_rate: float = 0.02,
+                          seed: int = 19) -> MultiTenantWorkload:
+    """E4-style synthetic streams for ``n_tenants`` tenants, multiplexed.
+
+    Every tenant is an independent :class:`GaussianStreamGenerator` (same
+    shape as :func:`throughput_workload`, different seed per tenant), so the
+    aggregate is the serving-layer version of the E4 stream-length study:
+    long, modestly dimensioned, outlier-bearing streams whose per-point
+    maintenance cost dominates.
+    """
+    if n_tenants < 1:
+        raise ConfigurationError(f"n_tenants must be positive, got {n_tenants}")
+    tenants = [f"tenant-{i:03d}" for i in range(n_tenants)]
+    generators = {
+        tenant: GaussianStreamGenerator(
+            dimensions=dimensions,
+            n_points=n_training_per_tenant + n_detection_per_tenant,
+            outlier_rate=outlier_rate,
+            outlier_subspace_dim=2,
+            n_outlier_subspaces=2,
+            seed=seed + 101 * index,
+        )
+        for index, tenant in enumerate(tenants)
+    }
+    training: List[StreamPoint] = []
+    detection_streams: List[Tuple[str, DataStream]] = []
+    for tenant in tenants:
+        head, tail = generators[tenant].split(n_training_per_tenant,
+                                              n_detection_per_tenant)
+        training.extend(head)
+        detection_streams.append((tenant, ListStream(tail)))
+    # Round-robin the training slices so no tenant dominates any prefix of
+    # the training batch, then shuffle-interleave the detection segments.
+    interleaved_training: List[StreamPoint] = []
+    for i in range(n_training_per_tenant):
+        for tenant_index in range(n_tenants):
+            interleaved_training.append(
+                training[tenant_index * n_training_per_tenant + i])
+    multiplexed = MultiplexedStream(detection_streams, seed=seed,
+                                    mode="shuffled")
+    detection = multiplexed.take(n_tenants * n_detection_per_tenant)
+    return MultiTenantWorkload(
+        name=f"multitenant-{n_tenants}x{dimensions}d",
+        training=tuple(interleaved_training),
+        detection=tuple(detection),
+        tenants=tuple(tenants),
+    )
 
 
 #: Registry of the named workload constructors, for the CLI and the harness.

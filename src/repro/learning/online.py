@@ -59,6 +59,19 @@ class RecentPointsBuffer:
         """Maximum number of points retained."""
         return self._buffer.maxlen or 0
 
+    def state_to_dict(self) -> dict:
+        """Snapshot for detector checkpointing (capacity + buffered points)."""
+        return {"capacity": self.capacity,
+                "points": [list(point) for point in self._buffer]}
+
+    @classmethod
+    def from_state(cls, payload: dict) -> "RecentPointsBuffer":
+        """Rebuild a buffer from :meth:`state_to_dict` output."""
+        buffer = cls(int(payload["capacity"]))
+        for point in payload["points"]:
+            buffer.add(point)
+        return buffer
+
 
 class SelfEvolution:
     """Periodic online re-generation and re-ranking of the CS component."""
@@ -73,6 +86,23 @@ class SelfEvolution:
     def rounds(self) -> int:
         """Number of evolution rounds executed so far."""
         return self._rounds
+
+    def state_to_dict(self) -> dict:
+        """Snapshot for detector checkpointing (round count + RNG state).
+
+        The Mersenne-Twister state is captured so a restored detector draws
+        the exact same crossover/mutation decisions an uninterrupted run
+        would — that is what keeps resumed streams decision-identical.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {"rounds": self._rounds,
+                "rng_state": [version, list(internal), gauss_next]}
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_to_dict`."""
+        self._rounds = int(payload["rounds"])
+        version, internal, gauss_next = payload["rng_state"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
 
     def evolve(self, sst: SparseSubspaceTemplate,
                recent_points: Sequence[Sequence[float]]) -> int:
@@ -139,6 +169,19 @@ class OutlierDrivenGrowth:
     def searches(self) -> int:
         """Number of per-outlier MOGA searches run so far."""
         return self._searches
+
+    def state_to_dict(self) -> dict:
+        """Snapshot for detector checkpointing.
+
+        The search counter is the component's only state: each MOGA run is
+        seeded from ``random_seed + 5000 + searches``, so restoring the
+        counter restores the whole future search sequence.
+        """
+        return {"searches": self._searches}
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_to_dict`."""
+        self._searches = int(payload["searches"])
 
     def grow(self, sst: SparseSubspaceTemplate,
              outlier: Sequence[float],

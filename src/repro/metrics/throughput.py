@@ -108,6 +108,48 @@ class LatencySeries:
             means.append(sum(chunk) / len(chunk))
         return means
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (linear interpolation), ``q`` in [0, 100].
+
+        Tail percentiles are the serving-layer quality numbers: a mean hides
+        the stalls that micro-batching trades for throughput, p95/p99 expose
+        them.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must lie in [0, 100], got {q}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = rank - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def p50(self) -> float:
+        """Median per-point latency."""
+        return self.percentile(50.0)
+
+    def p95(self) -> float:
+        """95th-percentile per-point latency."""
+        return self.percentile(95.0)
+
+    def p99(self) -> float:
+        """99th-percentile per-point latency."""
+        return self.percentile(99.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary (count, mean, p50/p95/p99) for reporting."""
+        return {
+            "count": float(len(self.latencies)),
+            "mean": self.mean(),
+            "p50": self.p50(),
+            "p95": self.p95(),
+            "p99": self.p99(),
+        }
+
 
 def measure_detector(detector, points: Sequence[object]) -> ThroughputReport:
     """Convenience: time ``detector.process`` over ``points``."""

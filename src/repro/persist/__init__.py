@@ -1,10 +1,16 @@
 """Persistence of learned templates and detector state."""
 
 from .serialization import (
+    CHECKPOINT_FORMAT_VERSION,
     FORMAT_VERSION,
+    clone_detector,
+    detector_checkpoint_to_dict,
+    detector_from_checkpoint_dict,
     detector_state_to_dict,
+    load_checkpoint,
     load_detector,
     load_sst,
+    save_checkpoint,
     save_detector,
     save_sst,
     sst_from_json,
@@ -12,8 +18,14 @@ from .serialization import (
 )
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
     "FORMAT_VERSION",
+    "clone_detector",
+    "detector_checkpoint_to_dict",
+    "detector_from_checkpoint_dict",
     "detector_state_to_dict",
+    "load_checkpoint",
+    "save_checkpoint",
     "load_detector",
     "load_sst",
     "save_detector",

@@ -25,6 +25,10 @@ PathLike = Union[str, Path]
 #: Format tag written into every file, bumped on incompatible layout changes.
 FORMAT_VERSION = 1
 
+#: Format tag of *full-state* checkpoints (template + live summaries +
+#: online-adaptation state); independent of the template-only format above.
+CHECKPOINT_FORMAT_VERSION = 1
+
 
 def sst_to_json(sst: SparseSubspaceTemplate) -> str:
     """Serialise a Sparse Subspace Template to a JSON string."""
@@ -148,3 +152,72 @@ def load_detector(path: PathLike) -> SPOT:
                                              warmup=config.omega)
     detector._learning_report = {"restored_from": str(path)}
     return detector
+
+
+# --------------------------------------------------------------------- #
+# Full-state checkpoints (mid-stream snapshot, exact resumption)
+# --------------------------------------------------------------------- #
+def detector_checkpoint_to_dict(detector: SPOT) -> Dict[str, object]:
+    """Full-state checkpoint payload of a fitted detector.
+
+    Where :func:`detector_state_to_dict` persists only the portable template
+    (summaries are rebuilt from fresh stream data), a checkpoint additionally
+    carries the live cell summaries, logical clock, recent-points reservoir,
+    drift monitor and adaptation counters — everything needed to resume the
+    stream *decision-identically* to an uninterrupted run.  This is the unit
+    of state the sharded detection service snapshots per shard.
+    """
+    if not detector.is_fitted:
+        raise SerializationError("only a fitted detector can be checkpointed")
+    return {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "kind": "spot-checkpoint",
+        "state": detector.export_state(),
+    }
+
+
+def detector_from_checkpoint_dict(payload: Dict[str, object]) -> SPOT:
+    """Rebuild a detector from :func:`detector_checkpoint_to_dict` output."""
+    if not isinstance(payload, dict) or payload.get("kind") != "spot-checkpoint":
+        raise SerializationError("payload is not a spot-checkpoint")
+    version = payload.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint format version {version!r} "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    try:
+        return SPOT.from_state(payload["state"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed checkpoint payload: {exc}") from exc
+
+
+def save_checkpoint(detector: SPOT, path: PathLike) -> None:
+    """Write a full-state checkpoint to ``path`` (parent dirs are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(detector_checkpoint_to_dict(detector)))
+
+
+def load_checkpoint(path: PathLike) -> SPOT:
+    """Read a checkpoint previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"checkpoint file does not exist: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed checkpoint JSON: {exc}") from exc
+    return detector_from_checkpoint_dict(payload)
+
+
+def clone_detector(detector: SPOT) -> SPOT:
+    """Deep-copy a fitted detector through the checkpoint state path.
+
+    The clone is state-identical (summaries, clock, RNG state) but fully
+    independent; the sharded service uses this to replicate one learned
+    prototype across shards without re-running the learning stage per shard.
+    """
+    if not detector.is_fitted:
+        raise SerializationError("only a fitted detector can be cloned")
+    return SPOT.from_state(detector.export_state())

@@ -1,0 +1,42 @@
+"""Sharded multi-stream detection service.
+
+This package is the serving layer on top of the vectorized detection engine:
+many independent streams (tenants) are multiplexed over a small pool of SPOT
+detector shards.
+
+* :class:`~repro.service.router.ShardRouter` — stable hash partitioning of
+  stream ids onto shards (a stream's points always reach the same shard, in
+  arrival order).
+* :class:`~repro.service.batcher.MicroBatcher` — per-shard FIFO queues that
+  coalesce arrivals into ``process_batch``-sized chunks under a
+  max-batch-size / max-delay policy, with bounded-queue backpressure.
+* :class:`~repro.service.worker.ShardWorker` /
+  :class:`~repro.service.worker.ProcessShardWorker` — the worker pool driving
+  the vectorized engine (threads by default, one OS process per shard
+  optionally), reporting per-shard throughput and latency percentiles.
+* :class:`~repro.service.checkpoint.CheckpointManager` — periodic full-state
+  snapshots of every shard; a whole service can be restored and resumed
+  decision-identically.
+* :class:`~repro.service.service.DetectionService` — the facade wiring the
+  four together.
+"""
+
+from .batcher import BatchItem, MicroBatcher
+from .checkpoint import CheckpointManager, SERVICE_MANIFEST_VERSION
+from .router import ShardRouter
+from .service import DetectionService, ServiceConfig, ServiceResult
+from .worker import ProcessShardWorker, ShardStats, ShardWorker
+
+__all__ = [
+    "BatchItem",
+    "CheckpointManager",
+    "DetectionService",
+    "MicroBatcher",
+    "ProcessShardWorker",
+    "SERVICE_MANIFEST_VERSION",
+    "ServiceConfig",
+    "ServiceResult",
+    "ShardRouter",
+    "ShardStats",
+    "ShardWorker",
+]

@@ -1,0 +1,151 @@
+"""Micro-batch coalescing queues (one per shard).
+
+The vectorized engine's whole advantage is amortising per-call work over
+large ``process_batch`` chunks, but a serving layer receives points one
+arrival at a time.  The :class:`MicroBatcher` sits between the two: arrivals
+are appended to a bounded FIFO queue and the shard worker drains them in
+coalesced batches under a max-batch-size / max-delay policy —
+
+* a batch is emitted as soon as ``max_batch`` points are pending (throughput
+  mode under load), or
+* after ``max_delay`` seconds from the moment the worker started assembling
+  it (latency bound under trickle traffic).
+
+The queue is bounded at ``max_pending`` points; producers block when it is
+full, which is the service's backpressure: a slow shard slows its producers
+down instead of growing memory without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One enqueued point: payload plus the bookkeeping the service needs."""
+
+    seq: int
+    stream_id: str
+    values: Tuple[float, ...]
+    enqueued_at: float
+
+
+class MicroBatcher:
+    """Bounded FIFO queue with size/delay batch coalescing (thread-safe).
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch handed to a worker in one :meth:`next_batch` call.
+    max_delay:
+        Longest time (seconds) a worker waits for more points once at least
+        one is pending.  ``0`` disables waiting: the worker takes whatever is
+        queued immediately (lowest latency, smallest batches).
+    max_pending:
+        Queue bound; :meth:`put` blocks while the queue holds this many
+        points (backpressure).
+    """
+
+    def __init__(self, *, max_batch: int = 512, max_delay: float = 0.002,
+                 max_pending: int = 8192) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be positive, got {max_batch}")
+        if max_delay < 0.0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        if max_pending < max_batch:
+            raise ConfigurationError(
+                f"max_pending ({max_pending}) must be >= max_batch ({max_batch})")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.max_pending = max_pending
+        self._items: Deque[BatchItem] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._batches_emitted = 0
+        self._points_emitted = 0
+        self._producer_blocks = 0
+        self._peak_pending = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def put(self, item: BatchItem) -> None:
+        """Enqueue one point; blocks while the queue is full (backpressure)."""
+        with self._not_full:
+            if len(self._items) >= self.max_pending:
+                self._producer_blocks += 1
+                while len(self._items) >= self.max_pending and not self._closed:
+                    self._not_full.wait(timeout=0.1)
+            if self._closed:
+                raise ConfigurationError("cannot put into a closed MicroBatcher")
+            self._items.append(item)
+            if len(self._items) > self._peak_pending:
+                self._peak_pending = len(self._items)
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Stop accepting points; pending ones remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+    def next_batch(self) -> Optional[List[BatchItem]]:
+        """Block for the next coalesced batch; ``None`` once closed and empty."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait(timeout=0.1)
+            if not self._items:
+                return None
+            if self.max_delay > 0.0 and len(self._items) < self.max_batch \
+                    and not self._closed:
+                deadline = time.monotonic() + self.max_delay
+                while len(self._items) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._not_empty.wait(timeout=remaining)
+            n = min(len(self._items), self.max_batch)
+            batch = [self._items.popleft() for _ in range(n)]
+            self._batches_emitted += 1
+            self._points_emitted += n
+            self._not_full.notify_all()
+            return batch
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def stats(self) -> Dict[str, float]:
+        """Coalescing counters (batches, points, mean batch size, pressure)."""
+        with self._lock:
+            batches = self._batches_emitted
+            points = self._points_emitted
+            return {
+                "batches_emitted": float(batches),
+                "points_emitted": float(points),
+                "mean_batch_size": points / batches if batches else 0.0,
+                "producer_blocks": float(self._producer_blocks),
+                "peak_pending": float(self._peak_pending),
+            }

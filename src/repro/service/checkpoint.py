@@ -1,0 +1,139 @@
+"""Service-level checkpointing: snapshot every shard, restore the fleet.
+
+A service checkpoint is a directory::
+
+    <dir>/shard-0-<gen>.json   full-state detector checkpoint of shard 0
+    <dir>/shard-1-<gen>.json   ...
+    <dir>/manifest.json        shard count, router salt, stream offset, extras
+
+Shard files reuse the single-detector checkpoint format of
+:mod:`repro.persist` (each one can be loaded standalone with
+``load_checkpoint``); the manifest ties them together and records everything
+a restored service needs to route and resume exactly like the original.
+
+Crash safety: shard files are tagged with the checkpoint's generation (its
+stream offset) so a re-checkpoint into the same directory never touches the
+files the *previous* manifest references; the manifest itself is written
+last via an atomic rename.  A crash at any point therefore leaves either the
+complete old checkpoint or the complete new one, never a mixture.  Stale
+generations are garbage-collected only after the new manifest is in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.detector import SPOT
+from ..core.exceptions import SerializationError
+from ..persist.serialization import (
+    CHECKPOINT_FORMAT_VERSION,
+    detector_from_checkpoint_dict,
+)
+
+PathLike = Union[str, Path]
+
+#: Manifest format tag, bumped on incompatible layout changes.
+SERVICE_MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _shard_file(shard_id: int, generation: int) -> str:
+    return f"shard-{shard_id}-{generation}.json"
+
+
+class CheckpointManager:
+    """Reads and writes service checkpoints in one directory."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------ #
+    # Saving
+    # ------------------------------------------------------------------ #
+    def save(self, shard_states: List[dict], *, router_salt: int,
+             points_submitted: int,
+             extra: Optional[Dict[str, object]] = None) -> Path:
+        """Write one checkpoint (all shards + manifest); returns the directory.
+
+        ``shard_states`` are the payloads of :meth:`SPOT.export_state`, in
+        shard order; the caller (the service) guarantees they were taken at a
+        quiescent point so they describe one consistent stream position.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        generation = int(points_submitted)
+        shards = []
+        for shard_id, state in enumerate(shard_states):
+            path = self.directory / _shard_file(shard_id, generation)
+            payload = {"format_version": CHECKPOINT_FORMAT_VERSION,
+                       "kind": "spot-checkpoint", "state": state}
+            temp = self.directory / (path.name + ".tmp")
+            temp.write_text(json.dumps(payload))
+            os.replace(temp, path)
+            shards.append({
+                "shard": shard_id,
+                "file": path.name,
+                "points_processed": int(state["processed"]),
+            })
+        manifest = {
+            "format_version": SERVICE_MANIFEST_VERSION,
+            "n_shards": len(shard_states),
+            "router_salt": int(router_salt),
+            "points_submitted": int(points_submitted),
+            "shards": shards,
+            "extra": dict(extra or {}),
+        }
+        temp = self.directory / (MANIFEST_NAME + ".tmp")
+        temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(temp, self.directory / MANIFEST_NAME)
+        self._collect_stale(keep={entry["file"] for entry in shards})
+        return self.directory
+
+    def _collect_stale(self, keep: set) -> None:
+        """Best-effort removal of shard files no manifest references anymore."""
+        for path in self.directory.glob("shard-*.json"):
+            if path.name not in keep:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # a stale file is harmless; losing the race is fine
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def manifest(self) -> Dict[str, object]:
+        """Read and validate the checkpoint manifest."""
+        path = self.directory / MANIFEST_NAME
+        if not path.exists():
+            raise SerializationError(
+                f"no service checkpoint manifest at {path}")
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"malformed manifest JSON: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != SERVICE_MANIFEST_VERSION:
+            raise SerializationError(
+                f"unsupported service manifest version {version!r} "
+                f"(this build reads version {SERVICE_MANIFEST_VERSION})")
+        return manifest
+
+    def load_detectors(self) -> List[SPOT]:
+        """Rebuild every shard's detector, in shard order."""
+        manifest = self.manifest()
+        detectors: List[SPOT] = []
+        for entry in manifest["shards"]:
+            path = self.directory / entry["file"]
+            if not path.exists():
+                raise SerializationError(
+                    f"manifest names a missing shard file: {path}")
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"malformed shard checkpoint {path}: {exc}") from exc
+            detectors.append(detector_from_checkpoint_dict(payload))
+        return detectors

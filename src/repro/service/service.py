@@ -1,0 +1,392 @@
+"""The sharded detection service facade.
+
+``DetectionService`` multiplexes many independent streams over a pool of
+SPOT detector shards::
+
+    submit(stream_id, values)
+        │
+    ShardRouter ──► MicroBatcher[shard] ──► ShardWorker[shard] ──► results
+        │                (coalescing,          (process_batch)
+        │                 backpressure)
+        └────────────── CheckpointManager (periodic full-state snapshots)
+
+Per-stream order is preserved (stable routing + FIFO queues + sequential
+workers), so every shard's decisions are exactly those of a single detector
+fed that shard's sub-stream — the property the parity tests pin down.  The
+whole fleet can be checkpointed at a quiescent point and later restored to
+resume decision-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.detector import SPOT
+from ..core.exceptions import ConfigurationError
+from ..core.results import DetectionResult
+from ..persist.serialization import clone_detector
+from ..streams.tagged import TaggedStreamPoint
+from .batcher import BatchItem, MicroBatcher
+from .checkpoint import CheckpointManager
+from .router import ShardRouter
+from .worker import ProcessShardWorker, ShardStats, ShardWorker
+
+WORKER_MODES = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving layer (not of the detectors themselves)."""
+
+    n_shards: int = 4
+    max_batch: int = 512
+    max_delay: float = 0.002
+    max_pending: int = 8192
+    worker_mode: str = "thread"
+    router_salt: int = 0
+    #: Take a checkpoint every this many submitted points (0 disables the
+    #: periodic trigger; explicit :meth:`DetectionService.checkpoint` calls
+    #: always work).  Requires ``checkpoint_dir``.
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be positive, got {self.n_shards}")
+        if self.worker_mode not in WORKER_MODES:
+            raise ConfigurationError(
+                f"worker_mode must be one of {WORKER_MODES}, "
+                f"got {self.worker_mode!r}")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ConfigurationError(
+                "checkpoint_every needs checkpoint_dir to be set")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One processed point, as delivered by the service."""
+
+    seq: int
+    stream_id: str
+    shard: int
+    result: DetectionResult
+    latency_seconds: float
+
+    @property
+    def is_outlier(self) -> bool:
+        """Whether the detector flagged this point."""
+        return self.result.is_outlier
+
+
+class DetectionService:
+    """Sharded multi-stream detection over a pool of fitted SPOT detectors.
+
+    Parameters
+    ----------
+    detectors:
+        One *fitted* detector per shard (``len == config.n_shards``).  Use
+        :meth:`from_prototype` to replicate a single learned detector across
+        shards, or :meth:`restore` to rebuild a fleet from a checkpoint.
+    config:
+        Serving-layer tunables; see :class:`ServiceConfig`.
+    """
+
+    def __init__(self, detectors: Sequence[SPOT],
+                 config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        if len(detectors) != self.config.n_shards:
+            raise ConfigurationError(
+                f"need exactly {self.config.n_shards} detectors, "
+                f"got {len(detectors)}")
+        for i, detector in enumerate(detectors):
+            if not detector.is_fitted:
+                raise ConfigurationError(
+                    f"shard {i} detector has not been fitted (run learn())")
+        self._detectors = list(detectors)
+        self.router = ShardRouter(self.config.n_shards,
+                                  salt=self.config.router_salt)
+        self._batchers: List[MicroBatcher] = []
+        self._workers: List[Union[ShardWorker, ProcessShardWorker]] = []
+        self._stats = [ShardStats(shard_id=i)
+                       for i in range(self.config.n_shards)]
+        self._results: List[ServiceResult] = []
+        self._lock = threading.Lock()
+        self._all_done = threading.Condition(self._lock)
+        self._submitted = 0
+        self._completed = 0
+        self._errors: List[str] = []
+        self._started = False
+        self._stopped = False
+        self._started_at: Optional[float] = None
+        self._checkpoints_taken = 0
+        self._points_at_last_checkpoint = 0
+        self._checkpoint_extra: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_prototype(cls, prototype: SPOT,
+                       config: Optional[ServiceConfig] = None
+                       ) -> "DetectionService":
+        """Replicate one learned detector across every shard.
+
+        Cloning goes through the full-state checkpoint path, so each shard
+        starts from the identical learned template *and* warm summaries
+        without re-running the learning stage per shard.
+        """
+        config = config if config is not None else ServiceConfig()
+        detectors = [clone_detector(prototype)
+                     for _ in range(config.n_shards)]
+        return cls(detectors, config)
+
+    @classmethod
+    def restore(cls, directory, *,
+                config: Optional[ServiceConfig] = None) -> "DetectionService":
+        """Rebuild a service from a :meth:`checkpoint` directory.
+
+        Shard count and router salt always come from the manifest (changing
+        either would re-route streams away from the summaries that know
+        them); the remaining serving tunables may be overridden via
+        ``config``.
+        """
+        manager = CheckpointManager(directory)
+        manifest = manager.manifest()
+        detectors = manager.load_detectors()
+        base = config if config is not None else ServiceConfig()
+        merged = replace(base, n_shards=int(manifest["n_shards"]),
+                         router_salt=int(manifest["router_salt"]))
+        service = cls(detectors, merged)
+        service._submitted = int(manifest["points_submitted"])
+        service._completed = service._submitted
+        service._points_at_last_checkpoint = service._submitted
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "DetectionService":
+        """Spin up the per-shard queues and workers."""
+        if self._started:
+            raise ConfigurationError("the service is already started")
+        if self._stopped:
+            raise ConfigurationError("a stopped service cannot be restarted")
+        worker_cls = (ShardWorker if self.config.worker_mode == "thread"
+                      else ProcessShardWorker)
+        for shard_id, detector in enumerate(self._detectors):
+            batcher = MicroBatcher(max_batch=self.config.max_batch,
+                                   max_delay=self.config.max_delay,
+                                   max_pending=self.config.max_pending)
+            worker = worker_cls(shard_id, detector, batcher, self._on_results)
+            self._batchers.append(batcher)
+            self._workers.append(worker)
+        for worker in self._workers:
+            worker.start()
+        self._started = True
+        self._started_at = time.monotonic()
+        return self
+
+    def stop(self, timeout: Optional[float] = 60.0) -> None:
+        """Drain every queue, stop every worker, surface any failure."""
+        if not self._started or self._stopped:
+            return
+        for worker in self._workers:
+            worker.shutdown(timeout=timeout)
+        self._stopped = True
+        self._raise_on_error()
+
+    def __enter__(self) -> "DetectionService":
+        return self.start() if not self._started else self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def submit(self, stream_id: str, values: Sequence[float]) -> int:
+        """Route one point to its shard; returns its global sequence number.
+
+        Blocks when the owning shard's queue is full (backpressure).  When
+        periodic checkpointing is configured, crossing the
+        ``checkpoint_every`` threshold quiesces the service and snapshots
+        every shard before the point is enqueued.
+        """
+        if not self._started:
+            raise ConfigurationError("start() the service before submitting")
+        if self._stopped:
+            raise ConfigurationError("the service has been stopped")
+        if (self.config.checkpoint_every > 0
+                and self._submitted - self._points_at_last_checkpoint
+                >= self.config.checkpoint_every):
+            self.checkpoint()
+        shard = self.router.shard_of(stream_id)
+        with self._lock:
+            seq = self._submitted
+            self._submitted += 1
+        item = BatchItem(seq=seq, stream_id=stream_id,
+                         values=tuple(float(v) for v in values),
+                         enqueued_at=time.monotonic())
+        self._batchers[shard].put(item)
+        return seq
+
+    def submit_tagged(self, points: Iterable[TaggedStreamPoint]) -> int:
+        """Submit a sequence of tagged points; returns how many were accepted."""
+        n = 0
+        for point in points:
+            self.submit(point.stream_id, point.values)
+            n += 1
+        return n
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted point has been processed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._all_done:
+            while self._completed < self._submitted and not self._errors:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0.0:
+                    raise ConfigurationError(
+                        f"drain timed out with "
+                        f"{self._submitted - self._completed} points in flight")
+                self._all_done.wait(timeout=0.1 if remaining is None
+                                    else min(0.1, remaining))
+        self._raise_on_error()
+
+    # ------------------------------------------------------------------ #
+    # Results / stats
+    # ------------------------------------------------------------------ #
+    def _on_results(self, shard_id: int, items: List[BatchItem],
+                    results: Optional[List[DetectionResult]],
+                    busy_seconds: float, error: Optional[str]) -> None:
+        now = time.monotonic()
+        with self._all_done:
+            stats = self._stats[shard_id]
+            stats.batches += 1
+            stats.busy_seconds += busy_seconds
+            if error is not None:
+                stats.errors += 1
+                self._errors.append(f"shard {shard_id}: {error}")
+            else:
+                assert results is not None
+                stats.points += len(items)
+                for item, result in zip(items, results):
+                    latency = now - item.enqueued_at
+                    stats.latency.record(latency)
+                    self._results.append(ServiceResult(
+                        seq=item.seq,
+                        stream_id=item.stream_id,
+                        shard=shard_id,
+                        result=result,
+                        latency_seconds=latency,
+                    ))
+            self._completed += len(items)
+            if self._completed >= self._submitted or self._errors:
+                self._all_done.notify_all()
+
+    def _raise_on_error(self) -> None:
+        if self._errors:
+            raise ConfigurationError(
+                "service worker failure: " + "; ".join(self._errors))
+
+    def results(self) -> List[ServiceResult]:
+        """Every processed point so far, in global submission order."""
+        with self._lock:
+            return sorted(self._results, key=lambda r: r.seq)
+
+    def results_for(self, stream_id: str) -> List[ServiceResult]:
+        """The processed points of one stream, in that stream's order."""
+        return [r for r in self.results() if r.stream_id == stream_id]
+
+    @property
+    def points_submitted(self) -> int:
+        """Points accepted by :meth:`submit` so far (including restored offset)."""
+        with self._lock:
+            return self._submitted
+
+    @property
+    def points_completed(self) -> int:
+        """Points fully processed so far."""
+        with self._lock:
+            return self._completed
+
+    @property
+    def checkpoints_taken(self) -> int:
+        """Number of checkpoints written by this service instance."""
+        return self._checkpoints_taken
+
+    def shard_stats(self) -> List[ShardStats]:
+        """Per-shard serving statistics (live objects; read-only use)."""
+        return list(self._stats)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate + per-shard serving statistics."""
+        with self._lock:
+            per_shard = [stats.as_dict() for stats in self._stats]
+            total_points = sum(stats.points for stats in self._stats)
+            busy = sum(stats.busy_seconds for stats in self._stats)
+            wall = (time.monotonic() - self._started_at
+                    if self._started_at is not None else 0.0)
+            batcher_stats = [batcher.stats() for batcher in self._batchers]
+        return {
+            "n_shards": self.config.n_shards,
+            "worker_mode": self.config.worker_mode,
+            "points": total_points,
+            "wall_seconds": round(wall, 4),
+            "busy_seconds": round(busy, 4),
+            "aggregate_points_per_second": round(total_points / wall, 1)
+            if wall > 0 else 0.0,
+            "mean_batch_size": round(
+                sum(b["points_emitted"] for b in batcher_stats)
+                / max(1.0, sum(b["batches_emitted"] for b in batcher_stats)),
+                1),
+            "producer_blocks": int(sum(b["producer_blocks"]
+                                       for b in batcher_stats)),
+            "checkpoints_taken": self._checkpoints_taken,
+            "shards": per_shard,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def set_checkpoint_extra(self, extra: Dict[str, object]) -> None:
+        """Attach metadata to every checkpoint this service writes.
+
+        Periodic checkpoints (``checkpoint_every``) carry this by default,
+        so a crash-recovery checkpoint is as self-describing as an explicit
+        one — the CLI records its workload parameters here, which is what
+        makes any checkpoint of a ``serve`` run replayable.
+        """
+        self._checkpoint_extra = dict(extra)
+
+    def checkpoint(self, directory=None,
+                   extra: Optional[Dict[str, object]] = None):
+        """Quiesce the service and snapshot every shard; returns the directory.
+
+        The service is drained first so the snapshot describes one consistent
+        stream position; submission resumes as soon as the states are
+        captured.  ``extra`` overrides the persistent metadata installed via
+        :meth:`set_checkpoint_extra` for this save only.
+        """
+        target = directory if directory is not None \
+            else self.config.checkpoint_dir
+        if target is None:
+            raise ConfigurationError(
+                "no checkpoint directory configured or given")
+        self.drain()
+        states = [worker.export_state() for worker in self._workers]
+        manager = CheckpointManager(target)
+        path = manager.save(states, router_salt=self.config.router_salt,
+                            points_submitted=self.points_submitted,
+                            extra=extra if extra is not None
+                            else self._checkpoint_extra)
+        with self._lock:
+            self._checkpoints_taken += 1
+            self._points_at_last_checkpoint = self._submitted
+        return path

@@ -1,0 +1,298 @@
+"""Shard workers: drive one detector shard off its micro-batch queue.
+
+Two interchangeable flavours:
+
+* :class:`ShardWorker` — a daemon thread owning its detector in-process.
+  The default: zero serialisation cost, shared memory, and (because NumPy
+  releases the GIL inside large array ops) some overlap between shards.
+* :class:`ProcessShardWorker` — one OS process per shard, fed through
+  multiprocessing queues.  The detector is shipped to the child as a
+  full-state checkpoint payload and re-materialised there, so the flavour is
+  exactly as resumable as the thread one.  Worth it on multi-core hosts
+  where the GIL would otherwise serialise the shards.
+
+Both expose the same surface to the service: ``start()``, ``shutdown()``,
+``export_state()`` and a ``failure`` attribute, and both deliver every
+processed batch through the service's ``on_results`` callback:
+
+    on_results(shard_id, items, results, busy_seconds, error)
+
+with ``results`` a list of :class:`~repro.core.results.DetectionResult`
+aligned with ``items`` (or ``None`` when ``error`` is set).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.detector import SPOT
+from ..core.exceptions import ConfigurationError
+from ..metrics.throughput import LatencySeries
+from .batcher import BatchItem, MicroBatcher
+
+ResultsCallback = Callable[..., None]
+
+
+@dataclass
+class ShardStats:
+    """Serving statistics of one shard (maintained by the service)."""
+
+    shard_id: int
+    points: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    latency: LatencySeries = field(default_factory=LatencySeries)
+    errors: int = 0
+
+    @property
+    def points_per_second(self) -> float:
+        """Throughput over the shard's *busy* time (excludes idle waits)."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.points / self.busy_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of points coalesced per ``process_batch`` call."""
+        if self.batches == 0:
+            return 0.0
+        return self.points / self.batches
+
+    def as_dict(self) -> dict:
+        """Flat reporting view (throughput + latency percentiles)."""
+        latency = self.latency.as_dict()
+        return {
+            "shard": self.shard_id,
+            "points": self.points,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 1),
+            "busy_seconds": round(self.busy_seconds, 4),
+            "points_per_second": round(self.points_per_second, 1),
+            "latency_p50_ms": round(1e3 * latency["p50"], 3),
+            "latency_p95_ms": round(1e3 * latency["p95"], 3),
+            "latency_p99_ms": round(1e3 * latency["p99"], 3),
+            "errors": self.errors,
+        }
+
+
+class ShardWorker(threading.Thread):
+    """Thread flavour: one daemon thread per shard, detector in-process."""
+
+    def __init__(self, shard_id: int, detector: SPOT, batcher: MicroBatcher,
+                 on_results: ResultsCallback) -> None:
+        super().__init__(name=f"spot-shard-{shard_id}", daemon=True)
+        self.shard_id = shard_id
+        self.detector = detector
+        self.batcher = batcher
+        self.on_results = on_results
+        self.failure: Optional[BaseException] = None
+
+    def run(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            if self.failure is not None:
+                # Quarantine: a failed process_batch may have committed a
+                # prefix of its chunk, so the detector's summaries are not
+                # trustworthy anymore.  Later batches are rejected instead of
+                # being scored against a possibly half-updated store.
+                self.on_results(self.shard_id, batch, None, 0.0,
+                                f"shard quarantined after earlier failure: "
+                                f"{type(self.failure).__name__}: {self.failure}")
+                continue
+            started = time.perf_counter()
+            try:
+                results = self.detector.process_batch(
+                    [item.values for item in batch])
+                error = None
+            except BaseException as exc:  # surfaced via drain()/stop()
+                self.failure = exc
+                results = None
+                error = f"{type(exc).__name__}: {exc}"
+            busy = time.perf_counter() - started
+            self.on_results(self.shard_id, batch, results, busy, error)
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Drain-and-stop: close the queue and join the thread."""
+        self.batcher.close()
+        self.join(timeout=timeout)
+
+    def export_state(self) -> dict:
+        """Full-state snapshot of the shard's detector.
+
+        Only safe while the shard is quiescent (the service drains before
+        checkpointing, so no batch is in flight).
+        """
+        return self.detector.export_state()
+
+
+def _process_worker_main(state_payload: dict, inbox, outbox) -> None:
+    """Child-process loop: rebuild the detector, then serve commands."""
+    detector = SPOT.from_state(state_payload)
+    while True:
+        command = inbox.get()
+        kind = command[0]
+        if kind == "batch":
+            seqs, values = command[1], command[2]
+            started = time.perf_counter()
+            try:
+                results = detector.process_batch(values)
+                outbox.put(("results", seqs,
+                            results, time.perf_counter() - started, None))
+            except BaseException as exc:
+                outbox.put(("results", seqs, None,
+                            time.perf_counter() - started,
+                            f"{type(exc).__name__}: {exc}"))
+        elif kind == "export":
+            outbox.put(("state", detector.export_state()))
+        elif kind == "stop":
+            outbox.put(("stopped",))
+            return
+
+
+class ProcessShardWorker:
+    """Process flavour: the shard's detector lives in a child OS process.
+
+    A feeder thread pulls coalesced batches off the shard's
+    :class:`MicroBatcher` and ships ``(seq, values)`` pairs to the child; a
+    collector thread correlates the child's replies back to the original
+    :class:`BatchItem` bookkeeping and invokes the shared ``on_results``
+    callback.  Detection results cross the process boundary as pickled
+    :class:`DetectionResult` objects, so downstream consumers see exactly
+    what the thread flavour delivers.
+    """
+
+    def __init__(self, shard_id: int, detector: SPOT, batcher: MicroBatcher,
+                 on_results: ResultsCallback) -> None:
+        import multiprocessing
+
+        self.shard_id = shard_id
+        self.batcher = batcher
+        self.on_results = on_results
+        self.failure: Optional[BaseException] = None
+        context = multiprocessing.get_context()
+        self._inbox = context.Queue()
+        self._outbox = context.Queue()
+        self._process = context.Process(
+            target=_process_worker_main,
+            args=(detector.export_state(), self._inbox, self._outbox),
+            daemon=True,
+            name=f"spot-shard-{shard_id}",
+        )
+        self._pending: dict = {}
+        self._pending_lock = threading.Lock()
+        self._state_box: List[dict] = []
+        self._state_ready = threading.Event()
+        self._feeder = threading.Thread(target=self._feed,
+                                        name=f"spot-feeder-{shard_id}",
+                                        daemon=True)
+        self._collector = threading.Thread(target=self._collect,
+                                           name=f"spot-collector-{shard_id}",
+                                           daemon=True)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self._process.start()
+        self._feeder.start()
+        self._collector.start()
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Drain-and-stop: close the queue, stop the child, join everything."""
+        self.batcher.close()
+        self._feeder.join(timeout=timeout)
+        self._inbox.put(("stop",))
+        self._collector.join(timeout=timeout)
+        self._process.join(timeout=timeout)
+
+    def is_alive(self) -> bool:
+        return self._process.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # Plumbing threads
+    # ------------------------------------------------------------------ #
+    def _feed(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            if self.failure is not None:
+                # Quarantine, mirroring the thread flavour: once the child
+                # reported a failure (or died) its summaries cannot be
+                # trusted, so later batches are rejected in the parent.
+                self.on_results(self.shard_id, batch, None, 0.0,
+                                f"shard quarantined after earlier failure: "
+                                f"{self.failure}")
+                continue
+            with self._pending_lock:
+                for item in batch:
+                    self._pending[item.seq] = item
+            self._inbox.put(("batch",
+                             [item.seq for item in batch],
+                             [item.values for item in batch]))
+
+    def _fail_pending(self, reason: str) -> None:
+        """Deliver an error for every in-flight point (child is gone)."""
+        with self._pending_lock:
+            items = list(self._pending.values())
+            self._pending.clear()
+        self.failure = ConfigurationError(
+            f"shard {self.shard_id}: {reason}")
+        self._state_ready.set()  # unblock a waiting export_state call
+        if items:
+            self.on_results(self.shard_id, items, None, 0.0, reason)
+
+    def _collect(self) -> None:
+        import queue as queue_module
+
+        while True:
+            try:
+                message = self._outbox.get(timeout=0.5)
+            except queue_module.Empty:
+                if self._process.is_alive():
+                    continue
+                # The child is gone.  Give its queue feeder one grace period
+                # to flush messages written just before death, then convert
+                # whatever is still in flight into a shard error so drain()
+                # surfaces the failure instead of hanging forever.
+                try:
+                    message = self._outbox.get(timeout=0.5)
+                except queue_module.Empty:
+                    self._fail_pending("worker process died unexpectedly")
+                    return
+            kind = message[0]
+            if kind == "results":
+                _, seqs, results, busy, error = message
+                with self._pending_lock:
+                    items = [self._pending.pop(seq) for seq in seqs]
+                if error is not None:
+                    self.failure = ConfigurationError(
+                        f"shard {self.shard_id} worker failed: {error}")
+                self.on_results(self.shard_id, items, results, busy, error)
+            elif kind == "state":
+                self._state_box.append(message[1])
+                self._state_ready.set()
+            elif kind == "stopped":
+                return
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def export_state(self, timeout: float = 60.0) -> dict:
+        """Ask the child for its detector's full state (service is drained)."""
+        self._state_ready.clear()
+        self._state_box.clear()
+        self._inbox.put(("export",))
+        if not self._state_ready.wait(timeout=timeout):
+            raise ConfigurationError(
+                f"shard {self.shard_id} did not export its state within "
+                f"{timeout} seconds")
+        if not self._state_box:  # woken by _fail_pending, not by a state reply
+            raise ConfigurationError(
+                f"shard {self.shard_id} cannot export state: {self.failure}")
+        return self._state_box[0]

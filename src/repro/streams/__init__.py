@@ -19,6 +19,12 @@ from .kddcup import (
 from .readers import CSVStream, read_csv_stream, write_csv_stream
 from .sensors import FaultSpec, SensorFieldStream
 from .synthetic import ClusterSpec, GaussianStreamGenerator, UniformNoiseStream
+from .tagged import (
+    MultiplexedStream,
+    TaggedStreamPoint,
+    tag_points,
+    values_by_stream,
+)
 
 __all__ = [
     "ConcatStream",
@@ -44,4 +50,8 @@ __all__ = [
     "ClusterSpec",
     "GaussianStreamGenerator",
     "UniformNoiseStream",
+    "MultiplexedStream",
+    "TaggedStreamPoint",
+    "tag_points",
+    "values_by_stream",
 ]

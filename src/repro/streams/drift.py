@@ -172,3 +172,27 @@ class DriftDetector:
         self._seen_cells.clear()
         self._recent.clear()
         self._points = 0
+
+    def state_to_dict(self) -> dict:
+        """Snapshot for detector checkpointing (seen cells + recent window)."""
+        return {
+            "window": self._window,
+            "threshold": self._threshold,
+            "warmup": self._warmup,
+            "seen_cells": sorted(list(cell) for cell in self._seen_cells),
+            "recent": [bool(flag) for flag in self._recent],
+            "points": self._points,
+            "drift_count": self._drift_count,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Inverse of :meth:`state_to_dict` (grid is supplied at construction)."""
+        self._window = int(payload["window"])
+        self._threshold = float(payload["threshold"])
+        self._warmup = int(payload["warmup"])
+        self._seen_cells = {tuple(int(i) for i in cell)
+                            for cell in payload["seen_cells"]}
+        self._recent = deque((bool(flag) for flag in payload["recent"]),
+                             maxlen=self._window)
+        self._points = int(payload["points"])
+        self._drift_count = int(payload["drift_count"])

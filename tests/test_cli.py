@@ -37,3 +37,29 @@ class TestCommands:
         assert "[A3]" in captured
         assert "omega" in captured
         assert "Notes:" in captured
+
+    def test_serve_then_replay_round_trip(self, capsys, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        exit_code = main(["serve", "--tenants", "4", "--dimensions", "6",
+                          "--points", "120", "--training", "40",
+                          "--shards", "2", "--seed", "5",
+                          "--checkpoint-dir", checkpoint_dir,
+                          "--stop-after", "300"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Serving 300 of 480 points" in captured
+        assert "Checkpointed 2 shards" in captured
+        assert "latency_p99_ms" in captured
+
+        exit_code = main(["replay", "--checkpoint-dir", checkpoint_dir])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stream position 300" in captured
+        assert "Resuming 180 points" in captured
+        assert "aggregate_points_per_second" in captured
+
+    def test_replay_requires_a_serve_checkpoint(self, tmp_path):
+        from repro.core.exceptions import SerializationError
+
+        with pytest.raises(SerializationError):
+            main(["replay", "--checkpoint-dir", str(tmp_path / "missing")])

@@ -198,3 +198,34 @@ class TestThroughput:
         series = LatencySeries()
         assert series.mean() == 0.0
         assert series.segment_means(3) == [0.0, 0.0, 0.0]
+
+    def test_latency_series_percentiles(self):
+        series = LatencySeries()
+        for value in range(1, 101):  # 1..100 ms, shuffled order must not matter
+            series.record(float(101 - value))
+        assert series.p50() == pytest.approx(50.5)
+        assert series.percentile(0.0) == pytest.approx(1.0)
+        assert series.percentile(100.0) == pytest.approx(100.0)
+        assert series.p95() == pytest.approx(95.05)
+        assert series.p99() == pytest.approx(99.01)
+
+    def test_latency_series_percentile_interpolates(self):
+        series = LatencySeries(latencies=[1.0, 2.0])
+        assert series.percentile(50.0) == pytest.approx(1.5)
+        assert series.percentile(25.0) == pytest.approx(1.25)
+
+    def test_latency_series_percentile_edge_cases(self):
+        assert LatencySeries().p99() == 0.0
+        assert LatencySeries(latencies=[3.0]).p95() == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            LatencySeries(latencies=[1.0]).percentile(101.0)
+        with pytest.raises(ConfigurationError):
+            LatencySeries(latencies=[1.0]).percentile(-0.5)
+
+    def test_latency_series_as_dict(self):
+        series = LatencySeries(latencies=[1.0, 2.0, 3.0, 4.0])
+        summary = series.as_dict()
+        assert summary["count"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == pytest.approx(2.5)
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99"}

@@ -4,14 +4,17 @@ import json
 
 import pytest
 
-from repro import SPOT
+from repro import SPOT, SPOTConfig
 from repro.core.exceptions import SerializationError
 from repro.core.sst import SparseSubspaceTemplate
 from repro.core.subspace import Subspace
 from repro.persist import (
     FORMAT_VERSION,
+    clone_detector,
+    load_checkpoint,
     load_detector,
     load_sst,
+    save_checkpoint,
     save_detector,
     save_sst,
     sst_from_json,
@@ -105,3 +108,103 @@ class TestDetectorSerialisation:
         path.write_text(json.dumps(payload))
         with pytest.raises(SerializationError):
             load_detector(path)
+
+
+def _mid_stream_detector(small_stream_points, engine):
+    """A detector learned on the stream prefix and run halfway into the tail."""
+    from repro.streams import values_of
+
+    config = SPOTConfig(
+        cells_per_dimension=4, omega=200, epsilon=0.01, max_dimension=2,
+        cs_size=6, os_size=6, moga_population=12, moga_generations=4,
+        rd_threshold=0.05, min_expected_mass=2.0, random_seed=3,
+        engine=engine, self_evolution_period=120, os_growth_enabled=True,
+    )
+    values = values_of(small_stream_points)
+    detector = SPOT(config)
+    detector.learn(values[:400])
+    detector.process_batch(values[400:550])
+    return detector, values[550:700]
+
+
+class TestFullStateCheckpoints:
+    def test_vectorized_mid_stream_round_trip_has_score_parity(
+            self, small_stream_points, tmp_path):
+        """Save/load a *running* vectorized-engine detector, then compare the
+        resumed stream against the uninterrupted one point for point."""
+        detector, tail = _mid_stream_detector(small_stream_points,
+                                              "vectorized")
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path)
+        assert restored.points_processed == detector.points_processed
+        assert restored.config == detector.config
+        assert set(restored.sst.all_subspaces()) == \
+            set(detector.sst.all_subspaces())
+
+        expected = detector.process_batch(tail)
+        resumed = restored.process_batch(tail)
+        assert [r.is_outlier for r in resumed] == \
+            [r.is_outlier for r in expected]
+        assert [r.score for r in resumed] == [r.score for r in expected]
+        assert [r.outlying_subspaces for r in resumed] == \
+            [r.outlying_subspaces for r in expected]
+
+    def test_python_engine_round_trip_has_score_parity(
+            self, small_stream_points, tmp_path):
+        detector, tail = _mid_stream_detector(small_stream_points, "python")
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path)
+        expected = detector.process_batch(tail)
+        resumed = restored.process_batch(tail)
+        assert [r.is_outlier for r in resumed] == \
+            [r.is_outlier for r in expected]
+        assert [r.score for r in resumed] == [r.score for r in expected]
+
+    def test_checkpoint_preserves_stream_summary(self, small_stream_points,
+                                                 tmp_path):
+        detector, _ = _mid_stream_detector(small_stream_points, "vectorized")
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path)
+        assert restored.summary.points_processed == \
+            detector.summary.points_processed
+        assert restored.summary.outliers_detected == \
+            detector.summary.outliers_detected
+        assert restored.summary.subspace_hit_counts == \
+            detector.summary.subspace_hit_counts
+
+    def test_clone_is_independent(self, small_stream_points):
+        detector, tail = _mid_stream_detector(small_stream_points,
+                                              "vectorized")
+        twin = clone_detector(detector)
+        twin.process_batch(tail)
+        # The clone advanced; the original must be untouched.
+        assert detector.points_processed == 150
+        assert twin.points_processed == 150 + len(tail)
+
+    def test_unfitted_detector_cannot_be_checkpointed(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_checkpoint(SPOT(), tmp_path / "nope.json")
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_checkpoint(tmp_path / "missing.json")
+
+    def test_wrong_checkpoint_version_raises(self, small_stream_points,
+                                             tmp_path):
+        detector, _ = _mid_stream_detector(small_stream_points, "vectorized")
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(detector, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)
+
+    def test_non_checkpoint_payload_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "other"}))
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)

@@ -1,0 +1,122 @@
+"""Tests for stream-id-carrying points and multiplexed streams."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.streams import (
+    GaussianStreamGenerator,
+    ListStream,
+    MultiplexedStream,
+    StreamPoint,
+    TaggedStreamPoint,
+    tag_points,
+    values_by_stream,
+)
+
+
+def _list_stream(values, *, outliers=()):
+    points = [StreamPoint(values=tuple(float(v) for v in row),
+                          is_outlier=(i in outliers))
+              for i, row in enumerate(values)]
+    return ListStream(points)
+
+
+class TestTaggedStreamPoint:
+    def test_wraps_point_attributes(self):
+        point = StreamPoint(values=(1.0, 2.0), is_outlier=True,
+                            category="attack")
+        tagged = TaggedStreamPoint(stream_id="tenant-7", point=point)
+        assert tagged.stream_id == "tenant-7"
+        assert tagged.values == (1.0, 2.0)
+        assert tagged.is_outlier is True
+        assert tagged.category == "attack"
+        assert tagged.dimensionality == 2
+
+    def test_values_attribute_feeds_the_detector_coercion(self):
+        # The detector accepts anything exposing .values; tagged points do.
+        from repro.core.detector import _coerce_point
+
+        tagged = TaggedStreamPoint(
+            stream_id="t", point=StreamPoint(values=(0.25, 0.75)))
+        assert _coerce_point(tagged) == (0.25, 0.75)
+
+    def test_tag_points_tags_every_point(self):
+        stream = _list_stream([(0.0,), (1.0,)])
+        tagged = tag_points("abc", stream)
+        assert [t.stream_id for t in tagged] == ["abc", "abc"]
+        assert [t.values for t in tagged] == [(0.0,), (1.0,)]
+
+    def test_values_by_stream_groups_in_order(self):
+        tagged = tag_points("a", _list_stream([(0.0,), (1.0,)])) \
+            + tag_points("b", _list_stream([(2.0,)]))
+        grouped = values_by_stream(tagged)
+        assert grouped == {"a": [(0.0,), (1.0,)], "b": [(2.0,)]}
+
+
+class TestMultiplexedStream:
+    def _two_streams(self):
+        return [("a", _list_stream([(0.0,)] * 5)),
+                ("b", _list_stream([(1.0,)] * 5))]
+
+    def test_yields_every_member_point_exactly_once(self):
+        stream = MultiplexedStream(self._two_streams(), seed=3)
+        points = list(stream)
+        assert len(points) == 10
+        counts = {"a": 0, "b": 0}
+        for point in points:
+            counts[point.stream_id] += 1
+        assert counts == {"a": 5, "b": 5}
+
+    def test_interleaving_is_deterministic_given_the_seed(self):
+        order_1 = [p.stream_id for p in MultiplexedStream(self._two_streams(),
+                                                          seed=3)]
+        order_2 = [p.stream_id for p in MultiplexedStream(self._two_streams(),
+                                                          seed=3)]
+        order_3 = [p.stream_id for p in MultiplexedStream(self._two_streams(),
+                                                          seed=4)]
+        assert order_1 == order_2
+        assert order_1 != order_3  # 1 in 2**10 chance of collision per seed
+
+    def test_per_stream_order_is_preserved(self):
+        streams = [("a", _list_stream([(float(i),) for i in range(6)]))]
+        streams.append(("b", _list_stream([(10.0 + i,) for i in range(6)])))
+        multiplexed = MultiplexedStream(streams, seed=11)
+        grouped = values_by_stream(multiplexed)
+        assert grouped["a"] == [(float(i),) for i in range(6)]
+        assert grouped["b"] == [(10.0 + i,) for i in range(6)]
+
+    def test_roundrobin_mode_alternates(self):
+        stream = MultiplexedStream(self._two_streams(), mode="roundrobin")
+        ids = [p.stream_id for p in stream]
+        assert ids == ["a", "b"] * 5
+
+    def test_take_works_through_the_base_class(self):
+        stream = MultiplexedStream(self._two_streams(), seed=1)
+        taken = stream.take(4)
+        assert len(taken) == 4
+        assert all(isinstance(p, TaggedStreamPoint) for p in taken)
+
+    def test_accepts_a_mapping(self):
+        stream = MultiplexedStream(dict(self._two_streams()), seed=1)
+        assert stream.stream_ids == ("a", "b")
+        assert stream.dimensionality == 1
+
+    def test_generator_members_multiplex(self):
+        streams = [(f"t{i}", GaussianStreamGenerator(dimensions=4, n_points=20,
+                                                     seed=i))
+                   for i in range(3)]
+        points = list(MultiplexedStream(streams, seed=9))
+        assert len(points) == 60
+        assert {p.stream_id for p in points} == {"t0", "t1", "t2"}
+
+    def test_rejects_empty_and_duplicate_and_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            MultiplexedStream([])
+        with pytest.raises(ConfigurationError):
+            MultiplexedStream([("a", _list_stream([(0.0,)])),
+                               ("a", _list_stream([(1.0,)]))])
+        with pytest.raises(ConfigurationError):
+            MultiplexedStream([("a", _list_stream([(0.0,)])),
+                               ("b", _list_stream([(0.0, 1.0)]))])
+        with pytest.raises(ConfigurationError):
+            MultiplexedStream(self._two_streams(), mode="zigzag")
