@@ -1,6 +1,6 @@
 """Command-line demo of SPOT (the reproduction of the paper's demo plan).
 
-Six subcommands:
+Seven subcommands:
 
 ``spot-demo detect``
     Run the full learning + detection pipeline on a named workload and print
@@ -8,7 +8,7 @@ Six subcommands:
     subspaces.
 
 ``spot-demo experiment``
-    Run one of the experiments from the DESIGN.md index (F1, E1-E5, T1,
+    Run one of the experiments from the DESIGN.md index (F1, E1-E5, T1, L1,
     A1-A4) and print its result table.
 
 ``spot-demo compare``
@@ -18,6 +18,12 @@ Six subcommands:
 ``spot-demo bench``
     Measure detection throughput of the python and vectorized engines and
     write the machine-readable ``BENCH_throughput.json`` report.
+
+``spot-demo bench-learn``
+    Measure learning-stage throughput (``SPOT.learn`` plus the online
+    per-outlier MOGA and CS self-evolution) of the reference and the
+    population-vectorized objective engines and write
+    ``BENCH_learning.json``.
 
 ``spot-demo serve``
     Run the sharded multi-tenant detection service over a synthetic
@@ -90,7 +96,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = subparsers.add_parser("experiment",
                                        help="run a DESIGN.md experiment")
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
-                            help="experiment identifier (F1, E1-E4, T1, A1-A4)")
+                            help="experiment identifier (F1, E1-E5, T1, L1, "
+                                 "A1-A4)")
 
     compare = subparsers.add_parser("compare",
                                     help="compare SPOT against the baselines")
@@ -113,6 +120,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "30-d, 2000 at 100-d)")
     bench.add_argument("--seed", type=int, default=19,
                        help="workload seed (recorded in the report)")
+
+    bench_learn = subparsers.add_parser(
+        "bench-learn",
+        help="measure learning/online-MOGA throughput and write "
+             "BENCH_learning.json")
+    bench_learn.add_argument("--out", default="BENCH_learning.json",
+                             help="output path of the JSON report")
+    bench_learn.add_argument("--dimensions", type=int, default=10)
+    bench_learn.add_argument("--training", type=int, default=500,
+                             help="training-batch size fed to SPOT.learn")
+    bench_learn.add_argument("--length", type=int, default=20000,
+                             help="detection-stream length of the E4-style "
+                                  "workload (feeds the online reservoir)")
+    bench_learn.add_argument("--recent", type=int, default=1000,
+                             help="recent-points reservoir size used by the "
+                                  "online MOGA stages")
+    bench_learn.add_argument("--outlier-searches", type=int, default=12,
+                             help="number of per-outlier OS-growth MOGA "
+                                  "searches to time")
+    bench_learn.add_argument("--evolution-rounds", type=int, default=6,
+                             help="number of CS self-evolution rounds to time")
+    bench_learn.add_argument("--seed", type=int, default=19,
+                             help="workload seed (recorded in the report)")
 
     serve = subparsers.add_parser(
         "serve", help="run the sharded multi-tenant detection service")
@@ -242,6 +272,49 @@ def _run_bench(args: argparse.Namespace) -> int:
         "dimensions": list(args.dimensions),
         "length_override": args.length,
         "config": t1_bench_config().to_dict(),
+        "git": _git_describe(),
+        "rows": list(report.rows),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nWrote {args.out}")
+    return 0
+
+
+def _run_bench_learn(args: argparse.Namespace) -> int:
+    from .eval.experiments import experiment_l1_learning, t1_bench_config
+
+    report = experiment_l1_learning(
+        dimensions=args.dimensions,
+        n_training=args.training,
+        n_detection=args.length,
+        n_recent=args.recent,
+        n_outlier_searches=args.outlier_searches,
+        n_evolution_rounds=args.evolution_rounds,
+        seed=args.seed,
+    )
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+    if report.notes:
+        print(f"\nNotes: {report.notes}")
+
+    payload = {
+        "benchmark": "learning",
+        "workload": "e4-style synthetic stream (learn batch + online "
+                    "reservoir)",
+        "engines": sorted({str(row["engine"]) for row in report.rows}),
+        "seed": args.seed,
+        "dimensions": args.dimensions,
+        "training_points": args.training,
+        "detection_length": args.length,
+        "recent_reservoir": args.recent,
+        "outlier_searches": args.outlier_searches,
+        "evolution_rounds": args.evolution_rounds,
+        # The engine field varies per row (that is what the benchmark
+        # compares), so it is dropped from the shared configuration record.
+        "config": {key: value for key, value
+                   in t1_bench_config(os_growth_enabled=True).to_dict().items()
+                   if key != "engine"},
         "git": _git_describe(),
         "rows": list(report.rows),
     }
@@ -400,6 +473,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "bench-learn":
+        return _run_bench_learn(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "replay":

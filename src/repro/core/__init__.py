@@ -19,6 +19,17 @@ from .exceptions import (
     SubspaceError,
 )
 from .grid import CellAddress, DomainBounds, Grid
+from .kernels import (
+    batch_irsd,
+    first_occurrence_unique,
+    group_moments,
+    grouped_prefix_sums,
+    marginal_histograms,
+    pack_with_offsets,
+    poisson_tail_vector,
+    quantize_batch,
+    sequential_row_sums,
+)
 from .results import DetectionResult, StreamSummary, SubspaceEvidence
 from .sst import RankedSubspace, SparseSubspaceTemplate
 from .subspace import Subspace, count_subspaces, enumerate_subspaces
@@ -46,6 +57,15 @@ __all__ = [
     "CellAddress",
     "DomainBounds",
     "Grid",
+    "batch_irsd",
+    "first_occurrence_unique",
+    "group_moments",
+    "grouped_prefix_sums",
+    "marginal_histograms",
+    "pack_with_offsets",
+    "poisson_tail_vector",
+    "quantize_batch",
+    "sequential_row_sums",
     "DetectionResult",
     "StreamSummary",
     "SubspaceEvidence",

@@ -62,21 +62,82 @@ class DecayedCellAccumulator:
     This is the common machinery behind both BCS (all ``phi`` dimensions) and
     the per-subspace accumulators backing PCS (only the subspace dimensions).
 
-    Decay is applied *lazily*: the accumulator remembers the tick of its last
-    update and, whenever it is touched at a later tick, first multiplies every
-    stored quantity by ``decay_factor ** elapsed``.  This keeps the per-point
-    maintenance cost constant regardless of how many cells exist.
+    Decay is applied *lazily* and in O(1) amortized work: instead of
+    multiplying every stored quantity by ``decay_factor ** elapsed`` on each
+    touch (an O(width) sweep — 2 * phi + 1 multiplications for a base cell of
+    a wide stream), ageing folds into a single scalar ``_scale`` factor, the
+    same inflated-representation trick the vectorized store and the reference
+    store's marginal histograms use.  Additions divide the incoming weight by
+    the scale; reads through the public ``count`` / ``linear_sum`` /
+    ``squared_sum`` attributes first *flush* the scale into the raw fields so
+    external code keeps seeing plain decayed values (and may keep mutating
+    them in place, as the rebuild-from-BCS path does).  Bulk maintenance
+    sweeps that only need the decayed mass — pruning above all — read
+    :meth:`decayed_count` instead, which never flushes, so ageing every cell
+    of the store costs one multiplication per cell regardless of width.
     """
 
-    __slots__ = ("count", "linear_sum", "squared_sum", "last_update")
+    __slots__ = ("_count", "_lin", "_sq", "_scale", "last_update")
 
     def __init__(self, width: int) -> None:
         if width <= 0:
             raise ConfigurationError(f"accumulator width must be positive, got {width}")
-        self.count: float = 0.0
-        self.linear_sum: List[float] = [0.0] * width
-        self.squared_sum: List[float] = [0.0] * width
+        self._count: float = 0.0
+        self._lin: List[float] = [0.0] * width
+        self._sq: List[float] = [0.0] * width
+        self._scale: float = 1.0
         self.last_update: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Scaled representation
+    # ------------------------------------------------------------------ #
+    def _flush(self) -> None:
+        """Fold the pending decay scale into the raw fields (scale -> 1)."""
+        scale = self._scale
+        if scale != 1.0:
+            self._count *= scale
+            lin, sq = self._lin, self._sq
+            for i in range(len(lin)):
+                lin[i] *= scale
+                sq[i] *= scale
+            self._scale = 1.0
+
+    @property
+    def count(self) -> float:
+        """Decayed point mass (flushes the pending scale on access)."""
+        self._flush()
+        return self._count
+
+    @count.setter
+    def count(self, value: float) -> None:
+        self._flush()
+        self._count = value
+
+    @property
+    def linear_sum(self) -> List[float]:
+        """Decayed per-dimension linear sums (mutable, flushed on access)."""
+        self._flush()
+        return self._lin
+
+    @linear_sum.setter
+    def linear_sum(self, values: Sequence[float]) -> None:
+        self._flush()
+        self._lin = list(values)
+
+    @property
+    def squared_sum(self) -> List[float]:
+        """Decayed per-dimension squared sums (mutable, flushed on access)."""
+        self._flush()
+        return self._sq
+
+    @squared_sum.setter
+    def squared_sum(self, values: Sequence[float]) -> None:
+        self._flush()
+        self._sq = list(values)
+
+    def decayed_count(self) -> float:
+        """Decayed point mass without flushing (for O(1) bulk sweeps)."""
+        return self._count * self._scale
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -84,21 +145,23 @@ class DecayedCellAccumulator:
     @property
     def width(self) -> int:
         """Number of dimensions tracked by this accumulator."""
-        return len(self.linear_sum)
+        return len(self._lin)
 
     def decay_to(self, now: float, model: TimeModel) -> None:
-        """Age the accumulator so its contents are expressed at tick ``now``."""
+        """Age the accumulator so its contents are expressed at tick ``now``.
+
+        O(1): only the scalar scale is touched.  The raw fields are
+        renormalised when the scale underflows toward the subnormal range.
+        """
         if now < self.last_update:
             raise ConfigurationError(
                 f"time moved backwards: {now} < {self.last_update}"
             )
         elapsed = now - self.last_update
-        if elapsed > 0.0 and self.count > 0.0:
-            factor = model.decay_over(elapsed)
-            self.count *= factor
-            for i in range(len(self.linear_sum)):
-                self.linear_sum[i] *= factor
-                self.squared_sum[i] *= factor
+        if elapsed > 0.0 and self._count > 0.0:
+            self._scale *= model.decay_over(elapsed)
+            if self._scale < 1e-150:
+                self._flush()
         self.last_update = now
 
     def add(self, values: Sequence[float], now: float, model: TimeModel,
@@ -107,11 +170,13 @@ class DecayedCellAccumulator:
         if len(values) != self.width:
             raise DimensionMismatchError(self.width, len(values))
         self.decay_to(now, model)
-        self.count += weight
+        w = weight / self._scale
+        self._count += w
+        lin, sq = self._lin, self._sq
         for i, v in enumerate(values):
             fv = float(v)
-            self.linear_sum[i] += weight * fv
-            self.squared_sum[i] += weight * fv * fv
+            lin[i] += w * fv
+            sq[i] += w * fv * fv
 
     def merge(self, other: "DecayedCellAccumulator", now: float,
               model: TimeModel) -> None:
@@ -119,21 +184,23 @@ class DecayedCellAccumulator:
         if other.width != self.width:
             raise DimensionMismatchError(self.width, other.width)
         self.decay_to(now, model)
+        self._flush()
         other_factor = model.decay_over(now - other.last_update) \
             if now > other.last_update else 1.0
-        self.count += other.count * other_factor
+        self._count += other.count * other_factor
         for i in range(self.width):
-            self.linear_sum[i] += other.linear_sum[i] * other_factor
-            self.squared_sum[i] += other.squared_sum[i] * other_factor
+            self._lin[i] += other.linear_sum[i] * other_factor
+            self._sq[i] += other.squared_sum[i] * other_factor
 
     # ------------------------------------------------------------------ #
     # Derived statistics
     # ------------------------------------------------------------------ #
     def mean(self, index: int) -> float:
         """Decayed mean of the tracked dimension at position ``index``."""
-        if self.count <= 0.0:
+        if self._count <= 0.0:
             return 0.0
-        return self.linear_sum[index] / self.count
+        self._flush()
+        return self._lin[index] / self._count
 
     def variance(self, index: int) -> float:
         """Decayed (population) variance of the tracked dimension ``index``.
@@ -141,10 +208,11 @@ class DecayedCellAccumulator:
         Floating-point cancellation can drive the raw value slightly negative
         for near-constant data; it is clamped to zero.
         """
-        if self.count <= 0.0:
+        if self._count <= 0.0:
             return 0.0
-        mean = self.linear_sum[index] / self.count
-        var = self.squared_sum[index] / self.count - mean * mean
+        self._flush()
+        mean = self._lin[index] / self._count
+        var = self._sq[index] / self._count - mean * mean
         return var if var > 0.0 else 0.0
 
     def std(self, index: int) -> float:
@@ -154,9 +222,10 @@ class DecayedCellAccumulator:
     def copy(self) -> "DecayedCellAccumulator":
         """Return an independent copy of this accumulator."""
         clone = DecayedCellAccumulator(self.width)
-        clone.count = self.count
-        clone.linear_sum = list(self.linear_sum)
-        clone.squared_sum = list(self.squared_sum)
+        clone._count = self._count
+        clone._lin = list(self._lin)
+        clone._sq = list(self._sq)
+        clone._scale = self._scale
         clone.last_update = self.last_update
         return clone
 

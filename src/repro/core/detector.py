@@ -101,6 +101,9 @@ class SPOT:
         self._os_growth = None
         self._drift_detector = None
         self._learning_report: dict = {}
+        # Learning-stage memory facts (objective memo cache, training-batch
+        # bytes) captured by learn(); merged into memory_footprint().
+        self._learning_memory: dict = {}
         # (sst version, subspace union, multi-d count) — rebuilt only when
         # the SST mutates, not per processed point.
         self._sst_view_cache: Optional[Tuple[int, Tuple[Subspace, ...], int]] = None
@@ -223,6 +226,7 @@ class SPOT:
         )
         from ..learning.supervised import SupervisedLearner
         from ..learning.unsupervised import UnsupervisedLearner
+        from ..moga import combine_footprints
         from ..streams.drift import DriftDetector
 
         batch = [_coerce_point(point) for point in training_data]
@@ -243,7 +247,9 @@ class SPOT:
         sst = SparseSubspaceTemplate(phi, cs_capacity=config.cs_size,
                                      os_capacity=config.os_size)
 
-        report: dict = {"phi": phi, "training_points": len(batch)}
+        report: dict = {"phi": phi, "training_points": len(batch),
+                        "moga_engine": config.engine}
+        learning_memory: dict = {"training_batch_bytes": 8 * len(batch) * phi}
 
         if enable_fs:
             report["fs_size"] = sst.build_fixed(config.max_dimension)
@@ -254,6 +260,8 @@ class SPOT:
             sst.set_clustering(cs_result.clustering_subspaces)
             report["cs_size"] = len(sst.clustering_subspaces)
             report["top_outlying_indices"] = list(cs_result.top_outlying_indices)
+            learning_memory = combine_footprints(
+                learning_memory, unsupervised.last_memory_footprint)
 
         examples = [_coerce_point(p) for p in outlier_examples] if outlier_examples else []
         if enable_os and examples and config.os_size > 0:
@@ -262,6 +270,10 @@ class SPOT:
                                          relevant_attributes=relevant_attributes)
             sst.set_outlier_driven(os_result.outlier_driven_subspaces)
             report["os_size"] = len(sst.outlier_driven_subspaces)
+            learning_memory = combine_footprints(
+                learning_memory, supervised.last_memory_footprint)
+
+        report["objective_memo_entries"] = learning_memory.get("memo_entries", 0)
 
         store.register_subspaces(sst.all_subspaces())
         store.ingest(batch)
@@ -273,6 +285,7 @@ class SPOT:
         self._summary = StreamSummary()
         self._processed = 0
         self._learning_report = report
+        self._learning_memory = learning_memory
         self._sst_view_cache = None
 
         buffer_capacity = max(2 * config.omega, len(batch), 100)
@@ -679,7 +692,42 @@ class SPOT:
         return self._drift_detector.drift_count
 
     def memory_footprint(self) -> dict:
-        """Cell-summary counts of the synapse store (see the store's method)."""
+        """Cell-summary counts of the store *and* learning-side memory.
+
+        Alongside the synapse store's ``base_cells`` / ``projected_cells`` /
+        ``subspaces`` counts, reports the learning stack's working set:
+
+        * ``objective_memo_entries`` / ``objective_memo_bytes`` — the
+          memoised objective-vector caches of the *most recent* learning
+          activity: the learning-stage searches after :meth:`learn`, plus
+          the latest online self-evolution / OS-growth runs once those fire.
+          The caches themselves are transient (each search builds and drops
+          its own), so this sizes what learning peaks at, not bytes still
+          resident;
+        * ``training_batch_bytes`` — resident size of the largest training
+          view the objectives were built over (raw batch payload, plus the
+          quantised index / marginal arrays on the vectorized engine);
+        * ``recent_buffer_bytes`` — the recent-points reservoir, the live
+          online stand-in for the training batch feeding per-outlier MOGA.
+        """
+        from ..moga import combine_footprints
+
         self._require_fitted()
         assert self._store is not None
-        return self._store.memory_footprint()
+        footprint = dict(self._store.memory_footprint())
+        learning = dict(self._learning_memory)
+        for component in (self._self_evolution, self._os_growth):
+            last = getattr(component, "last_memory_footprint", None)
+            if last:
+                learning = combine_footprints(learning, last)
+        buffer_bytes = 0
+        if self._recent_buffer is not None and self._grid is not None:
+            buffer_bytes = 8 * len(self._recent_buffer) * self._grid.phi
+        footprint.update({
+            "objective_memo_entries": int(learning.get("memo_entries", 0)),
+            "objective_memo_bytes": int(learning.get("memo_bytes", 0)),
+            "training_batch_bytes": int(
+                learning.get("training_batch_bytes", 0)),
+            "recent_buffer_bytes": buffer_bytes,
+        })
+        return footprint

@@ -2,7 +2,10 @@
 
 This module is the NumPy fast path of the reproduction.  It maintains exactly
 the same decayed BCS/PCS summaries as :class:`~repro.core.synapse_store.SynapseStore`
-(the pure-Python reference oracle) but organises them for whole-batch work:
+(the pure-Python reference oracle) but organises them for whole-batch work.
+The quantisation / key-packing / grouped-reduction primitives live in the
+engine-agnostic kernel layer (:mod:`repro.core.kernels`), shared with the
+vectorized learning objectives; this module owns the store-specific parts:
 
 * **Batch quantisation** — a chunk of arriving points is mapped to integer
   interval indices in one ``((X - lows) / widths).astype(int64)`` pass over
@@ -49,15 +52,17 @@ from .cell_summary import (
 )
 from .exceptions import ConfigurationError, DimensionMismatchError
 from .grid import CellAddress, Grid
+from .kernels import (
+    CellKeyCodec,
+    batch_irsd,
+    first_occurrence_unique,
+    grouped_prefix_sums,
+    poisson_tail_vector,
+    quantize_batch,
+)
+from .kernels import _gammaincc  # shared scipy handle (None without scipy)
 from .subspace import Subspace
 from .time_model import TimeModel
-
-try:  # scipy is a hard dependency of the scoring path; degrade gracefully.
-    from scipy.special import gammaincc as _gammaincc
-except ImportError:  # pragma: no cover - scipy ships with the toolchain
-    _gammaincc = None
-
-_INT64_MAX = np.iinfo(np.int64).max
 
 #: Natural-log ceiling of the inflation factor ``g**-(t - t0)``.  Keeping the
 #: inflated magnitudes within ~1e12 of each other preserves ~4 decimal digits
@@ -65,81 +70,11 @@ _INT64_MAX = np.iinfo(np.int64).max
 #: vectorized scores within 1e-9 of the sequential oracle.
 _MAX_INFLATION_LOG = math.log(1e12)
 
-
-def _poisson_tail_vector(counts: np.ndarray, expected: np.ndarray) -> np.ndarray:
-    """Vectorized P(X <= count) for X ~ Poisson(expected); 1.0 where expected<=0."""
-    tail = np.ones_like(expected)
-    mask = expected > 0.0
-    if np.any(mask):
-        if _gammaincc is not None:
-            tail[mask] = _gammaincc(counts[mask] + 1.0, expected[mask])
-        else:  # pragma: no cover - exercised only without scipy
-            tail[mask] = [poisson_tail_probability(float(c), float(e))
-                          for c, e in zip(counts[mask], expected[mask])]
-    return tail
-
-
-class CellKeyCodec:
-    """Mixed-radix packing of ``width``-dimensional cell addresses.
-
-    Every per-dimension interval index lies in ``[0, m)``, so an address
-    ``(i_0, ..., i_{k-1})`` packs into the single integer
-    ``sum_j i_j * m**j``.  When ``m**width`` fits in a signed 64-bit integer
-    the packed keys are an ``int64`` array (the fast path used by every SST
-    subspace); otherwise — e.g. the full-space cell of a 40-dimensional
-    stream — the codec falls back to raw row bytes, which remain hashable and
-    groupable but are not vector-arithmetic friendly.
-    """
-
-    def __init__(self, cells_per_dimension: int, width: int) -> None:
-        if cells_per_dimension < 1:
-            raise ConfigurationError(
-                f"cells_per_dimension must be positive, got {cells_per_dimension}"
-            )
-        if width < 1:
-            raise ConfigurationError(f"width must be positive, got {width}")
-        self.m = cells_per_dimension
-        self.width = width
-        # Exact integer check (no float log rounding): the largest packed key
-        # is m**width - 1.
-        self.packable = (cells_per_dimension ** width) - 1 <= _INT64_MAX
-        if self.packable:
-            self._radix = np.array(
-                [cells_per_dimension ** j for j in range(width)], dtype=np.int64
-            )
-        else:
-            self._radix = None
-
-    def pack(self, indices: np.ndarray) -> np.ndarray:
-        """Pack an ``(n, width)`` index matrix into ``n`` scalar keys."""
-        idx = np.ascontiguousarray(indices, dtype=np.int64)
-        if idx.ndim != 2 or idx.shape[1] != self.width:
-            raise DimensionMismatchError(self.width, idx.shape[-1])
-        if self.packable:
-            return idx @ self._radix
-        return np.fromiter((row.tobytes() for row in idx),
-                           dtype=object, count=idx.shape[0])
-
-    def pack_one(self, address: Sequence[int]):
-        """Pack a single cell address into its scalar key."""
-        return self.pack(np.asarray(address, dtype=np.int64)[None, :])[0]
-
-    def unpack(self, keys: Sequence) -> np.ndarray:
-        """Inverse of :meth:`pack`: keys back to an ``(n, width)`` matrix."""
-        if self.packable:
-            arr = np.asarray(keys, dtype=np.int64)
-            out = np.empty((arr.shape[0], self.width), dtype=np.int64)
-            rest = arr
-            for j in range(self.width):
-                out[:, j] = rest % self.m
-                rest = rest // self.m
-            return out
-        rows = [np.frombuffer(key, dtype=np.int64) for key in keys]
-        return np.array(rows, dtype=np.int64).reshape(len(rows), self.width)
-
-    def unpack_one(self, key) -> CellAddress:
-        """Unpack one scalar key into its cell-address tuple."""
-        return tuple(int(v) for v in self.unpack([key])[0])
+# Backwards-compatible aliases: these lived here before the kernel layer
+# (repro.core.kernels) was extracted for the learning stack to share.
+_poisson_tail_vector = poisson_tail_vector
+_first_occurrence_unique = first_occurrence_unique
+_grouped_prefix_sums = grouped_prefix_sums
 
 
 class _CellTable:
@@ -215,60 +150,6 @@ class _CellTable:
         self.slot_keys = [self.slot_keys[i] for i in keep_idx]
         self.key_to_slot = {key: i for i, key in enumerate(self.slot_keys)}
         return dropped
-
-
-def _first_occurrence_unique(keys: np.ndarray
-                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """``np.unique`` with the unique keys ordered by first occurrence.
-
-    Returns ``(uniq, inv, first_idx)`` where ``uniq[inv[i]] == keys[i]`` and
-    ``first_idx[u]`` is the position at which ``uniq[u]`` first appears.
-    First-occurrence ordering guarantees that slots allocated for a batch are
-    numbered in stream order, which is what makes a *prefix* commit coherent.
-    """
-    uniq_sorted, first_sorted, inv_sorted = np.unique(
-        keys, return_index=True, return_inverse=True)
-    order = np.argsort(first_sorted, kind="stable")
-    rank = np.empty(order.shape[0], dtype=np.int64)
-    rank[order] = np.arange(order.shape[0], dtype=np.int64)
-    return uniq_sorted[order], rank[inv_sorted], first_sorted[order]
-
-
-def _grouped_prefix_sums(group_ids: np.ndarray, values: np.ndarray,
-                         columns: Optional[np.ndarray] = None
-                         ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-    """Per-point running sums *within* each group, in stream order.
-
-    ``result[i] = sum(values[j] for j <= i if group_ids[j] == group_ids[i])``
-    (the point's own contribution included), computed with one stable sort and
-    one cumulative sum.  ``columns`` — an optional ``(n, k)`` matrix — gets the
-    same treatment column-wise, sharing the sort.
-    """
-    n = group_ids.shape[0]
-    if n == 0:
-        empty_cols = None if columns is None else np.empty_like(columns)
-        return np.empty(0, dtype=np.float64), empty_cols
-    order = np.argsort(group_ids, kind="stable")
-    sorted_ids = group_ids[order]
-    csum = np.cumsum(values[order])
-    group_start = np.empty(n, dtype=bool)
-    group_start[0] = True
-    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=group_start[1:])
-    starts = np.flatnonzero(group_start)
-    sizes = np.diff(np.append(starts, n))
-    shifted = np.concatenate([[0.0], csum[:-1]])
-    base = np.repeat(shifted[starts], sizes)
-    prefix = np.empty(n, dtype=np.float64)
-    prefix[order] = csum - base
-
-    col_prefix = None
-    if columns is not None:
-        ccsum = np.cumsum(columns[order], axis=0)
-        cshift = np.vstack([np.zeros((1, columns.shape[1])), ccsum[:-1]])
-        cbase = np.repeat(cshift[starts], sizes, axis=0)
-        col_prefix = np.empty_like(columns)
-        col_prefix[order] = ccsum - cbase
-    return prefix, col_prefix
 
 
 class _GroupPlan:
@@ -391,15 +272,9 @@ class _SubspacePlan(_GroupPlan):
             rd = np.where(supported, self.count_excl / expected, 0.0)
         # IRSD from the decayed moments (full count — the arriving point's own
         # spread contribution is *not* excluded, matching compute_pcs).
-        safe_count = np.maximum(self.count_true, 1e-300)
-        mean = lin_true / safe_count[:, None]
-        var = sq_true / safe_count[:, None] - mean * mean
-        np.maximum(var, 0.0, out=var)
-        std = np.sqrt(var)
-        ratios = np.minimum(
-            store._uniform_stds[subspace][None, :] / (std + 1e-12),
-            store.irsd_cap)
-        irsd = np.add.reduce(ratios, axis=1) / float(k)
+        irsd = batch_irsd(self.count_true, lin_true, sq_true,
+                          store._uniform_stds[subspace][None, :],
+                          store.irsd_cap)
         empty = self.count_true <= 0.0
         self.rd = np.where(supported & ~empty, rd, 0.0)
         self.irsd = np.where(supported & ~empty, irsd, 0.0)
@@ -635,9 +510,8 @@ class VectorizedSynapseStore:
 
     def _quantize(self, X: np.ndarray) -> np.ndarray:
         """Whole-batch interval indices (clamped into the boundary cells)."""
-        idx = ((X - self._lows) / self._widths).astype(np.int64)
-        np.clip(idx, 0, self.grid.cells_per_dimension - 1, out=idx)
-        return idx
+        return quantize_batch(X, self._lows, self._widths,
+                              self.grid.cells_per_dimension)
 
     @staticmethod
     def _as_matrix(points, phi: int) -> np.ndarray:

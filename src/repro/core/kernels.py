@@ -1,0 +1,275 @@
+"""Engine-agnostic NumPy sparsity kernels shared by detection and learning.
+
+The vectorized detection substrate (:mod:`repro.core.fast_store`) and the
+vectorized learning stack (:mod:`repro.moga.batch_objectives`) need exactly
+the same low-level machinery: mapping chunks of points to integer cell
+addresses, packing multi-dimensional addresses into scalar keys that NumPy can
+group on, reducing per-cell (count, linear-sum, squared-sum) moments with
+scatter-adds, and deriving the IRSD statistic from those moments.  This module
+is that shared layer — pure functions and one codec class, no knowledge of
+stores, decay bookkeeping or genetic search.
+
+Everything here is *bit-compatible* with the sequential reference
+implementations (:class:`~repro.core.synapse_store.SynapseStore` and
+:class:`~repro.moga.objectives.SparsityObjectives`): ``np.bincount``
+accumulates its weights in input order, which is the same left-to-right
+float addition order the reference Python loops use, so grouped sums computed
+here are exactly — not approximately — the floats the oracles produce.
+The learning stack relies on that exactness for seeded-run decision parity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cell_summary import poisson_tail_probability
+from .exceptions import ConfigurationError, DimensionMismatchError
+from .grid import CellAddress
+
+try:  # scipy is a hard dependency of the scoring path; degrade gracefully.
+    from scipy.special import gammaincc as _gammaincc
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _gammaincc = None
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def quantize_batch(X: np.ndarray, lows: np.ndarray, widths: np.ndarray,
+                   cells_per_dimension: int) -> np.ndarray:
+    """Whole-batch interval indices, clamped into the boundary cells.
+
+    One ``((X - lows) / widths)`` pass over an ``(n, phi)`` array replaces
+    ``n * phi`` Python arithmetic operations; truncation plus clipping yields
+    exactly the same index :meth:`repro.core.grid.Grid.interval_index`
+    computes point by point.
+    """
+    idx = ((X - lows) / widths).astype(np.int64)
+    np.clip(idx, 0, cells_per_dimension - 1, out=idx)
+    return idx
+
+
+def poisson_tail_vector(counts: np.ndarray, expected: np.ndarray) -> np.ndarray:
+    """Vectorized P(X <= count) for X ~ Poisson(expected); 1.0 where expected<=0."""
+    tail = np.ones_like(expected)
+    mask = expected > 0.0
+    if np.any(mask):
+        if _gammaincc is not None:
+            tail[mask] = _gammaincc(counts[mask] + 1.0, expected[mask])
+        else:  # pragma: no cover - exercised only without scipy
+            tail[mask] = [poisson_tail_probability(float(c), float(e))
+                          for c, e in zip(counts[mask], expected[mask])]
+    return tail
+
+
+class CellKeyCodec:
+    """Mixed-radix packing of ``width``-dimensional cell addresses.
+
+    Every per-dimension interval index lies in ``[0, m)``, so an address
+    ``(i_0, ..., i_{k-1})`` packs into the single integer
+    ``sum_j i_j * m**j``.  When ``m**width`` fits in a signed 64-bit integer
+    the packed keys are an ``int64`` array (the fast path used by every SST
+    subspace); otherwise — e.g. the full-space cell of a 40-dimensional
+    stream — the codec falls back to raw row bytes, which remain hashable and
+    groupable but are not vector-arithmetic friendly.
+    """
+
+    def __init__(self, cells_per_dimension: int, width: int) -> None:
+        if cells_per_dimension < 1:
+            raise ConfigurationError(
+                f"cells_per_dimension must be positive, got {cells_per_dimension}"
+            )
+        if width < 1:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.m = cells_per_dimension
+        self.width = width
+        # Exact integer check (no float log rounding): the largest packed key
+        # is m**width - 1.
+        self.packable = (cells_per_dimension ** width) - 1 <= _INT64_MAX
+        if self.packable:
+            self._radix = np.array(
+                [cells_per_dimension ** j for j in range(width)], dtype=np.int64
+            )
+        else:
+            self._radix = None
+
+    def pack(self, indices: np.ndarray) -> np.ndarray:
+        """Pack an ``(n, width)`` index matrix into ``n`` scalar keys."""
+        idx = np.ascontiguousarray(indices, dtype=np.int64)
+        if idx.ndim != 2 or idx.shape[1] != self.width:
+            raise DimensionMismatchError(self.width, idx.shape[-1])
+        if self.packable:
+            return idx @ self._radix
+        return np.fromiter((row.tobytes() for row in idx),
+                           dtype=object, count=idx.shape[0])
+
+    def pack_one(self, address: Sequence[int]):
+        """Pack a single cell address into its scalar key."""
+        return self.pack(np.asarray(address, dtype=np.int64)[None, :])[0]
+
+    def unpack(self, keys: Sequence) -> np.ndarray:
+        """Inverse of :meth:`pack`: keys back to an ``(n, width)`` matrix."""
+        if self.packable:
+            arr = np.asarray(keys, dtype=np.int64)
+            out = np.empty((arr.shape[0], self.width), dtype=np.int64)
+            rest = arr
+            for j in range(self.width):
+                out[:, j] = rest % self.m
+                rest = rest // self.m
+            return out
+        rows = [np.frombuffer(key, dtype=np.int64) for key in keys]
+        return np.array(rows, dtype=np.int64).reshape(len(rows), self.width)
+
+    def unpack_one(self, key) -> CellAddress:
+        """Unpack one scalar key into its cell-address tuple."""
+        return tuple(int(v) for v in self.unpack([key])[0])
+
+
+def first_occurrence_unique(keys: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``np.unique`` with the unique keys ordered by first occurrence.
+
+    Returns ``(uniq, inv, first_idx)`` where ``uniq[inv[i]] == keys[i]`` and
+    ``first_idx[u]`` is the position at which ``uniq[u]`` first appears.
+    First-occurrence ordering guarantees that slots allocated for a batch are
+    numbered in stream order, which is what makes a *prefix* commit coherent.
+    """
+    uniq_sorted, first_sorted, inv_sorted = np.unique(
+        keys, return_index=True, return_inverse=True)
+    order = np.argsort(first_sorted, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    return uniq_sorted[order], rank[inv_sorted], first_sorted[order]
+
+
+def grouped_prefix_sums(group_ids: np.ndarray, values: np.ndarray,
+                        columns: Optional[np.ndarray] = None
+                        ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-point running sums *within* each group, in stream order.
+
+    ``result[i] = sum(values[j] for j <= i if group_ids[j] == group_ids[i])``
+    (the point's own contribution included), computed with one stable sort and
+    one cumulative sum.  ``columns`` — an optional ``(n, k)`` matrix — gets the
+    same treatment column-wise, sharing the sort.
+    """
+    n = group_ids.shape[0]
+    if n == 0:
+        empty_cols = None if columns is None else np.empty_like(columns)
+        return np.empty(0, dtype=np.float64), empty_cols
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    csum = np.cumsum(values[order])
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=group_start[1:])
+    starts = np.flatnonzero(group_start)
+    sizes = np.diff(np.append(starts, n))
+    shifted = np.concatenate([[0.0], csum[:-1]])
+    base = np.repeat(shifted[starts], sizes)
+    prefix = np.empty(n, dtype=np.float64)
+    prefix[order] = csum - base
+
+    col_prefix = None
+    if columns is not None:
+        ccsum = np.cumsum(columns[order], axis=0)
+        cshift = np.vstack([np.zeros((1, columns.shape[1])), ccsum[:-1]])
+        cbase = np.repeat(cshift[starts], sizes, axis=0)
+        col_prefix = np.empty_like(columns)
+        col_prefix[order] = ccsum - cbase
+    return prefix, col_prefix
+
+
+def group_moments(inv: np.ndarray, n_groups: int, values: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-group (count, linear-sum, squared-sum) moments by scatter-add.
+
+    ``inv[i]`` is the group of row ``i`` of ``values`` (an ``(n, k)`` matrix
+    of unit-weight contributions).  Because ``np.bincount`` folds weights in
+    input order, each group's sums carry exactly the floats a sequential
+    accumulator fed the same rows in the same order would hold.
+    """
+    n, k = values.shape
+    count = np.bincount(inv, minlength=n_groups).astype(np.float64)
+    lin = np.empty((n_groups, k), dtype=np.float64)
+    sq = np.empty((n_groups, k), dtype=np.float64)
+    for j in range(k):
+        col = values[:, j]
+        lin[:, j] = np.bincount(inv, weights=col, minlength=n_groups)
+        sq[:, j] = np.bincount(inv, weights=col * col, minlength=n_groups)
+    return count, lin, sq
+
+
+def batch_irsd(count: np.ndarray, lin: np.ndarray, sq: np.ndarray,
+               uniform_stds: np.ndarray, irsd_cap: float,
+               std_floor: float = 1e-12) -> np.ndarray:
+    """Inverse Relative Standard Deviation from decayed cell moments.
+
+    ``count`` has an arbitrary leading shape, ``lin``/``sq`` append a trailing
+    per-dimension axis, and ``uniform_stds`` must broadcast against that axis.
+    Replicates :func:`repro.core.cell_summary.compute_pcs` exactly for cells
+    holding positive mass: per-dimension std from the moments, ratio
+    ``uniform_std / (std + std_floor)`` clipped at ``irsd_cap``, averaged over
+    the dimensions.  Entries with non-positive counts come out as garbage and
+    must be masked by the caller (the guard keeps the kernel branch-free).
+    """
+    k = lin.shape[-1]
+    safe_count = np.maximum(count, 1e-300)[..., None]
+    mean = lin / safe_count
+    var = sq / safe_count - mean * mean
+    np.maximum(var, 0.0, out=var)
+    std = np.sqrt(var)
+    ratios = np.minimum(uniform_stds / (std + std_floor), irsd_cap)
+    return np.add.reduce(ratios, axis=-1) / float(k)
+
+
+def marginal_histograms(idx: np.ndarray, cells_per_dimension: int
+                        ) -> np.ndarray:
+    """Per-dimension interval-occupancy histogram of a quantised batch.
+
+    Returns a ``(phi, m)`` float64 matrix whose row ``d`` counts how many
+    points fall into each interval of attribute ``d`` — the batch analogue of
+    the reference objectives' marginal lists.
+    """
+    phi = idx.shape[1]
+    out = np.empty((phi, cells_per_dimension), dtype=np.float64)
+    for d in range(phi):
+        out[d] = np.bincount(idx[:, d], minlength=cells_per_dimension)
+    return out
+
+
+def sequential_row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Row sums accumulated strictly left to right.
+
+    ``np.sum`` switches to pairwise summation on long axes, which rounds
+    differently from a sequential Python loop; the learning parity contract
+    needs the loop's floats bit for bit.  ``np.cumsum`` *is* sequential, so
+    the last column of the running sum is the left-to-right total.
+    """
+    if matrix.shape[-1] == 0:
+        return np.zeros(matrix.shape[:-1], dtype=np.float64)
+    return np.cumsum(matrix, axis=-1)[..., -1]
+
+
+def pack_with_offsets(idx: np.ndarray, dims_matrix: np.ndarray,
+                      cells_per_dimension: int) -> Optional[np.ndarray]:
+    """Pack one quantised batch against *several* same-width subspaces at once.
+
+    ``dims_matrix`` is an ``(S, k)`` matrix of attribute indices (one row per
+    subspace).  The result is an ``(n, S)`` int64 key matrix where subspace
+    ``s`` occupies the disjoint key range ``[s * m**k, (s+1) * m**k)`` — one
+    ``np.unique`` over the flattened matrix then groups the cells of all ``S``
+    subspaces in a single pass.  Returns ``None`` when ``S * m**k`` overflows
+    int64 (the caller falls back to per-subspace grouping).
+    """
+    S, k = dims_matrix.shape
+    span = cells_per_dimension ** k  # exact Python int, no overflow
+    if span * S - 1 > _INT64_MAX:
+        return None
+    radix = np.array([cells_per_dimension ** j for j in range(k)],
+                     dtype=np.int64)
+    offsets = np.arange(S, dtype=np.int64) * span
+    # (n, S, k) gather then mixed-radix contraction to (n, S).
+    keys = idx[:, dims_matrix] @ radix
+    keys += offsets[None, :]
+    return keys

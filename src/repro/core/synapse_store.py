@@ -359,8 +359,11 @@ class SynapseStore:
         removed = 0
         stale_bases: List[CellAddress] = []
         for address, bcs in self._base_cells.items():
+            # decay_to is an O(1) scale multiply and decayed_count reads the
+            # mass without flushing, so the sweep costs O(1) per cell instead
+            # of O(phi) — pruning is the store's only every-cell pass.
             bcs.decay_to(self._tick, self.time_model)
-            if bcs.count < min_count:
+            if bcs.decayed_count() < min_count:
                 stale_bases.append(address)
         for address in stale_bases:
             del self._base_cells[address]
@@ -369,7 +372,7 @@ class SynapseStore:
             stale: List[CellAddress] = []
             for address, acc in cells.items():
                 acc.decay_to(self._tick, self.time_model)
-                if acc.count < min_count:
+                if acc.decayed_count() < min_count:
                     stale.append(address)
             for address in stale:
                 del cells[address]

@@ -33,7 +33,7 @@ from ..core.subspace import Subspace, enumerate_subspaces
 from ..core.synapse_store import SynapseStore
 from ..core.time_model import TimeModel
 from ..metrics import confusion_matrix
-from ..moga import MOGAEngine, SparsityObjectives
+from ..moga import MOGAEngine, make_sparsity_objectives
 from ..streams import GaussianStreamGenerator, values_of
 from .runner import compare_detectors, evaluate_detector, evaluate_over_segments
 from .workloads import (
@@ -376,6 +376,100 @@ def experiment_t1_throughput(*, dimension_settings: Sequence[int] = (10, 30, 100
 
 
 # --------------------------------------------------------------------- #
+# L1 — learning-stage throughput (reference vs vectorized objectives)
+# --------------------------------------------------------------------- #
+def experiment_l1_learning(*, dimensions: int = 10, n_training: int = 500,
+                           n_detection: int = 20000, n_recent: int = 1000,
+                           n_outlier_searches: int = 12,
+                           n_evolution_rounds: int = 6,
+                           engines: Sequence[str] = ("python", "vectorized"),
+                           seed: int = 19) -> ExperimentReport:
+    """Learning-stage and online-MOGA throughput of both objective engines.
+
+    Runs the E4-style workload's full learning stage (``SPOT.learn``: MOGA +
+    lead clustering + synapse warm-up) and the two online adaptation
+    mechanisms (per-outlier OS-growth MOGA searches and CS self-evolution
+    rounds over an ``n_recent``-point reservoir — the reservoir size a live
+    detector at omega=500 would carry) on the ``"python"`` reference
+    objectives and on the population-vectorized batch objectives, and
+    cross-checks that both engines produce the identical SST (the learning
+    analogue of T1's ``flags_agree``).
+    """
+    from ..learning.online import OutlierDrivenGrowth, SelfEvolution
+
+    workload = throughput_workload(
+        dimensions=dimensions, n_training=n_training,
+        n_detection=max(n_detection, n_recent + n_outlier_searches),
+        seed=seed)
+    recent = workload.detection_values[:n_recent]
+    targets = workload.detection_values[n_recent:n_recent + n_outlier_searches]
+
+    rows: List[Row] = []
+    engine_rows: Dict[str, Row] = {}
+    sst_snapshots: Dict[str, Tuple] = {}
+    for engine in engines:
+        config = t1_bench_config(engine=engine, os_growth_enabled=True)
+        detector = SPOT(config)
+        learn_start = time.perf_counter()
+        detector.learn(workload.training_values)
+        learn_seconds = time.perf_counter() - learn_start
+
+        sst = detector.sst
+        growth = OutlierDrivenGrowth(config, detector.grid)
+        online_start = time.perf_counter()
+        for outlier in targets:
+            growth.grow(sst, outlier, recent)
+        online_seconds = time.perf_counter() - online_start
+
+        evolution = SelfEvolution(config, detector.grid)
+        evolve_start = time.perf_counter()
+        for _ in range(n_evolution_rounds):
+            evolution.evolve(sst, recent)
+        evolve_seconds = time.perf_counter() - evolve_start
+
+        combined = learn_seconds + online_seconds + evolve_seconds
+        sst_snapshots[engine] = (sst.fixed_subspaces, sst.clustering_subspaces,
+                                 sst.outlier_driven_subspaces)
+        footprint = detector.memory_footprint()
+        engine_rows[engine] = {
+            "engine": engine,
+            "learn_seconds": round(learn_seconds, 4),
+            "objective_memo_entries": footprint["objective_memo_entries"],
+            "online_searches": len(targets),
+            "online_seconds": round(online_seconds, 4),
+            "online_searches_per_second": round(
+                len(targets) / online_seconds, 1) if online_seconds > 0 else 0.0,
+            "evolve_rounds": evolution.rounds,
+            "evolve_seconds": round(evolve_seconds, 4),
+            "combined_seconds": round(combined, 4),
+        }
+    if "python" in engine_rows and "vectorized" in engine_rows:
+        py, vec = engine_rows["python"], engine_rows["vectorized"]
+
+        def _ratio(key: str) -> float:
+            return round(float(py[key]) / max(1e-9, float(vec[key])), 2)
+
+        vec["learn_speedup"] = _ratio("learn_seconds")
+        vec["online_moga_speedup"] = _ratio("online_seconds")
+        vec["combined_speedup"] = _ratio("combined_seconds")
+        vec["sst_identical"] = (
+            sst_snapshots["python"] == sst_snapshots["vectorized"])
+    rows.extend(engine_rows.values())
+    return ExperimentReport(
+        experiment_id="L1",
+        title="Learning throughput: reference vs population-vectorized "
+              "objectives",
+        rows=tuple(rows),
+        notes="Both engines run the identical NSGA-II search over identical "
+              "objective values (exact float parity of the shared kernels), "
+              "so the SSTs coincide subspace for subspace and score for "
+              "score; the vectorized engine replaces the per-point Python "
+              "accumulator walks of every subspace evaluation with a few "
+              "fused array passes per MOGA generation.",
+    )
+
+
+# --------------------------------------------------------------------- #
 # E5 — sharded multi-stream detection service
 # --------------------------------------------------------------------- #
 def t1_bench_config(**overrides) -> SPOTConfig:
@@ -666,8 +760,15 @@ def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 
                                      max_dimension: int = 3,
                                      top_k: int = 10,
                                      n_points: int = 400,
-                                     seed: int = 43) -> ExperimentReport:
-    """How much of the exhaustive top-k MOGA recovers, and at what cost."""
+                                     seed: int = 43,
+                                     engine: str = "python") -> ExperimentReport:
+    """How much of the exhaustive top-k MOGA recovers, and at what cost.
+
+    ``engine`` selects the objective implementation for both the exhaustive
+    sweep and the MOGA run; the recovery numbers are identical either way
+    (exact objective parity) — the vectorized engine just enumerates the
+    lattice in whole-population passes.
+    """
     rows: List[Row] = []
     for dimensions in dimension_settings:
         generator = GaussianStreamGenerator(dimensions=dimensions,
@@ -680,8 +781,10 @@ def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 
         grid = Grid(bounds=bounds, cells_per_dimension=6)
         targets = [p.values for p in generator if p.is_outlier][:20] or data[:20]
 
-        exhaustive_objectives = SparsityObjectives(data, grid, target_points=targets)
+        exhaustive_objectives = make_sparsity_objectives(
+            data, grid, engine=engine, target_points=targets)
         all_subspaces = list(enumerate_subspaces(dimensions, max_dimension))
+        exhaustive_objectives.evaluate_population(all_subspaces)
         exhaustive_scores = sorted(
             ((s, exhaustive_objectives.sparsity_score(s)) for s in all_subspaces),
             key=lambda item: item[1],
@@ -689,11 +792,12 @@ def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 
         true_top = {s for s, _ in exhaustive_scores[:top_k]}
         exhaustive_evaluations = exhaustive_objectives.evaluations
 
-        moga_objectives = SparsityObjectives(data, grid, target_points=targets)
-        engine = MOGAEngine(moga_objectives, population_size=30,
+        moga_objectives = make_sparsity_objectives(
+            data, grid, engine=engine, target_points=targets)
+        search = MOGAEngine(moga_objectives, population_size=30,
                             generations=15, max_dimension=max_dimension,
                             seed=seed)
-        result = engine.run()
+        result = search.run()
         # Rank the archive of everything the search evaluated by the same
         # scalar score the exhaustive pass used, so the overlap measures
         # subspace identity rather than score-function differences.
@@ -734,6 +838,7 @@ ALL_EXPERIMENTS = {
     "E4": experiment_e4_scalability_stream_length,
     "E5": experiment_e5_service,
     "T1": experiment_t1_throughput,
+    "L1": experiment_l1_learning,
     "A1": experiment_a1_sst_ablation,
     "A2": experiment_a2_self_evolution,
     "A3": experiment_a3_time_model,

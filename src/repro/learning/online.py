@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SPOTConfig
 from ..core.exceptions import ConfigurationError
@@ -29,9 +29,9 @@ from ..core.sst import RankedSubspace, SparseSubspaceTemplate
 from ..core.subspace import Subspace
 from ..moga import (
     Chromosome,
-    SparsityObjectives,
-    find_sparse_subspaces,
     make_offspring,
+    make_sparsity_objectives,
+    rank_sparse_subspaces,
 )
 
 
@@ -74,18 +74,30 @@ class RecentPointsBuffer:
 
 
 class SelfEvolution:
-    """Periodic online re-generation and re-ranking of the CS component."""
+    """Periodic online re-generation and re-ranking of the CS component.
+
+    Candidate re-scoring against the recent-points reservoir runs on the
+    objective implementation ``config.engine`` selects; both engines rank
+    candidates identically (exact objective parity), so the evolved CS does
+    not depend on the engine.
+    """
 
     def __init__(self, config: SPOTConfig, grid: Grid) -> None:
         self._config = config
         self._grid = grid
         self._rng = random.Random(config.random_seed + 977)
         self._rounds = 0
+        self._last_memory: Dict[str, int] = {}
 
     @property
     def rounds(self) -> int:
         """Number of evolution rounds executed so far."""
         return self._rounds
+
+    @property
+    def last_memory_footprint(self) -> Dict[str, int]:
+        """Objective memo / batch memory of the most recent evolution round."""
+        return dict(self._last_memory)
 
     def state_to_dict(self) -> dict:
         """Snapshot for detector checkpointing (round count + RNG state).
@@ -133,8 +145,15 @@ class SelfEvolution:
             candidates.append(child_a.to_subspace())
             candidates.append(child_b.to_subspace())
 
-        objectives = SparsityObjectives(recent_points, self._grid)
+        objectives = make_sparsity_objectives(recent_points, self._grid,
+                                              engine=config.engine)
         incumbents = {item.subspace for item in current}
+        # Prime the memo cache with one population-sized evaluation pass —
+        # on the vectorized engine the whole incumbent + candidate pool is
+        # scored in a few fused array sweeps instead of one dict walk each.
+        pool = [item.subspace for item in current]
+        pool.extend(c for c in candidates if c not in incumbents)
+        objectives.evaluate_population(pool)
         rescored: List[RankedSubspace] = [
             RankedSubspace(subspace=item.subspace,
                            score=objectives.sparsity_score(item.subspace))
@@ -153,22 +172,33 @@ class SelfEvolution:
         combined = sorted(rescored + new_members, key=lambda item: item.score)
         kept = combined[: sst.cs_capacity]
         sst.replace_clustering_ranked(kept)
+        self._last_memory = dict(objectives.memory_footprint())
         kept_subspaces = {item.subspace for item in kept}
         return sum(1 for item in new_members if item.subspace in kept_subspaces)
 
 
 class OutlierDrivenGrowth:
-    """Adds the sparse subspaces of detected outliers to the OS component."""
+    """Adds the sparse subspaces of detected outliers to the OS component.
+
+    Each per-outlier MOGA search runs on the objective implementation
+    ``config.engine`` selects; the retained subspaces are engine-independent.
+    """
 
     def __init__(self, config: SPOTConfig, grid: Grid) -> None:
         self._config = config
         self._grid = grid
         self._searches = 0
+        self._last_memory: Dict[str, int] = {}
 
     @property
     def searches(self) -> int:
         """Number of per-outlier MOGA searches run so far."""
         return self._searches
+
+    @property
+    def last_memory_footprint(self) -> Dict[str, int]:
+        """Objective memo / batch memory of the most recent outlier search."""
+        return dict(self._last_memory)
 
     def state_to_dict(self) -> dict:
         """Snapshot for detector checkpointing.
@@ -197,9 +227,11 @@ class OutlierDrivenGrowth:
             return 0
         config = self._config
         self._searches += 1
-        ranked = find_sparse_subspaces(
-            recent_points, self._grid,
-            target_points=[tuple(float(v) for v in outlier)],
+        objectives = make_sparsity_objectives(
+            recent_points, self._grid, engine=config.engine,
+            target_points=[tuple(float(v) for v in outlier)])
+        ranked = rank_sparse_subspaces(
+            objectives,
             top_k=subspaces_per_outlier,
             population_size=max(10, config.moga_population // 2),
             generations=max(5, config.moga_generations // 3),
@@ -208,6 +240,7 @@ class OutlierDrivenGrowth:
             max_dimension=config.moga_max_dimension,
             seed=config.random_seed + 5000 + self._searches,
         )
+        self._last_memory = dict(objectives.memory_footprint())
         added = 0
         for subspace, score in ranked:
             if sst.add_outlier_driven_subspace(subspace, score):

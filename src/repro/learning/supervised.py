@@ -14,13 +14,17 @@ The supervised process incorporates whatever prior domain knowledge exists:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import SPOTConfig
 from ..core.exceptions import ConfigurationError
 from ..core.grid import DomainBounds, Grid
 from ..core.subspace import Subspace
-from ..moga import find_sparse_subspaces
+from ..moga import (
+    combine_footprints,
+    make_sparsity_objectives,
+    rank_sparse_subspaces,
+)
 
 
 @dataclass(frozen=True)
@@ -46,11 +50,22 @@ class SupervisedLearningResult:
 
 
 class SupervisedLearner:
-    """Implements the supervised learning process of SPOT's learning stage."""
+    """Implements the supervised learning process of SPOT's learning stage.
+
+    Like the unsupervised learner, the per-example MOGA searches run on the
+    objective implementation ``config.engine`` selects — reference loops or
+    the population-vectorized batch kernels — with identical results.
+    """
 
     def __init__(self, config: SPOTConfig, grid: Grid) -> None:
         self._config = config
         self._grid = grid
+        self._last_memory: Dict[str, int] = {}
+
+    @property
+    def last_memory_footprint(self) -> Dict[str, int]:
+        """Objective memo / training-batch memory of the most recent run."""
+        return dict(self._last_memory)
 
     def learn(self,
               training_data: Sequence[Sequence[float]],
@@ -98,10 +113,12 @@ class SupervisedLearner:
         per_example: List[Tuple[Tuple[Subspace, float], ...]] = []
         merged: List[Tuple[Subspace, float]] = []
         seen = set()
+        self._last_memory = {}
         for i, example in enumerate(examples):
-            ranked = find_sparse_subspaces(
-                data, grid,
-                target_points=[example],
+            objectives = make_sparsity_objectives(
+                data, grid, engine=config.engine, target_points=[example])
+            ranked = rank_sparse_subspaces(
+                objectives,
                 top_k=subspaces_per_example,
                 population_size=config.moga_population,
                 generations=config.moga_generations,
@@ -110,6 +127,8 @@ class SupervisedLearner:
                 max_dimension=config.moga_max_dimension,
                 seed=config.random_seed + 100 + i,
             )
+            self._last_memory = combine_footprints(
+                self._last_memory, objectives.memory_footprint())
             restored = [(self._restore(subspace, remap), score)
                         for subspace, score in ranked]
             per_example.append(tuple(restored))

@@ -17,14 +17,18 @@ by the self-evolution machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..clustering import compute_outlying_degrees
 from ..core.config import SPOTConfig
 from ..core.exceptions import ConfigurationError
 from ..core.grid import Grid
 from ..core.subspace import Subspace
-from ..moga import find_sparse_subspaces
+from ..moga import (
+    combine_footprints,
+    make_sparsity_objectives,
+    rank_sparse_subspaces,
+)
 
 
 @dataclass(frozen=True)
@@ -51,11 +55,24 @@ class UnsupervisedLearningResult:
 
 
 class UnsupervisedLearner:
-    """Implements the unsupervised learning process of SPOT's learning stage."""
+    """Implements the unsupervised learning process of SPOT's learning stage.
+
+    The MOGA objective implementation follows ``config.engine``: the
+    ``"vectorized"`` detector scores candidate populations with
+    :class:`~repro.moga.batch_objectives.BatchSparsityObjectives` (fused
+    NumPy passes) while ``"python"`` keeps the reference loops; both yield
+    the same CS subspaces given the same seed.
+    """
 
     def __init__(self, config: SPOTConfig, grid: Grid) -> None:
         self._config = config
         self._grid = grid
+        self._last_memory: Dict[str, int] = {}
+
+    @property
+    def last_memory_footprint(self) -> Dict[str, int]:
+        """Objective memo / training-batch memory of the most recent run."""
+        return dict(self._last_memory)
 
     def learn(self, training_data: Sequence[Sequence[float]]
               ) -> UnsupervisedLearningResult:
@@ -63,18 +80,20 @@ class UnsupervisedLearner:
         if not training_data:
             raise ConfigurationError("training_data must not be empty")
         config = self._config
-
-        # Step 1 — whole-batch MOGA: globally sparse subspaces.
-        global_subspaces = find_sparse_subspaces(
-            training_data, self._grid,
+        moga_params = dict(
             top_k=config.cs_size,
             population_size=config.moga_population,
             generations=config.moga_generations,
             mutation_rate=config.moga_mutation_rate,
             crossover_rate=config.moga_crossover_rate,
             max_dimension=config.moga_max_dimension,
-            seed=config.random_seed,
         )
+
+        # Step 1 — whole-batch MOGA: globally sparse subspaces.
+        global_objectives = make_sparsity_objectives(
+            training_data, self._grid, engine=config.engine)
+        global_subspaces = rank_sparse_subspaces(
+            global_objectives, seed=config.random_seed, **moga_params)
 
         # Step 2 — outlying degree of every training point by lead clustering
         # under several data orders.
@@ -89,18 +108,17 @@ class UnsupervisedLearner:
 
         # Step 3 — MOGA targeted at the most outlying points; seeded with the
         # globally sparse subspaces so the two searches supplement each other.
-        targeted_subspaces = find_sparse_subspaces(
-            training_data, self._grid,
-            target_points=top_points,
-            top_k=config.cs_size,
-            population_size=config.moga_population,
-            generations=config.moga_generations,
-            mutation_rate=config.moga_mutation_rate,
-            crossover_rate=config.moga_crossover_rate,
-            max_dimension=config.moga_max_dimension,
-            seed=config.random_seed + 1,
+        targeted_objectives = make_sparsity_objectives(
+            training_data, self._grid, engine=config.engine,
+            target_points=top_points)
+        targeted_subspaces = rank_sparse_subspaces(
+            targeted_objectives, seed=config.random_seed + 1,
             seeds=[subspace for subspace, _ in global_subspaces],
-        )
+            **moga_params)
+
+        self._last_memory = combine_footprints(
+            global_objectives.memory_footprint(),
+            targeted_objectives.memory_footprint())
 
         clustering_subspaces = _merge_ranked(
             targeted_subspaces, global_subspaces, capacity=config.cs_size

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import ConfigurationError
 from ..core.subspace import Subspace
+from .batch_objectives import make_sparsity_objectives
 from .chromosome import Chromosome, unique_chromosomes
 from .nsga2 import crowded_comparison_rank, select_survivors
 from .objectives import SparsityObjectives
@@ -125,7 +126,16 @@ class MOGAEngine:
 
     def _evaluate(self, population: Sequence[Chromosome]
                   ) -> List[Tuple[float, ...]]:
-        return [self._objectives.evaluate(ch.to_subspace()) for ch in population]
+        subspaces = [ch.to_subspace() for ch in population]
+        # Whole-generation evaluation: objectives exposing
+        # evaluate_population (both bundled implementations do) score every
+        # uncached subspace of the generation in fused array passes; plain
+        # objective objects fall back to the per-subspace loop.
+        evaluate_population = getattr(self._objectives,
+                                      "evaluate_population", None)
+        if evaluate_population is not None:
+            return list(evaluate_population(subspaces))
+        return [self._objectives.evaluate(subspace) for subspace in subspaces]
 
     def _breed(self, population: Sequence[Chromosome],
                ranks: Sequence[Tuple[int, float]]) -> List[Chromosome]:
@@ -183,10 +193,8 @@ class MOGAEngine:
         )
 
 
-def find_sparse_subspaces(training_data: Sequence[Sequence[float]],
-                          grid,
+def rank_sparse_subspaces(objectives,
                           *,
-                          target_points: Optional[Sequence[Sequence[float]]] = None,
                           top_k: int = 10,
                           population_size: int = 40,
                           generations: int = 25,
@@ -196,14 +204,13 @@ def find_sparse_subspaces(training_data: Sequence[Sequence[float]],
                           seed: int = 0,
                           seeds: Optional[Sequence[Subspace]] = None
                           ) -> List[Tuple[Subspace, float]]:
-    """Convenience wrapper: run MOGA and return the top-k sparse subspaces.
+    """Run MOGA over pre-built objectives and rank its evaluation archive.
 
-    Returns (subspace, sparsity score) pairs, sparsest first, where the score
-    is :meth:`SparsityObjectives.sparsity_score` so it is comparable across
-    runs and usable directly as an SST ranking score.
+    Callers that need the objectives afterwards (memo statistics, extra
+    scoring) build them with
+    :func:`~repro.moga.batch_objectives.make_sparsity_objectives` and call
+    this; :func:`find_sparse_subspaces` wraps both steps.
     """
-    objectives = SparsityObjectives(training_data, grid,
-                                    target_points=target_points)
     engine = MOGAEngine(
         objectives,
         population_size=population_size,
@@ -224,3 +231,41 @@ def find_sparse_subspaces(training_data: Sequence[Sequence[float]],
     ]
     scored.sort(key=lambda item: item[1])
     return scored[:top_k]
+
+
+def find_sparse_subspaces(training_data: Sequence[Sequence[float]],
+                          grid,
+                          *,
+                          target_points: Optional[Sequence[Sequence[float]]] = None,
+                          top_k: int = 10,
+                          population_size: int = 40,
+                          generations: int = 25,
+                          mutation_rate: float = 0.05,
+                          crossover_rate: float = 0.9,
+                          max_dimension: int = 4,
+                          seed: int = 0,
+                          seeds: Optional[Sequence[Subspace]] = None,
+                          engine: str = "python"
+                          ) -> List[Tuple[Subspace, float]]:
+    """Convenience wrapper: run MOGA and return the top-k sparse subspaces.
+
+    Returns (subspace, sparsity score) pairs, sparsest first, where the score
+    is :meth:`SparsityObjectives.sparsity_score` so it is comparable across
+    runs and usable directly as an SST ranking score.  ``engine`` picks the
+    objective implementation (``"python"`` reference loops or
+    ``"vectorized"`` batch kernels — same seeds give the same subspaces and
+    scores on either, see ``tests/test_moga_parity.py``).
+    """
+    objectives = make_sparsity_objectives(training_data, grid, engine=engine,
+                                          target_points=target_points)
+    return rank_sparse_subspaces(
+        objectives,
+        top_k=top_k,
+        population_size=population_size,
+        generations=generations,
+        mutation_rate=mutation_rate,
+        crossover_rate=crossover_rate,
+        max_dimension=max_dimension,
+        seed=seed,
+        seeds=seeds,
+    )

@@ -34,6 +34,46 @@ from ..core.subspace import Subspace
 from ..core.time_model import TimeModel
 
 
+def score_objective_vector(vector: Sequence[float], irsd_cap: float) -> float:
+    """Scalar ranking score of one objective vector (lower = sparser).
+
+    A weighted sum of the objective vector: RD dominates, IRSD breaks ties,
+    and the dimension penalty keeps the score from preferring needlessly wide
+    subspaces.  Shared by the reference and the batch objectives so the two
+    engines rank by the same floats by construction.
+    """
+    rd, irsd, dim_fraction = vector
+    return rd + 0.1 * (irsd / irsd_cap) + 0.01 * dim_fraction
+
+
+def memo_cache_bytes(cache: Dict[Subspace, Tuple[float, ...]]) -> int:
+    """Nominal byte estimate of an objective memo cache.
+
+    Counts the float payload plus a small per-entry allowance for the
+    subspace key — a sizing figure for ``SPOT.memory_footprint``, not exact
+    CPython object overhead.
+    """
+    return sum(88 + 8 * len(subspace) for subspace in cache)
+
+
+def combine_footprints(*footprints: Dict[str, int]) -> Dict[str, int]:
+    """Merge objective memory footprints from one learning activity.
+
+    ``memo_entries`` / ``memo_bytes`` add up (they count what the activity's
+    searches memoised), while ``training_batch_bytes`` takes the maximum —
+    the searches of one learning run all wrap the same training batch, so
+    the resident batch size is the largest single view, not the sum.
+    """
+    combined: Dict[str, int] = {}
+    for footprint in footprints:
+        for key, value in footprint.items():
+            if key == "training_batch_bytes":
+                combined[key] = max(combined.get(key, 0), int(value))
+            else:
+                combined[key] = combined.get(key, 0) + int(value)
+    return combined
+
+
 class SparsityObjectives:
     """Multi-objective sparsity evaluation of candidate subspaces.
 
@@ -190,6 +230,36 @@ class SparsityObjectives:
             expected *= self._marginals[dimension][interval] / total_mass
         return expected
 
+    def evaluate_population(self, subspaces: Sequence[Subspace]
+                            ) -> List[Tuple[float, ...]]:
+        """Objective vectors of a whole population (memoised, in order).
+
+        The reference implementation simply loops; the vectorized twin
+        (:class:`~repro.moga.batch_objectives.BatchSparsityObjectives`)
+        overrides this with fused array passes.  Both fill the memo cache in
+        first-occurrence order, which keeps the evaluation archive identical
+        across engines.
+        """
+        return [self.evaluate(subspace) for subspace in subspaces]
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Learning-side memory: memo cache and resident training batch.
+
+        Byte figures count the float payload (plus a small per-entry
+        allowance for the memo keys), not exact CPython object overhead —
+        they exist so ``SPOT.memory_footprint`` can report learning-side
+        memory alongside the synapse store's cell counts.
+        """
+        memo_bytes = memo_cache_bytes(self._cache)
+        batch_bytes = 8 * len(self._data) * self.phi
+        if self._targets is not self._data:
+            batch_bytes += 8 * len(self._targets) * self.phi
+        return {
+            "memo_entries": len(self._cache),
+            "memo_bytes": memo_bytes,
+            "training_batch_bytes": batch_bytes,
+        }
+
     def evaluated_subspaces(self) -> List[Subspace]:
         """Every distinct subspace evaluated so far (the search's archive).
 
@@ -202,12 +272,9 @@ class SparsityObjectives:
     def sparsity_score(self, subspace: Subspace) -> float:
         """Scalar summary used for ranking outside the GA (lower = sparser).
 
-        A weighted sum of the objective vector: RD dominates, IRSD breaks
-        ties, and the dimension penalty keeps the score from preferring
-        needlessly wide subspaces.  SST components store this score.
+        See :func:`score_objective_vector`.  SST components store this score.
         """
-        rd, irsd, dim_fraction = self.evaluate(subspace)
-        return rd + 0.1 * (irsd / self._irsd_cap) + 0.01 * dim_fraction
+        return score_objective_vector(self.evaluate(subspace), self._irsd_cap)
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
