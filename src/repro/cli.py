@@ -1,6 +1,6 @@
 """Command-line demo of SPOT (the reproduction of the paper's demo plan).
 
-Seven subcommands:
+Eight subcommands:
 
 ``spot-demo detect``
     Run the full learning + detection pipeline on a named workload and print
@@ -9,7 +9,7 @@ Seven subcommands:
 
 ``spot-demo experiment``
     Run one of the experiments from the DESIGN.md index (F1, E1-E5, T1, L1,
-    A1-A4) and print its result table.
+    L2, A1-A4) and print its result table.
 
 ``spot-demo compare``
     Run SPOT and the baselines on a named workload and print the comparison
@@ -29,6 +29,13 @@ Seven subcommands:
     Run the sharded multi-tenant detection service over a synthetic
     multiplexed workload (optionally checkpointing), print per-shard serving
     statistics, and optionally write the ``BENCH_service.json`` report.
+    ``--learning-mode async`` moves the online MOGA searches onto the
+    learning coordinator's worker pool (``--learning-workers``).
+
+``spot-demo bench-learn-service``
+    Run the L2 experiment — the same multi-tenant workload with online
+    learning inline vs deferred to the learning service — and write the
+    ``BENCH_learning_service.json`` report.
 
 ``spot-demo replay``
     Restore a service from a ``serve`` checkpoint directory and resume the
@@ -97,7 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                        help="run a DESIGN.md experiment")
     experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
                             help="experiment identifier (F1, E1-E5, T1, L1, "
-                                 "A1-A4)")
+                                 "L2, A1-A4)")
 
     compare = subparsers.add_parser("compare",
                                     help="compare SPOT against the baselines")
@@ -144,6 +151,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_learn.add_argument("--seed", type=int, default=19,
                              help="workload seed (recorded in the report)")
 
+    bench_learn_service = subparsers.add_parser(
+        "bench-learn-service",
+        help="measure detection-path latency with learning on vs off the "
+             "hot path and write BENCH_learning_service.json")
+    bench_learn_service.add_argument(
+        "--out", default="BENCH_learning_service.json",
+        help="output path of the JSON report")
+    bench_learn_service.add_argument("--shards", type=int, default=2)
+    bench_learn_service.add_argument("--tenants", type=int, default=6)
+    bench_learn_service.add_argument("--dimensions", type=int, default=10)
+    bench_learn_service.add_argument("--points", type=int, default=500,
+                                     help="detection points per tenant")
+    bench_learn_service.add_argument("--training", type=int, default=80,
+                                     help="training points per tenant "
+                                          "(shared prototype)")
+    bench_learn_service.add_argument("--max-batch", type=int, default=256)
+    bench_learn_service.add_argument("--learning-workers", type=int,
+                                     default=4,
+                                     help="pool size of the widest async "
+                                          "variant")
+    bench_learn_service.add_argument("--evolution-period", type=int,
+                                     default=250,
+                                     help="points between CS self-evolution "
+                                          "rounds")
+    bench_learn_service.add_argument("--relearn-period", type=int, default=0,
+                                     help="points between wholesale CS "
+                                          "relearn rounds (0 disables)")
+    bench_learn_service.add_argument("--stop-after", type=int, default=None,
+                                     help="serve only the first N workload "
+                                          "points (smoke runs)")
+    bench_learn_service.add_argument("--seed", type=int, default=19,
+                                     help="workload seed (recorded in the "
+                                          "report)")
+
     serve = subparsers.add_parser(
         "serve", help="run the sharded multi-tenant detection service")
     serve.add_argument("--shards", type=int, default=4)
@@ -160,6 +201,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "points")
     serve.add_argument("--workers", choices=("thread", "process"),
                        default="thread", help="shard worker flavour")
+    serve.add_argument("--learning-mode", choices=("sync", "async"),
+                       default="sync",
+                       help="sync = online MOGA searches run inline in the "
+                            "detection path; async = they run on the "
+                            "learning coordinator's worker pool and their "
+                            "SSTs are published back at deterministic apply "
+                            "points (decision-identical)")
+    serve.add_argument("--learning-workers", type=int, default=2,
+                       help="worker pool size of the learning coordinator "
+                            "(async mode)")
+    serve.add_argument("--os-growth", action="store_true",
+                       help="enable outlier-driven OS growth in the served "
+                            "detectors (an online learning trigger)")
+    serve.add_argument("--evolution-period", type=int, default=0,
+                       help="CS self-evolution period of the served "
+                            "detectors (0 disables; an online learning "
+                            "trigger)")
     serve.add_argument("--seed", type=int, default=19)
     serve.add_argument("--checkpoint-dir", default=None,
                        help="directory for service checkpoints (final "
@@ -324,11 +382,73 @@ def _run_bench_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_learn_service(args: argparse.Namespace) -> int:
+    from .eval.experiments import (
+        experiment_l2_learning_service,
+        t1_bench_config,
+    )
+
+    report = experiment_l2_learning_service(
+        n_tenants=args.tenants,
+        dimensions=args.dimensions,
+        n_training_per_tenant=args.training,
+        n_detection_per_tenant=args.points,
+        n_shards=args.shards,
+        max_batch=args.max_batch,
+        learning_workers=args.learning_workers,
+        self_evolution_period=args.evolution_period,
+        relearn_period=args.relearn_period,
+        stop_after=args.stop_after,
+        seed=args.seed,
+    )
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+    if report.notes:
+        print(f"\nNotes: {report.notes}")
+
+    payload = {
+        "benchmark": "learning_service",
+        "workload": "multiplexed multi-tenant e4-style streams with online "
+                    "learning enabled",
+        "workload_params": {
+            "n_tenants": args.tenants,
+            "dimensions": args.dimensions,
+            "n_training_per_tenant": args.training,
+            "n_detection_per_tenant": args.points,
+            "seed": args.seed,
+        },
+        "service": {
+            "n_shards": args.shards,
+            "max_batch": args.max_batch,
+            "learning_workers": args.learning_workers,
+        },
+        "stop_after": args.stop_after,
+        "config": t1_bench_config(
+            engine="vectorized", os_growth_enabled=True,
+            self_evolution_period=args.evolution_period,
+            relearn_period=args.relearn_period).to_dict(),
+        "git": _git_describe(),
+        "rows": list(report.rows),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nWrote {args.out}")
+    return 0
+
+
 def _print_service_stats(stats: dict) -> None:
     shard_rows = stats.pop("shards")
+    learning = stats.pop("learning", None)
     print(format_table([stats]))
     print()
     print(format_table(shard_rows))
+    if learning is not None:
+        learning = dict(learning)
+        kinds = learning.pop("kinds", {})
+        learning["kinds"] = " ".join(f"{kind}={count}" for kind, count
+                                     in sorted(kinds.items())) or "-"
+        print()
+        print(format_table([learning]))
 
 
 def _serve_workload_params(args: argparse.Namespace) -> dict:
@@ -358,6 +478,12 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "--bench-out cannot be combined with --checkpoint-dir, "
                 "--checkpoint-every or --stop-after; run them as separate "
                 "serve invocations")
+        if args.learning_mode != "sync" or args.os_growth or \
+                args.evolution_period:
+            raise ConfigurationError(
+                "--bench-out runs the E5 serving benchmark, which serves "
+                "without online learning; use 'bench-learn-service' for the "
+                "learning-on-vs-off-the-hot-path comparison (L2)")
         report = experiment_e5_service(
             n_shards=args.shards, max_batch=args.max_batch,
             max_delay=args.max_delay,
@@ -386,7 +512,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 0
 
     workload = multi_tenant_workload(**workload_params)
-    config = t1_bench_config(engine="vectorized")
+    config = t1_bench_config(engine="vectorized",
+                             os_growth_enabled=args.os_growth,
+                             self_evolution_period=args.evolution_period)
     print(f"Learning the prototype on {len(workload.training)} shared "
           f"training points ({workload.dimensionality} dimensions, "
           f"{len(workload.tenants)} tenants)...")
@@ -398,19 +526,27 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         worker_mode=args.workers,
+        learning_mode=args.learning_mode,
+        learning_workers=args.learning_workers,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
     ))
     if args.checkpoint_dir:
         # Recorded in every checkpoint (periodic ones included) so any
-        # snapshot of this run — not just the final one — replays.
-        service.set_checkpoint_extra({"serve": dict(workload_params)})
+        # snapshot of this run — not just the final one — replays, in the
+        # same learning mode it was served in.
+        service.set_checkpoint_extra({
+            "serve": dict(workload_params),
+            "serve_config": {"learning_mode": args.learning_mode,
+                             "learning_workers": args.learning_workers},
+        })
     service.start()
     to_serve = list(workload.detection)
     if args.stop_after is not None:
         to_serve = to_serve[: args.stop_after]
     print(f"Serving {len(to_serve)} of {len(workload.detection)} points "
-          f"across {args.shards} shards ({args.workers} workers)...")
+          f"across {args.shards} shards ({args.workers} workers, "
+          f"{args.learning_mode} learning)...")
     service.submit_tagged(to_serve)
     service.drain()
     if args.checkpoint_dir:
@@ -428,23 +564,30 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_replay(args: argparse.Namespace) -> int:
     from .core.exceptions import SerializationError
     from .eval.workloads import multi_tenant_workload
-    from .service import CheckpointManager, DetectionService
+    from .service import CheckpointManager, DetectionService, ServiceConfig
 
     manager = CheckpointManager(args.checkpoint_dir)
     manifest = manager.manifest()
-    serve_params = (manifest.get("extra") or {}).get("serve")
+    extra = manifest.get("extra") or {}
+    serve_params = extra.get("serve")
     if not serve_params:
         raise SerializationError(
             "this checkpoint was not written by 'spot-demo serve' "
             "(no recorded workload); replay needs the workload parameters")
+    serve_config = dict(extra.get("serve_config") or {})
     offset = int(manifest["points_submitted"])
     workload = multi_tenant_workload(**serve_params)
     remaining = list(workload.detection[offset:])
     if args.points is not None:
         remaining = remaining[: args.points]
     print(f"Restoring {manifest['n_shards']} shards from "
-          f"{args.checkpoint_dir} (stream position {offset})...")
-    service = DetectionService.restore(args.checkpoint_dir)
+          f"{args.checkpoint_dir} (stream position {offset}, "
+          f"{serve_config.get('learning_mode', 'sync')} learning)...")
+    service = DetectionService.restore(
+        args.checkpoint_dir,
+        config=ServiceConfig(
+            learning_mode=str(serve_config.get("learning_mode", "sync")),
+            learning_workers=int(serve_config.get("learning_workers", 2))))
     service.start()
     if not remaining:
         print("Nothing left to replay: the checkpoint is at the end of the "
@@ -475,6 +618,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "bench-learn":
         return _run_bench_learn(args)
+    if args.command == "bench-learn-service":
+        return _run_bench_learn_service(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "replay":

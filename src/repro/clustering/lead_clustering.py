@@ -17,7 +17,10 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.exceptions import ConfigurationError
+from ..core.kernels import batch_distances
 
 
 @dataclass
@@ -85,14 +88,50 @@ class LeadClustering:
 
         Returns the clusters; each remembers the indices (into ``data``) of
         its members, so callers can map cluster sizes back onto points.
+
+        The leader scan — by far the dominant cost, ``O(n * clusters * phi)``
+        in the reference loop — is vectorized: each point's distance to every
+        current leader comes from one :func:`~repro.core.kernels.batch_distances`
+        call, and the distances are bit-identical to the reference's (see the
+        kernel), so the first-leader-within-threshold assignment matches the
+        reference cluster for cluster.  :meth:`fit_reference` keeps the loop
+        as the parity oracle.
         """
-        if not data:
-            raise ConfigurationError("cannot cluster an empty batch")
-        indices = list(order) if order is not None else list(range(len(data)))
-        if sorted(indices) != list(range(len(data))):
-            raise ConfigurationError(
-                "order must be a permutation of range(len(data))"
-            )
+        indices = self._validated_order(data, order)
+        phi = len(data[indices[0]])
+        # Leaders packed into a pre-grown array so the scan never reallocates;
+        # column count is validated against the first visited point.
+        leaders = np.empty((len(data), phi), dtype=np.float64)
+        n_leaders = 0
+        clusters: List[Cluster] = []
+        threshold = self.distance_threshold
+        for index in indices:
+            point = data[index]
+            if len(point) != phi:
+                raise ConfigurationError(
+                    f"points of different lengths ({phi} vs {len(point)}) "
+                    "cannot be compared"
+                )
+            assigned = False
+            if n_leaders:
+                distances = batch_distances(leaders[:n_leaders],
+                                            np.asarray(point, dtype=np.float64))
+                hits = np.flatnonzero(distances <= threshold)
+                if hits.size:
+                    clusters[int(hits[0])].add(index, point)
+                    assigned = True
+            if not assigned:
+                new_cluster = Cluster(leader=tuple(float(v) for v in point))
+                new_cluster.add(index, point)
+                clusters.append(new_cluster)
+                leaders[n_leaders] = new_cluster.leader
+                n_leaders += 1
+        return clusters
+
+    def fit_reference(self, data: Sequence[Sequence[float]],
+                      order: Optional[Sequence[int]] = None) -> List[Cluster]:
+        """The sequential reference loop :meth:`fit` must match exactly."""
+        indices = self._validated_order(data, order)
         clusters: List[Cluster] = []
         for index in indices:
             point = data[index]
@@ -107,6 +146,18 @@ class LeadClustering:
                 new_cluster.add(index, point)
                 clusters.append(new_cluster)
         return clusters
+
+    @staticmethod
+    def _validated_order(data: Sequence[Sequence[float]],
+                         order: Optional[Sequence[int]]) -> List[int]:
+        if not data:
+            raise ConfigurationError("cannot cluster an empty batch")
+        indices = list(order) if order is not None else list(range(len(data)))
+        if sorted(indices) != list(range(len(data))):
+            raise ConfigurationError(
+                "order must be a permutation of range(len(data))"
+            )
+        return indices
 
     def fit_multiple_orders(self, data: Sequence[Sequence[float]], *,
                             n_runs: int, seed: int = 0

@@ -95,6 +95,12 @@ class SPOTConfig:
     self_evolution_period:
         Detection-stage points between two self-evolution rounds of CS
         (0 disables self-evolution).
+    relearn_period:
+        Detection-stage points between two wholesale CS relearn rounds — a
+        fresh MOGA search over the recent-points reservoir replacing CS
+        (0, the default, disables relearning).  When a relearn boundary
+        coincides with a self-evolution boundary only self-evolution runs;
+        pick coprime-ish periods to get both.
     os_growth_enabled:
         Whether the sparse subspaces of detected outliers are added to OS.
     os_growth_moga_budget:
@@ -142,6 +148,7 @@ class SPOTConfig:
 
     # Online adaptation
     self_evolution_period: int = 0
+    relearn_period: int = 0
     os_growth_enabled: bool = False
     os_growth_moga_budget: int = 5
     prune_period: int = 2000
@@ -200,6 +207,8 @@ class SPOTConfig:
             )
         if self.self_evolution_period < 0:
             raise ConfigurationError("self_evolution_period must be >= 0")
+        if self.relearn_period < 0:
+            raise ConfigurationError("relearn_period must be >= 0")
         if self.os_growth_moga_budget < 0:
             raise ConfigurationError("os_growth_moga_budget must be >= 0")
         if self.prune_period < 0:

@@ -99,7 +99,16 @@ class SPOT:
         self._recent_buffer = None
         self._self_evolution = None
         self._os_growth = None
+        self._relearn = None
         self._drift_detector = None
+        # Deferred-learning mode: online MOGA searches are emitted as learn
+        # requests (applied later via apply_learn_publication) instead of
+        # running inline.  The pending list is the detector's contract with
+        # the learning service: requests are applied strictly in order, and
+        # no further points may be processed while any are outstanding.
+        self._learning_deferred = False
+        self._pending_learns: List = []
+        self._deferred_prune = False
         self._learning_report: dict = {}
         # Learning-stage memory facts (objective memo cache, training-batch
         # bytes) captured by learn(); merged into memory_footprint().
@@ -165,6 +174,14 @@ class SPOT:
                 "the detector must run its learning stage (SPOT.learn) first"
             )
 
+    def _require_no_pending_learns(self) -> None:
+        if self._pending_learns:
+            raise ConfigurationError(
+                f"{len(self._pending_learns)} learn request(s) are pending; "
+                "apply their publications (apply_learn_publication / "
+                "resolve_pending_learns) before processing more points"
+            )
+
     def _sst_view(self) -> Tuple[Tuple[Subspace, ...], int]:
         """Cached (subspace union, multi-dimensional count) of the SST.
 
@@ -221,6 +238,7 @@ class SPOT:
         # repro.learning (which imports repro.core throughout).
         from ..learning.online import (
             OutlierDrivenGrowth,
+            PeriodicRelearn,
             RecentPointsBuffer,
             SelfEvolution,
         )
@@ -294,16 +312,27 @@ class SPOT:
             self._recent_buffer.add(point)
         self._self_evolution = SelfEvolution(config, grid)
         self._os_growth = OutlierDrivenGrowth(config, grid)
+        self._relearn = PeriodicRelearn(config, grid)
         self._drift_detector = DriftDetector(grid, window=max(50, config.omega // 5),
                                              warmup=len(batch))
+        self._pending_learns = []
+        self._deferred_prune = False
         return self
 
     # ------------------------------------------------------------------ #
     # Detection stage
     # ------------------------------------------------------------------ #
     def process(self, point: PointLike) -> DetectionResult:
-        """Fold one arriving point into the summaries and classify it."""
+        """Fold one arriving point into the summaries and classify it.
+
+        In deferred-learning mode a point whose adaptation hook emitted learn
+        requests blocks further processing until the matching publications
+        are applied (:meth:`apply_learn_publication` /
+        :meth:`resolve_pending_learns`) — scoring past the apply point would
+        diverge from the synchronous baseline.
+        """
         self._require_fitted()
+        self._require_no_pending_learns()
         assert self._store is not None and self._sst is not None
         config = self.config
         values = _coerce_point(point)
@@ -386,43 +415,85 @@ class SPOT:
         return result
 
     def _run_online_adaptation(self, result: DetectionResult) -> None:
+        """Fire the online learning triggers due at the just-processed point.
+
+        Each trigger produces a learn *request* (capturing the reservoir
+        snapshot and consuming the mechanism's randomness).  Inline mode
+        evaluates and applies it on the spot; deferred mode queues it for
+        the learning service, and :meth:`apply_learn_publication` replays
+        the identical application at the identical stream position.
+        """
         config = self.config
         store = self._store
         sst = self._sst
+        buffer = self._recent_buffer
         assert store is not None and sst is not None
 
         new_subspaces: List[Subspace] = []
+        deferred = self._learning_deferred
+
+        def run_or_defer(component, request, component_view) -> None:
+            if deferred:
+                self._pending_learns.append(request)
+                return
+            before = set(component_view())
+            component.apply(sst, request, component.evaluate(request))
+            new_subspaces.extend(
+                s for s in component_view() if s not in before
+            )
 
         if (config.os_growth_enabled and result.is_outlier
                 and self._os_growth is not None
-                and self._recent_buffer is not None
+                and buffer is not None
                 and self._os_growth.searches < (
                     config.os_growth_moga_budget
                     * max(1, self._processed // max(1, config.omega) + 1))):
-            before = set(sst.outlier_driven_subspaces)
-            self._os_growth.grow(sst, result.point,
-                                 self._recent_buffer.snapshot())
-            new_subspaces.extend(
-                s for s in sst.outlier_driven_subspaces if s not in before
-            )
+            request = self._os_growth.begin(
+                result.point, buffer.versioned_snapshot(),
+                position=self._processed)
+            if request is not None:
+                run_or_defer(self._os_growth, request,
+                             lambda: sst.outlier_driven_subspaces)
 
-        if (config.self_evolution_period > 0
-                and self._self_evolution is not None
-                and self._recent_buffer is not None
+        evolution_due = (config.self_evolution_period > 0
+                         and self._self_evolution is not None
+                         and buffer is not None
+                         and self._processed > 0
+                         and self._processed % config.self_evolution_period == 0)
+        if evolution_due:
+            request = self._self_evolution.propose(
+                sst, buffer.versioned_snapshot(),
+                position=self._processed)
+            if request is not None:
+                run_or_defer(self._self_evolution, request,
+                             lambda: sst.clustering_subspaces)
+
+        # Relearn boundaries that coincide with a self-evolution boundary
+        # yield to it — the skip is position-deterministic, so synchronous
+        # and deferred runs agree on which mechanism owns the position.
+        if (not evolution_due and config.relearn_period > 0
+                and self._relearn is not None
+                and buffer is not None
                 and self._processed > 0
-                and self._processed % config.self_evolution_period == 0):
-            before = set(sst.clustering_subspaces)
-            self._self_evolution.evolve(sst, self._recent_buffer.snapshot())
-            new_subspaces.extend(
-                s for s in sst.clustering_subspaces if s not in before
-            )
+                and self._processed % config.relearn_period == 0):
+            request = self._relearn.propose(
+                sst, buffer.versioned_snapshot(),
+                position=self._processed)
+            if request is not None:
+                run_or_defer(self._relearn, request,
+                             lambda: sst.clustering_subspaces)
 
         for subspace in new_subspaces:
             store.register_subspace(subspace)
 
         if (config.prune_period > 0 and self._processed > 0
                 and self._processed % config.prune_period == 0):
-            store.prune(config.prune_min_count)
+            if self._pending_learns:
+                # The synchronous order is apply-then-prune; with requests
+                # still in flight the prune waits for the last publication.
+                self._deferred_prune = True
+            else:
+                store.prune(config.prune_min_count)
 
     # ------------------------------------------------------------------ #
     # Batch detection (the vectorized fast path)
@@ -443,10 +514,11 @@ class SPOT:
         return np.array(coerced, dtype=np.float64).reshape(len(coerced), phi)
 
     def _boundary_distance(self) -> int:
-        """Points until the next self-evolution / prune period boundary."""
+        """Points until the next self-evolution / relearn / prune boundary."""
         config = self.config
         distance = 1 << 30
-        for period in (config.self_evolution_period, config.prune_period):
+        for period in (config.self_evolution_period, config.relearn_period,
+                       config.prune_period):
             if period > 0:
                 distance = min(distance, period - (self._processed % period))
         return distance
@@ -462,17 +534,29 @@ class SPOT:
         engine the quantisation, decayed-summary maintenance and RD/IRSD/
         Poisson-tail evidence of a whole chunk are computed in NumPy array
         passes.  On the ``"python"`` engine this simply loops ``process``.
+
+        In deferred-learning mode the call stops at the first point whose
+        adaptation hook emitted learn requests and returns the results
+        computed *so far* (possibly fewer than submitted): the caller must
+        apply the pending publications and resubmit the rest.  The shard
+        workers of the learning service drive exactly that loop.
         """
         self._require_fitted()
+        self._require_no_pending_learns()
         assert self._store is not None and self._sst is not None
         store = self._store
         if not isinstance(store, VectorizedSynapseStore):
-            return [self.process(point) for point in points]
+            results = []
+            for point in points:
+                results.append(self.process(point))
+                if self._pending_learns:
+                    break
+            return results
         X = self._coerce_batch(points)
         results: List[DetectionResult] = []
         start = 0
         n = X.shape[0]
-        while start < n:
+        while start < n and not self._pending_learns:
             limit = min(store.max_batch_points(), self._boundary_distance())
             end = min(n, start + limit)
             committed = self._process_chunk_vectorized(X[start:end], results)
@@ -584,17 +668,133 @@ class SPOT:
         """Process a finite batch of points and return all results.
 
         Routed through :meth:`process_batch`, so a ``"vectorized"``-engine
-        detector scores finite batches on the fast path automatically.
+        detector scores finite batches on the fast path automatically.  On a
+        deferred-learning detector (e.g. one restored from an async-mode
+        shard checkpoint) the emit/resolve loop is driven inline, so the
+        "all results" promise holds in every mode and the outcome matches a
+        synchronous detector decision for decision.
         """
         if not isinstance(points, (list, tuple, np.ndarray)):
             points = list(points)
-        return self.process_batch(points)
+        if not self._learning_deferred:
+            return self.process_batch(points)
+        results: List[DetectionResult] = []
+        n = len(points)
+        while len(results) < n:
+            if self._pending_learns:
+                self.resolve_pending_learns()
+            chunk = self.process_batch(points[len(results):])
+            results.extend(chunk)
+        if self._pending_learns:
+            # A request emitted by the final point: apply it too, so the
+            # detector ends in the state the synchronous path would.
+            self.resolve_pending_learns()
+        return results
 
     def detect_outliers(self, points: Iterable[PointLike]
                         ) -> List[DetectionResult]:
         """Process a batch and return only the results flagged as outliers."""
         return [result for result in self.detect(points)
                 if result.is_outlier]
+
+    # ------------------------------------------------------------------ #
+    # Deferred learning (the learning-service seam)
+    # ------------------------------------------------------------------ #
+    def set_deferred_learning(self, enabled: bool) -> None:
+        """Switch the online MOGA searches between inline and deferred mode.
+
+        Inline (the default) runs every search inside the detection path,
+        exactly as before.  Deferred mode emits
+        :mod:`repro.learning.requests` objects instead and *stops the
+        stream* at each apply point until the matching publications are
+        applied — the learning service's shard workers own that loop.  The
+        mode changes where and when the search CPU burns, never what the
+        search returns, so both modes are decision-identical.
+        """
+        self._learning_deferred = bool(enabled)
+
+    @property
+    def learning_deferred(self) -> bool:
+        """Whether online learning runs in deferred (request/publish) mode."""
+        return self._learning_deferred
+
+    @property
+    def pending_learn_requests(self) -> Tuple:
+        """Learn requests emitted but not yet applied, in apply order."""
+        return tuple(self._pending_learns)
+
+    def _learning_component_for(self, kind: str):
+        from ..learning.requests import (
+            EVOLUTION_KIND,
+            GROWTH_KIND,
+            RELEARN_KIND,
+        )
+
+        components = {GROWTH_KIND: self._os_growth,
+                      EVOLUTION_KIND: self._self_evolution,
+                      RELEARN_KIND: self._relearn}
+        component = components.get(kind)
+        if component is None:
+            raise ConfigurationError(
+                f"no learning component for request kind {kind!r}")
+        return component
+
+    def apply_learn_publication(self, publication) -> int:
+        """Apply one published learn result at its deterministic apply point.
+
+        Publications must arrive in the order their requests were emitted
+        (the oldest pending request first); newly selected subspaces are
+        registered with the synapse store and a prune deferred past the
+        apply point is executed once the pending queue empties — replaying
+        the synchronous path's ordering exactly.  Returns how many subspaces
+        the publication added to its SST component.
+        """
+        self._require_fitted()
+        if not self._pending_learns:
+            raise ConfigurationError("no learn requests are pending")
+        request = self._pending_learns[0]
+        if publication.request_id != request.request_id:
+            raise ConfigurationError(
+                f"out-of-order learn publication: expected "
+                f"{request.request_id!r}, got {publication.request_id!r}")
+        sst = self._sst
+        store = self._store
+        assert sst is not None and store is not None
+        component = self._learning_component_for(request.kind)
+        from ..learning.requests import GROWTH_KIND
+
+        view = (sst.outlier_driven_subspaces if request.kind == GROWTH_KIND
+                else sst.clustering_subspaces)
+        before = set(view)
+        added = component.apply(sst, request, publication)
+        after = (sst.outlier_driven_subspaces if request.kind == GROWTH_KIND
+                 else sst.clustering_subspaces)
+        for subspace in after:
+            if subspace not in before:
+                store.register_subspace(subspace)
+        self._pending_learns.pop(0)
+        if not self._pending_learns and self._deferred_prune:
+            self._deferred_prune = False
+            store.prune(self.config.prune_min_count)
+        return added
+
+    def resolve_pending_learns(self) -> int:
+        """Evaluate and apply every pending learn request inline.
+
+        The fallback path: a worker without a learning coordinator (or a
+        detector restored from a checkpoint taken mid-flight) replays the
+        outstanding searches synchronously — publications are deterministic
+        functions of the requests, so the outcome matches what the
+        coordinator would have delivered.  Returns how many requests were
+        resolved.
+        """
+        resolved = 0
+        while self._pending_learns:
+            request = self._pending_learns[0]
+            component = self._learning_component_for(request.kind)
+            self.apply_learn_publication(component.evaluate(request))
+            resolved += 1
+        return resolved
 
     # ------------------------------------------------------------------ #
     # Full-state export / restore (checkpointing)
@@ -633,6 +833,18 @@ class SPOT:
                                if self._self_evolution is not None else None),
             "os_growth": (self._os_growth.state_to_dict()
                           if self._os_growth is not None else None),
+            "relearn": (self._relearn.state_to_dict()
+                        if self._relearn is not None else None),
+            # In-flight deferred learning: the emitted-but-unapplied requests
+            # (pure data, snapshots included) plus the prune that is waiting
+            # behind them.  A restored detector re-evaluates the requests —
+            # deterministically — instead of persisting their publications.
+            "learning": {
+                "deferred": self._learning_deferred,
+                "deferred_prune": self._deferred_prune,
+                "pending": [request.to_dict()
+                            for request in self._pending_learns],
+            },
         }
 
     @classmethod
@@ -640,9 +852,11 @@ class SPOT:
         """Rebuild a detector from :meth:`export_state` output."""
         from ..learning.online import (
             OutlierDrivenGrowth,
+            PeriodicRelearn,
             RecentPointsBuffer,
             SelfEvolution,
         )
+        from ..learning.requests import request_from_dict
         from ..streams.drift import DriftDetector
 
         config = SPOTConfig.from_dict(payload["config"])
@@ -680,6 +894,15 @@ class SPOT:
             growth = OutlierDrivenGrowth(config, grid)
             growth.restore_state(payload["os_growth"])
             detector._os_growth = growth
+        relearn = PeriodicRelearn(config, grid)
+        if payload.get("relearn") is not None:
+            relearn.restore_state(payload["relearn"])
+        detector._relearn = relearn
+        learning = payload.get("learning") or {}
+        detector._learning_deferred = bool(learning.get("deferred", False))
+        detector._deferred_prune = bool(learning.get("deferred_prune", False))
+        detector._pending_learns = [request_from_dict(entry)
+                                    for entry in learning.get("pending", [])]
         return detector
 
     # ------------------------------------------------------------------ #
@@ -716,16 +939,28 @@ class SPOT:
         assert self._store is not None
         footprint = dict(self._store.memory_footprint())
         learning = dict(self._learning_memory)
-        for component in (self._self_evolution, self._os_growth):
+        memo_hits = 0
+        memo_misses = 0
+        for component in (self._self_evolution, self._os_growth,
+                          self._relearn):
             last = getattr(component, "last_memory_footprint", None)
             if last:
                 learning = combine_footprints(learning, last)
+            memo = getattr(component, "memo", None)
+            if memo is not None:
+                memo_hits += memo.hits
+                memo_misses += memo.misses
         buffer_bytes = 0
         if self._recent_buffer is not None and self._grid is not None:
             buffer_bytes = 8 * len(self._recent_buffer) * self._grid.phi
         footprint.update({
             "objective_memo_entries": int(learning.get("memo_entries", 0)),
             "objective_memo_bytes": int(learning.get("memo_bytes", 0)),
+            # Cross-search memo traffic of the online mechanisms: hits are
+            # objective evaluations the (subspace, reservoir-version) memo
+            # saved outright, misses are the evaluations actually computed.
+            "objective_memo_hits": memo_hits,
+            "objective_memo_misses": memo_misses,
             "training_batch_bytes": int(
                 learning.get("training_batch_bytes", 0)),
             "recent_buffer_bytes": buffer_bytes,

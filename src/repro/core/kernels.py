@@ -251,6 +251,24 @@ def sequential_row_sums(matrix: np.ndarray) -> np.ndarray:
     return np.cumsum(matrix, axis=-1)[..., -1]
 
 
+def batch_distances(X: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Euclidean distance from every row of ``X`` to ``point``, bit-exactly.
+
+    The lead-clustering reference accumulates each squared difference left to
+    right in a Python loop; :func:`sequential_row_sums` replays that exact
+    addition order (``np.sum`` would switch to pairwise summation on wide
+    rows) and ``sqrt`` is correctly rounded, so the distances — and therefore
+    every threshold comparison built on them — match the reference float for
+    float.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    if X.ndim != 2 or X.shape[-1] != point.shape[-1]:
+        raise DimensionMismatchError(point.shape[-1], X.shape[-1])
+    diff = X - point
+    return np.sqrt(sequential_row_sums(diff * diff))
+
+
 def pack_with_offsets(idx: np.ndarray, dims_matrix: np.ndarray,
                       cells_per_dimension: int) -> Optional[np.ndarray]:
     """Pack one quantised batch against *several* same-width subspaces at once.

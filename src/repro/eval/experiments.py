@@ -414,17 +414,22 @@ def experiment_l1_learning(*, dimensions: int = 10, n_training: int = 500,
         detector.learn(workload.training_values)
         learn_seconds = time.perf_counter() - learn_start
 
+        # The reservoir is static across these searches, so a fixed version
+        # key lets the (subspace, reservoir-version) memo reuse evaluations
+        # across them — the production situation of several searches landing
+        # between two reservoir changes.
+        reservoir_version = len(recent)
         sst = detector.sst
         growth = OutlierDrivenGrowth(config, detector.grid)
         online_start = time.perf_counter()
         for outlier in targets:
-            growth.grow(sst, outlier, recent)
+            growth.grow(sst, outlier, recent, version=reservoir_version)
         online_seconds = time.perf_counter() - online_start
 
         evolution = SelfEvolution(config, detector.grid)
         evolve_start = time.perf_counter()
         for _ in range(n_evolution_rounds):
-            evolution.evolve(sst, recent)
+            evolution.evolve(sst, recent, version=reservoir_version)
         evolve_seconds = time.perf_counter() - evolve_start
 
         combined = learn_seconds + online_seconds + evolve_seconds
@@ -442,6 +447,7 @@ def experiment_l1_learning(*, dimensions: int = 10, n_training: int = 500,
             "evolve_rounds": evolution.rounds,
             "evolve_seconds": round(evolve_seconds, 4),
             "combined_seconds": round(combined, 4),
+            "memo_hits": growth.memo.hits + evolution.memo.hits,
         }
     if "python" in engine_rows and "vectorized" in engine_rows:
         py, vec = engine_rows["python"], engine_rows["vectorized"]
@@ -607,6 +613,128 @@ def experiment_e5_service(*, n_tenants: int = 6, dimensions: int = 10,
               "sub-stream; the throughput win over per-arrival serving comes "
               "from coalescing arrivals into large process_batch calls "
               "(and, on multi-core hosts, from shard parallelism on top).",
+    )
+
+
+# --------------------------------------------------------------------- #
+# L2 — the learning service: online MOGA on vs off the detection hot path
+# --------------------------------------------------------------------- #
+def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
+                                   n_training_per_tenant: int = 80,
+                                   n_detection_per_tenant: int = 500,
+                                   n_shards: int = 2, max_batch: int = 256,
+                                   max_delay: float = 0.002,
+                                   learning_workers: int = 4,
+                                   self_evolution_period: int = 250,
+                                   relearn_period: int = 0,
+                                   stop_after: Optional[int] = None,
+                                   seed: int = 19) -> ExperimentReport:
+    """Detection-path latency and throughput with learning on/off the hot path.
+
+    The same multiplexed multi-tenant workload — with every online learning
+    mechanism enabled (outlier-driven OS growth, periodic CS self-evolution,
+    and optionally periodic relearn) — is served three ways:
+
+    * ``sync-inline`` — the baseline: every online MOGA search runs inside
+      ``process_batch``, stalling the shard that triggered it.
+    * ``async-1`` — the learning service with a single worker: searches leave
+      the detection path (requests are published back at deterministic apply
+      points) but do not overlap each other.
+    * ``async-N`` — the learning service with ``learning_workers`` workers:
+      searches additionally overlap each other and the shards' detection.
+
+    The headline metric is the *detection-path* latency (``path_p*``): the
+    time the ``process_batch`` call that scored a point held it.  Inline
+    searches land there in full, which is exactly what the asynchronous mode
+    removes; every variant's decisions and final SSTs are asserted identical
+    to the synchronous baseline (the parity contract of the subsystem).
+    """
+    from ..service import DetectionService, ServiceConfig
+
+    workload = multi_tenant_workload(
+        n_tenants=n_tenants, dimensions=dimensions,
+        n_training_per_tenant=n_training_per_tenant,
+        n_detection_per_tenant=n_detection_per_tenant, seed=seed)
+    config = t1_bench_config(engine="vectorized", os_growth_enabled=True,
+                             self_evolution_period=self_evolution_period,
+                             relearn_period=relearn_period)
+    prototype = SPOT(config)
+    prototype.learn(workload.training_values)
+    to_serve = list(workload.detection)
+    if stop_after is not None:
+        to_serve = to_serve[:stop_after]
+    n_points = len(to_serve)
+
+    variants = [
+        ("sync-inline", "sync", 1),
+        ("async-1", "async", 1),
+        (f"async-{learning_workers}", "async", learning_workers),
+    ]
+    rows: List[Row] = []
+    baseline_flags: Optional[List[bool]] = None
+    baseline_ssts: Optional[List[dict]] = None
+    baseline_path_p95: Optional[float] = None
+    for variant, mode, workers in variants:
+        service = DetectionService.from_prototype(prototype, ServiceConfig(
+            n_shards=n_shards, max_batch=max_batch, max_delay=max_delay,
+            learning_mode=mode, learning_workers=workers))
+        service.start()
+        started = time.perf_counter()
+        service.submit_tagged(to_serve)
+        service.drain()
+        wall = time.perf_counter() - started
+        service.stop()
+
+        flags = [r.is_outlier for r in service.results()]
+        ssts = [d.sst.to_dict() for d in service.shard_detectors()]
+        detectors = service.shard_detectors()
+        searches = sum(d._os_growth.searches for d in detectors)
+        evolutions = sum(d._self_evolution.rounds for d in detectors)
+        relearns = sum(d._relearn.rounds for d in detectors)
+        latency = service.latency_summary()
+        row: Row = {
+            "variant": variant,
+            "learning_mode": mode,
+            "learning_workers": workers if mode == "async" else 0,
+            "points": n_points,
+            "wall_seconds": round(wall, 4),
+            "points_per_second": round(n_points / wall, 1) if wall > 0 else 0.0,
+            "path_p50_ms": latency["path_p50_ms"],
+            "path_p95_ms": latency["path_p95_ms"],
+            "path_p99_ms": latency["path_p99_ms"],
+            "latency_p95_ms": latency["latency_p95_ms"],
+            "searches": searches,
+            "evolutions": evolutions,
+            "relearns": relearns,
+        }
+        if baseline_flags is None:
+            baseline_flags = flags
+            baseline_ssts = ssts
+            baseline_path_p95 = float(latency["path_p95_ms"])
+        else:
+            row["decisions_match_sync"] = (flags == baseline_flags)
+            row["sst_identical"] = (ssts == baseline_ssts)
+            row["path_p95_speedup"] = round(
+                baseline_path_p95 / max(1e-9, float(latency["path_p95_ms"])),
+                2)
+            coordinator = service.learning_coordinator
+            if coordinator is not None:
+                learn_stats = coordinator.stats()
+                row["learn_requests"] = learn_stats["requests"]
+                row["coalesced_requests"] = learn_stats["coalesced_requests"]
+                row["context_reuses"] = learn_stats["context_reuses"]
+                row["memo_hits"] = learn_stats["memo_hits"]
+        rows.append(row)
+    return ExperimentReport(
+        experiment_id="L2",
+        title="Learning service: online MOGA on vs off the detection hot path",
+        rows=tuple(rows),
+        notes="All variants run the identical searches over the identical "
+              "reservoir snapshots (requests capture the snapshot and the "
+              "randomness at the trigger position), so decisions and final "
+              "SSTs coincide; the asynchronous variants move the search CPU "
+              "from the scoring calls to the coordinator pool, which is what "
+              "collapses the detection-path tail percentiles.",
     )
 
 
@@ -839,6 +967,7 @@ ALL_EXPERIMENTS = {
     "E5": experiment_e5_service,
     "T1": experiment_t1_throughput,
     "L1": experiment_l1_learning,
+    "L2": experiment_l2_learning_service,
     "A1": experiment_a1_sst_ablation,
     "A2": experiment_a2_self_evolution,
     "A3": experiment_a3_time_model,

@@ -1,15 +1,37 @@
 """Learning processes building and adapting the Sparse Subspace Template."""
 
-from .online import OutlierDrivenGrowth, RecentPointsBuffer, SelfEvolution
+from .online import (
+    OutlierDrivenGrowth,
+    PeriodicRelearn,
+    RecentPointsBuffer,
+    SelfEvolution,
+)
+from .requests import (
+    EvolutionRequest,
+    GrowthRequest,
+    LearnPublication,
+    RelearnRequest,
+    ReservoirSnapshot,
+    evaluate_learn_request,
+    request_from_dict,
+)
 from .supervised import SupervisedLearner, SupervisedLearningResult
 from .unsupervised import UnsupervisedLearner, UnsupervisedLearningResult
 
 __all__ = [
+    "EvolutionRequest",
+    "GrowthRequest",
+    "LearnPublication",
     "OutlierDrivenGrowth",
+    "PeriodicRelearn",
     "RecentPointsBuffer",
+    "RelearnRequest",
+    "ReservoirSnapshot",
     "SelfEvolution",
     "SupervisedLearner",
     "SupervisedLearningResult",
     "UnsupervisedLearner",
     "UnsupervisedLearningResult",
+    "evaluate_learn_request",
+    "request_from_dict",
 ]

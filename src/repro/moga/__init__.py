@@ -1,6 +1,10 @@
 """Multi-Objective Genetic Algorithm for sparse-subspace search."""
 
-from .batch_objectives import BatchSparsityObjectives, make_sparsity_objectives
+from .batch_objectives import (
+    BatchSparsityObjectives,
+    SharedBatchContext,
+    make_sparsity_objectives,
+)
 from .chromosome import Chromosome, unique_chromosomes
 from .engine import (
     MOGAEngine,
@@ -15,6 +19,8 @@ from .nsga2 import (
     select_survivors,
 )
 from .objectives import (
+    ObjectiveMemo,
+    ObjectiveMemoView,
     SparsityObjectives,
     combine_footprints,
     dominates,
@@ -31,6 +37,9 @@ from .operators import (
 
 __all__ = [
     "BatchSparsityObjectives",
+    "ObjectiveMemo",
+    "ObjectiveMemoView",
+    "SharedBatchContext",
     "make_sparsity_objectives",
     "Chromosome",
     "unique_chromosomes",

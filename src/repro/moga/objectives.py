@@ -46,6 +46,73 @@ def score_objective_vector(vector: Sequence[float], irsd_cap: float) -> float:
     return rd + 0.1 * (irsd / irsd_cap) + 0.01 * dim_fraction
 
 
+class ObjectiveMemo:
+    """Cross-search objective cache keyed by (reservoir version, target, subspace).
+
+    One MOGA search memoises evaluations *within* itself (the objectives'
+    local cache); this memo carries them *across* searches for as long as the
+    data they were computed on — the recent-points reservoir — has not
+    changed.  The reservoir's monotonic version is the freshness key: a view
+    requested under a new version drops every entry of the old one, so the
+    memo never serves a vector computed on stale data and its footprint stays
+    bounded by one reservoir's worth of searches.
+
+    Objective vectors also depend on the *target* points of the search (a
+    per-outlier OS-growth search scores one outlier, self-evolution scores
+    the whole reservoir), so entries are additionally keyed by a caller-
+    supplied target key.  Hit/miss counters are cumulative across versions;
+    ``SPOT.memory_footprint`` reports them.
+    """
+
+    def __init__(self) -> None:
+        self._version: Optional[int] = None
+        self._entries: Dict[Tuple[object, Subspace], Tuple[float, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def version(self) -> Optional[int]:
+        """Reservoir version the current entries were computed on."""
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def view(self, version: int, target_key: object = None
+             ) -> "ObjectiveMemoView":
+        """A (version, target)-bound view; a new version clears old entries."""
+        if version != self._version:
+            self._entries.clear()
+            self._version = version
+        return ObjectiveMemoView(self, target_key)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative hit/miss counters and the live entry count."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+
+class ObjectiveMemoView:
+    """One search's handle on an :class:`ObjectiveMemo` (fixed target key)."""
+
+    def __init__(self, memo: ObjectiveMemo, target_key: object) -> None:
+        self._memo = memo
+        self._key = target_key
+
+    def lookup(self, subspace: Subspace) -> Optional[Tuple[float, ...]]:
+        """The memoised vector of ``subspace``, counting the hit or miss."""
+        vector = self._memo._entries.get((self._key, subspace))
+        if vector is None:
+            self._memo.misses += 1
+        else:
+            self._memo.hits += 1
+        return vector
+
+    def store(self, subspace: Subspace, vector: Tuple[float, ...]) -> None:
+        """Record a freshly evaluated vector for later searches."""
+        self._memo._entries[(self._key, subspace)] = vector
+
+
 def memo_cache_bytes(cache: Dict[Subspace, Tuple[float, ...]]) -> int:
     """Nominal byte estimate of an objective memo cache.
 
@@ -96,6 +163,12 @@ class SparsityObjectives:
         keeps RD comparable across subspace dimensions; ``"lattice"`` measures
         it against a uniform spread over all ``m^|s|`` lattice cells.  Must
         match the reference the online synapse store uses.
+    memo:
+        Optional :class:`ObjectiveMemoView` shared across searches over the
+        same (reservoir version, target); a memo hit returns the stored
+        vector without re-walking the batch.  Memoised vectors are the exact
+        floats a fresh evaluation would produce, so the memo never changes a
+        search's outcome — only its cost.
     """
 
     #: Number of objective components returned by :meth:`evaluate`.
@@ -107,13 +180,15 @@ class SparsityObjectives:
                  *,
                  target_points: Optional[Sequence[Sequence[float]]] = None,
                  irsd_cap: float = 100.0,
-                 density_reference: str = "hybrid") -> None:
+                 density_reference: str = "hybrid",
+                 memo: Optional[ObjectiveMemoView] = None) -> None:
         if density_reference not in ("hybrid", "marginal", "populated", "lattice"):
             raise ConfigurationError(
                 "density_reference must be 'hybrid', 'marginal', 'populated' "
                 f"or 'lattice', got {density_reference!r}"
             )
         self._density_reference = density_reference
+        self._memo = memo
         if not training_data:
             raise ConfigurationError("training_data must not be empty")
         self._data = [tuple(float(v) for v in point) for point in training_data]
@@ -173,6 +248,11 @@ class SparsityObjectives:
         cached = self._cache.get(subspace)
         if cached is not None:
             return cached
+        if self._memo is not None:
+            memoised = self._memo.lookup(subspace)
+            if memoised is not None:
+                self._cache[subspace] = memoised
+                return memoised
 
         self._evaluations += 1
         cells: Dict[Tuple[int, ...], DecayedCellAccumulator] = {}
@@ -212,6 +292,8 @@ class SparsityObjectives:
             len(subspace) / self.phi,
         )
         self._cache[subspace] = objectives
+        if self._memo is not None:
+            self._memo.store(subspace, objectives)
         return objectives
 
     def _expected_mass(self, address: Tuple[int, ...], subspace: Subspace,

@@ -130,6 +130,7 @@ def load_detector(path: PathLike) -> SPOT:
     from ..core.time_model import TimeModel
     from ..learning.online import (
         OutlierDrivenGrowth,
+        PeriodicRelearn,
         RecentPointsBuffer,
         SelfEvolution,
     )
@@ -147,6 +148,7 @@ def load_detector(path: PathLike) -> SPOT:
     detector._recent_buffer = RecentPointsBuffer(max(2 * config.omega, 100))
     detector._self_evolution = SelfEvolution(config, grid)
     detector._os_growth = OutlierDrivenGrowth(config, grid)
+    detector._relearn = PeriodicRelearn(config, grid)
     detector._drift_detector = DriftDetector(grid,
                                              window=max(50, config.omega // 5),
                                              warmup=config.omega)

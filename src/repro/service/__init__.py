@@ -17,12 +17,24 @@ detector shards.
 * :class:`~repro.service.checkpoint.CheckpointManager` — periodic full-state
   snapshots of every shard; a whole service can be restored and resumed
   decision-identically.
+* :class:`~repro.service.learning.LearningCoordinator` — the asynchronous
+  learning half: detection shards in deferred-learning mode emit learn
+  requests (outlier-driven growth, CS self-evolution, periodic relearn)
+  that are coalesced per reservoir snapshot, evaluated on a worker pool
+  through snapshot-shared objective contexts, and published back for
+  application at deterministic apply points (decision-identical to inline
+  learning).
 * :class:`~repro.service.service.DetectionService` — the facade wiring the
-  four together.
+  five together (``ServiceConfig.learning_mode`` picks sync or async).
 """
 
 from .batcher import BatchItem, MicroBatcher
 from .checkpoint import CheckpointManager, SERVICE_MANIFEST_VERSION
+from .learning import (
+    LearningCoordinator,
+    LearningServiceConfig,
+    LearnTicket,
+)
 from .router import ShardRouter
 from .service import DetectionService, ServiceConfig, ServiceResult
 from .worker import ProcessShardWorker, ShardStats, ShardWorker
@@ -31,6 +43,9 @@ __all__ = [
     "BatchItem",
     "CheckpointManager",
     "DetectionService",
+    "LearnTicket",
+    "LearningCoordinator",
+    "LearningServiceConfig",
     "MicroBatcher",
     "ProcessShardWorker",
     "SERVICE_MANIFEST_VERSION",

@@ -77,6 +77,11 @@ class CheckpointManager:
                 "shard": shard_id,
                 "file": path.name,
                 "points_processed": int(state["processed"]),
+                # In-flight deferred learn requests captured inside the shard
+                # state; surfaced here so operators (and tests) can see that
+                # a checkpoint was taken mid-search without parsing states.
+                "pending_learn_requests": len(
+                    (state.get("learning") or {}).get("pending", [])),
             })
         manifest = {
             "format_version": SERVICE_MANIFEST_VERSION,

@@ -31,10 +31,12 @@ from ..persist.serialization import clone_detector
 from ..streams.tagged import TaggedStreamPoint
 from .batcher import BatchItem, MicroBatcher
 from .checkpoint import CheckpointManager
+from .learning import LearningCoordinator, LearningServiceConfig
 from .router import ShardRouter
 from .worker import ProcessShardWorker, ShardStats, ShardWorker
 
 WORKER_MODES = ("thread", "process")
+LEARNING_MODES = ("sync", "async")
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,14 @@ class ServiceConfig:
     max_pending: int = 8192
     worker_mode: str = "thread"
     router_salt: int = 0
+    #: ``"sync"`` keeps online MOGA searches inline in the detection path
+    #: (the historical behaviour); ``"async"`` defers them to a shared
+    #: :class:`~repro.service.learning.LearningCoordinator` worker pool and
+    #: applies the published SSTs at deterministic apply points, so both
+    #: modes make identical decisions.
+    learning_mode: str = "sync"
+    learning_workers: int = 2
+    learning_worker_mode: str = "thread"
     #: Take a checkpoint every this many submitted points (0 disables the
     #: periodic trigger; explicit :meth:`DetectionService.checkpoint` calls
     #: always work).  Requires ``checkpoint_dir``.
@@ -61,11 +71,34 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"worker_mode must be one of {WORKER_MODES}, "
                 f"got {self.worker_mode!r}")
+        if self.learning_mode not in LEARNING_MODES:
+            raise ConfigurationError(
+                f"learning_mode must be one of {LEARNING_MODES}, "
+                f"got {self.learning_mode!r}")
+        if self.learning_workers < 1:
+            raise ConfigurationError("learning_workers must be positive")
+        if self.learning_mode == "async" and self.worker_mode == "process":
+            raise ConfigurationError(
+                "learning_mode='async' requires worker_mode='thread' "
+                "(process shards run their searches inline in the child)")
         if self.checkpoint_every < 0:
             raise ConfigurationError("checkpoint_every must be >= 0")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
             raise ConfigurationError(
                 "checkpoint_every needs checkpoint_dir to be set")
+
+    def learning_config(self) -> LearningServiceConfig:
+        """The coordinator configuration this service config implies.
+
+        The snapshot-context cache is keyed per shard, so it scales with the
+        fleet: every shard can keep its current reservoir's context warm
+        (plus slack for in-flight version turnover) regardless of shard
+        count.
+        """
+        return LearningServiceConfig(
+            workers=self.learning_workers,
+            worker_mode=self.learning_worker_mode,
+            context_cache_size=max(8, self.n_shards + 2))
 
 
 @dataclass(frozen=True)
@@ -127,6 +160,7 @@ class DetectionService:
         self._checkpoints_taken = 0
         self._points_at_last_checkpoint = 0
         self._checkpoint_extra: Dict[str, object] = {}
+        self._coordinator: Optional[LearningCoordinator] = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -172,25 +206,44 @@ class DetectionService:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def start(self) -> "DetectionService":
-        """Spin up the per-shard queues and workers."""
+        """Spin up the per-shard queues, workers and (async) the coordinator."""
         if self._started:
             raise ConfigurationError("the service is already started")
         if self._stopped:
             raise ConfigurationError("a stopped service cannot be restarted")
-        worker_cls = (ShardWorker if self.config.worker_mode == "thread"
-                      else ProcessShardWorker)
-        for shard_id, detector in enumerate(self._detectors):
-            batcher = MicroBatcher(max_batch=self.config.max_batch,
-                                   max_delay=self.config.max_delay,
-                                   max_pending=self.config.max_pending)
-            worker = worker_cls(shard_id, detector, batcher, self._on_results)
-            self._batchers.append(batcher)
-            self._workers.append(worker)
+        async_learning = self.config.learning_mode == "async"
+        if async_learning:
+            self._coordinator = LearningCoordinator(
+                self.config.learning_config()).start()
+        if self.config.worker_mode == "thread":
+            for shard_id, detector in enumerate(self._detectors):
+                # The mode is a serving decision, not detector state: a fleet
+                # restored from an async checkpoint serves sync-ly (and vice
+                # versa) without any decision changing.
+                detector.set_deferred_learning(async_learning)
+                batcher = self._make_batcher()
+                worker = ShardWorker(shard_id, detector, batcher,
+                                     self._on_results,
+                                     learning=self._coordinator)
+                self._batchers.append(batcher)
+                self._workers.append(worker)
+        else:
+            for shard_id, detector in enumerate(self._detectors):
+                batcher = self._make_batcher()
+                worker = ProcessShardWorker(shard_id, detector, batcher,
+                                            self._on_results)
+                self._batchers.append(batcher)
+                self._workers.append(worker)
         for worker in self._workers:
             worker.start()
         self._started = True
         self._started_at = time.monotonic()
         return self
+
+    def _make_batcher(self) -> MicroBatcher:
+        return MicroBatcher(max_batch=self.config.max_batch,
+                            max_delay=self.config.max_delay,
+                            max_pending=self.config.max_pending)
 
     def stop(self, timeout: Optional[float] = 60.0) -> None:
         """Drain every queue, stop every worker, surface any failure."""
@@ -198,6 +251,17 @@ class DetectionService:
             return
         for worker in self._workers:
             worker.shutdown(timeout=timeout)
+        for shard_id, worker in enumerate(self._workers):
+            # A failure in the shutdown path (e.g. resolving a final learn
+            # publication) never went through on_results; surface it here.
+            failure = getattr(worker, "failure", None)
+            if failure is not None and not any(
+                    error.startswith(f"shard {shard_id}:")
+                    for error in self._errors):
+                self._errors.append(
+                    f"shard {shard_id}: {type(failure).__name__}: {failure}")
+        if self._coordinator is not None:
+            self._coordinator.stop()
         self._stopped = True
         self._raise_on_error()
 
@@ -279,6 +343,11 @@ class DetectionService:
                 for item, result in zip(items, results):
                     latency = now - item.enqueued_at
                     stats.latency.record(latency)
+                    # Every point of the call shares its detection-path cost:
+                    # a point waits for its batch-mates (and, in sync
+                    # learning mode, for any inline MOGA searches the call
+                    # ran) before its result exists.
+                    stats.path_latency.record(busy_seconds)
                     self._results.append(ServiceResult(
                         seq=item.seq,
                         stream_id=item.stream_id,
@@ -325,6 +394,44 @@ class DetectionService:
         """Per-shard serving statistics (live objects; read-only use)."""
         return list(self._stats)
 
+    def shard_detectors(self) -> Tuple[SPOT, ...]:
+        """The per-shard detectors (thread mode; read-only diagnostics).
+
+        Parity tests compare these against reference detectors; with
+        ``worker_mode="process"`` the live state lives in the children and
+        this returns the prototypes the service was built from.
+        """
+        return tuple(self._detectors)
+
+    @property
+    def learning_coordinator(self) -> Optional[LearningCoordinator]:
+        """The shared learning coordinator (``None`` in sync mode)."""
+        return self._coordinator
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Fleet-wide delivered- and detection-path-latency percentiles.
+
+        Merges every shard's per-point series: ``latency_*`` is
+        enqueue-to-result (what a client sees), ``path_*`` is the time the
+        scoring call itself held the point (what the detection path costs —
+        the number deferred learning exists to shrink).
+        """
+        from ..metrics.throughput import LatencySeries
+
+        delivered = LatencySeries()
+        path = LatencySeries()
+        with self._lock:
+            for stats in self._stats:
+                delivered.latencies.extend(stats.latency.latencies)
+                path.latencies.extend(stats.path_latency.latencies)
+        summary = {}
+        for prefix, series in (("latency", delivered), ("path", path)):
+            for q in (50, 95, 99):
+                summary[f"{prefix}_p{q}_ms"] = round(
+                    1e3 * series.percentile(float(q)), 3)
+            summary[f"{prefix}_mean_ms"] = round(1e3 * series.mean(), 3)
+        return summary
+
     def stats(self) -> Dict[str, object]:
         """Aggregate + per-shard serving statistics."""
         with self._lock:
@@ -349,6 +456,9 @@ class DetectionService:
             "producer_blocks": int(sum(b["producer_blocks"]
                                        for b in batcher_stats)),
             "checkpoints_taken": self._checkpoints_taken,
+            "learning_mode": self.config.learning_mode,
+            "learning": (self._coordinator.stats()
+                         if self._coordinator is not None else None),
             "shards": per_shard,
         }
 

@@ -32,6 +32,7 @@ from ..core.detector import SPOT
 from ..core.exceptions import ConfigurationError
 from ..metrics.throughput import LatencySeries
 from .batcher import BatchItem, MicroBatcher
+from .learning import LearningCoordinator, LearnTicket
 
 ResultsCallback = Callable[..., None]
 
@@ -45,6 +46,12 @@ class ShardStats:
     batches: int = 0
     busy_seconds: float = 0.0
     latency: LatencySeries = field(default_factory=LatencySeries)
+    #: Detection-path latency: the time the ``process_batch`` call that
+    #: scored a point spent on the detection path (one sample per point).
+    #: Inline learning charges its MOGA searches here; deferred learning
+    #: moves them to the coordinator, which is exactly what the L2 benchmark
+    #: measures.
+    path_latency: LatencySeries = field(default_factory=LatencySeries)
     errors: int = 0
 
     @property
@@ -64,6 +71,7 @@ class ShardStats:
     def as_dict(self) -> dict:
         """Flat reporting view (throughput + latency percentiles)."""
         latency = self.latency.as_dict()
+        path = self.path_latency.as_dict()
         return {
             "shard": self.shard_id,
             "points": self.points,
@@ -74,26 +82,56 @@ class ShardStats:
             "latency_p50_ms": round(1e3 * latency["p50"], 3),
             "latency_p95_ms": round(1e3 * latency["p95"], 3),
             "latency_p99_ms": round(1e3 * latency["p99"], 3),
+            "path_p50_ms": round(1e3 * path["p50"], 3),
+            "path_p95_ms": round(1e3 * path["p95"], 3),
+            "path_p99_ms": round(1e3 * path["p99"], 3),
             "errors": self.errors,
         }
 
 
 class ShardWorker(threading.Thread):
-    """Thread flavour: one daemon thread per shard, detector in-process."""
+    """Thread flavour: one daemon thread per shard, detector in-process.
+
+    With a ``learning`` coordinator attached (deferred-learning mode) the
+    worker drives the incremental loop: score a batch until the detector
+    stops at an apply point, deliver the scored prefix immediately, hand the
+    emitted learn requests to the coordinator, and block for the
+    publications only when more points actually need them — the wait happens
+    *between* ``process_batch`` calls, off the detection path, and overlaps
+    with other shards' detection and searches.  Without a coordinator any
+    pending requests (e.g. restored from a mid-flight checkpoint) are
+    resolved inline.
+    """
+
+    #: Upper bound on one publication wait; a search that exceeds it turns
+    #: into a shard failure instead of a silent hang.
+    LEARN_TIMEOUT = 600.0
 
     def __init__(self, shard_id: int, detector: SPOT, batcher: MicroBatcher,
-                 on_results: ResultsCallback) -> None:
+                 on_results: ResultsCallback,
+                 learning: Optional[LearningCoordinator] = None) -> None:
         super().__init__(name=f"spot-shard-{shard_id}", daemon=True)
         self.shard_id = shard_id
         self.detector = detector
         self.batcher = batcher
         self.on_results = on_results
+        self.learning = learning
         self.failure: Optional[BaseException] = None
+        self._tickets: dict = {}
 
     def run(self) -> None:
         while True:
             batch = self.batcher.next_batch()
             if batch is None:
+                # Graceful shutdown: apply any still-outstanding publication
+                # so the stopped fleet holds the same SSTs an uninterrupted
+                # synchronous run would (the apply point of a request emitted
+                # by the final point lies beyond the stream's end).
+                if self.failure is None:
+                    try:
+                        self._resolve_pending_learns()
+                    except BaseException as exc:
+                        self.failure = exc
                 return
             if self.failure is not None:
                 # Quarantine: a failed process_batch may have committed a
@@ -104,17 +142,85 @@ class ShardWorker(threading.Thread):
                                 f"shard quarantined after earlier failure: "
                                 f"{type(self.failure).__name__}: {self.failure}")
                 continue
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[BatchItem]) -> None:
+        offset = 0
+        while offset < len(batch):
+            try:
+                # Apply every publication due before the next point; waits
+                # (if any) burn queue time, not detection-path time.
+                self._resolve_pending_learns()
+            except BaseException as exc:
+                self.failure = exc
+                self.on_results(self.shard_id, batch[offset:], None, 0.0,
+                                f"{type(exc).__name__}: {exc}")
+                return
             started = time.perf_counter()
             try:
                 results = self.detector.process_batch(
-                    [item.values for item in batch])
+                    [item.values for item in batch[offset:]])
                 error = None
             except BaseException as exc:  # surfaced via drain()/stop()
                 self.failure = exc
                 results = None
                 error = f"{type(exc).__name__}: {exc}"
             busy = time.perf_counter() - started
-            self.on_results(self.shard_id, batch, results, busy, error)
+            if error is not None:
+                self.on_results(self.shard_id, batch[offset:], None, busy,
+                                error)
+                return
+            consumed = len(results)
+            if consumed == 0:
+                # Deferred mode guarantees progress (the stop point is always
+                # *after* the triggering point); zero progress means the
+                # contract broke and looping again would hang the shard.
+                self.failure = ConfigurationError(
+                    "detector made no progress on a non-empty batch")
+                self.on_results(self.shard_id, batch[offset:], None, busy,
+                                str(self.failure))
+                return
+            self.on_results(self.shard_id, batch[offset:offset + consumed],
+                            results, busy, None)
+            offset += consumed
+            # Ship new learn requests right away: the searches run on the
+            # coordinator pool while this shard waits for its next batch.
+            self._dispatch_new_learns()
+
+    # ------------------------------------------------------------------ #
+    # Deferred learning plumbing
+    # ------------------------------------------------------------------ #
+    def _dispatch_new_learns(self) -> None:
+        if self.learning is None:
+            return
+        pending = self.detector.pending_learn_requests
+        new = [request for request in pending
+               if request.request_id not in self._tickets]
+        if not new:
+            return
+        ticket = self.learning.submit(self.shard_id, self.detector.grid, new)
+        for request in new:
+            self._tickets[request.request_id] = ticket
+
+    def _resolve_pending_learns(self) -> None:
+        while True:
+            pending = self.detector.pending_learn_requests
+            if not pending:
+                return
+            if self.learning is None:
+                # No coordinator (synchronous service, or a restored shard
+                # before one is attached): replay the searches inline.
+                self.detector.resolve_pending_learns()
+                return
+            ticket: Optional[LearnTicket] = \
+                self._tickets.get(pending[0].request_id)
+            if ticket is None:
+                self._dispatch_new_learns()
+                ticket = self._tickets[pending[0].request_id]
+            for publication in ticket.wait(timeout=self.LEARN_TIMEOUT):
+                self.detector.apply_learn_publication(publication)
+            for request_id in ticket.request_ids:
+                self._tickets.pop(request_id, None)
 
     def shutdown(self, timeout: Optional[float] = None) -> None:
         """Drain-and-stop: close the queue and join the thread."""
@@ -125,7 +231,9 @@ class ShardWorker(threading.Thread):
         """Full-state snapshot of the shard's detector.
 
         Only safe while the shard is quiescent (the service drains before
-        checkpointing, so no batch is in flight).
+        checkpointing, so no batch is in flight).  In deferred-learning mode
+        the snapshot carries any still-unapplied learn requests — a restored
+        shard re-evaluates them before touching its next point.
         """
         return self.detector.export_state()
 
@@ -133,6 +241,11 @@ class ShardWorker(threading.Thread):
 def _process_worker_main(state_payload: dict, inbox, outbox) -> None:
     """Child-process loop: rebuild the detector, then serve commands."""
     detector = SPOT.from_state(state_payload)
+    # Process shards run learning inline: a state restored from a deferred-
+    # mode checkpoint replays its in-flight searches now, then stays sync.
+    detector.set_deferred_learning(False)
+    if detector.pending_learn_requests:
+        detector.resolve_pending_learns()
     while True:
         command = inbox.get()
         kind = command[0]

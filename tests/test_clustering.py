@@ -145,3 +145,53 @@ class TestOutlyingDegree:
                                           distance_threshold=0.37, seed=0)
         assert result.distance_threshold == 0.37
         assert result.runs == 2
+
+
+class TestVectorizedLeaderScan:
+    """``fit`` (batch_distances leader scan) vs ``fit_reference`` parity."""
+
+    @staticmethod
+    def _clusters_as_tuples(clusters):
+        return [(c.leader, tuple(c.member_indices), tuple(c.centroid))
+                for c in clusters]
+
+    def test_batch_distances_match_the_reference_bit_for_bit(self):
+        import numpy as np
+
+        from repro.core.kernels import batch_distances
+
+        rng = random.Random(11)
+        points = [tuple(rng.gauss(0.0, 3.0) for _ in range(17))
+                  for _ in range(200)]
+        target = points[0]
+        distances = batch_distances(np.array(points), np.array(target))
+        for point, computed in zip(points, distances):
+            assert float(computed) == euclidean_distance(point, target)
+
+    @pytest.mark.parametrize("phi", [1, 2, 9, 40])
+    def test_fit_matches_reference_cluster_for_cluster(self, phi):
+        rng = random.Random(phi)
+        data = [tuple(rng.gauss(0.0, 1.0) for _ in range(phi))
+                for _ in range(300)]
+        clustering = LeadClustering(default_distance_threshold(data, 0.1))
+        assert self._clusters_as_tuples(clustering.fit(data)) == \
+            self._clusters_as_tuples(clustering.fit_reference(data))
+
+    def test_fit_matches_reference_under_shuffled_orders(self,
+                                                         two_blobs_with_outlier):
+        clustering = LeadClustering(
+            default_distance_threshold(two_blobs_with_outlier, 0.15))
+        rng = random.Random(4)
+        for _ in range(5):
+            order = list(range(len(two_blobs_with_outlier)))
+            rng.shuffle(order)
+            assert self._clusters_as_tuples(
+                clustering.fit(two_blobs_with_outlier, order=order)) == \
+                self._clusters_as_tuples(
+                    clustering.fit_reference(two_blobs_with_outlier,
+                                             order=order))
+
+    def test_fit_rejects_ragged_points(self):
+        clustering = LeadClustering(1.0)
+        with pytest.raises(ConfigurationError):
+            clustering.fit([(0.0, 0.0), (1.0,)])
