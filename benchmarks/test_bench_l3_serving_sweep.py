@@ -1,0 +1,66 @@
+"""Benchmark L3 — the serving-pressure sweep (the async win's envelope).
+
+E5 measured serving without learning and L2 measured the learning service on
+one workload; L3 closes the ROADMAP's combined-benchmark item by sweeping the
+*learning pressure* itself — a declared :class:`~repro.eval.spec.Grid` over
+(outlier rate x CS evolution period) cells, each serving the same
+multi-tenant workload with online MOGA inline vs deferred.  The committed
+``BENCH_serving_sweep.json`` (regenerated with ``spot-demo bench
+serving-sweep``) records the full grid; this guard runs a trimmed 2x2 grid
+through the registered spec — the same path the CLI takes — and asserts the
+properties every cell is accountable for:
+
+* **Parity everywhere** — in every cell, deferring the searches changes no
+  decision and no final SST (the learning service's contract must hold at
+  every pressure setting, not just the L2 point).
+* **Pressure applied** — every cell triggers OS-growth searches, and the
+  evolution-period axis deterministically switches self-evolution on and off
+  (a higher planted rate does not *guarantee* more detected outliers on tiny
+  workloads — the training distribution shifts with it — so no monotonicity
+  is asserted on that axis).
+* **Envelope recorded** — every cell carries both variants' detection-path
+  p95 and the speedup, the numbers the committed artifact maps the envelope
+  with (no latency floor is asserted per cell: tiny grid cells on single-core
+  CI can land under coalescing noise; the committed full-size grid is where
+  the magnitudes live).
+"""
+
+from repro.eval import get_experiment
+
+
+def test_bench_l3_serving_sweep(benchmark):
+    spec = get_experiment("L3")
+    report = benchmark.pedantic(
+        lambda: spec.run(
+            outlier_rates=(0.01, 0.06),
+            evolution_periods=(0, 150),
+            n_tenants=3,
+            n_detection_per_tenant=200,
+            learning_workers=2,
+        ),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    from repro.eval import format_table
+    print()
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+
+    assert len(report.rows) == 4  # 2 x 2 grid, one row per cell
+    by_cell = {(row["outlier_rate"], row["evolution_period"]): row
+               for row in report.rows}
+    assert len(by_cell) == 4
+
+    for cell, row in by_cell.items():
+        # The learning-service contract must hold at every pressure setting.
+        assert row["decisions_match"] is True, f"decision drift in {cell}"
+        assert row["sst_identical"] is True, f"SST drift in {cell}"
+        assert row["sync_path_p95_ms"] > 0
+        assert row["async_path_p95_ms"] > 0
+        assert row["path_p95_speedup"] > 0
+        # Learning pressure was actually applied in every cell.
+        assert row["searches"] > 0, f"no OS-growth searches in {cell}"
+
+    # The evolution-period axis deterministically gates self-evolution.
+    for rate in (0.01, 0.06):
+        assert by_cell[(rate, 0)]["evolutions"] == 0
+        assert by_cell[(rate, 150)]["evolutions"] > 0

@@ -1,83 +1,61 @@
 """Command-line demo of SPOT (the reproduction of the paper's demo plan).
 
-Eight subcommands:
+The evidence layer is spec-driven: every experiment and benchmark is declared
+in :mod:`repro.eval.registry`, and the two generic subcommands run them by
+identifier with ``--set key=value`` overrides validated against the declared
+parameter schemas.
 
-``spot-demo detect``
-    Run the full learning + detection pipeline on a named workload and print
-    the detection summary plus a few example outliers with their outlying
-    subspaces.
+``spot-demo experiment [ID] [--set k=v ...]``
+    Run one registered experiment (F1, E1–E5, T1, L1–L3, A1–A4) and print its
+    result table.  ``--list`` prints the registry index (``--markdown`` for
+    the README table), ``--dry-run`` resolves and prints the parameters (and
+    grid cells) without running.
 
-``spot-demo experiment``
-    Run one of the experiments from the DESIGN.md index (F1, E1-E5, T1, L1,
-    L2, A1-A4) and print its result table.
+``spot-demo bench [ID] [--set k=v ...] [--out FILE]``
+    Run one registered benchmark (throughput, learning, service,
+    learning-service, serving-sweep; default: throughput) and write its
+    unified ``spot-bench/v1`` JSON report, stamped with git provenance.
 
-``spot-demo compare``
-    Run SPOT and the baselines on a named workload and print the comparison
-    table.
+``spot-demo bench-learn`` / ``spot-demo bench-learn-service``
+    Thin aliases of ``bench learning`` / ``bench learning-service`` keeping
+    the historical flag spellings; their options are derived from the spec
+    parameter schemas.
 
-``spot-demo bench``
-    Measure detection throughput of the python and vectorized engines and
-    write the machine-readable ``BENCH_throughput.json`` report.
+``spot-demo detect`` / ``spot-demo compare``
+    Run the full pipeline (or the baseline comparison) on a named workload.
 
-``spot-demo bench-learn``
-    Measure learning-stage throughput (``SPOT.learn`` plus the online
-    per-outlier MOGA and CS self-evolution) of the reference and the
-    population-vectorized objective engines and write
-    ``BENCH_learning.json``.
-
-``spot-demo serve``
-    Run the sharded multi-tenant detection service over a synthetic
-    multiplexed workload (optionally checkpointing), print per-shard serving
-    statistics, and optionally write the ``BENCH_service.json`` report.
-    ``--learning-mode async`` moves the online MOGA searches onto the
-    learning coordinator's worker pool (``--learning-workers``).
-
-``spot-demo bench-learn-service``
-    Run the L2 experiment — the same multi-tenant workload with online
-    learning inline vs deferred to the learning service — and write the
-    ``BENCH_learning_service.json`` report.
-
-``spot-demo replay``
-    Restore a service from a ``serve`` checkpoint directory and resume the
-    recorded workload from the checkpointed stream position.
+``spot-demo serve`` / ``spot-demo replay``
+    Run the sharded multi-tenant detection service (optionally
+    checkpointing), or restore a checkpoint and resume its recorded
+    workload.  ``serve --bench-out`` delegates to the ``service`` bench spec.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import subprocess
 import sys
-from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .baselines import FullSpaceGridDetector, KNNWindowDetector, RandomSubspaceDetector
 from .core.config import SPOTConfig
 from .core.detector import SPOT
 from .core.exceptions import ConfigurationError
 from .eval import (
-    ALL_EXPERIMENTS,
+    BENCHES,
+    EXPERIMENTS,
+    build_bench_payload,
     build_workload,
+    collect_cli_overrides,
     compare_detectors,
     format_table,
+    get_bench,
+    get_experiment,
+    registry_table,
     rows_from_evaluations,
 )
+from .eval.spec import BenchSpec, ExperimentSpec
 from .eval.workloads import WORKLOAD_BUILDERS
-
-
-def _git_describe() -> Optional[str]:
-    """Best-effort ``git describe`` of the working tree the CLI runs from."""
-    try:
-        completed = subprocess.run(
-            ["git", "describe", "--always", "--dirty", "--tags"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True, text=True, timeout=10,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    if completed.returncode != 0:
-        return None
-    return completed.stdout.strip() or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,11 +78,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="vectorized",
                         help="detection substrate (vectorized = NumPy fast path)")
 
-    experiment = subparsers.add_parser("experiment",
-                                       help="run a DESIGN.md experiment")
-    experiment.add_argument("id", choices=sorted(ALL_EXPERIMENTS),
-                            help="experiment identifier (F1, E1-E5, T1, L1, "
-                                 "L2, A1-A4)")
+    experiment = subparsers.add_parser(
+        "experiment", help="run a registered experiment by id")
+    experiment.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS),
+                            help="experiment identifier (F1, E1-E5, T1, "
+                                 "L1-L3, A1-A4)")
+    experiment.add_argument("--set", action="append", default=[],
+                            metavar="KEY=VALUE", dest="assignments",
+                            help="override one declared parameter "
+                                 "(repeatable; lists are comma-separated)")
+    experiment.add_argument("--list", action="store_true",
+                            help="print the registry index instead of running")
+    experiment.add_argument("--markdown", action="store_true",
+                            help="with --list: print the README markdown table")
+    experiment.add_argument("--dry-run", action="store_true",
+                            help="resolve and print the parameters (and grid "
+                                 "cells) without running")
 
     compare = subparsers.add_parser("compare",
                                     help="compare SPOT against the baselines")
@@ -115,75 +104,45 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="engine used by SPOT and the grid baselines")
 
     bench = subparsers.add_parser(
-        "bench", help="measure engine throughput and write BENCH_throughput.json")
-    bench.add_argument("--out", default="BENCH_throughput.json",
-                       help="output path of the JSON report")
-    bench.add_argument("--dimensions", type=int, nargs="+",
-                       default=[10, 30, 100],
-                       help="stream dimensionalities to benchmark")
-    bench.add_argument("--length", type=int, default=None,
-                       help="detection-stream length override for every "
-                            "dimensionality (default: 20000 at 10-d, 6000 at "
-                            "30-d, 2000 at 100-d)")
-    bench.add_argument("--seed", type=int, default=19,
-                       help="workload seed (recorded in the report)")
+        "bench", help="run a registered benchmark and write its JSON report")
+    bench.add_argument("id", nargs="?", choices=sorted(BENCHES),
+                       default="throughput",
+                       help="benchmark identifier (default: throughput)")
+    bench.add_argument("--set", action="append", default=[],
+                       metavar="KEY=VALUE", dest="assignments",
+                       help="override one declared parameter (repeatable)")
+    bench.add_argument("--out", default=None,
+                       help="output path of the JSON report (default: the "
+                            "spec's committed artifact name)")
+    bench.add_argument("--list", action="store_true",
+                       help="print the registered benchmarks instead of "
+                            "running")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="resolve and print the parameters without running")
+    # Historical `bench` flags (the subcommand used to be throughput-only);
+    # they are derived from the throughput spec's schema and matched to the
+    # selected spec by parameter name.
+    BENCHES["throughput"].schema.add_cli_arguments(bench)
+    bench.set_defaults(flag_schema=BENCHES["throughput"].schema)
 
-    bench_learn = subparsers.add_parser(
-        "bench-learn",
-        help="measure learning/online-MOGA throughput and write "
-             "BENCH_learning.json")
-    bench_learn.add_argument("--out", default="BENCH_learning.json",
-                             help="output path of the JSON report")
-    bench_learn.add_argument("--dimensions", type=int, default=10)
-    bench_learn.add_argument("--training", type=int, default=500,
-                             help="training-batch size fed to SPOT.learn")
-    bench_learn.add_argument("--length", type=int, default=20000,
-                             help="detection-stream length of the E4-style "
-                                  "workload (feeds the online reservoir)")
-    bench_learn.add_argument("--recent", type=int, default=1000,
-                             help="recent-points reservoir size used by the "
-                                  "online MOGA stages")
-    bench_learn.add_argument("--outlier-searches", type=int, default=12,
-                             help="number of per-outlier OS-growth MOGA "
-                                  "searches to time")
-    bench_learn.add_argument("--evolution-rounds", type=int, default=6,
-                             help="number of CS self-evolution rounds to time")
-    bench_learn.add_argument("--seed", type=int, default=19,
-                             help="workload seed (recorded in the report)")
+    def add_bench_alias(name: str, bench_id: str, help_text: str) -> None:
+        spec = BENCHES[bench_id]
+        alias = subparsers.add_parser(name, help=help_text)
+        alias.add_argument("--out", default=None,
+                           help="output path of the JSON report")
+        spec.schema.add_cli_arguments(alias)
+        alias.set_defaults(id=bench_id, assignments=[], list=False,
+                           dry_run=False, flag_schema=spec.schema)
 
-    bench_learn_service = subparsers.add_parser(
-        "bench-learn-service",
-        help="measure detection-path latency with learning on vs off the "
-             "hot path and write BENCH_learning_service.json")
-    bench_learn_service.add_argument(
-        "--out", default="BENCH_learning_service.json",
-        help="output path of the JSON report")
-    bench_learn_service.add_argument("--shards", type=int, default=2)
-    bench_learn_service.add_argument("--tenants", type=int, default=6)
-    bench_learn_service.add_argument("--dimensions", type=int, default=10)
-    bench_learn_service.add_argument("--points", type=int, default=500,
-                                     help="detection points per tenant")
-    bench_learn_service.add_argument("--training", type=int, default=80,
-                                     help="training points per tenant "
-                                          "(shared prototype)")
-    bench_learn_service.add_argument("--max-batch", type=int, default=256)
-    bench_learn_service.add_argument("--learning-workers", type=int,
-                                     default=4,
-                                     help="pool size of the widest async "
-                                          "variant")
-    bench_learn_service.add_argument("--evolution-period", type=int,
-                                     default=250,
-                                     help="points between CS self-evolution "
-                                          "rounds")
-    bench_learn_service.add_argument("--relearn-period", type=int, default=0,
-                                     help="points between wholesale CS "
-                                          "relearn rounds (0 disables)")
-    bench_learn_service.add_argument("--stop-after", type=int, default=None,
-                                     help="serve only the first N workload "
-                                          "points (smoke runs)")
-    bench_learn_service.add_argument("--seed", type=int, default=19,
-                                     help="workload seed (recorded in the "
-                                          "report)")
+    add_bench_alias(
+        "bench-learn", "learning",
+        "alias of 'bench learning': measure learning/online-MOGA throughput "
+        "and write BENCH_learning.json")
+    add_bench_alias(
+        "bench-learn-service", "learning-service",
+        "alias of 'bench learning-service': measure detection-path latency "
+        "with learning on vs off the hot path and write "
+        "BENCH_learning_service.json")
 
     serve = subparsers.add_parser(
         "serve", help="run the sharded multi-tenant detection service")
@@ -229,9 +188,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "final checkpoint records a mid-stream position "
                             "that 'replay' can resume from")
     serve.add_argument("--bench-out", default=None,
-                       help="write the service benchmark report (e.g. "
-                            "BENCH_service.json); also runs the serving "
-                            "baselines for the speedup comparison")
+                       help="run the E5 serving benchmark through the "
+                            "'service' bench spec and write its report "
+                            "(e.g. BENCH_service.json)")
 
     replay = subparsers.add_parser(
         "replay", help="restore a service checkpoint and resume its workload")
@@ -243,6 +202,91 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# --------------------------------------------------------------------- #
+# The spec-driven experiment / bench harness
+# --------------------------------------------------------------------- #
+def _print_report(report) -> None:
+    print(f"[{report.experiment_id}] {report.title}")
+    print(format_table(list(report.rows), columns=report.column_names()))
+    if report.notes:
+        print(f"\nNotes: {report.notes}")
+
+
+def _resolve_overrides(spec: ExperimentSpec,
+                       args: argparse.Namespace) -> Dict[str, object]:
+    """Merge schema-derived flag values and ``--set`` assignments."""
+    overrides: Dict[str, object] = {}
+    flag_schema = getattr(args, "flag_schema", None)
+    if flag_schema is not None:
+        for name, value in collect_cli_overrides(args, flag_schema).items():
+            # Generic `bench` carries the throughput spec's historical flags;
+            # match them to the selected spec by parameter name.
+            spec.schema.get(name)
+            overrides[name] = value
+    overrides.update(spec.schema.apply_set(args.assignments))
+    return overrides
+
+
+def _print_dry_run(spec: ExperimentSpec, params: Dict[str, object]) -> None:
+    cells = spec.cells(params)
+    print(f"[{spec.id}] {spec.title}")
+    print(f"  {spec.description}")
+    for name, value in params.items():
+        print(f"  {name} = {value!r}")
+    if spec.grid is not None:
+        axes = " x ".join(axis.name for axis in spec.grid.axes)
+        print(f"  grid: {len(cells)} cells over ({axes})")
+    print("(dry run: nothing executed)")
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    if args.list:
+        print(registry_table(markdown=args.markdown))
+        return 0
+    if not args.id:
+        raise ConfigurationError(
+            "experiment needs an id (or --list); "
+            f"available: {sorted(EXPERIMENTS)}")
+    spec = get_experiment(args.id)
+    overrides = spec.schema.apply_set(args.assignments)
+    if args.dry_run:
+        _print_dry_run(spec, spec.resolve(overrides))
+        return 0
+    _print_report(spec.run(**overrides))
+    return 0
+
+
+def _write_bench_report(spec: BenchSpec, overrides: Dict[str, object],
+                        out: Optional[str]) -> int:
+    params = spec.resolve(overrides)
+    report = spec.run(**overrides)
+    _print_report(report)
+    payload = build_bench_payload(spec, params, report)
+    destination = out or spec.default_out
+    with open(destination, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nWrote {destination}")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [{"id": spec.id, "experiment": spec.benchmark,
+                 "writes": spec.default_out, "description": spec.description}
+                for _, spec in sorted(BENCHES.items())]
+        print(format_table(rows))
+        return 0
+    spec = get_bench(args.id)
+    overrides = _resolve_overrides(spec, args)
+    if args.dry_run:
+        _print_dry_run(spec, spec.resolve(overrides))
+        return 0
+    return _write_bench_report(spec, overrides, args.out)
+
+
+# --------------------------------------------------------------------- #
+# detect / compare
+# --------------------------------------------------------------------- #
 def _run_detect(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload)
     config = SPOTConfig(
@@ -282,15 +326,6 @@ def _run_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiment(args: argparse.Namespace) -> int:
-    report = ALL_EXPERIMENTS[args.id]()
-    print(f"[{report.experiment_id}] {report.title}")
-    print(format_table(list(report.rows), columns=report.column_names()))
-    if report.notes:
-        print(f"\nNotes: {report.notes}")
-    return 0
-
-
 def _run_compare(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload)
     config = SPOTConfig(max_dimension=1 if workload.dimensionality > 25 else 2,
@@ -309,133 +344,9 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_bench(args: argparse.Namespace) -> int:
-    from .eval.experiments import experiment_t1_throughput, t1_bench_config
-
-    lengths = ({d: args.length for d in args.dimensions}
-               if args.length else None)
-    report = experiment_t1_throughput(dimension_settings=tuple(args.dimensions),
-                                      lengths=lengths, seed=args.seed)
-    print(f"[{report.experiment_id}] {report.title}")
-    print(format_table(list(report.rows), columns=report.column_names()))
-
-    payload = {
-        "benchmark": "throughput",
-        "workload": "e4-style synthetic stream (fixed SST budget)",
-        # Reproduction metadata: the engine of every row, the workload seed
-        # and the exact detector configuration make the recorded trajectory
-        # comparable across revisions; "git" pins the code state.
-        "engines": sorted({str(row["engine"]) for row in report.rows}),
-        "seed": args.seed,
-        "dimensions": list(args.dimensions),
-        "length_override": args.length,
-        "config": t1_bench_config().to_dict(),
-        "git": _git_describe(),
-        "rows": list(report.rows),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    print(f"\nWrote {args.out}")
-    return 0
-
-
-def _run_bench_learn(args: argparse.Namespace) -> int:
-    from .eval.experiments import experiment_l1_learning, t1_bench_config
-
-    report = experiment_l1_learning(
-        dimensions=args.dimensions,
-        n_training=args.training,
-        n_detection=args.length,
-        n_recent=args.recent,
-        n_outlier_searches=args.outlier_searches,
-        n_evolution_rounds=args.evolution_rounds,
-        seed=args.seed,
-    )
-    print(f"[{report.experiment_id}] {report.title}")
-    print(format_table(list(report.rows), columns=report.column_names()))
-    if report.notes:
-        print(f"\nNotes: {report.notes}")
-
-    payload = {
-        "benchmark": "learning",
-        "workload": "e4-style synthetic stream (learn batch + online "
-                    "reservoir)",
-        "engines": sorted({str(row["engine"]) for row in report.rows}),
-        "seed": args.seed,
-        "dimensions": args.dimensions,
-        "training_points": args.training,
-        "detection_length": args.length,
-        "recent_reservoir": args.recent,
-        "outlier_searches": args.outlier_searches,
-        "evolution_rounds": args.evolution_rounds,
-        # The engine field varies per row (that is what the benchmark
-        # compares), so it is dropped from the shared configuration record.
-        "config": {key: value for key, value
-                   in t1_bench_config(os_growth_enabled=True).to_dict().items()
-                   if key != "engine"},
-        "git": _git_describe(),
-        "rows": list(report.rows),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    print(f"\nWrote {args.out}")
-    return 0
-
-
-def _run_bench_learn_service(args: argparse.Namespace) -> int:
-    from .eval.experiments import (
-        experiment_l2_learning_service,
-        t1_bench_config,
-    )
-
-    report = experiment_l2_learning_service(
-        n_tenants=args.tenants,
-        dimensions=args.dimensions,
-        n_training_per_tenant=args.training,
-        n_detection_per_tenant=args.points,
-        n_shards=args.shards,
-        max_batch=args.max_batch,
-        learning_workers=args.learning_workers,
-        self_evolution_period=args.evolution_period,
-        relearn_period=args.relearn_period,
-        stop_after=args.stop_after,
-        seed=args.seed,
-    )
-    print(f"[{report.experiment_id}] {report.title}")
-    print(format_table(list(report.rows), columns=report.column_names()))
-    if report.notes:
-        print(f"\nNotes: {report.notes}")
-
-    payload = {
-        "benchmark": "learning_service",
-        "workload": "multiplexed multi-tenant e4-style streams with online "
-                    "learning enabled",
-        "workload_params": {
-            "n_tenants": args.tenants,
-            "dimensions": args.dimensions,
-            "n_training_per_tenant": args.training,
-            "n_detection_per_tenant": args.points,
-            "seed": args.seed,
-        },
-        "service": {
-            "n_shards": args.shards,
-            "max_batch": args.max_batch,
-            "learning_workers": args.learning_workers,
-        },
-        "stop_after": args.stop_after,
-        "config": t1_bench_config(
-            engine="vectorized", os_growth_enabled=True,
-            self_evolution_period=args.evolution_period,
-            relearn_period=args.relearn_period).to_dict(),
-        "git": _git_describe(),
-        "rows": list(report.rows),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-    print(f"\nWrote {args.out}")
-    return 0
-
-
+# --------------------------------------------------------------------- #
+# serve / replay
+# --------------------------------------------------------------------- #
 def _print_service_stats(stats: dict) -> None:
     shard_rows = stats.pop("shards")
     learning = stats.pop("learning", None)
@@ -462,14 +373,14 @@ def _serve_workload_params(args: argparse.Namespace) -> dict:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from .eval.experiments import experiment_e5_service, t1_bench_config
+    from .eval.experiments import t1_bench_config
     from .eval.workloads import multi_tenant_workload
     from .service import DetectionService, ServiceConfig
 
     workload_params = _serve_workload_params(args)
     if args.bench_out:
-        # Benchmark mode: run the service *and* the serving baselines through
-        # the E5 experiment so the report carries the speedup comparison.
+        # Benchmark mode: delegate to the 'service' bench spec so the run and
+        # its report go through the same harness as every other benchmark.
         # Checkpoint/stop-after options only apply to a plain serve run, and
         # silently dropping them would misrepresent what was measured.
         if args.checkpoint_dir or args.checkpoint_every or \
@@ -482,34 +393,14 @@ def _run_serve(args: argparse.Namespace) -> int:
                 args.evolution_period:
             raise ConfigurationError(
                 "--bench-out runs the E5 serving benchmark, which serves "
-                "without online learning; use 'bench-learn-service' for the "
-                "learning-on-vs-off-the-hot-path comparison (L2)")
-        report = experiment_e5_service(
-            n_shards=args.shards, max_batch=args.max_batch,
-            max_delay=args.max_delay,
-            worker_mode=args.workers, **workload_params)
-        print(f"[{report.experiment_id}] {report.title}")
-        print(format_table(list(report.rows), columns=report.column_names()))
-        if report.notes:
-            print(f"\nNotes: {report.notes}")
-        payload = {
-            "benchmark": "service",
-            "workload": "multiplexed multi-tenant e4-style streams",
-            "workload_params": workload_params,
-            "service": {
-                "n_shards": args.shards,
-                "max_batch": args.max_batch,
-                "max_delay": args.max_delay,
-                "worker_mode": args.workers,
-            },
-            "config": t1_bench_config(engine="vectorized").to_dict(),
-            "git": _git_describe(),
-            "rows": list(report.rows),
-        }
-        with open(args.bench_out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"\nWrote {args.bench_out}")
-        return 0
+                "without online learning; use 'bench learning-service' for "
+                "the learning-on-vs-off-the-hot-path comparison (L2) or "
+                "'bench serving-sweep' for the learning-pressure grid (L3)")
+        overrides = dict(workload_params)
+        overrides.update(n_shards=args.shards, max_batch=args.max_batch,
+                         max_delay=args.max_delay, worker_mode=args.workers)
+        return _write_bench_report(get_bench("service"), overrides,
+                                   args.bench_out)
 
     workload = multi_tenant_workload(**workload_params)
     config = t1_bench_config(engine="vectorized",
@@ -614,12 +505,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "compare":
         return _run_compare(args)
-    if args.command == "bench":
+    if args.command in ("bench", "bench-learn", "bench-learn-service"):
         return _run_bench(args)
-    if args.command == "bench-learn":
-        return _run_bench_learn(args)
-    if args.command == "bench-learn-service":
-        return _run_bench_learn_service(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "replay":

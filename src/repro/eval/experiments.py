@@ -617,8 +617,40 @@ def experiment_e5_service(*, n_tenants: int = 6, dimensions: int = 10,
 
 
 # --------------------------------------------------------------------- #
-# L2 — the learning service: online MOGA on vs off the detection hot path
+# L2 / L3 — the learning service on vs off the detection hot path
 # --------------------------------------------------------------------- #
+def _serve_learning_variant(prototype: SPOT, to_serve: Sequence[object], *,
+                            n_shards: int, max_batch: int, max_delay: float,
+                            learning_mode: str,
+                            learning_workers: int) -> Dict[str, object]:
+    """Serve one workload through a fresh service fleet and collect the facts
+    the learning-service experiments (L2, L3) compare across variants."""
+    from ..service import DetectionService, ServiceConfig
+
+    service = DetectionService.from_prototype(prototype, ServiceConfig(
+        n_shards=n_shards, max_batch=max_batch, max_delay=max_delay,
+        learning_mode=learning_mode, learning_workers=learning_workers))
+    service.start()
+    started = time.perf_counter()
+    service.submit_tagged(to_serve)
+    service.drain()
+    wall = time.perf_counter() - started
+    service.stop()
+
+    detectors = service.shard_detectors()
+    coordinator = service.learning_coordinator
+    return {
+        "wall": wall,
+        "flags": [r.is_outlier for r in service.results()],
+        "ssts": [d.sst.to_dict() for d in detectors],
+        "searches": sum(d._os_growth.searches for d in detectors),
+        "evolutions": sum(d._self_evolution.rounds for d in detectors),
+        "relearns": sum(d._relearn.rounds for d in detectors),
+        "latency": service.latency_summary(),
+        "learn_stats": coordinator.stats() if coordinator is not None else None,
+    }
+
+
 def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
                                    n_training_per_tenant: int = 80,
                                    n_detection_per_tenant: int = 500,
@@ -649,8 +681,6 @@ def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
     removes; every variant's decisions and final SSTs are asserted identical
     to the synchronous baseline (the parity contract of the subsystem).
     """
-    from ..service import DetectionService, ServiceConfig
-
     workload = multi_tenant_workload(
         n_tenants=n_tenants, dimensions=dimensions,
         n_training_per_tenant=n_training_per_tenant,
@@ -675,23 +705,11 @@ def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
     baseline_ssts: Optional[List[dict]] = None
     baseline_path_p95: Optional[float] = None
     for variant, mode, workers in variants:
-        service = DetectionService.from_prototype(prototype, ServiceConfig(
-            n_shards=n_shards, max_batch=max_batch, max_delay=max_delay,
-            learning_mode=mode, learning_workers=workers))
-        service.start()
-        started = time.perf_counter()
-        service.submit_tagged(to_serve)
-        service.drain()
-        wall = time.perf_counter() - started
-        service.stop()
-
-        flags = [r.is_outlier for r in service.results()]
-        ssts = [d.sst.to_dict() for d in service.shard_detectors()]
-        detectors = service.shard_detectors()
-        searches = sum(d._os_growth.searches for d in detectors)
-        evolutions = sum(d._self_evolution.rounds for d in detectors)
-        relearns = sum(d._relearn.rounds for d in detectors)
-        latency = service.latency_summary()
+        outcome = _serve_learning_variant(
+            prototype, to_serve, n_shards=n_shards, max_batch=max_batch,
+            max_delay=max_delay, learning_mode=mode, learning_workers=workers)
+        wall = float(outcome["wall"])
+        latency = outcome["latency"]
         row: Row = {
             "variant": variant,
             "learning_mode": mode,
@@ -703,23 +721,22 @@ def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
             "path_p95_ms": latency["path_p95_ms"],
             "path_p99_ms": latency["path_p99_ms"],
             "latency_p95_ms": latency["latency_p95_ms"],
-            "searches": searches,
-            "evolutions": evolutions,
-            "relearns": relearns,
+            "searches": outcome["searches"],
+            "evolutions": outcome["evolutions"],
+            "relearns": outcome["relearns"],
         }
         if baseline_flags is None:
-            baseline_flags = flags
-            baseline_ssts = ssts
+            baseline_flags = outcome["flags"]
+            baseline_ssts = outcome["ssts"]
             baseline_path_p95 = float(latency["path_p95_ms"])
         else:
-            row["decisions_match_sync"] = (flags == baseline_flags)
-            row["sst_identical"] = (ssts == baseline_ssts)
+            row["decisions_match_sync"] = (outcome["flags"] == baseline_flags)
+            row["sst_identical"] = (outcome["ssts"] == baseline_ssts)
             row["path_p95_speedup"] = round(
                 baseline_path_p95 / max(1e-9, float(latency["path_p95_ms"])),
                 2)
-            coordinator = service.learning_coordinator
-            if coordinator is not None:
-                learn_stats = coordinator.stats()
+            learn_stats = outcome["learn_stats"]
+            if learn_stats is not None:
                 row["learn_requests"] = learn_stats["requests"]
                 row["coalesced_requests"] = learn_stats["coalesced_requests"]
                 row["context_reuses"] = learn_stats["context_reuses"]
@@ -735,6 +752,87 @@ def experiment_l2_learning_service(*, n_tenants: int = 6, dimensions: int = 10,
               "SSTs coincide; the asynchronous variants move the search CPU "
               "from the scoring calls to the coordinator pool, which is what "
               "collapses the detection-path tail percentiles.",
+    )
+
+
+def experiment_l3_serving_pressure(*, outlier_rate: float = 0.03,
+                                   evolution_period: int = 150,
+                                   n_tenants: int = 4, dimensions: int = 8,
+                                   n_training_per_tenant: int = 60,
+                                   n_detection_per_tenant: int = 300,
+                                   n_shards: int = 2, max_batch: int = 256,
+                                   max_delay: float = 0.002,
+                                   learning_workers: int = 4,
+                                   relearn_period: int = 0,
+                                   seed: int = 19) -> ExperimentReport:
+    """One cell of the L3 serving-pressure sweep (ROADMAP's combined bench).
+
+    E5 (serving) and L2 (learning service) ran disjoint workloads; this cell
+    serves one multi-tenant workload whose *learning pressure* is set by the
+    two swept knobs — the planted ``outlier_rate`` (each detected outlier
+    triggers an OS-growth MOGA search) and the CS ``evolution_period``
+    (0 disables self-evolution) — once with learning inline (``sync``) and
+    once on the coordinator pool (``async``, ``learning_workers`` wide), and
+    reports both variants' detection-path p95 plus the decision/SST parity
+    checks.  The registry declares the full experiment as a :class:`Grid`
+    over (outlier_rate, evolution_period) cells of this function, so the
+    sweep that maps the async win's envelope is pure declaration.
+    """
+    workload = multi_tenant_workload(
+        n_tenants=n_tenants, dimensions=dimensions,
+        n_training_per_tenant=n_training_per_tenant,
+        n_detection_per_tenant=n_detection_per_tenant,
+        outlier_rate=outlier_rate, seed=seed)
+    config = t1_bench_config(engine="vectorized", os_growth_enabled=True,
+                             self_evolution_period=evolution_period,
+                             relearn_period=relearn_period)
+    prototype = SPOT(config)
+    prototype.learn(workload.training_values)
+    to_serve = list(workload.detection)
+    n_points = len(to_serve)
+
+    sync = _serve_learning_variant(
+        prototype, to_serve, n_shards=n_shards, max_batch=max_batch,
+        max_delay=max_delay, learning_mode="sync", learning_workers=1)
+    deferred = _serve_learning_variant(
+        prototype, to_serve, n_shards=n_shards, max_batch=max_batch,
+        max_delay=max_delay, learning_mode="async",
+        learning_workers=learning_workers)
+
+    sync_p95 = float(sync["latency"]["path_p95_ms"])
+    async_p95 = float(deferred["latency"]["path_p95_ms"])
+    sync_wall = float(sync["wall"])
+    async_wall = float(deferred["wall"])
+    learn_stats = deferred["learn_stats"] or {}
+    row: Row = {
+        "outlier_rate": outlier_rate,
+        "evolution_period": evolution_period,
+        "points": n_points,
+        "searches": sync["searches"],
+        "evolutions": sync["evolutions"],
+        "relearns": sync["relearns"],
+        "sync_path_p95_ms": sync_p95,
+        "async_path_p95_ms": async_p95,
+        "path_p95_speedup": round(sync_p95 / max(1e-9, async_p95), 2),
+        "sync_points_per_second": round(n_points / sync_wall, 1)
+        if sync_wall > 0 else 0.0,
+        "async_points_per_second": round(n_points / async_wall, 1)
+        if async_wall > 0 else 0.0,
+        "learn_requests": learn_stats.get("requests", 0),
+        "decisions_match": sync["flags"] == deferred["flags"],
+        "sst_identical": sync["ssts"] == deferred["ssts"],
+    }
+    return ExperimentReport(
+        experiment_id="L3",
+        title="Serving under learning pressure: the async win's envelope",
+        rows=(row,),
+        notes="Each cell serves the identical multi-tenant workload twice — "
+              "online MOGA inline vs on the learning coordinator's pool — at "
+              "one (outlier rate, evolution period) learning-pressure "
+              "setting.  The detection-path p95 gap is the async win; it "
+              "should widen as either knob raises the search frequency, "
+              "while decisions and final SSTs stay identical (the parity "
+              "contract of the learning service).",
     )
 
 
@@ -957,19 +1055,6 @@ def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 
     )
 
 
-#: Registry used by the CLI, the benchmarks and the EXPERIMENTS.md generator.
-ALL_EXPERIMENTS = {
-    "F1": experiment_f1_pipeline,
-    "E1": experiment_e1_effectiveness_synthetic,
-    "E2": experiment_e2_effectiveness_kdd,
-    "E3": experiment_e3_scalability_dimensions,
-    "E4": experiment_e4_scalability_stream_length,
-    "E5": experiment_e5_service,
-    "T1": experiment_t1_throughput,
-    "L1": experiment_l1_learning,
-    "L2": experiment_l2_learning_service,
-    "A1": experiment_a1_sst_ablation,
-    "A2": experiment_a2_self_evolution,
-    "A3": experiment_a3_time_model,
-    "A4": experiment_a4_moga_vs_exhaustive,
-}
+# The experiment index itself lives in repro.eval.registry, which declares
+# one ExperimentSpec per function above (plus the BenchSpecs the CLI's bench
+# harness runs); ALL_EXPERIMENTS is re-exported from there for compatibility.
