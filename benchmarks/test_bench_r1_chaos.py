@@ -1,0 +1,64 @@
+"""Benchmark R1 — fault tolerance under a seeded chaos plan.
+
+The robustness acceptance criterion, run as a benchmark so the committed
+``BENCH_chaos.json`` (regenerated with ``python -m repro.cli bench chaos``)
+tracks the cost of fault tolerance across PRs.  Three runs of the same
+multiplexed workload: a fault-free supervised baseline, a crash-recovery
+run (seeded worker kills mid-batch, restored from snapshot + journal
+replay), and a stall-plus-deadline run driving the shed path.
+
+The assertions here are the subsystem's contract, not its timings:
+
+* **Loss-free recovery** — after ``n_crashes`` injected worker crashes the
+  supervised service still delivers every point, with decisions and final
+  per-shard SSTs identical to the fault-free baseline.
+* **Deadline shedding is surgical** — shed points never touch detector
+  state, so the scored survivors match reference clones fed exactly the
+  surviving subsequence of each shard.
+
+Shed *counts* are timing-dependent (they say how much traffic aged past
+the deadline behind the stall), so the test asserts shedding happened and
+the accounting is consistent, never an exact count.
+
+Sizes are trimmed relative to the CLI defaults so the tier-1 run stays fast.
+"""
+
+from repro.eval.experiments import experiment_r1_chaos
+
+
+def test_bench_r1_chaos(experiment_runner):
+    report = experiment_runner(
+        experiment_r1_chaos,
+        n_tenants=4,
+        dimensions=8,
+        n_detection_per_tenant=250,
+        n_shards=2,
+        n_crashes=2,
+        stall_ms=60.0,
+        deadline_ms=25.0,
+    )
+    rows = {row["variant"]: row for row in report.rows}
+    n_points = rows["fault-free-supervised"]["points"]
+
+    baseline = rows["fault-free-supervised"]
+    assert baseline["restarts"] == 0
+    assert baseline["shed_points"] == 0
+
+    crash = rows["crash-recovery"]
+    # The faults actually fired and the supervisor actually recovered.
+    assert len(crash["crash_points"]) == 2
+    assert crash["restarts"] >= 1
+    assert crash["recovery_ms"] > 0.0
+    # The headline property: recovery is loss-free and decision-identical.
+    assert crash["decisions_match"] is True
+    assert crash["ssts_match"] is True
+    assert crash["shed_points"] == 0
+    assert crash["quarantined_points"] == 0
+
+    shed = rows["stall-deadline-shed"]
+    # The 60ms stalls must age queued points past the 25ms deadline...
+    assert shed["shed_points"] >= 1
+    # ...every point is still accounted for (scored or shed, never lost)...
+    assert shed["scored_points"] + shed["shed_points"] == n_points
+    # ...and the survivors' decisions match the clean reference clones.
+    assert shed["survivors_match_reference"] is True

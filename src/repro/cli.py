@@ -6,15 +6,15 @@ identifier with ``--set key=value`` overrides validated against the declared
 parameter schemas.
 
 ``spot-demo experiment [ID] [--set k=v ...]``
-    Run one registered experiment (F1, E1–E5, T1, L1–L3, A1–A4) and print its
-    result table.  ``--list`` prints the registry index (``--markdown`` for
-    the README table), ``--dry-run`` resolves and prints the parameters (and
-    grid cells) without running.
+    Run one registered experiment (F1, E1–E5, T1, L1–L3, R1, A1–A4) and print
+    its result table.  ``--list`` prints the registry index (``--markdown``
+    for the README table), ``--dry-run`` resolves and prints the parameters
+    (and grid cells) without running.
 
 ``spot-demo bench [ID] [--set k=v ...] [--out FILE]``
     Run one registered benchmark (throughput, learning, service,
-    learning-service, serving-sweep; default: throughput) and write its
-    unified ``spot-bench/v1`` JSON report, stamped with git provenance.
+    learning-service, serving-sweep, chaos; default: throughput) and write
+    its unified ``spot-bench/v1`` JSON report, stamped with git provenance.
 
 ``spot-demo bench-learn`` / ``spot-demo bench-learn-service``
     Thin aliases of ``bench learning`` / ``bench learning-service`` keeping
@@ -82,7 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a registered experiment by id")
     experiment.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS),
                             help="experiment identifier (F1, E1-E5, T1, "
-                                 "L1-L3, A1-A4)")
+                                 "L1-L3, R1, A1-A4)")
     experiment.add_argument("--set", action="append", default=[],
                             metavar="KEY=VALUE", dest="assignments",
                             help="override one declared parameter "
@@ -178,6 +178,38 @@ def _build_parser() -> argparse.ArgumentParser:
                             "detectors (0 disables; an online learning "
                             "trigger)")
     serve.add_argument("--seed", type=int, default=19)
+    serve.add_argument("--supervise", action="store_true",
+                       help="attach the shard supervisor: a crashed shard is "
+                            "restarted from its latest checkpoint snapshot "
+                            "and replayed decision-identically instead of "
+                            "failing the run")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="per-shard restart budget of the supervisor")
+    serve.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="per-point detection deadline in milliseconds "
+                            "(0 disables)")
+    serve.add_argument("--deadline-policy", choices=("shed", "degrade"),
+                       default="shed",
+                       help="what happens to a point past its deadline: "
+                            "drop it (shed) or score it late and mark it "
+                            "(degrade)")
+    serve.add_argument("--fault-crash-at", type=int, action="append",
+                       default=None, metavar="SEQ",
+                       help="inject a worker crash at this global point "
+                            "(repeatable; combine with --supervise to "
+                            "exercise recovery)")
+    serve.add_argument("--fault-crashes", type=int, default=0,
+                       help="inject N seeded worker crashes at random "
+                            "positions (ignored when --fault-crash-at is "
+                            "given)")
+    serve.add_argument("--fault-stall-at", type=int, action="append",
+                       default=None, metavar="SEQ",
+                       help="stall the batch containing this global point "
+                            "(repeatable; drives deadline shedding)")
+    serve.add_argument("--fault-stall-ms", type=float, default=50.0,
+                       help="length of each injected stall in milliseconds")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan (placement + jitter)")
     serve.add_argument("--checkpoint-dir", default=None,
                        help="directory for service checkpoints (final "
                             "checkpoint is always written when set)")
@@ -350,7 +382,15 @@ def _run_compare(args: argparse.Namespace) -> int:
 def _print_service_stats(stats: dict) -> None:
     shard_rows = stats.pop("shards")
     learning = stats.pop("learning", None)
+    robustness = dict(stats.pop("robustness", {}))
     print(format_table([stats]))
+    if robustness:
+        faults = robustness.pop("faults_fired", None) or {}
+        robustness["faults_fired"] = " ".join(
+            f"{kind}={count}" for kind, count in sorted(faults.items())
+            if count) or "-"
+        print()
+        print(format_table([robustness]))
     print()
     print(format_table(shard_rows))
     if learning is not None:
@@ -372,6 +412,22 @@ def _serve_workload_params(args: argparse.Namespace) -> dict:
     }
 
 
+def _fault_plan_from_args(args: argparse.Namespace, n_points: int):
+    """The FaultPlan the serve flags describe (``None`` when no faults)."""
+    from .service import FaultPlan
+
+    crashes = tuple(sorted(args.fault_crash_at or ()))
+    if not crashes and args.fault_crashes:
+        crashes = FaultPlan.random(seed=args.fault_seed, n_points=n_points,
+                                   n_crashes=args.fault_crashes).crash_points
+    stalls = tuple((int(seq), args.fault_stall_ms / 1e3)
+                   for seq in sorted(args.fault_stall_at or ()))
+    if not crashes and not stalls:
+        return None
+    return FaultPlan(crash_points=crashes, stall_points=stalls,
+                     seed=args.fault_seed)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from .eval.experiments import t1_bench_config
     from .eval.workloads import multi_tenant_workload
@@ -389,6 +445,12 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "--bench-out cannot be combined with --checkpoint-dir, "
                 "--checkpoint-every or --stop-after; run them as separate "
                 "serve invocations")
+        if args.supervise or args.deadline_ms or args.fault_crash_at or \
+                args.fault_crashes or args.fault_stall_at:
+            raise ConfigurationError(
+                "--bench-out runs the E5 serving benchmark, which serves "
+                "without faults; use 'bench chaos' for the supervised "
+                "fault-injection benchmark (R1)")
         if args.learning_mode != "sync" or args.os_growth or \
                 args.evolution_period:
             raise ConfigurationError(
@@ -412,6 +474,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     prototype = SPOT(config)
     prototype.learn(workload.training_values)
 
+    to_serve = list(workload.detection)
+    if args.stop_after is not None:
+        to_serve = to_serve[: args.stop_after]
     service = DetectionService.from_prototype(prototype, ServiceConfig(
         n_shards=args.shards,
         max_batch=args.max_batch,
@@ -421,6 +486,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         learning_workers=args.learning_workers,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        supervise=args.supervise,
+        max_restarts_per_shard=args.max_restarts,
+        deadline=args.deadline_ms / 1e3,
+        deadline_policy=args.deadline_policy,
+        fault_plan=_fault_plan_from_args(args, len(to_serve)),
     ))
     if args.checkpoint_dir:
         # Recorded in every checkpoint (periodic ones included) so any
@@ -432,9 +502,6 @@ def _run_serve(args: argparse.Namespace) -> int:
                              "learning_workers": args.learning_workers},
         })
     service.start()
-    to_serve = list(workload.detection)
-    if args.stop_after is not None:
-        to_serve = to_serve[: args.stop_after]
     print(f"Serving {len(to_serve)} of {len(workload.detection)} points "
           f"across {args.shards} shards ({args.workers} workers, "
           f"{args.learning_mode} learning)...")

@@ -41,3 +41,31 @@ class StreamExhaustedError(SPOTError):
 
 class SerializationError(SPOTError):
     """A detector or template could not be saved or restored."""
+
+
+class CheckpointCorruptionError(SerializationError):
+    """A checkpoint file on disk is truncated, malformed or unreadable.
+
+    Distinct from a plain :class:`SerializationError` so the service can
+    fall back to the previous good checkpoint generation when the latest
+    one did not survive (partial write, disk corruption) instead of dying
+    mid-restore.
+    """
+
+
+class BackpressureTimeout(SPOTError):
+    """A bounded wait on a full micro-batch queue expired.
+
+    Raised by :meth:`repro.service.batcher.MicroBatcher.put` under the
+    ``"timeout"`` full-queue policy; the producer sees a typed error after a
+    bounded wait instead of blocking forever behind a stuck shard.
+    """
+
+
+class ShardRecoveryError(SPOTError):
+    """A supervised shard could not be brought back after a crash.
+
+    The supervisor raises (and surfaces through ``drain()``/``stop()``) when
+    a shard exhausts its restart budget or its checkpoint replay itself
+    fails in a way quarantine cannot absorb.
+    """

@@ -1055,6 +1055,142 @@ def experiment_a4_moga_vs_exhaustive(*, dimension_settings: Sequence[int] = (8, 
     )
 
 
+# --------------------------------------------------------------------- #
+# R1 — fault tolerance: supervised recovery under a deterministic chaos plan
+# --------------------------------------------------------------------- #
+def experiment_r1_chaos(*, n_tenants: int = 4, dimensions: int = 8,
+                        n_training_per_tenant: int = 60,
+                        n_detection_per_tenant: int = 300,
+                        n_shards: int = 2, max_batch: int = 128,
+                        max_delay: float = 0.002,
+                        n_crashes: int = 2,
+                        stall_ms: float = 60.0,
+                        deadline_ms: float = 25.0,
+                        seed: int = 19) -> ExperimentReport:
+    """Chaos bench: the supervised service under a seeded fault plan.
+
+    Three runs of the same multiplexed tenant workload:
+
+    * ``fault-free-supervised`` — the baseline: supervision on, no faults.
+      Its per-point decisions and final per-shard SSTs are the parity
+      reference for the crash run.
+    * ``crash-recovery`` — a seeded :class:`~repro.service.faults.FaultPlan`
+      kills a shard worker mid-batch ``n_crashes`` times.  The supervisor
+      restores each crashed shard from its snapshot and replays the journal;
+      the run must deliver *every* point with decisions and SSTs identical
+      to the fault-free baseline (``decisions_match`` / ``ssts_match``).
+    * ``stall-deadline-shed`` — injected stalls age queued points past a
+      per-point deadline, driving the shed path.  Shed points never touch
+      detector state, so parity is checked against reference clones fed
+      exactly the surviving (scored) subsequence of each shard.
+
+    Recovery time, shed/quarantine counts and throughput come straight from
+    the service's robustness stats, so the committed ``BENCH_chaos.json``
+    tracks the cost of fault tolerance across PRs.
+    """
+    from ..persist import clone_detector
+    from ..service import DetectionService, FaultPlan, ServiceConfig
+
+    workload = multi_tenant_workload(
+        n_tenants=n_tenants, dimensions=dimensions,
+        n_training_per_tenant=n_training_per_tenant,
+        n_detection_per_tenant=n_detection_per_tenant, seed=seed)
+    config = t1_bench_config(engine="vectorized")
+    prototype = SPOT(config)
+    prototype.learn(workload.training_values)
+    n_points = len(workload.detection)
+
+    def serve(**overrides) -> Tuple[object, float]:
+        service = DetectionService.from_prototype(prototype, ServiceConfig(
+            n_shards=n_shards, max_batch=max_batch, max_delay=max_delay,
+            supervise=True, **overrides))
+        service.start()
+        started = time.perf_counter()
+        service.submit_tagged(workload.detection)
+        service.drain()
+        wall = time.perf_counter() - started
+        service.stop()
+        return service, wall
+
+    def row_of(variant: str, service, wall: float, **extra) -> Row:
+        robustness = service.stats()["robustness"]
+        return {
+            "variant": variant,
+            "points": n_points,
+            "seconds": round(wall, 4),
+            "points_per_second": round(n_points / wall, 1)
+            if wall > 0 else 0.0,
+            "restarts": robustness["restarts"],
+            "recovery_ms": robustness["recovery_ms"],
+            "shed_points": robustness["shed_points"],
+            "quarantined_points": robustness["quarantined_points"],
+            **extra,
+        }
+
+    rows: List[Row] = []
+
+    baseline, baseline_wall = serve()
+    baseline_flags = {r.seq: r.is_outlier for r in baseline.results()}
+    baseline_ssts = [d.sst.to_dict() for d in baseline.shard_detectors()]
+    rows.append(row_of("fault-free-supervised", baseline, baseline_wall))
+
+    # Crash chaos: every point still delivered, decisions + SSTs identical.
+    plan = FaultPlan.random(seed=seed, n_points=n_points,
+                            n_crashes=n_crashes)
+    chaos, chaos_wall = serve(fault_plan=plan)
+    chaos_results = chaos.results()
+    decisions_match = (
+        len(chaos_results) == n_points
+        and all(r.outcome == "ok" for r in chaos_results)
+        and all(r.is_outlier == baseline_flags[r.seq] for r in chaos_results))
+    ssts_match = ([d.sst.to_dict() for d in chaos.shard_detectors()]
+                  == baseline_ssts)
+    rows.append(row_of(
+        "crash-recovery", chaos, chaos_wall,
+        crash_points=list(plan.crash_points),
+        decisions_match=decisions_match,
+        ssts_match=ssts_match))
+
+    # Stall + deadline shedding: parity on the surviving subsequence.
+    stall_plan = FaultPlan.random(seed=seed + 1, n_points=n_points,
+                                  n_crashes=0, n_stalls=2,
+                                  stall_seconds=stall_ms / 1e3)
+    shed_run, shed_wall = serve(fault_plan=stall_plan,
+                                deadline=deadline_ms / 1e3,
+                                deadline_policy="shed")
+    shed_results = shed_run.results()
+    scored = [r for r in shed_results if r.scored]
+    by_shard: Dict[int, List[object]] = {s: [] for s in range(n_shards)}
+    for result in scored:
+        by_shard[result.shard].append(result)
+    survivors_match = True
+    for shard, shard_results in by_shard.items():
+        if not shard_results:
+            continue
+        reference = clone_detector(prototype)
+        expected = reference.process_batch(
+            [workload.detection[r.seq].values for r in shard_results])
+        if [e.is_outlier for e in expected] != \
+                [r.is_outlier for r in shard_results]:
+            survivors_match = False
+    rows.append(row_of(
+        "stall-deadline-shed", shed_run, shed_wall,
+        deadline_ms=deadline_ms,
+        scored_points=len(scored),
+        survivors_match_reference=survivors_match))
+
+    return ExperimentReport(
+        experiment_id="R1",
+        title="Fault tolerance: supervised recovery under injected chaos",
+        rows=tuple(rows),
+        notes="Crashes are restored from the last snapshot and the committed "
+              "journal is replayed, so the deterministic detector ends in a "
+              "decision- and SST-identical state; deadline shedding drops "
+              "points *before* they touch detector state, which is what "
+              "makes survivor parity well-defined.",
+    )
+
+
 # The experiment index itself lives in repro.eval.registry, which declares
 # one ExperimentSpec per function above (plus the BenchSpecs the CLI's bench
 # harness runs); ALL_EXPERIMENTS is re-exported from there for compatibility.

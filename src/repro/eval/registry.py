@@ -1,6 +1,6 @@
 """The declared experiment & benchmark index.
 
-Every experiment of the reproduction (F1, E1–E5, T1, L1–L3, A1–A4) is
+Every experiment of the reproduction (F1, E1–E5, T1, L1–L3, R1, A1–A4) is
 registered here as an :class:`~repro.eval.spec.ExperimentSpec`: an
 identifier, a typed parameter schema (the single source of the CLI flags,
 the ``--set`` overrides and the recorded report parameters) and a runner
@@ -34,6 +34,7 @@ from .experiments import (
     experiment_l1_learning,
     experiment_l2_learning_service,
     experiment_l3_serving_pressure,
+    experiment_r1_chaos,
     experiment_t1_throughput,
     t1_bench_config,
 )
@@ -362,6 +363,41 @@ _register(ExperimentSpec(
     grid=_L3_GRID,
 ))
 
+_R1_SCHEMA = _schema(
+    Param(name="n_tenants", type="int", default=4, flag="--tenants",
+          help="number of independent tenant streams"),
+    Param(name="dimensions", type="int", default=8,
+          help="stream dimensionality"),
+    Param(name="n_training_per_tenant", type="int", default=60,
+          flag="--training", help="training points per tenant (shared "
+                                  "prototype)"),
+    Param(name="n_detection_per_tenant", type="int", default=300,
+          flag="--points", help="detection points per tenant"),
+    Param(name="n_shards", type="int", default=2, flag="--shards",
+          help="detector shards in the service"),
+    Param(name="max_batch", type="int", default=128,
+          help="micro-batch coalescing limit per shard"),
+    Param(name="max_delay", type="float", default=0.002,
+          help="max seconds a partial micro-batch waits for more points"),
+    Param(name="n_crashes", type="int", default=2, flag="--crashes",
+          help="seeded worker crashes injected into the chaos run"),
+    Param(name="stall_ms", type="float", default=60.0,
+          help="injected stall length of the deadline-shedding run"),
+    Param(name="deadline_ms", type="float", default=25.0,
+          help="per-point detection deadline of the shedding run"),
+    _seed(19),
+)
+
+_register(ExperimentSpec(
+    id="R1",
+    title="Fault tolerance: supervised recovery under injected chaos",
+    description="Supervised serving under a seeded fault plan: crash "
+                "recovery with decision/SST parity, plus deadline shedding "
+                "with survivor parity.",
+    schema=_R1_SCHEMA,
+    runner=experiment_r1_chaos,
+))
+
 _register(ExperimentSpec(
     id="A1",
     title="SST composition ablation (FS / CS / OS supplement each other)",
@@ -539,12 +575,27 @@ _register_bench(BenchSpec(
         "self_evolution_period"),
 ))
 
+_register_bench(BenchSpec(
+    id="chaos",
+    title=EXPERIMENTS["R1"].title,
+    description="Run the R1 chaos suite (crash recovery parity + deadline "
+                "shedding) and record BENCH_chaos.json.",
+    schema=_R1_SCHEMA,
+    runner=experiment_r1_chaos,
+    benchmark="chaos",
+    workload_desc="multiplexed multi-tenant e4-style streams under a seeded "
+                  "fault plan",
+    default_out="BENCH_chaos.json",
+    config_builder=lambda params: t1_bench_config(
+        engine="vectorized").to_dict(),
+))
+
 
 # --------------------------------------------------------------------- #
 # Lookup + introspection helpers
 # --------------------------------------------------------------------- #
 def get_experiment(experiment_id: str) -> ExperimentSpec:
-    """The registered spec of one experiment id (F1, E1–E5, T1, L1–L3, A1–A4)."""
+    """The registered spec of one experiment id (F1, E1–E5, T1, L1–L3, R1, A1–A4)."""
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError as exc:

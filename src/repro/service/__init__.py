@@ -24,12 +24,29 @@ detector shards.
   through snapshot-shared objective contexts, and published back for
   application at deterministic apply points (decision-identical to inline
   learning).
+* :class:`~repro.service.supervisor.ShardSupervisor` — the fault-tolerance
+  half: crashed shards are restarted from their latest checkpoint snapshot
+  and the points committed since are replayed decision-identically; poison
+  points are quarantined instead of retried forever.
+* :mod:`~repro.service.faults` — deterministic, seedable fault injection
+  (worker crashes, queue stalls, IPC failures, checkpoint-write failures)
+  plus the bounded retry/backoff policy the process-shard IPC uses.
 * :class:`~repro.service.service.DetectionService` — the facade wiring the
-  five together (``ServiceConfig.learning_mode`` picks sync or async).
+  pieces together (``ServiceConfig.learning_mode`` picks sync or async,
+  ``ServiceConfig.supervise`` turns fail-stop shards into fail-recover
+  ones).
 """
 
-from .batcher import BatchItem, MicroBatcher
+from .batcher import BatchItem, FULL_POLICIES, MicroBatcher
 from .checkpoint import CheckpointManager, SERVICE_MANIFEST_VERSION
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    TransientIPCError,
+    call_with_retry,
+)
 from .learning import (
     LearningCoordinator,
     LearningServiceConfig,
@@ -37,21 +54,36 @@ from .learning import (
 )
 from .router import ShardRouter
 from .service import DetectionService, ServiceConfig, ServiceResult
-from .worker import ProcessShardWorker, ShardStats, ShardWorker
+from .supervisor import ShardSupervisor
+from .worker import (
+    DEADLINE_POLICIES,
+    ProcessShardWorker,
+    ShardStats,
+    ShardWorker,
+)
 
 __all__ = [
     "BatchItem",
     "CheckpointManager",
+    "DEADLINE_POLICIES",
     "DetectionService",
+    "FULL_POLICIES",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
     "LearnTicket",
     "LearningCoordinator",
     "LearningServiceConfig",
     "MicroBatcher",
     "ProcessShardWorker",
+    "RetryPolicy",
     "SERVICE_MANIFEST_VERSION",
     "ServiceConfig",
     "ServiceResult",
     "ShardRouter",
     "ShardStats",
+    "ShardSupervisor",
     "ShardWorker",
+    "TransientIPCError",
+    "call_with_retry",
 ]

@@ -11,9 +11,16 @@ coalesced batches under a max-batch-size / max-delay policy —
 * after ``max_delay`` seconds from the moment the worker started assembling
   it (latency bound under trickle traffic).
 
-The queue is bounded at ``max_pending`` points; producers block when it is
-full, which is the service's backpressure: a slow shard slows its producers
-down instead of growing memory without bound.
+The queue is bounded at ``max_pending`` points; what happens to a producer
+hitting the bound is the ``full_policy``:
+
+* ``"block"`` (default, the historical behaviour) — wait until a worker
+  drains room; backpressure with no bound on the wait.
+* ``"timeout"`` — wait at most ``put_timeout`` seconds, then raise a typed
+  :class:`~repro.core.exceptions.BackpressureTimeout` so a producer behind
+  a stuck shard gets a bounded, recoverable failure instead of a hang.
+* ``"shed"`` — never wait: :meth:`put` returns ``False`` immediately and
+  the point is counted as shed (load-shedding at admission).
 """
 
 from __future__ import annotations
@@ -22,9 +29,11 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import BackpressureTimeout, ConfigurationError
+
+FULL_POLICIES = ("block", "timeout", "shed")
 
 
 @dataclass(frozen=True)
@@ -49,12 +58,18 @@ class MicroBatcher:
         one is pending.  ``0`` disables waiting: the worker takes whatever is
         queued immediately (lowest latency, smallest batches).
     max_pending:
-        Queue bound; :meth:`put` blocks while the queue holds this many
-        points (backpressure).
+        Queue bound; a full queue engages the ``full_policy`` (backpressure).
+    full_policy:
+        What :meth:`put` does when the queue is full: ``"block"`` forever,
+        ``"timeout"`` for at most ``put_timeout`` seconds (then raise
+        :class:`BackpressureTimeout`), or ``"shed"`` the point immediately.
+    put_timeout:
+        The bound for the ``"timeout"`` policy, in seconds.
     """
 
     def __init__(self, *, max_batch: int = 512, max_delay: float = 0.002,
-                 max_pending: int = 8192) -> None:
+                 max_pending: int = 8192, full_policy: str = "block",
+                 put_timeout: Optional[float] = None) -> None:
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be positive, got {max_batch}")
         if max_delay < 0.0:
@@ -62,9 +77,19 @@ class MicroBatcher:
         if max_pending < max_batch:
             raise ConfigurationError(
                 f"max_pending ({max_pending}) must be >= max_batch ({max_batch})")
+        if full_policy not in FULL_POLICIES:
+            raise ConfigurationError(
+                f"full_policy must be one of {FULL_POLICIES}, "
+                f"got {full_policy!r}")
+        if full_policy == "timeout":
+            if put_timeout is None or put_timeout <= 0.0:
+                raise ConfigurationError(
+                    "full_policy='timeout' needs a positive put_timeout")
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.max_pending = max_pending
+        self.full_policy = full_policy
+        self.put_timeout = put_timeout
         self._items: Deque[BatchItem] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -73,23 +98,65 @@ class MicroBatcher:
         self._batches_emitted = 0
         self._points_emitted = 0
         self._producer_blocks = 0
+        self._shed_points = 0
         self._peak_pending = 0
 
     # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
-    def put(self, item: BatchItem) -> None:
-        """Enqueue one point; blocks while the queue is full (backpressure)."""
+    def put(self, item: BatchItem, *, timeout: Optional[float] = None) -> bool:
+        """Enqueue one point under the configured full-queue policy.
+
+        Returns ``True`` when the point was enqueued, ``False`` when the
+        ``"shed"`` policy dropped it.  A per-call ``timeout`` overrides the
+        configured ``put_timeout`` (and implies the ``"timeout"`` policy for
+        this call).  Raises :class:`BackpressureTimeout` when a bounded wait
+        expires with the queue still full.
+        """
+        policy = self.full_policy if timeout is None else "timeout"
+        bound = timeout if timeout is not None else self.put_timeout
         with self._not_full:
             if len(self._items) >= self.max_pending:
+                if policy == "shed":
+                    self._shed_points += 1
+                    return False
                 self._producer_blocks += 1
+                deadline = None if policy == "block" \
+                    else time.monotonic() + float(bound)
                 while len(self._items) >= self.max_pending and not self._closed:
-                    self._not_full.wait(timeout=0.1)
+                    if deadline is None:
+                        self._not_full.wait(timeout=0.1)
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise BackpressureTimeout(
+                            f"queue still full ({self.max_pending} points) "
+                            f"after {bound}s")
+                    self._not_full.wait(timeout=min(0.1, remaining))
             if self._closed:
                 raise ConfigurationError("cannot put into a closed MicroBatcher")
             self._items.append(item)
             if len(self._items) > self._peak_pending:
                 self._peak_pending = len(self._items)
+            self._not_empty.notify()
+            return True
+
+    def requeue(self, items: Iterable[BatchItem]) -> None:
+        """Put already-emitted items back at the *front*, in order.
+
+        Recovery plumbing: a retiring consumer that popped a batch it can no
+        longer process hands it back so the successor worker sees the stream
+        in the original order.  Emission counters are rolled back so batch
+        statistics reflect work actually done.
+        """
+        items = list(items)
+        if not items:
+            return
+        with self._lock:
+            for item in reversed(items):
+                self._items.appendleft(item)
+            self._points_emitted -= len(items)
+            self._batches_emitted -= 1
             self._not_empty.notify()
 
     def close(self) -> None:
@@ -102,10 +169,28 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Consumer side
     # ------------------------------------------------------------------ #
-    def next_batch(self) -> Optional[List[BatchItem]]:
-        """Block for the next coalesced batch; ``None`` once closed and empty."""
+    def interrupt(self) -> None:
+        """Wake consumers blocked in :meth:`next_batch` so they can re-check
+        their stop condition (used when retiring a worker without closing
+        the queue to producers)."""
+        with self._lock:
+            self._not_empty.notify_all()
+
+    def next_batch(self, *, stop: Optional[threading.Event] = None
+                   ) -> Optional[List[BatchItem]]:
+        """Block for the next coalesced batch; ``None`` once closed and empty.
+
+        When a ``stop`` event is supplied, the call also returns ``None`` as
+        soon as the event is set — *without* consuming anything — so a
+        retired consumer can step aside and leave queued points to its
+        replacement (see :meth:`interrupt`).
+        """
         with self._not_empty:
-            while not self._items and not self._closed:
+            while True:
+                if stop is not None and stop.is_set():
+                    return None
+                if self._items or self._closed:
+                    break
                 self._not_empty.wait(timeout=0.1)
             if not self._items:
                 return None
@@ -113,10 +198,14 @@ class MicroBatcher:
                     and not self._closed:
                 deadline = time.monotonic() + self.max_delay
                 while len(self._items) < self.max_batch and not self._closed:
+                    if stop is not None and stop.is_set():
+                        return None
                     remaining = deadline - time.monotonic()
                     if remaining <= 0.0:
                         break
                     self._not_empty.wait(timeout=remaining)
+            if stop is not None and stop.is_set():
+                return None
             n = min(len(self._items), self.max_batch)
             batch = [self._items.popleft() for _ in range(n)]
             self._batches_emitted += 1
@@ -147,5 +236,6 @@ class MicroBatcher:
                 "points_emitted": float(points),
                 "mean_batch_size": points / batches if batches else 0.0,
                 "producer_blocks": float(self._producer_blocks),
+                "shed_points": float(self._shed_points),
                 "peak_pending": float(self._peak_pending),
             }

@@ -2,9 +2,10 @@
 
 A service checkpoint is a directory::
 
-    <dir>/shard-0-<gen>.json   full-state detector checkpoint of shard 0
-    <dir>/shard-1-<gen>.json   ...
-    <dir>/manifest.json        shard count, router salt, stream offset, extras
+    <dir>/shard-0-<gen>.json    full-state detector checkpoint of shard 0
+    <dir>/shard-1-<gen>.json    ...
+    <dir>/manifest.json         shard count, router salt, stream offset, extras
+    <dir>/manifest-prev.json    the previous good manifest (fallback)
 
 Shard files reuse the single-detector checkpoint format of
 :mod:`repro.persist` (each one can be loaded standalone with
@@ -15,23 +16,34 @@ Crash safety: shard files are tagged with the checkpoint's generation (its
 stream offset) so a re-checkpoint into the same directory never touches the
 files the *previous* manifest references; the manifest itself is written
 last via an atomic rename.  A crash at any point therefore leaves either the
-complete old checkpoint or the complete new one, never a mixture.  Stale
-generations are garbage-collected only after the new manifest is in place.
+complete old checkpoint or the complete new one, never a mixture.
+
+Corruption safety goes one step further: each save first demotes the
+current manifest to ``manifest-prev.json`` and keeps the shard files of both
+generations, so when the *latest* checkpoint is later found truncated or
+malformed on disk (a partial write the atomic rename could not guard, bit
+rot, an operator's stray edit), :meth:`CheckpointManager.load_fleet` raises
+a typed :class:`~repro.core.exceptions.CheckpointCorruptionError` for the
+broken generation and falls back to the previous good one instead of dying
+mid-restore.  Stale generations referenced by neither manifest are
+garbage-collected only after the new manifest is in place.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.detector import SPOT
-from ..core.exceptions import SerializationError
+from ..core.exceptions import CheckpointCorruptionError, SerializationError
 from ..persist.serialization import (
     CHECKPOINT_FORMAT_VERSION,
     detector_from_checkpoint_dict,
 )
+from .faults import InjectedFault
 
 PathLike = Union[str, Path]
 
@@ -39,6 +51,7 @@ PathLike = Union[str, Path]
 SERVICE_MANIFEST_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+PREV_MANIFEST_NAME = "manifest-prev.json"
 
 
 def _shard_file(shard_id: int, generation: int) -> str:
@@ -56,12 +69,18 @@ class CheckpointManager:
     # ------------------------------------------------------------------ #
     def save(self, shard_states: List[dict], *, router_salt: int,
              points_submitted: int,
-             extra: Optional[Dict[str, object]] = None) -> Path:
+             extra: Optional[Dict[str, object]] = None,
+             fail_before_manifest: bool = False) -> Path:
         """Write one checkpoint (all shards + manifest); returns the directory.
 
         ``shard_states`` are the payloads of :meth:`SPOT.export_state`, in
         shard order; the caller (the service) guarantees they were taken at a
         quiescent point so they describe one consistent stream position.
+
+        ``fail_before_manifest`` is the fault-injection hook: the shard
+        files are written and then an :class:`InjectedFault` is raised
+        *before* the manifest rename — exactly the torn state a crash in
+        the middle of a save leaves behind.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         generation = int(points_submitted)
@@ -83,6 +102,9 @@ class CheckpointManager:
                 "pending_learn_requests": len(
                     (state.get("learning") or {}).get("pending", [])),
             })
+        if fail_before_manifest:
+            raise InjectedFault(
+                "injected checkpoint-write failure before the manifest rename")
         manifest = {
             "format_version": SERVICE_MANIFEST_VERSION,
             "n_shards": len(shard_states),
@@ -91,11 +113,30 @@ class CheckpointManager:
             "shards": shards,
             "extra": dict(extra or {}),
         }
+        # Demote the current manifest to the fallback slot before the new one
+        # lands, so there is always one complete previous-good generation to
+        # fall back to when the latest files turn out corrupted on disk.
+        current = self.directory / MANIFEST_NAME
+        if current.exists():
+            shutil.copyfile(current, self.directory / PREV_MANIFEST_NAME)
         temp = self.directory / (MANIFEST_NAME + ".tmp")
         temp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        os.replace(temp, self.directory / MANIFEST_NAME)
-        self._collect_stale(keep={entry["file"] for entry in shards})
+        os.replace(temp, current)
+        keep = {entry["file"] for entry in shards}
+        keep |= self._referenced_files(PREV_MANIFEST_NAME)
+        self._collect_stale(keep=keep)
         return self.directory
+
+    def _referenced_files(self, manifest_name: str) -> set:
+        """Shard files a manifest points at ({} when absent/unreadable)."""
+        path = self.directory / manifest_name
+        if not path.exists():
+            return set()
+        try:
+            manifest = json.loads(path.read_text())
+            return {entry["file"] for entry in manifest["shards"]}
+        except (json.JSONDecodeError, KeyError, TypeError):
+            return set()
 
     def _collect_stale(self, keep: set) -> None:
         """Best-effort removal of shard files no manifest references anymore."""
@@ -109,16 +150,20 @@ class CheckpointManager:
     # ------------------------------------------------------------------ #
     # Loading
     # ------------------------------------------------------------------ #
-    def manifest(self) -> Dict[str, object]:
-        """Read and validate the checkpoint manifest."""
-        path = self.directory / MANIFEST_NAME
+    def manifest(self, name: str = MANIFEST_NAME) -> Dict[str, object]:
+        """Read and validate a checkpoint manifest."""
+        path = self.directory / name
         if not path.exists():
             raise SerializationError(
                 f"no service checkpoint manifest at {path}")
         try:
             manifest = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
-            raise SerializationError(f"malformed manifest JSON: {exc}") from exc
+            raise CheckpointCorruptionError(
+                f"malformed manifest JSON at {path}: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointCorruptionError(
+                f"manifest at {path} is not a JSON object")
         version = manifest.get("format_version")
         if version != SERVICE_MANIFEST_VERSION:
             raise SerializationError(
@@ -126,19 +171,49 @@ class CheckpointManager:
                 f"(this build reads version {SERVICE_MANIFEST_VERSION})")
         return manifest
 
-    def load_detectors(self) -> List[SPOT]:
-        """Rebuild every shard's detector, in shard order."""
-        manifest = self.manifest()
+    def _load_generation(self, manifest: Dict[str, object]) -> List[SPOT]:
+        """Rebuild every shard of one manifest, in shard order."""
         detectors: List[SPOT] = []
         for entry in manifest["shards"]:
             path = self.directory / entry["file"]
             if not path.exists():
-                raise SerializationError(
+                raise CheckpointCorruptionError(
                     f"manifest names a missing shard file: {path}")
             try:
                 payload = json.loads(path.read_text())
             except json.JSONDecodeError as exc:
-                raise SerializationError(
+                raise CheckpointCorruptionError(
                     f"malformed shard checkpoint {path}: {exc}") from exc
-            detectors.append(detector_from_checkpoint_dict(payload))
+            try:
+                detectors.append(detector_from_checkpoint_dict(payload))
+            except SerializationError as exc:
+                raise CheckpointCorruptionError(
+                    f"unreadable shard checkpoint {path}: {exc}") from exc
         return detectors
+
+    def load_detectors(self) -> List[SPOT]:
+        """Rebuild every shard's detector from the latest manifest."""
+        return self._load_generation(self.manifest())
+
+    def load_fleet(self) -> Tuple[Dict[str, object], List[SPOT]]:
+        """Load the newest *intact* checkpoint: ``(manifest, detectors)``.
+
+        Tries the latest generation first; on a typed corruption error it
+        falls back to the previous good generation (kept by :meth:`save`)
+        and reports which one actually loaded via the returned manifest.
+        Raises :class:`CheckpointCorruptionError` describing both failures
+        when neither generation survives.
+        """
+        try:
+            manifest = self.manifest()
+            return manifest, self._load_generation(manifest)
+        except CheckpointCorruptionError as latest_error:
+            try:
+                manifest = self.manifest(PREV_MANIFEST_NAME)
+                detectors = self._load_generation(manifest)
+            except SerializationError as prev_error:
+                raise CheckpointCorruptionError(
+                    f"no intact checkpoint generation in {self.directory}: "
+                    f"latest failed ({latest_error}); "
+                    f"previous failed ({prev_error})") from latest_error
+            return manifest, detectors

@@ -251,6 +251,22 @@ class LearningCoordinator:
                 self._evicted_memo_misses += evicted.memo.misses
         return context
 
+    def evict_shard(self, shard_id: int) -> int:
+        """Drop every cached snapshot context of one shard.
+
+        Called by the service when a shard is restarted after a crash: the
+        dead worker's reservoir snapshots are gone, so their contexts can
+        never be reused and would only squat in the LRU.  Returns how many
+        contexts were evicted.
+        """
+        with self._lock:
+            stale = [key for key in self._contexts if key[0] == shard_id]
+            for key in stale:
+                evicted = self._contexts.pop(key)
+                self._evicted_memo_hits += evicted.memo.hits
+                self._evicted_memo_misses += evicted.memo.misses
+        return len(stale)
+
     def _evaluate_group(self, shard_id: int, grid: Grid,
                         requests: List) -> List[LearnPublication]:
         started = time.perf_counter()

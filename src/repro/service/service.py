@@ -7,7 +7,9 @@ SPOT detector shards::
         │
     ShardRouter ──► MicroBatcher[shard] ──► ShardWorker[shard] ──► results
         │                (coalescing,          (process_batch)
-        │                 backpressure)
+        │                 backpressure)            │
+        │                                     ShardSupervisor (crash →
+        │                                      restore + replay, optional)
         └────────────── CheckpointManager (periodic full-state snapshots)
 
 Per-stream order is preserved (stable routing + FIFO queues + sequential
@@ -15,6 +17,13 @@ workers), so every shard's decisions are exactly those of a single detector
 fed that shard's sub-stream — the property the parity tests pin down.  The
 whole fleet can be checkpointed at a quiescent point and later restored to
 resume decision-identically.
+
+Fault tolerance is opt-in per config: ``supervise=True`` turns worker
+failures into supervised restarts (checkpoint restore + journal replay,
+decision-identical on surviving traffic), ``deadline`` bounds how stale a
+point may get before it is shed or marked degraded, ``full_policy`` bounds
+producer waits on a full queue, and ``fault_plan`` injects deterministic
+crashes/stalls/IPC failures for testing all of the above.
 """
 
 from __future__ import annotations
@@ -25,18 +34,28 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.detector import SPOT
-from ..core.exceptions import ConfigurationError
+from ..core.exceptions import BackpressureTimeout, ConfigurationError
 from ..core.results import DetectionResult
 from ..persist.serialization import clone_detector
 from ..streams.tagged import TaggedStreamPoint
-from .batcher import BatchItem, MicroBatcher
+from .batcher import FULL_POLICIES, BatchItem, MicroBatcher
 from .checkpoint import CheckpointManager
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .learning import LearningCoordinator, LearningServiceConfig
 from .router import ShardRouter
-from .worker import ProcessShardWorker, ShardStats, ShardWorker
+from .supervisor import ShardSupervisor
+from .worker import (
+    DEADLINE_POLICIES,
+    ProcessShardWorker,
+    ShardStats,
+    ShardWorker,
+)
 
 WORKER_MODES = ("thread", "process")
 LEARNING_MODES = ("sync", "async")
+
+#: Outcomes a ServiceResult can carry.
+RESULT_OUTCOMES = ("ok", "degraded", "shed", "quarantined")
 
 
 @dataclass(frozen=True)
@@ -62,6 +81,29 @@ class ServiceConfig:
     #: always work).  Requires ``checkpoint_dir``.
     checkpoint_every: int = 0
     checkpoint_dir: Optional[str] = None
+    #: Fault tolerance.  ``supervise=True`` attaches a
+    #: :class:`~repro.service.supervisor.ShardSupervisor`: a crashed shard is
+    #: restarted from its latest snapshot and the points committed since are
+    #: replayed, decision-identically, instead of poisoning the shard.
+    supervise: bool = False
+    max_restarts_per_shard: int = 5
+    #: Observed scoring failures after which a point is quarantined instead
+    #: of retried (supervised mode).
+    poison_threshold: int = 3
+    #: Per-point detection deadline in seconds (0 disables).  A point older
+    #: than this when its batch is picked up is shed (``deadline_policy=
+    #: "shed"``) or scored anyway but delivered with a ``"degraded"``
+    #: outcome (``"degrade"``).
+    deadline: float = 0.0
+    deadline_policy: str = "shed"
+    #: Producer-side policy when a shard's queue is full: ``"block"``
+    #: (historical default), ``"timeout"`` (bounded wait, typed
+    #: BackpressureTimeout) or ``"shed"`` (drop at admission).
+    full_policy: str = "block"
+    put_timeout: Optional[float] = None
+    #: Deterministic fault injection (tests, chaos bench); ``None`` in
+    #: production.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -86,6 +128,25 @@ class ServiceConfig:
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
             raise ConfigurationError(
                 "checkpoint_every needs checkpoint_dir to be set")
+        if self.max_restarts_per_shard < 0:
+            raise ConfigurationError("max_restarts_per_shard must be >= 0")
+        if self.poison_threshold < 1:
+            raise ConfigurationError("poison_threshold must be positive")
+        if self.deadline < 0.0:
+            raise ConfigurationError(
+                f"deadline must be >= 0, got {self.deadline}")
+        if self.deadline_policy not in DEADLINE_POLICIES:
+            raise ConfigurationError(
+                f"deadline_policy must be one of {DEADLINE_POLICIES}, "
+                f"got {self.deadline_policy!r}")
+        if self.full_policy not in FULL_POLICIES:
+            raise ConfigurationError(
+                f"full_policy must be one of {FULL_POLICIES}, "
+                f"got {self.full_policy!r}")
+        if self.full_policy == "timeout" and (
+                self.put_timeout is None or self.put_timeout <= 0.0):
+            raise ConfigurationError(
+                "full_policy='timeout' needs a positive put_timeout")
 
     def learning_config(self) -> LearningServiceConfig:
         """The coordinator configuration this service config implies.
@@ -103,18 +164,31 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """One processed point, as delivered by the service."""
+    """One processed point, as delivered by the service.
+
+    ``outcome`` is ``"ok"`` for a normally scored point, ``"degraded"``
+    for one scored past its deadline (``deadline_policy="degrade"``),
+    ``"shed"`` for one dropped past its deadline or at a full queue
+    (``result`` is ``None``), and ``"quarantined"`` for a poison point the
+    supervisor refused to keep retrying (``result`` is ``None``).
+    """
 
     seq: int
     stream_id: str
     shard: int
-    result: DetectionResult
+    result: Optional[DetectionResult]
     latency_seconds: float
+    outcome: str = "ok"
 
     @property
     def is_outlier(self) -> bool:
-        """Whether the detector flagged this point."""
-        return self.result.is_outlier
+        """Whether the detector flagged this point (``False`` when unscored)."""
+        return self.result is not None and self.result.is_outlier
+
+    @property
+    def scored(self) -> bool:
+        """Whether the point was actually scored by a detector."""
+        return self.result is not None
 
 
 class DetectionService:
@@ -158,9 +232,15 @@ class DetectionService:
         self._stopped = False
         self._started_at: Optional[float] = None
         self._checkpoints_taken = 0
+        self._checkpoint_write_failures = 0
         self._points_at_last_checkpoint = 0
         self._checkpoint_extra: Dict[str, object] = {}
         self._coordinator: Optional[LearningCoordinator] = None
+        self._supervisor: Optional[ShardSupervisor] = None
+        self._faults: Optional[FaultInjector] = \
+            FaultInjector(self.config.fault_plan) \
+            if self.config.fault_plan is not None \
+            and not self.config.fault_plan.empty else None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -188,11 +268,13 @@ class DetectionService:
         Shard count and router salt always come from the manifest (changing
         either would re-route streams away from the summaries that know
         them); the remaining serving tunables may be overridden via
-        ``config``.
+        ``config``.  Restoration is corruption-tolerant: when the latest
+        checkpoint generation is truncated or malformed on disk, the
+        previous good generation is loaded instead (see
+        :meth:`CheckpointManager.load_fleet`).
         """
         manager = CheckpointManager(directory)
-        manifest = manager.manifest()
-        detectors = manager.load_detectors()
+        manifest, detectors = manager.load_fleet()
         base = config if config is not None else ServiceConfig()
         merged = replace(base, n_shards=int(manifest["n_shards"]),
                          router_salt=int(manifest["router_salt"]))
@@ -211,29 +293,23 @@ class DetectionService:
             raise ConfigurationError("the service is already started")
         if self._stopped:
             raise ConfigurationError("a stopped service cannot be restarted")
-        async_learning = self.config.learning_mode == "async"
-        if async_learning:
+        if self.config.learning_mode == "async":
             self._coordinator = LearningCoordinator(
                 self.config.learning_config()).start()
-        if self.config.worker_mode == "thread":
-            for shard_id, detector in enumerate(self._detectors):
-                # The mode is a serving decision, not detector state: a fleet
-                # restored from an async checkpoint serves sync-ly (and vice
-                # versa) without any decision changing.
-                detector.set_deferred_learning(async_learning)
-                batcher = self._make_batcher()
-                worker = ShardWorker(shard_id, detector, batcher,
-                                     self._on_results,
-                                     learning=self._coordinator)
-                self._batchers.append(batcher)
-                self._workers.append(worker)
-        else:
-            for shard_id, detector in enumerate(self._detectors):
-                batcher = self._make_batcher()
-                worker = ProcessShardWorker(shard_id, detector, batcher,
-                                            self._on_results)
-                self._batchers.append(batcher)
-                self._workers.append(worker)
+        if self.config.supervise:
+            self._supervisor = ShardSupervisor(
+                self,
+                max_restarts_per_shard=self.config.max_restarts_per_shard,
+                poison_threshold=self.config.poison_threshold).start()
+            # The shards' starting states are the zeroth "checkpoint": a
+            # crash before the first on-disk save replays from here.
+            self._supervisor.install_snapshots(
+                [detector.export_state() for detector in self._detectors])
+        for shard_id, detector in enumerate(self._detectors):
+            batcher = self._make_batcher()
+            worker = self._build_worker(shard_id, detector, batcher)
+            self._batchers.append(batcher)
+            self._workers.append(worker)
         for worker in self._workers:
             worker.start()
         self._started = True
@@ -243,12 +319,45 @@ class DetectionService:
     def _make_batcher(self) -> MicroBatcher:
         return MicroBatcher(max_batch=self.config.max_batch,
                             max_delay=self.config.max_delay,
-                            max_pending=self.config.max_pending)
+                            max_pending=self.config.max_pending,
+                            full_policy=self.config.full_policy,
+                            put_timeout=self.config.put_timeout)
+
+    def _build_worker(self, shard_id: int, detector: SPOT,
+                      batcher: MicroBatcher
+                      ) -> Union[ShardWorker, ProcessShardWorker]:
+        """Wire one worker (initial start and supervised replacement)."""
+        if self.config.worker_mode == "thread":
+            # The mode is a serving decision, not detector state: a fleet
+            # restored from an async checkpoint serves sync-ly (and vice
+            # versa) without any decision changing.
+            detector.set_deferred_learning(
+                self.config.learning_mode == "async")
+            return ShardWorker(shard_id, detector, batcher,
+                               self._on_results,
+                               learning=self._coordinator,
+                               faults=self._faults,
+                               deadline=self.config.deadline,
+                               deadline_policy=self.config.deadline_policy,
+                               quarantine_on_failure=not self.config.supervise)
+        return ProcessShardWorker(shard_id, detector, batcher,
+                                  self._on_results,
+                                  fault_plan=self.config.fault_plan,
+                                  faults=self._faults,
+                                  deadline=self.config.deadline,
+                                  deadline_policy=self.config.deadline_policy,
+                                  quarantine_on_failure=not self.config.supervise,
+                                  on_ipc_retry=self._note_ipc_retry)
 
     def stop(self, timeout: Optional[float] = 60.0) -> None:
         """Drain every queue, stop every worker, surface any failure."""
         if not self._started or self._stopped:
             return
+        if self._supervisor is not None:
+            # Finish in-flight recoveries first so the worker registry is
+            # stable; crashes during the final drain below surface as plain
+            # errors (the supervisor no longer accepts events).
+            self._supervisor.shutdown(timeout=timeout)
         for worker in self._workers:
             worker.shutdown(timeout=timeout)
         for shard_id, worker in enumerate(self._workers):
@@ -277,8 +386,11 @@ class DetectionService:
     def submit(self, stream_id: str, values: Sequence[float]) -> int:
         """Route one point to its shard; returns its global sequence number.
 
-        Blocks when the owning shard's queue is full (backpressure).  When
-        periodic checkpointing is configured, crossing the
+        A full shard queue engages the configured ``full_policy``: block
+        (default), bounded wait raising
+        :class:`~repro.core.exceptions.BackpressureTimeout`, or admission
+        shedding (the point completes immediately with a ``"shed"``
+        outcome).  When periodic checkpointing is configured, crossing the
         ``checkpoint_every`` threshold quiesces the service and snapshots
         every shard before the point is enqueued.
         """
@@ -297,7 +409,16 @@ class DetectionService:
         item = BatchItem(seq=seq, stream_id=stream_id,
                          values=tuple(float(v) for v in values),
                          enqueued_at=time.monotonic())
-        self._batchers[shard].put(item)
+        try:
+            accepted = self._batchers[shard].put(item)
+        except BackpressureTimeout:
+            # The point was never enqueued; complete it as shed so the
+            # accounting stays consistent (drain() must not wait for it),
+            # then surface the bounded-wait failure to the caller.
+            self._on_results(shard, [item], None, 0.0, None, shed=True)
+            raise
+        if not accepted:  # full_policy="shed": admission-shed the point
+            self._on_results(shard, [item], None, 0.0, None, shed=True)
         return seq
 
     def submit_tagged(self, points: Iterable[TaggedStreamPoint]) -> int:
@@ -309,7 +430,13 @@ class DetectionService:
         return n
 
     def drain(self, timeout: Optional[float] = None) -> None:
-        """Block until every submitted point has been processed."""
+        """Block until every submitted point has been processed.
+
+        Under supervision a crash does not fail the drain: the wait simply
+        covers the recovery, and completes once the replayed points are
+        delivered.  Only an unrecoverable failure (restart budget exhausted,
+        replay failure) raises.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._all_done:
             while self._completed < self._submitted and not self._errors:
@@ -328,17 +455,42 @@ class DetectionService:
     # ------------------------------------------------------------------ #
     def _on_results(self, shard_id: int, items: List[BatchItem],
                     results: Optional[List[DetectionResult]],
-                    busy_seconds: float, error: Optional[str]) -> None:
+                    busy_seconds: float, error: Optional[str], *,
+                    shed: bool = False) -> None:
         now = time.monotonic()
+        if error is not None and self._supervisor is not None \
+                and self._supervisor.submit_failure(shard_id, items, error):
+            # Supervised recovery owns these points now: they stay in
+            # flight (not completed, no error recorded) until the replay
+            # delivers them — or recovery itself gives up and records a
+            # shard error.
+            with self._lock:
+                stats = self._stats[shard_id]
+                stats.batches += 1
+                stats.busy_seconds += busy_seconds
+                stats.errors += 1
+            return
+        degrade = (self.config.deadline > 0.0
+                   and self.config.deadline_policy == "degrade")
         with self._all_done:
             stats = self._stats[shard_id]
-            stats.batches += 1
-            stats.busy_seconds += busy_seconds
-            if error is not None:
+            if shed:
+                stats.shed_points += len(items)
+                for item in items:
+                    self._results.append(ServiceResult(
+                        seq=item.seq, stream_id=item.stream_id,
+                        shard=shard_id, result=None,
+                        latency_seconds=now - item.enqueued_at,
+                        outcome="shed"))
+            elif error is not None:
+                stats.batches += 1
+                stats.busy_seconds += busy_seconds
                 stats.errors += 1
                 self._errors.append(f"shard {shard_id}: {error}")
             else:
                 assert results is not None
+                stats.batches += 1
+                stats.busy_seconds += busy_seconds
                 stats.points += len(items)
                 for item, result in zip(items, results):
                     latency = now - item.enqueued_at
@@ -348,16 +500,64 @@ class DetectionService:
                     # learning mode, for any inline MOGA searches the call
                     # ran) before its result exists.
                     stats.path_latency.record(busy_seconds)
+                    outcome = "ok"
+                    if degrade and latency > self.config.deadline:
+                        outcome = "degraded"
+                        stats.degraded_points += 1
                     self._results.append(ServiceResult(
                         seq=item.seq,
                         stream_id=item.stream_id,
                         shard=shard_id,
                         result=result,
                         latency_seconds=latency,
+                        outcome=outcome,
                     ))
+                if self._supervisor is not None:
+                    # Journal the committed points: a later crash replays
+                    # them from the last snapshot to rebuild this state.
+                    self._supervisor.record_committed(shard_id, items)
             self._completed += len(items)
             if self._completed >= self._submitted or self._errors:
                 self._all_done.notify_all()
+
+    def _deliver_quarantined(self, shard_id: int,
+                             items: List[BatchItem]) -> None:
+        """Complete poison points with a ``"quarantined"`` outcome."""
+        now = time.monotonic()
+        with self._all_done:
+            stats = self._stats[shard_id]
+            stats.quarantined_points += len(items)
+            for item in items:
+                self._results.append(ServiceResult(
+                    seq=item.seq, stream_id=item.stream_id, shard=shard_id,
+                    result=None, latency_seconds=now - item.enqueued_at,
+                    outcome="quarantined"))
+            self._completed += len(items)
+            if self._completed >= self._submitted or self._errors:
+                self._all_done.notify_all()
+
+    def _record_shard_error(self, shard_id: int, message: str) -> None:
+        """Surface an unrecoverable shard failure (wakes any drain())."""
+        with self._all_done:
+            self._errors.append(f"shard {shard_id}: {message}")
+            self._all_done.notify_all()
+
+    def _install_replacement(self, shard_id: int, detector: SPOT) -> None:
+        """Swap a recovered detector + fresh worker into the registry."""
+        if self._coordinator is not None:
+            # The dead worker's snapshot contexts are stale; drop them so
+            # the restarted shard's searches build from its own snapshots.
+            self._coordinator.evict_shard(shard_id)
+        batcher = self._batchers[shard_id]
+        worker = self._build_worker(shard_id, detector, batcher)
+        with self._lock:
+            self._detectors[shard_id] = detector
+            self._workers[shard_id] = worker
+        worker.start()
+
+    def _note_ipc_retry(self, shard_id: int) -> None:
+        with self._lock:
+            self._stats[shard_id].ipc_retries += 1
 
     def _raise_on_error(self) -> None:
         if self._errors:
@@ -365,7 +565,11 @@ class DetectionService:
                 "service worker failure: " + "; ".join(self._errors))
 
     def results(self) -> List[ServiceResult]:
-        """Every processed point so far, in global submission order."""
+        """Every completed point so far, in global submission order.
+
+        Includes shed and quarantined points (``result is None``); filter
+        on :attr:`ServiceResult.scored` for detector decisions only.
+        """
         with self._lock:
             return sorted(self._results, key=lambda r: r.seq)
 
@@ -408,6 +612,11 @@ class DetectionService:
         """The shared learning coordinator (``None`` in sync mode)."""
         return self._coordinator
 
+    @property
+    def supervisor(self) -> Optional[ShardSupervisor]:
+        """The shard supervisor (``None`` unless ``supervise=True``)."""
+        return self._supervisor
+
     def latency_summary(self) -> Dict[str, float]:
         """Fleet-wide delivered- and detection-path-latency percentiles.
 
@@ -441,6 +650,21 @@ class DetectionService:
             wall = (time.monotonic() - self._started_at
                     if self._started_at is not None else 0.0)
             batcher_stats = [batcher.stats() for batcher in self._batchers]
+            robustness = {
+                "supervised": self.config.supervise,
+                "restarts": sum(s.restarts for s in self._stats),
+                "recovery_ms": round(1e3 * sum(s.recovery_seconds
+                                               for s in self._stats), 1),
+                "shed_points": sum(s.shed_points for s in self._stats),
+                "degraded_points": sum(s.degraded_points
+                                       for s in self._stats),
+                "quarantined_points": sum(s.quarantined_points
+                                          for s in self._stats),
+                "ipc_retries": sum(s.ipc_retries for s in self._stats),
+                "checkpoint_write_failures": self._checkpoint_write_failures,
+                "faults_fired": (self._faults.stats()
+                                 if self._faults is not None else None),
+            }
         return {
             "n_shards": self.config.n_shards,
             "worker_mode": self.config.worker_mode,
@@ -459,6 +683,7 @@ class DetectionService:
             "learning_mode": self.config.learning_mode,
             "learning": (self._coordinator.stats()
                          if self._coordinator is not None else None),
+            "robustness": robustness,
             "shards": per_shard,
         }
 
@@ -483,6 +708,11 @@ class DetectionService:
         stream position; submission resumes as soon as the states are
         captured.  ``extra`` overrides the persistent metadata installed via
         :meth:`set_checkpoint_extra` for this save only.
+
+        A write failure injected by the fault plan is absorbed: the save is
+        counted as failed, the previous on-disk checkpoint stays the latest
+        good one, the supervisor keeps its old snapshot + journal, and
+        ``None`` is returned; serving continues.
         """
         target = directory if directory is not None \
             else self.config.checkpoint_dir
@@ -490,12 +720,29 @@ class DetectionService:
             raise ConfigurationError(
                 "no checkpoint directory configured or given")
         self.drain()
+        if self._supervisor is not None:
+            # Recoveries deliver through the normal completion path, so
+            # drain() above already covered them; quiesce() additionally
+            # guarantees the worker swap itself finished before we export.
+            self._supervisor.quiesce()
         states = [worker.export_state() for worker in self._workers]
         manager = CheckpointManager(target)
-        path = manager.save(states, router_salt=self.config.router_salt,
-                            points_submitted=self.points_submitted,
-                            extra=extra if extra is not None
-                            else self._checkpoint_extra)
+        inject_failure = (self._faults is not None
+                          and self._faults.checkpoint_should_fail())
+        try:
+            path = manager.save(states, router_salt=self.config.router_salt,
+                                points_submitted=self.points_submitted,
+                                extra=extra if extra is not None
+                                else self._checkpoint_extra,
+                                fail_before_manifest=inject_failure)
+        except InjectedFault:
+            with self._lock:
+                self._checkpoint_write_failures += 1
+                # Deliberately *not* advancing _points_at_last_checkpoint:
+                # the periodic trigger retries on the next submit.
+            return None
+        if self._supervisor is not None:
+            self._supervisor.install_snapshots(states)
         with self._lock:
             self._checkpoints_taken += 1
             self._points_at_last_checkpoint = self._submitted

@@ -15,10 +15,20 @@ Both expose the same surface to the service: ``start()``, ``shutdown()``,
 ``export_state()`` and a ``failure`` attribute, and both deliver every
 processed batch through the service's ``on_results`` callback:
 
-    on_results(shard_id, items, results, busy_seconds, error)
+    on_results(shard_id, items, results, busy_seconds, error, shed=False)
 
 with ``results`` a list of :class:`~repro.core.results.DetectionResult`
-aligned with ``items`` (or ``None`` when ``error`` is set).
+aligned with ``items`` (or ``None`` when ``error`` is set, or when
+``shed=True`` marks points dropped past their detection deadline).
+
+Failure semantics are a policy of the owner: standalone (the historical
+default, ``quarantine_on_failure=True``) a failed shard rejects every later
+batch so nothing is scored against a possibly half-updated store; under a
+:class:`~repro.service.supervisor.ShardSupervisor`
+(``quarantine_on_failure=False``) the worker *retires* instead — it stops
+consuming, hands any batch it already popped back to the queue, and leaves
+the backlog for the replacement worker the supervisor builds from the last
+checkpoint.
 """
 
 from __future__ import annotations
@@ -32,9 +42,19 @@ from ..core.detector import SPOT
 from ..core.exceptions import ConfigurationError
 from ..metrics.throughput import LatencySeries
 from .batcher import BatchItem, MicroBatcher
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    TransientIPCError,
+    call_with_retry,
+)
 from .learning import LearningCoordinator, LearnTicket
 
 ResultsCallback = Callable[..., None]
+
+DEADLINE_POLICIES = ("shed", "degrade")
 
 
 @dataclass
@@ -53,6 +73,16 @@ class ShardStats:
     #: measures.
     path_latency: LatencySeries = field(default_factory=LatencySeries)
     errors: int = 0
+    #: Robustness counters (see the fault-tolerance layer): points dropped
+    #: past their deadline, points scored late under the "degrade" policy,
+    #: poison points skipped by the supervisor, IPC retries that eventually
+    #: succeeded, worker restarts, and the total time spent recovering.
+    shed_points: int = 0
+    degraded_points: int = 0
+    quarantined_points: int = 0
+    ipc_retries: int = 0
+    restarts: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def points_per_second(self) -> float:
@@ -86,6 +116,12 @@ class ShardStats:
             "path_p95_ms": round(1e3 * path["p95"], 3),
             "path_p99_ms": round(1e3 * path["p99"], 3),
             "errors": self.errors,
+            "shed_points": self.shed_points,
+            "degraded_points": self.degraded_points,
+            "quarantined_points": self.quarantined_points,
+            "ipc_retries": self.ipc_retries,
+            "restarts": self.restarts,
+            "recovery_ms": round(1e3 * self.recovery_seconds, 1),
         }
 
 
@@ -109,20 +145,39 @@ class ShardWorker(threading.Thread):
 
     def __init__(self, shard_id: int, detector: SPOT, batcher: MicroBatcher,
                  on_results: ResultsCallback,
-                 learning: Optional[LearningCoordinator] = None) -> None:
+                 learning: Optional[LearningCoordinator] = None, *,
+                 faults: Optional[FaultInjector] = None,
+                 deadline: float = 0.0, deadline_policy: str = "shed",
+                 quarantine_on_failure: bool = True) -> None:
         super().__init__(name=f"spot-shard-{shard_id}", daemon=True)
+        if deadline_policy not in DEADLINE_POLICIES:
+            raise ConfigurationError(
+                f"deadline_policy must be one of {DEADLINE_POLICIES}, "
+                f"got {deadline_policy!r}")
         self.shard_id = shard_id
         self.detector = detector
         self.batcher = batcher
         self.on_results = on_results
         self.learning = learning
+        self.faults = faults
+        self.deadline = deadline
+        self.deadline_policy = deadline_policy
+        self.quarantine_on_failure = quarantine_on_failure
         self.failure: Optional[BaseException] = None
+        self._retired = threading.Event()
         self._tickets: dict = {}
+
+    def retire(self) -> None:
+        """Stop consuming without closing the queue (supervised recovery)."""
+        self._retired.set()
+        self.batcher.interrupt()
 
     def run(self) -> None:
         while True:
-            batch = self.batcher.next_batch()
+            batch = self.batcher.next_batch(stop=self._retired)
             if batch is None:
+                if self._retired.is_set():
+                    return  # retired mid-failure; the supervisor takes over
                 # Graceful shutdown: apply any still-outstanding publication
                 # so the stopped fleet holds the same SSTs an uninterrupted
                 # synchronous run would (the apply point of a request emitted
@@ -130,10 +185,14 @@ class ShardWorker(threading.Thread):
                 if self.failure is None:
                     try:
                         self._resolve_pending_learns()
-                    except BaseException as exc:
+                    except Exception as exc:
                         self.failure = exc
                 return
             if self.failure is not None:
+                if not self.quarantine_on_failure:
+                    # Retiring: hand the popped batch back for the successor.
+                    self.batcher.requeue(batch)
+                    return
                 # Quarantine: a failed process_batch may have committed a
                 # prefix of its chunk, so the detector's summaries are not
                 # trustworthy anymore.  Later batches are rejected instead of
@@ -143,15 +202,55 @@ class ShardWorker(threading.Thread):
                                 f"{type(self.failure).__name__}: {self.failure}")
                 continue
             self._run_batch(batch)
+            if self.failure is not None and not self.quarantine_on_failure:
+                return  # leave remaining queue traffic to the replacement
+
+    def _shed_overdue(self, batch: List[BatchItem]) -> List[BatchItem]:
+        """Drop points past their deadline; returns the still-live ones."""
+        if self.deadline <= 0.0 or self.deadline_policy != "shed":
+            return batch
+        now = time.monotonic()
+        live = [item for item in batch
+                if now - item.enqueued_at <= self.deadline]
+        if len(live) < len(batch):
+            overdue = [item for item in batch
+                       if now - item.enqueued_at > self.deadline]
+            self.on_results(self.shard_id, overdue, None, 0.0, None,
+                            shed=True)
+        return live
 
     def _run_batch(self, batch: List[BatchItem]) -> None:
+        if self.faults is not None:
+            stall = self.faults.stall_seconds([item.seq for item in batch])
+            if stall > 0.0:
+                time.sleep(stall)
+        batch = self._shed_overdue(batch)
+        if not batch:
+            return
+        if self.faults is not None:
+            consume = self.faults.crash_consume([item.seq for item in batch])
+            if consume is not None:
+                # Torn batch: commit a prefix to the detector, then die with
+                # the whole batch undelivered — the worst case snapshot-plus-
+                # replay recovery has to absorb.
+                try:
+                    self.detector.process_batch(
+                        [item.values for item in batch[:consume]])
+                except Exception:
+                    pass  # the crash below is the failure under test
+                exc = InjectedFault(
+                    f"injected worker crash at shard {self.shard_id}")
+                self.failure = exc
+                self.on_results(self.shard_id, batch, None, 0.0,
+                                f"{type(exc).__name__}: {exc}")
+                return
         offset = 0
         while offset < len(batch):
             try:
                 # Apply every publication due before the next point; waits
                 # (if any) burn queue time, not detection-path time.
                 self._resolve_pending_learns()
-            except BaseException as exc:
+            except Exception as exc:
                 self.failure = exc
                 self.on_results(self.shard_id, batch[offset:], None, 0.0,
                                 f"{type(exc).__name__}: {exc}")
@@ -161,7 +260,7 @@ class ShardWorker(threading.Thread):
                 results = self.detector.process_batch(
                     [item.values for item in batch[offset:]])
                 error = None
-            except BaseException as exc:  # surfaced via drain()/stop()
+            except Exception as exc:  # surfaced via drain()/stop()
                 self.failure = exc
                 results = None
                 error = f"{type(exc).__name__}: {exc}"
@@ -238,25 +337,45 @@ class ShardWorker(threading.Thread):
         return self.detector.export_state()
 
 
-def _process_worker_main(state_payload: dict, inbox, outbox) -> None:
+def _process_worker_main(state_payload: dict, inbox, outbox,
+                         fault_plan: Optional[dict] = None) -> None:
     """Child-process loop: rebuild the detector, then serve commands."""
+    import os
+
     detector = SPOT.from_state(state_payload)
     # Process shards run learning inline: a state restored from a deferred-
     # mode checkpoint replays its in-flight searches now, then stays sync.
     detector.set_deferred_learning(False)
     if detector.pending_learn_requests:
         detector.resolve_pending_learns()
+    faults = FaultInjector(FaultPlan.from_dict(fault_plan)) \
+        if fault_plan else None
     while True:
         command = inbox.get()
         kind = command[0]
         if kind == "batch":
             seqs, values = command[1], command[2]
+            if faults is not None:
+                stall = faults.stall_seconds(seqs)
+                if stall > 0.0:
+                    time.sleep(stall)
+                consume = faults.crash_consume(seqs)
+                if consume is not None:
+                    # A *hard* crash: commit a prefix, then kill the process
+                    # without a reply, so the parent sees a dead child with
+                    # the whole batch in flight (the supervisor's worst case).
+                    try:
+                        detector.process_batch(values[:consume])
+                    except Exception:
+                        pass
+                    outbox.close()
+                    os._exit(23)
             started = time.perf_counter()
             try:
                 results = detector.process_batch(values)
                 outbox.put(("results", seqs,
                             results, time.perf_counter() - started, None))
-            except BaseException as exc:
+            except Exception as exc:
                 outbox.put(("results", seqs, None,
                             time.perf_counter() - started,
                             f"{type(exc).__name__}: {exc}"))
@@ -277,27 +396,52 @@ class ProcessShardWorker:
     callback.  Detection results cross the process boundary as pickled
     :class:`DetectionResult` objects, so downstream consumers see exactly
     what the thread flavour delivers.
+
+    Queue operations toward the child go through a bounded
+    retry-with-backoff loop (:class:`~repro.service.faults.RetryPolicy`), so
+    a transient IPC hiccup costs a jittered retry instead of a shard.
     """
 
     def __init__(self, shard_id: int, detector: SPOT, batcher: MicroBatcher,
-                 on_results: ResultsCallback) -> None:
+                 on_results: ResultsCallback, *,
+                 fault_plan: Optional[FaultPlan] = None,
+                 faults: Optional[FaultInjector] = None,
+                 deadline: float = 0.0, deadline_policy: str = "shed",
+                 quarantine_on_failure: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 on_ipc_retry: Optional[Callable[[int], None]] = None) -> None:
         import multiprocessing
 
+        if deadline_policy not in DEADLINE_POLICIES:
+            raise ConfigurationError(
+                f"deadline_policy must be one of {DEADLINE_POLICIES}, "
+                f"got {deadline_policy!r}")
         self.shard_id = shard_id
         self.batcher = batcher
         self.on_results = on_results
+        self.deadline = deadline
+        self.deadline_policy = deadline_policy
+        self.quarantine_on_failure = quarantine_on_failure
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
+        self.on_ipc_retry = on_ipc_retry
+        #: Parent-side injector (IPC faults fire in the parent; crash and
+        #: stall faults ship to the child inside ``fault_plan``).
+        self.faults = faults
         self.failure: Optional[BaseException] = None
         context = multiprocessing.get_context()
         self._inbox = context.Queue()
         self._outbox = context.Queue()
         self._process = context.Process(
             target=_process_worker_main,
-            args=(detector.export_state(), self._inbox, self._outbox),
+            args=(detector.export_state(), self._inbox, self._outbox,
+                  fault_plan.to_dict() if fault_plan is not None else None),
             daemon=True,
             name=f"spot-shard-{shard_id}",
         )
         self._pending: dict = {}
         self._pending_lock = threading.Lock()
+        self._retired = threading.Event()
         self._state_box: List[dict] = []
         self._state_ready = threading.Event()
         self._feeder = threading.Thread(target=self._feed,
@@ -322,19 +466,88 @@ class ProcessShardWorker:
         self._inbox.put(("stop",))
         self._collector.join(timeout=timeout)
         self._process.join(timeout=timeout)
+        self._release_queues()
+
+    def retire(self, timeout: Optional[float] = None) -> None:
+        """Stop feeding without closing the queue (supervised recovery)."""
+        self._retired.set()
+        self.batcher.interrupt()
+        self._feeder.join(timeout=timeout)
+        self._collector.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=timeout)
+        self._release_queues()
+
+    def _release_queues(self) -> None:
+        # A dead child never drains its inbox; anything still buffered in
+        # the queue's feeder pipe would make interpreter exit block forever
+        # on the join-thread finalizer.  Nothing buffered is needed once
+        # the child is gone, so drop it instead of waiting.
+        for queue in (self._inbox, self._outbox):
+            queue.cancel_join_thread()
+            queue.close()
 
     def is_alive(self) -> bool:
         return self._process.is_alive()
 
+    def drain_pending(self) -> List[BatchItem]:
+        """Sweep in-flight items after :meth:`retire` (supervised recovery).
+
+        Closes the shutdown race where the feeder ships one more batch to a
+        child that is already dead (or already retired by the collector):
+        those points sit in ``_pending`` with nobody left to deliver them.
+        Only call after the plumbing threads are joined.
+        """
+        with self._pending_lock:
+            items = sorted(self._pending.values(), key=lambda item: item.seq)
+            self._pending.clear()
+        return items
+
     # ------------------------------------------------------------------ #
     # Plumbing threads
     # ------------------------------------------------------------------ #
+    def _shed_overdue(self, batch: List[BatchItem]) -> List[BatchItem]:
+        if self.deadline <= 0.0 or self.deadline_policy != "shed":
+            return batch
+        now = time.monotonic()
+        live = [item for item in batch
+                if now - item.enqueued_at <= self.deadline]
+        if len(live) < len(batch):
+            overdue = [item for item in batch
+                       if now - item.enqueued_at > self.deadline]
+            self.on_results(self.shard_id, overdue, None, 0.0, None,
+                            shed=True)
+        return live
+
+    def _ship(self, batch: List[BatchItem]) -> None:
+        seqs = [item.seq for item in batch]
+        values = [item.values for item in batch]
+
+        def attempt() -> None:
+            if self.faults is not None and self.faults.ipc_should_fail(seqs):
+                raise TransientIPCError(
+                    f"injected inbox failure at seq {seqs[0]}")
+            self._inbox.put(("batch", seqs, values))
+
+        def count_retry(attempt_number: int, exc: BaseException) -> None:
+            if self.on_ipc_retry is not None:
+                self.on_ipc_retry(self.shard_id)
+
+        call_with_retry(attempt, self.retry_policy,
+                        seed=self.shard_id * 1_000_003 + seqs[0],
+                        on_retry=count_retry)
+
     def _feed(self) -> None:
         while True:
-            batch = self.batcher.next_batch()
+            batch = self.batcher.next_batch(stop=self._retired)
             if batch is None:
                 return
             if self.failure is not None:
+                if not self.quarantine_on_failure:
+                    # Retiring: hand the popped batch back for the successor.
+                    self.batcher.requeue(batch)
+                    return
                 # Quarantine, mirroring the thread flavour: once the child
                 # reported a failure (or died) its summaries cannot be
                 # trusted, so later batches are rejected in the parent.
@@ -342,12 +555,13 @@ class ProcessShardWorker:
                                 f"shard quarantined after earlier failure: "
                                 f"{self.failure}")
                 continue
+            batch = self._shed_overdue(batch)
+            if not batch:
+                continue
             with self._pending_lock:
                 for item in batch:
                     self._pending[item.seq] = item
-            self._inbox.put(("batch",
-                             [item.seq for item in batch],
-                             [item.values for item in batch]))
+            self._ship(batch)
 
     def _fail_pending(self, reason: str) -> None:
         """Deliver an error for every in-flight point (child is gone)."""
@@ -356,6 +570,11 @@ class ProcessShardWorker:
             self._pending.clear()
         self.failure = ConfigurationError(
             f"shard {self.shard_id}: {reason}")
+        if not self.quarantine_on_failure:
+            # Supervised: unblock the feeder so it retires and requeues
+            # anything it already popped, instead of quarantining forever.
+            self._retired.set()
+            self.batcher.interrupt()
         self._state_ready.set()  # unblock a waiting export_state call
         if items:
             self.on_results(self.shard_id, items, None, 0.0, reason)
@@ -364,8 +583,13 @@ class ProcessShardWorker:
         import queue as queue_module
 
         while True:
+            if self._retired.is_set():
+                return
             try:
-                message = self._outbox.get(timeout=0.5)
+                message = call_with_retry(
+                    lambda: self._outbox.get(timeout=0.5),
+                    self.retry_policy, retry_on=(OSError,),
+                    seed=self.shard_id)
             except queue_module.Empty:
                 if self._process.is_alive():
                     continue
@@ -386,6 +610,15 @@ class ProcessShardWorker:
                 if error is not None:
                     self.failure = ConfigurationError(
                         f"shard {self.shard_id} worker failed: {error}")
+                    if not self.quarantine_on_failure:
+                        # Supervised: stop both plumbing threads so the
+                        # supervisor can terminate the child and replace the
+                        # whole worker from the last checkpoint.
+                        self._retired.set()
+                        self.batcher.interrupt()
+                        self.on_results(self.shard_id, items, results, busy,
+                                        error)
+                        return
                 self.on_results(self.shard_id, items, results, busy, error)
             elif kind == "state":
                 self._state_box.append(message[1])

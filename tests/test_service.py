@@ -303,15 +303,23 @@ class TestServiceCheckpointing:
         service.start()
         service.submit_tagged(tenant_workload.detection[:60])
         service.checkpoint(directory)
-        service.submit_tagged(tenant_workload.detection[60:140])
+        service.submit_tagged(tenant_workload.detection[60:100])
+        service.checkpoint(directory)
+        service.submit_tagged(tenant_workload.detection[100:140])
         service.checkpoint(directory)
         service.stop()
-        manifest = CheckpointManager(directory).manifest()
+        manager = CheckpointManager(directory)
+        manifest = manager.manifest()
         assert manifest["points_submitted"] == 140
-        # Stale generations are collected; the referenced files all load.
+        # Retention keeps exactly the latest generation plus the previous
+        # good one (the corruption fallback); older generations are
+        # collected.  Here: gen 140 + gen 100 survive, gen 60 is gone.
         shard_files = sorted(p.name for p in directory.glob("shard-*.json"))
-        assert shard_files == sorted(entry["file"]
-                                     for entry in manifest["shards"])
+        latest = {entry["file"] for entry in manifest["shards"]}
+        previous = {entry["file"]
+                    for entry in manager.manifest("manifest-prev.json")["shards"]}
+        assert shard_files == sorted(latest | previous)
+        assert not any(name.endswith("-60.json") for name in shard_files)
         restored = DetectionService.restore(directory)
         assert restored.points_submitted == 140
 
