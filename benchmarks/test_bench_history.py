@@ -1,0 +1,93 @@
+"""The bench-history database over the *committed* artifacts.
+
+The other files in this directory regenerate experiments; this one guards
+the regression pipeline itself:
+
+* every entry recorded under ``benchmarks/history/`` parses, carries the
+  ``spot-bench-history/v1`` schema with sequential run indexes, and names
+  the commit it was stamped from;
+* the regression checker is clean over the committed history (the CI
+  ``bench-regression`` job runs the same check through the CLI);
+* the checker is not vacuous: distilling a committed ``BENCH_*.json``
+  payload into a fresh history and degrading its directed metrics tenfold
+  is flagged, in both directions.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import BenchHistory, classify_metric, extract_metrics
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY = BenchHistory(REPO_ROOT / "benchmarks" / "history")
+
+
+def test_committed_history_entries_validate():
+    for bench_id in HISTORY.benches():
+        entries = HISTORY.entries(bench_id)
+        assert [entry["run_index"] for entry in entries] == \
+            list(range(len(entries)))
+        for entry in entries:
+            assert entry["schema"] == "spot-bench-history/v1"
+            assert entry["bench"] == bench_id
+            assert entry["provenance"].get("git"), \
+                f"{bench_id}: history entries must name their commit"
+            assert entry["metrics"], f"{bench_id}: entry distilled no rows"
+            for row_metrics in entry["metrics"].values():
+                assert all(isinstance(value, (int, float))
+                           for value in row_metrics.values())
+
+
+def test_committed_history_has_no_regressions():
+    findings = []
+    for bench_id in HISTORY.benches():
+        findings.extend(HISTORY.check(bench_id))
+    assert findings == [], [finding.describe() for finding in findings]
+
+
+def _directed_payload():
+    """The first committed BENCH_*.json whose rows carry directed metrics."""
+    for artifact in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        payload = json.loads(artifact.read_text())
+        directed = [
+            metric
+            for row_metrics in extract_metrics(payload).values()
+            for metric in row_metrics
+            if classify_metric(metric) is not None
+        ]
+        if directed:
+            return artifact.stem.replace("BENCH_", ""), payload
+    raise AssertionError("no committed artifact carries directed metrics")
+
+
+def _degraded(payload):
+    """The payload with every directed metric moved 10x the wrong way."""
+    slowed = json.loads(json.dumps(payload))
+    for row in slowed["rows"]:
+        for metric, value in list(row.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            direction = classify_metric(metric)
+            if direction == "higher":
+                row[metric] = value / 10.0
+            elif direction == "lower":
+                row[metric] = value * 10.0
+    return slowed
+
+
+def test_checker_flags_degraded_committed_payload(tmp_path):
+    bench_id, payload = _directed_payload()
+    history = BenchHistory(tmp_path)
+    history.record(bench_id, payload)
+    history.record(bench_id, payload)
+    assert history.check(bench_id, candidate=payload) == []
+    findings = history.check(bench_id, candidate=_degraded(payload))
+    assert findings, "a 10x degradation must be flagged"
+    directions = {finding.direction for finding in findings}
+    assert "higher" in directions or "lower" in directions
+    for finding in findings:
+        assert finding.bench == bench_id
+        if finding.direction == "higher":
+            assert finding.ratio < 0.5
+        else:
+            assert finding.ratio > 1.5

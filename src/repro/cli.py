@@ -28,6 +28,18 @@ parameter schemas.
     Run the sharded multi-tenant detection service (optionally
     checkpointing), or restore a checkpoint and resume its recorded
     workload.  ``serve --bench-out`` delegates to the ``service`` bench spec.
+
+``spot-demo metrics`` / ``spot-demo trace``
+    Observability demos: run a short multi-tenant serve and emit the
+    service's ``spot-metrics/v1`` registry snapshot, or run it supervised
+    with an injected crash under a :class:`~repro.obs.trace.Tracer` and emit
+    the deterministic ``spot-trace/v1`` span trace (crash → restore →
+    replay included).
+
+``spot-demo bench-history``
+    The bench-history database (``bench <id> --record`` appends to it):
+    list recorded runs, show entries, check the newest run for regressions
+    against the recorded history, or print a metric's trend.
 """
 
 from __future__ import annotations
@@ -119,6 +131,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "running")
     bench.add_argument("--dry-run", action="store_true",
                        help="resolve and print the parameters without running")
+    bench.add_argument("--record", action="store_true",
+                       help="after writing the report, append the run to the "
+                            "bench-history database (see 'bench-history')")
+    bench.add_argument("--history-dir", default="benchmarks/history",
+                       help="bench-history database directory "
+                            "(default: benchmarks/history)")
     # Historical `bench` flags (the subcommand used to be throughput-only);
     # they are derived from the throughput spec's schema and matched to the
     # selected spec by parameter name.
@@ -130,6 +148,10 @@ def _build_parser() -> argparse.ArgumentParser:
         alias = subparsers.add_parser(name, help=help_text)
         alias.add_argument("--out", default=None,
                            help="output path of the JSON report")
+        alias.add_argument("--record", action="store_true",
+                           help="append the run to the bench-history database")
+        alias.add_argument("--history-dir", default="benchmarks/history",
+                           help="bench-history database directory")
         spec.schema.add_cli_arguments(alias)
         alias.set_defaults(id=bench_id, assignments=[], list=False,
                            dry_run=False, flag_schema=spec.schema)
@@ -231,6 +253,66 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--points", type=int, default=None,
                         help="cap on how many remaining points to replay "
                              "(default: all)")
+
+    def add_obs_serve_flags(sub: argparse.ArgumentParser) -> None:
+        """Workload/topology flags shared by the observability demo verbs."""
+        sub.add_argument("--shards", type=int, default=2)
+        sub.add_argument("--tenants", type=int, default=4)
+        sub.add_argument("--dimensions", type=int, default=8)
+        sub.add_argument("--points", type=int, default=300,
+                         help="detection points per tenant")
+        sub.add_argument("--training", type=int, default=60,
+                         help="training points per tenant (shared prototype)")
+        sub.add_argument("--max-batch", type=int, default=64,
+                         help="micro-batch coalescing limit per shard")
+        sub.add_argument("--seed", type=int, default=19)
+        sub.add_argument("--out", default=None,
+                         help="write the JSON export to this file (default: "
+                              "stdout; progress goes to stderr either way)")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a short multi-tenant serve and emit its spot-metrics/v1 "
+             "registry snapshot")
+    add_obs_serve_flags(metrics)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a short supervised serve with injected crashes under a "
+             "tracer and emit the spot-trace/v1 span trace")
+    add_obs_serve_flags(trace)
+    trace.add_argument("--fault-crashes", type=int, default=1,
+                       help="seeded worker crashes to inject (the supervisor "
+                            "recovers them; 0 traces a fault-free serve)")
+    trace.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan")
+    trace.add_argument("--capacity", type=int, default=8192,
+                       help="tracer ring-buffer capacity (oldest spans are "
+                            "dropped beyond it)")
+
+    history = subparsers.add_parser(
+        "bench-history",
+        help="inspect the recorded bench-run history and check it for "
+             "regressions")
+    history.add_argument("action", choices=("list", "show", "check", "trend"),
+                         help="list recorded benches; show one bench's "
+                              "entries (JSONL); check the newest run (or a "
+                              "--payload report) against the recorded "
+                              "history; print one metric's trend")
+    history.add_argument("bench", nargs="?", default=None,
+                         help="bench identifier (required for show/trend; "
+                              "check defaults to every recorded bench)")
+    history.add_argument("--history-dir", default="benchmarks/history",
+                         help="bench-history database directory")
+    history.add_argument("--tolerance", type=float, default=None,
+                         help="relative tolerance of the regression checker "
+                              "(default: 0.5, i.e. flag a directed metric "
+                              "moving >50%% against its direction)")
+    history.add_argument("--payload", default=None,
+                         help="check: use this spot-bench/v1 report as the "
+                              "candidate instead of the newest recorded run")
+    history.add_argument("--metric", default=None,
+                         help="trend: the metric to report")
     return parser
 
 
@@ -289,7 +371,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def _write_bench_report(spec: BenchSpec, overrides: Dict[str, object],
-                        out: Optional[str]) -> int:
+                        out: Optional[str], *, record: bool = False,
+                        history_dir: str = "benchmarks/history") -> int:
     params = spec.resolve(overrides)
     report = spec.run(**overrides)
     _print_report(report)
@@ -298,6 +381,13 @@ def _write_bench_report(spec: BenchSpec, overrides: Dict[str, object],
     with open(destination, "w") as handle:
         json.dump(payload, handle, indent=2)
     print(f"\nWrote {destination}")
+    if record:
+        from .obs import BenchHistory
+
+        history = BenchHistory(history_dir)
+        entry = history.record(spec.id, payload)
+        print(f"Recorded run {entry['run_index']} in "
+              f"{history.path_for(spec.id)}")
     return 0
 
 
@@ -313,7 +403,8 @@ def _run_bench(args: argparse.Namespace) -> int:
     if args.dry_run:
         _print_dry_run(spec, spec.resolve(overrides))
         return 0
-    return _write_bench_report(spec, overrides, args.out)
+    return _write_bench_report(spec, overrides, args.out, record=args.record,
+                               history_dir=args.history_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -562,6 +653,153 @@ def _run_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# metrics / trace / bench-history
+# --------------------------------------------------------------------- #
+def _emit_json(payload: dict, out: Optional[str]) -> None:
+    """Write an export to ``out``, or print it to stdout (pipeable)."""
+    if out:
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"Wrote {out}", file=sys.stderr)
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _serve_for_obs(args: argparse.Namespace, *, tracer=None,
+                   supervise: bool = False, fault_plan=None):
+    """One short multi-tenant serve for the observability verbs.
+
+    Progress goes to stderr so stdout stays a clean JSON stream when
+    ``--out`` is not given.  Returns the stopped service.
+    """
+    from .eval.experiments import t1_bench_config
+    from .eval.workloads import multi_tenant_workload
+    from .service import DetectionService, ServiceConfig
+
+    workload = multi_tenant_workload(**_serve_workload_params(args))
+    print(f"Learning the prototype on {len(workload.training)} shared "
+          f"training points ({workload.dimensionality} dimensions)...",
+          file=sys.stderr)
+    prototype = SPOT(t1_bench_config(engine="vectorized"))
+    prototype.learn(workload.training_values)
+    service = DetectionService.from_prototype(prototype, ServiceConfig(
+        n_shards=args.shards,
+        max_batch=args.max_batch,
+        max_delay=0.001,
+        supervise=supervise,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    ))
+    service.start()
+    print(f"Serving {len(workload.detection)} points across {args.shards} "
+          f"shards...", file=sys.stderr)
+    service.submit_tagged(workload.detection)
+    service.drain()
+    service.stop()
+    return service
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    service = _serve_for_obs(args)
+    _emit_json(service.metrics_snapshot(), args.out)
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .obs import Tracer
+    from .service import FaultPlan
+
+    tracer = Tracer(capacity=args.capacity)
+    fault_plan = None
+    if args.fault_crashes:
+        fault_plan = FaultPlan.random(seed=args.fault_seed,
+                                      n_points=args.tenants * args.points,
+                                      n_crashes=args.fault_crashes)
+    service = _serve_for_obs(args, tracer=tracer,
+                             supervise=fault_plan is not None,
+                             fault_plan=fault_plan)
+    del service
+    counts: Dict[str, int] = {}
+    for span in tracer.spans():
+        counts[span.name] = counts.get(span.name, 0) + 1
+    summary = " ".join(f"{name}={count}"
+                       for name, count in sorted(counts.items()))
+    print(f"Recorded {sum(counts.values())} spans "
+          f"({tracer.dropped} dropped): {summary}", file=sys.stderr)
+    _emit_json(tracer.to_dict(), args.out)
+    return 0
+
+
+def _require_bench(args: argparse.Namespace, history) -> str:
+    if not args.bench:
+        raise ConfigurationError(
+            f"'bench-history {args.action}' needs a bench id; "
+            f"recorded: {history.benches() or '(none)'}")
+    return args.bench
+
+
+def _run_bench_history(args: argparse.Namespace) -> int:
+    from .obs import BenchHistory
+    from .obs.history import DEFAULT_TOLERANCE
+
+    history = BenchHistory(args.history_dir)
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None \
+        else args.tolerance
+    if args.action == "list":
+        rows = []
+        for bench_id in history.benches():
+            entries = history.entries(bench_id)
+            provenance = entries[-1].get("provenance") or {}
+            rows.append({"bench": bench_id, "runs": len(entries),
+                         "latest_git": str(provenance.get("git", "?")),
+                         "directed_metrics":
+                             len(history.metric_names(bench_id))})
+        if not rows:
+            print(f"No recorded runs under {history.root} "
+                  f"(record one with 'bench <id> --record')")
+            return 0
+        print(format_table(rows))
+        return 0
+    if args.action == "show":
+        bench_id = _require_bench(args, history)
+        for entry in history.entries(bench_id):
+            print(json.dumps(entry, sort_keys=True))
+        return 0
+    if args.action == "check":
+        candidate = None
+        if args.payload:
+            _require_bench(args, history)
+            with open(args.payload) as handle:
+                candidate = json.load(handle)
+        benches = [args.bench] if args.bench else history.benches()
+        findings = []
+        for bench_id in benches:
+            findings.extend(history.check(bench_id, candidate=candidate,
+                                          tolerance=tolerance))
+        if findings:
+            print(f"{len(findings)} regression(s) beyond tolerance "
+                  f"{tolerance:g}:")
+            for finding in findings:
+                print(f"  {finding.describe()}")
+            return 1
+        print(f"No regressions beyond tolerance {tolerance:g} "
+              f"in: {', '.join(benches) or '(no recorded benches)'}")
+        return 0
+    bench_id = _require_bench(args, history)
+    if not args.metric:
+        raise ConfigurationError(
+            f"'bench-history trend' needs --metric; directed metrics "
+            f"recorded for {bench_id}: {history.metric_names(bench_id)}")
+    rows = history.trend(bench_id, args.metric)
+    if not rows:
+        print(f"No recorded runs of {bench_id}")
+        return 0
+    print(f"{bench_id} :: {args.metric}")
+    print(format_table(rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``spot-demo`` console script."""
     parser = _build_parser()
@@ -578,6 +816,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "replay":
         return _run_replay(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "bench-history":
+        return _run_bench_history(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

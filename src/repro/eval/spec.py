@@ -464,6 +464,16 @@ def build_bench_payload(spec: BenchSpec, params: Mapping[str, object],
         "seed": params.get("seed"),
         "config": _jsonify(spec.config_builder(params)),
         "provenance": stamp if stamp is not None else bench_stamp(),
+        # Harness runs keep telemetry dark: services are built without a
+        # tracer (the NULL_TRACER no-op path) so the recorded numbers carry
+        # no instrumentation overhead beyond the registry counters the
+        # serving layer always maintained.  Recorded so a payload is
+        # self-describing about what was (not) measured alongside it.
+        "telemetry": {
+            "tracing_enabled": False,
+            "metrics": "spot-metrics/v1 registry (always on)",
+            "detection_path_overhead_budget_pct": 3.0,
+        },
         "rows": [_jsonify(dict(row)) for row in report.rows],
     }
     if spec.grid is not None:
@@ -510,6 +520,9 @@ def validate_bench_payload(payload: Mapping[str, object]) -> List[str]:
     grid = payload.get("grid")
     if grid is not None and not isinstance(grid, Mapping):
         problems.append("'grid' must be an object when present")
+    telemetry = payload.get("telemetry")
+    if telemetry is not None and not isinstance(telemetry, Mapping):
+        problems.append("'telemetry' must be an object when present")
     return problems
 
 

@@ -9,10 +9,11 @@ harness uses it for the scalability experiments (E3, E4).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.exceptions import ConfigurationError
+from ..obs.metrics import StreamingHistogram
 
 
 @dataclass(frozen=True)
@@ -72,28 +73,65 @@ class ThroughputMeter:
         return report
 
 
-@dataclass
-class LatencySeries:
-    """Per-point latency series, for checking that cost stays flat over time."""
+#: How many raw samples a :class:`LatencySeries` retains.  While the raw
+#: prefix is complete, percentiles are computed exactly (the historical
+#: semantics); past it, the streaming histogram answers instead, so memory
+#: stays bounded no matter how long a serve runs.
+DEFAULT_RAW_LIMIT = 65536
 
-    latencies: List[float] = field(default_factory=list)
+
+class LatencySeries:
+    """Per-point latency series, for checking that cost stays flat over time.
+
+    Backed by a bounded :class:`~repro.obs.metrics.StreamingHistogram`: the
+    histogram sees every sample (exact count/mean, a few percent of
+    percentile error), while at most ``raw_limit`` raw samples are kept for
+    exact percentiles and ordered ``segment_means`` — the unbounded
+    one-float-per-point list this class used to be is gone.
+    """
+
+    def __init__(self, latencies: Optional[Iterable[float]] = None, *,
+                 raw_limit: int = DEFAULT_RAW_LIMIT) -> None:
+        if raw_limit < 1:
+            raise ConfigurationError(
+                f"raw_limit must be positive, got {raw_limit}")
+        self.raw_limit = raw_limit
+        self.histogram = StreamingHistogram()
+        #: Retained raw samples (the first ``raw_limit`` recorded).
+        self.latencies: List[float] = []
+        for value in latencies or ():
+            self.record(value)
+
+    @property
+    def exact(self) -> bool:
+        """Whether the retained raw samples cover every recorded sample."""
+        return self.histogram.count == len(self.latencies)
 
     def record(self, seconds: float) -> None:
         """Append one per-point latency measurement."""
-        self.latencies.append(seconds)
+        self.histogram.record(seconds)
+        if len(self.latencies) < self.raw_limit:
+            self.latencies.append(seconds)
+
+    def merge(self, other: "LatencySeries") -> None:
+        """Fold another series' samples into this one (registry-style)."""
+        self.histogram.merge(other.histogram)
+        take = self.raw_limit - len(self.latencies)
+        if take > 0:
+            self.latencies.extend(other.latencies[:take])
 
     def mean(self) -> float:
-        """Average per-point latency."""
-        if not self.latencies:
-            return 0.0
-        return sum(self.latencies) / len(self.latencies)
+        """Average per-point latency (exact, from the histogram's sum)."""
+        return self.histogram.mean()
 
     def segment_means(self, n_segments: int) -> List[float]:
         """Mean latency of ``n_segments`` consecutive equal slices.
 
         A flat profile across segments is the signature of a truly one-pass,
         incrementally maintained detector; growth over segments betrays work
-        proportional to history length.
+        proportional to history length.  Operates on the retained raw prefix
+        (the experiments that read this record far fewer than ``raw_limit``
+        points).
         """
         if n_segments <= 0:
             raise ConfigurationError("n_segments must be positive")
@@ -113,12 +151,16 @@ class LatencySeries:
 
         Tail percentiles are the serving-layer quality numbers: a mean hides
         the stalls that micro-batching trades for throughput, p95/p99 expose
-        them.
+        them.  Exact while the raw prefix is complete; once the series has
+        outgrown ``raw_limit`` the streaming histogram answers (a few
+        percent of relative error, bounded memory).
         """
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile must lie in [0, 100], got {q}")
-        if not self.latencies:
+        if self.histogram.count == 0:
             return 0.0
+        if not self.exact:
+            return self.histogram.percentile(q)
         ordered = sorted(self.latencies)
         if len(ordered) == 1:
             return ordered[0]
@@ -143,7 +185,7 @@ class LatencySeries:
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict summary (count, mean, p50/p95/p99) for reporting."""
         return {
-            "count": float(len(self.latencies)),
+            "count": float(self.histogram.count),
             "mean": self.mean(),
             "p50": self.p50(),
             "p95": self.p95(),

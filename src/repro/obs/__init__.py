@@ -1,0 +1,53 @@
+"""Observability: metrics registry, span tracing, bench-history pipeline.
+
+Three small, dependency-free pieces that the serving layer threads through
+every hot path:
+
+* :mod:`repro.obs.metrics` — typed counters/gauges and bounded streaming
+  histograms behind a process-wide (or per-service) :class:`MetricsRegistry`,
+  snapshot-able to the stable ``spot-metrics/v1`` JSON schema.
+* :mod:`repro.obs.trace` — a lightweight span/event tracer with
+  *deterministic* IDs (derived from names + sequence attributes, never from
+  wall clocks or thread identity) and a bounded ring buffer, so a replayed
+  run emits a diffable, identical span tree.  The :data:`NULL_TRACER`
+  null-object makes the disabled path near-free.
+* :mod:`repro.obs.history` — the append-only bench-run database under
+  ``benchmarks/history/`` plus the regression checker and trend reports
+  (ROADMAP item 4).
+"""
+
+from .metrics import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    get_registry,
+)
+from .trace import NULL_TRACER, TRACE_SCHEMA, NullTracer, Span, Tracer
+from .history import (
+    HISTORY_SCHEMA,
+    BenchHistory,
+    RegressionFinding,
+    classify_metric,
+    extract_metrics,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "HISTORY_SCHEMA",
+    "Counter",
+    "Gauge",
+    "StreamingHistogram",
+    "MetricsRegistry",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "BenchHistory",
+    "RegressionFinding",
+    "classify_metric",
+    "extract_metrics",
+]

@@ -1,0 +1,273 @@
+"""The bench-history database: append-only run logs + regression checking.
+
+``BENCH_*.json`` artifacts only ever hold the *latest* run of each
+benchmark, so the performance trajectory of the repo used to live in git
+archaeology.  This module is the ROADMAP item-4 replacement:
+
+* :class:`BenchHistory` — one append-only JSONL file per bench under
+  ``benchmarks/history/`` (``<bench_id>.jsonl``).  Every line is a
+  ``spot-bench-history/v1`` entry distilled from a ``spot-bench/v1``
+  payload: the run's :func:`~repro.eval.spec.bench_stamp` provenance, seed,
+  resolved parameters, and the numeric metrics of every report row keyed by
+  the row's string-valued fields.
+* **Regression checking** — :meth:`BenchHistory.check` compares the newest
+  (or a candidate) run against the median of the recorded history, metric by
+  metric.  Metric *direction* is classified from the name
+  (:func:`classify_metric`): throughput-shaped metrics must not drop,
+  latency-shaped metrics must not grow, within a configurable relative
+  tolerance.  Undirected metrics (point counts, generation numbers) are
+  ignored.
+* **Trend reporting** — :meth:`BenchHistory.trend` renders a metric's value
+  per recorded run, the table behind the ``bench-history trend`` CLI verb.
+
+Recording is wired into the harness as ``bench <id> --record``; the CI
+``bench-regression`` job runs the checker against the committed history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..core.exceptions import ConfigurationError
+
+#: Schema tag of every history entry.
+HISTORY_SCHEMA = "spot-bench-history/v1"
+
+#: Default relative tolerance of the regression checker: a directed metric
+#: may move this fraction against its direction before it is flagged.  Bench
+#: runs on shared CI hardware are noisy, so the default is deliberately
+#: loose — it catches "twice as slow", not "3% slower".
+DEFAULT_TOLERANCE = 0.5
+
+#: Name fragments that mark a metric as higher-is-better / lower-is-better.
+#: Higher-better tokens are checked first: ``points_per_second`` contains
+#: ``second`` but is a throughput.
+_HIGHER_TOKENS = ("per_second", "speedup", "throughput", "hit")
+_LOWER_TOKENS = ("_ms", "second", "latency", "recovery", "miss")
+
+
+def classify_metric(name: str) -> Optional[str]:
+    """``"higher"``, ``"lower"`` or ``None`` (undirected) for a metric name."""
+    lowered = name.lower()
+    if any(token in lowered for token in _HIGHER_TOKENS):
+        return "higher"
+    if any(token in lowered for token in _LOWER_TOKENS):
+        return "lower"
+    return None
+
+
+def _row_key(row: Mapping[str, object]) -> str:
+    """Deterministic identity of one report row: its string-valued fields."""
+    parts = [f"{key}={value}" for key, value in row.items()
+             if isinstance(value, str)]
+    return ",".join(parts) if parts else "row"
+
+
+def extract_metrics(payload: Mapping[str, object]
+                    ) -> Dict[str, Dict[str, float]]:
+    """Numeric metrics of every payload row, keyed by the row's identity."""
+    metrics: Dict[str, Dict[str, float]] = {}
+    for index, row in enumerate(payload.get("rows", [])):
+        key = _row_key(row)
+        if key in metrics:  # e.g. repeated grid cells: disambiguate by index
+            key = f"{key}#{index}"
+        metrics[key] = {
+            name: value for name, value in row.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+    return metrics
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One directed metric that moved against its direction beyond tolerance."""
+
+    bench: str
+    row: str
+    metric: str
+    direction: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        """Candidate relative to baseline (1.0 = unchanged)."""
+        if self.baseline == 0.0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+    def describe(self) -> str:
+        arrow = "dropped" if self.direction == "higher" else "grew"
+        return (f"{self.bench} :: {self.row} :: {self.metric} {arrow} "
+                f"{self.baseline:g} -> {self.candidate:g} "
+                f"({self.ratio:.2f}x)")
+
+
+class BenchHistory:
+    """Append-only per-bench run database under one history directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, bench_id: str) -> Path:
+        return self.root / f"{bench_id}.jsonl"
+
+    def benches(self) -> List[str]:
+        """Every bench with at least one recorded run, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.jsonl"))
+
+    def entries(self, bench_id: str) -> List[Dict[str, object]]:
+        """All recorded runs of one bench, oldest first."""
+        path = self.path_for(bench_id)
+        if not path.exists():
+            return []
+        entries = []
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path}:{line_number}: corrupt history entry: "
+                        f"{exc}") from exc
+                entries.append(entry)
+        return entries
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, bench_id: str,
+               payload: Mapping[str, object]) -> Dict[str, object]:
+        """Distil one ``spot-bench/v1`` payload and append it to the log."""
+        if payload.get("schema") != "spot-bench/v1":
+            raise ConfigurationError(
+                f"cannot record payload with schema "
+                f"{payload.get('schema')!r} into the bench history")
+        entry: Dict[str, object] = {
+            "schema": HISTORY_SCHEMA,
+            "bench": bench_id,
+            "benchmark": payload.get("benchmark"),
+            "run_index": len(self.entries(bench_id)),
+            "provenance": dict(payload.get("provenance") or {}),
+            "seed": payload.get("seed"),
+            "params": dict(payload.get("params") or {}),
+            "metrics": extract_metrics(payload),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path_for(bench_id), "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Regression checking
+    # ------------------------------------------------------------------ #
+    def check_metrics(self, bench_id: str,
+                      baseline_entries: List[Mapping[str, object]],
+                      candidate_metrics: Mapping[str, Mapping[str, float]],
+                      *, tolerance: float = DEFAULT_TOLERANCE
+                      ) -> List[RegressionFinding]:
+        """Compare candidate metrics against the median of recorded history.
+
+        Only rows and metrics present in both sides are compared, so adding
+        a row or a metric never trips the checker; only a directed metric
+        moving against its direction beyond ``tolerance`` does.
+        """
+        if tolerance < 0.0:
+            raise ConfigurationError(
+                f"tolerance must be >= 0, got {tolerance}")
+        findings: List[RegressionFinding] = []
+        for row_key, row_metrics in candidate_metrics.items():
+            for metric, candidate in row_metrics.items():
+                direction = classify_metric(metric)
+                if direction is None:
+                    continue
+                history = [
+                    entry["metrics"][row_key][metric]
+                    for entry in baseline_entries
+                    if isinstance(entry.get("metrics"), Mapping)
+                    and row_key in entry["metrics"]
+                    and metric in entry["metrics"][row_key]
+                ]
+                if not history:
+                    continue
+                baseline = _median([float(v) for v in history])
+                if direction == "higher":
+                    regressed = candidate < baseline * (1.0 - tolerance)
+                else:
+                    regressed = candidate > baseline * (1.0 + tolerance)
+                if regressed:
+                    findings.append(RegressionFinding(
+                        bench=bench_id, row=row_key, metric=metric,
+                        direction=direction, baseline=baseline,
+                        candidate=float(candidate)))
+        return findings
+
+    def check(self, bench_id: str, *,
+              candidate: Optional[Mapping[str, object]] = None,
+              tolerance: float = DEFAULT_TOLERANCE
+              ) -> List[RegressionFinding]:
+        """Check one bench: a candidate payload, or the newest recorded run.
+
+        With ``candidate`` (a ``spot-bench/v1`` payload) every recorded
+        entry is baseline; without, the newest entry is the candidate and
+        the earlier ones are baseline.  Fewer than one baseline entry means
+        nothing to compare — an empty finding list.
+        """
+        entries = self.entries(bench_id)
+        if candidate is not None:
+            return self.check_metrics(bench_id, entries,
+                                      extract_metrics(candidate),
+                                      tolerance=tolerance)
+        if len(entries) < 2:
+            return []
+        newest = entries[-1]
+        metrics = newest.get("metrics")
+        if not isinstance(metrics, Mapping):
+            return []
+        return self.check_metrics(bench_id, entries[:-1], metrics,
+                                  tolerance=tolerance)
+
+    # ------------------------------------------------------------------ #
+    # Trend reporting
+    # ------------------------------------------------------------------ #
+    def metric_names(self, bench_id: str) -> List[str]:
+        """Every directed metric name recorded for one bench, sorted."""
+        names = set()
+        for entry in self.entries(bench_id):
+            for row_metrics in (entry.get("metrics") or {}).values():
+                for name in row_metrics:
+                    if classify_metric(name) is not None:
+                        names.add(name)
+        return sorted(names)
+
+    def trend(self, bench_id: str, metric: str) -> List[Dict[str, object]]:
+        """One row per recorded run: provenance plus ``metric`` per row key."""
+        rows: List[Dict[str, object]] = []
+        for entry in self.entries(bench_id):
+            row: Dict[str, object] = {
+                "run": entry.get("run_index"),
+                "git": (entry.get("provenance") or {}).get("git"),
+                "dirty": (entry.get("provenance") or {}).get("dirty"),
+            }
+            for row_key, row_metrics in sorted(
+                    (entry.get("metrics") or {}).items()):
+                if metric in row_metrics:
+                    row[row_key] = row_metrics[metric]
+            rows.append(row)
+        return rows

@@ -1,0 +1,252 @@
+"""Span/event tracing with deterministic IDs and a bounded ring buffer.
+
+The tracer answers "what did the service *do*" — which batches were scored,
+what the supervisor replayed after a crash, when a checkpoint was written —
+without perturbing "how fast".  Two properties carry the design:
+
+* **Deterministic identity.**  A span's ID derives from its name plus its
+  identity attributes (sequence numbers, shard IDs, generation counters),
+  never from wall clocks, thread IDs or allocation order.  Replaying a
+  recording therefore emits the *identical* span tree, so traces are
+  diffable across runs and across a crash-recovery — the property
+  ``tests/test_obs_service.py`` pins.  Timing (``duration_ms``) is recorded
+  but excluded from identity.
+* **Near-zero disabled cost.**  The serving layer holds a tracer reference
+  unconditionally and guards per-point work with a single boolean;
+  :data:`NULL_TRACER` makes every span call a constant-time no-op returning
+  one shared context manager, so the instrumented hot path costs nothing
+  measurable when tracing is off (the bench payloads record this).
+
+Spans are stored flat in a bounded deque (oldest evicted first, with a
+dropped-span counter); :meth:`Tracer.tree` rebuilds the parent/child nesting
+on demand and :meth:`Tracer.to_dict` exports the stable ``spot-trace/v1``
+schema.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Schema tag of every trace export.
+TRACE_SCHEMA = "spot-trace/v1"
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+class Span:
+    """One traced operation; use as a context manager for timed regions.
+
+    The ID is fixed at creation from ``name`` plus the creation-time
+    attributes; :meth:`annotate` attaches extra *data* attributes afterwards
+    without changing identity (recovery outcomes, counts discovered late).
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "attrs", "data",
+                 "duration_ms", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: str,
+                 parent_id: Optional[str], attrs: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.data: Dict[str, object] = {}
+        self.duration_ms: Optional[float] = None
+        self._started: Optional[float] = None
+
+    def annotate(self, **data) -> "Span":
+        """Attach non-identity data attributes (kept out of the span ID)."""
+        self.data.update(data)
+        return self
+
+    def __enter__(self) -> "Span":
+        import time
+
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        import time
+
+        if self._started is not None:
+            self.duration_ms = 1e3 * (time.perf_counter() - self._started)
+        if exc_type is not None:
+            self.data.setdefault("error", exc_type.__name__)
+        self.tracer._commit(self)
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+        if self.data:
+            record["data"] = dict(self.data)
+        if self.duration_ms is not None:
+            record["duration_ms"] = round(self.duration_ms, 3)
+        return record
+
+
+class Tracer:
+    """Collects spans and events into a bounded, deterministic ring buffer."""
+
+    #: A tracer that records; the service checks this to skip per-point work.
+    enabled = True
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: "deque[Span]" = deque(maxlen=capacity)
+        self._occurrences: Dict[str, int] = {}
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _make_id(self, name: str, attrs: Dict[str, object]) -> str:
+        inner = ",".join(f"{k}={_format_attr(attrs[k])}"
+                         for k in sorted(attrs))
+        base = f"{name}[{inner}]" if inner else name
+        with self._lock:
+            n = self._occurrences.get(base, 0)
+            self._occurrences[base] = n + 1
+        return base if n == 0 else f"{base}#{n}"
+
+    def span(self, name: str, parent: Optional[Span] = None, **attrs) -> Span:
+        """Open a span; enter it (``with``) to time the region it covers."""
+        parent_id = parent.span_id if parent is not None else None
+        return Span(self, name, self._make_id(name, attrs), parent_id, attrs)
+
+    def event(self, name: str, parent: Optional[Span] = None,
+              **attrs) -> Span:
+        """Record a zero-duration span immediately."""
+        span = self.span(name, parent=parent, **attrs)
+        self._commit(span)
+        return span
+
+    def _commit(self, span: Span) -> None:
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self.dropped += 1
+            self._ring.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / export
+    # ------------------------------------------------------------------ #
+    def spans(self) -> List[Span]:
+        """Recorded spans, sorted by deterministic ID."""
+        with self._lock:
+            recorded = list(self._ring)
+        return sorted(recorded, key=lambda span: span.span_id)
+
+    def find(self, name: str) -> List[Span]:
+        """Recorded spans with the given name, sorted by ID."""
+        return [span for span in self.spans() if span.name == name]
+
+    def tree(self) -> List[Dict[str, object]]:
+        """Nested parent/child view, deterministic and timing-free.
+
+        This is the diffable shape: two runs of the same recording produce
+        equal trees (IDs, names, identity attrs), regardless of timing.
+        """
+        spans = self.spans()
+        nodes = {span.span_id: {"span_id": span.span_id, "name": span.name,
+                                "attrs": dict(span.attrs), "children": []}
+                 for span in spans}
+        roots = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable ``spot-trace/v1`` export (flat spans, sorted by ID)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "spans": [span.to_dict() for span in self.spans()],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._occurrences.clear()
+            self.dropped = 0
+
+
+class _NullSpan:
+    """Shared no-op span: every disabled call returns this one object."""
+
+    __slots__ = ()
+    span_id = None
+    name = ""
+    parent_id = None
+    attrs: Dict[str, object] = {}
+    data: Dict[str, object] = {}
+    duration_ms = None
+
+    def annotate(self, **data) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Null object: the disabled tracer the service holds by default.
+
+    Every method is a constant-time no-op returning shared singletons, so
+    instrumented code never branches on "is tracing on" for span-shaped
+    calls (only per-point event emission is boolean-guarded, being the one
+    spot where even argument packing would be measurable).
+    """
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def span(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def tree(self) -> List[Dict[str, object]]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": TRACE_SCHEMA, "capacity": 0, "dropped": 0,
+                "spans": []}
+
+    def clear(self) -> None:
+        pass
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()

@@ -41,6 +41,7 @@ from ..learning.requests import (
     request_from_dict,
 )
 from ..moga import BatchSparsityObjectives, SharedBatchContext
+from ..obs.trace import NULL_TRACER
 
 LEARNING_WORKER_MODES = ("thread", "process")
 
@@ -128,8 +129,10 @@ def _evaluate_group_remote(grid_payload: dict,
 class LearningCoordinator:
     """Evaluates learn requests on a worker pool, one context per snapshot."""
 
-    def __init__(self, config: Optional[LearningServiceConfig] = None) -> None:
+    def __init__(self, config: Optional[LearningServiceConfig] = None, *,
+                 tracer=None) -> None:
         self.config = config if config is not None else LearningServiceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._executor = None
         self._lock = threading.Lock()
         #: (shard_id, snapshot version) -> SharedBatchContext, LRU-bounded.
@@ -271,15 +274,20 @@ class LearningCoordinator:
                         requests: List) -> List[LearnPublication]:
         started = time.perf_counter()
         publications = []
-        for request in requests:
-            objectives = None
-            if request.engine == "vectorized":
-                context = self._context_for(shard_id, grid, request.snapshot)
-                objectives = BatchSparsityObjectives.from_context(
-                    context, target_points=request.target_points,
-                    memo=context.memo_view(request.target_key))
-            publications.append(
-                evaluate_learn_request(request, grid, objectives=objectives))
+        with self.tracer.span("learning.evaluate", shard=shard_id,
+                              request=requests[0].request_id,
+                              n=len(requests)):
+            for request in requests:
+                objectives = None
+                if request.engine == "vectorized":
+                    context = self._context_for(shard_id, grid,
+                                                request.snapshot)
+                    objectives = BatchSparsityObjectives.from_context(
+                        context, target_points=request.target_points,
+                        memo=context.memo_view(request.target_key))
+                publications.append(
+                    evaluate_learn_request(request, grid,
+                                           objectives=objectives))
         with self._lock:
             self._busy_seconds += time.perf_counter() - started
         return publications

@@ -36,6 +36,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.detector import SPOT
 from ..core.exceptions import BackpressureTimeout, ConfigurationError
 from ..core.results import DetectionResult
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..persist.serialization import clone_detector
 from ..streams.tagged import TaggedStreamPoint
 from .batcher import FULL_POLICIES, BatchItem, MicroBatcher
@@ -104,6 +106,11 @@ class ServiceConfig:
     #: Deterministic fault injection (tests, chaos bench); ``None`` in
     #: production.
     fault_plan: Optional[FaultPlan] = None
+    #: Span/event tracer (:class:`~repro.obs.trace.Tracer`); ``None`` keeps
+    #: the near-zero-cost :data:`~repro.obs.trace.NULL_TRACER`.  The tracer
+    #: lives in the parent process only — process shards trace the hand-off,
+    #: not the child-side scoring.
+    tracer: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -218,9 +225,16 @@ class DetectionService:
         self._detectors = list(detectors)
         self.router = ShardRouter(self.config.n_shards,
                                   salt=self.config.router_salt)
+        #: Per-service instrument registry; every ShardStats counter and the
+        #: checkpoint counters below live here, so ``metrics_snapshot()``
+        #: and ``stats()`` are two views of the same numbers.
+        self.metrics = MetricsRegistry()
+        self._tracer = self.config.tracer if self.config.tracer is not None \
+            else NULL_TRACER
+        self._trace_on = bool(getattr(self._tracer, "enabled", False))
         self._batchers: List[MicroBatcher] = []
         self._workers: List[Union[ShardWorker, ProcessShardWorker]] = []
-        self._stats = [ShardStats(shard_id=i)
+        self._stats = [ShardStats(shard_id=i, registry=self.metrics)
                        for i in range(self.config.n_shards)]
         self._results: List[ServiceResult] = []
         self._lock = threading.Lock()
@@ -231,8 +245,9 @@ class DetectionService:
         self._started = False
         self._stopped = False
         self._started_at: Optional[float] = None
-        self._checkpoints_taken = 0
-        self._checkpoint_write_failures = 0
+        self._ckpt_taken = self.metrics.counter("service.checkpoints_taken")
+        self._ckpt_write_failures = self.metrics.counter(
+            "service.checkpoint_write_failures")
         self._points_at_last_checkpoint = 0
         self._checkpoint_extra: Dict[str, object] = {}
         self._coordinator: Optional[LearningCoordinator] = None
@@ -274,8 +289,12 @@ class DetectionService:
         :meth:`CheckpointManager.load_fleet`).
         """
         manager = CheckpointManager(directory)
-        manifest, detectors = manager.load_fleet()
         base = config if config is not None else ServiceConfig()
+        tracer = base.tracer if base.tracer is not None else NULL_TRACER
+        with tracer.span("checkpoint.load") as span:
+            manifest, detectors = manager.load_fleet()
+            span.annotate(at_point=int(manifest["points_submitted"]),
+                          shards=int(manifest["n_shards"]))
         merged = replace(base, n_shards=int(manifest["n_shards"]),
                          router_salt=int(manifest["router_salt"]))
         service = cls(detectors, merged)
@@ -295,7 +314,8 @@ class DetectionService:
             raise ConfigurationError("a stopped service cannot be restarted")
         if self.config.learning_mode == "async":
             self._coordinator = LearningCoordinator(
-                self.config.learning_config()).start()
+                self.config.learning_config(),
+                tracer=self._tracer).start()
         if self.config.supervise:
             self._supervisor = ShardSupervisor(
                 self,
@@ -339,7 +359,8 @@ class DetectionService:
                                faults=self._faults,
                                deadline=self.config.deadline,
                                deadline_policy=self.config.deadline_policy,
-                               quarantine_on_failure=not self.config.supervise)
+                               quarantine_on_failure=not self.config.supervise,
+                               tracer=self._tracer)
         return ProcessShardWorker(shard_id, detector, batcher,
                                   self._on_results,
                                   fault_plan=self.config.fault_plan,
@@ -347,7 +368,8 @@ class DetectionService:
                                   deadline=self.config.deadline,
                                   deadline_policy=self.config.deadline_policy,
                                   quarantine_on_failure=not self.config.supervise,
-                                  on_ipc_retry=self._note_ipc_retry)
+                                  on_ipc_retry=self._note_ipc_retry,
+                                  tracer=self._tracer)
 
     def stop(self, timeout: Optional[float] = 60.0) -> None:
         """Drain every queue, stop every worker, surface any failure."""
@@ -409,6 +431,9 @@ class DetectionService:
         item = BatchItem(seq=seq, stream_id=stream_id,
                          values=tuple(float(v) for v in values),
                          enqueued_at=time.monotonic())
+        if self._trace_on:
+            self._tracer.event("enqueue", seq=seq, shard=shard,
+                               stream=stream_id)
         try:
             accepted = self._batchers[shard].put(item)
         except BackpressureTimeout:
@@ -466,32 +491,41 @@ class DetectionService:
             # shard error.
             with self._lock:
                 stats = self._stats[shard_id]
-                stats.batches += 1
-                stats.busy_seconds += busy_seconds
-                stats.errors += 1
+                stats.batches.inc()
+                stats.busy_seconds.inc(busy_seconds)
+                stats.errors.inc()
+            if self._trace_on:
+                self._tracer.event("shard.crash", shard=shard_id,
+                                   seq_first=items[0].seq if items else -1,
+                                   n=len(items))
             return
         degrade = (self.config.deadline > 0.0
                    and self.config.deadline_policy == "degrade")
         with self._all_done:
             stats = self._stats[shard_id]
             if shed:
-                stats.shed_points += len(items)
+                stats.shed_points.inc(len(items))
                 for item in items:
                     self._results.append(ServiceResult(
                         seq=item.seq, stream_id=item.stream_id,
                         shard=shard_id, result=None,
                         latency_seconds=now - item.enqueued_at,
                         outcome="shed"))
+                if self._trace_on:
+                    self._tracer.event("shard.shed", shard=shard_id,
+                                       seq_first=items[0].seq,
+                                       n=len(items))
             elif error is not None:
-                stats.batches += 1
-                stats.busy_seconds += busy_seconds
-                stats.errors += 1
+                stats.batches.inc()
+                stats.busy_seconds.inc(busy_seconds)
+                stats.errors.inc()
                 self._errors.append(f"shard {shard_id}: {error}")
             else:
                 assert results is not None
-                stats.batches += 1
-                stats.busy_seconds += busy_seconds
-                stats.points += len(items)
+                stats.batches.inc()
+                stats.busy_seconds.inc(busy_seconds)
+                stats.points.inc(len(items))
+                degraded = 0
                 for item, result in zip(items, results):
                     latency = now - item.enqueued_at
                     stats.latency.record(latency)
@@ -503,7 +537,7 @@ class DetectionService:
                     outcome = "ok"
                     if degrade and latency > self.config.deadline:
                         outcome = "degraded"
-                        stats.degraded_points += 1
+                        degraded += 1
                     self._results.append(ServiceResult(
                         seq=item.seq,
                         stream_id=item.stream_id,
@@ -512,6 +546,13 @@ class DetectionService:
                         latency_seconds=latency,
                         outcome=outcome,
                     ))
+                if degraded:
+                    stats.degraded_points.inc(degraded)
+                if self._trace_on:
+                    self._tracer.event("shard.commit", shard=shard_id,
+                                       seq_first=items[0].seq,
+                                       seq_last=items[-1].seq,
+                                       n=len(items))
                 if self._supervisor is not None:
                     # Journal the committed points: a later crash replays
                     # them from the last snapshot to rebuild this state.
@@ -524,9 +565,12 @@ class DetectionService:
                              items: List[BatchItem]) -> None:
         """Complete poison points with a ``"quarantined"`` outcome."""
         now = time.monotonic()
+        if self._trace_on and items:
+            self._tracer.event("shard.quarantine", shard=shard_id,
+                               seq_first=items[0].seq, n=len(items))
         with self._all_done:
             stats = self._stats[shard_id]
-            stats.quarantined_points += len(items)
+            stats.quarantined_points.inc(len(items))
             for item in items:
                 self._results.append(ServiceResult(
                     seq=item.seq, stream_id=item.stream_id, shard=shard_id,
@@ -557,7 +601,11 @@ class DetectionService:
 
     def _note_ipc_retry(self, shard_id: int) -> None:
         with self._lock:
-            self._stats[shard_id].ipc_retries += 1
+            self._stats[shard_id].ipc_retries.inc()
+        if self._trace_on:
+            self._tracer.event("ipc.retry", shard=shard_id,
+                               attempt=int(self._stats[shard_id]
+                                           .ipc_retries.value))
 
     def _raise_on_error(self) -> None:
         if self._errors:
@@ -592,7 +640,12 @@ class DetectionService:
     @property
     def checkpoints_taken(self) -> int:
         """Number of checkpoints written by this service instance."""
-        return self._checkpoints_taken
+        return int(self._ckpt_taken.value)
+
+    @property
+    def tracer(self):
+        """The service's tracer (:data:`NULL_TRACER` unless configured)."""
+        return self._tracer
 
     def shard_stats(self) -> List[ShardStats]:
         """Per-shard serving statistics (live objects; read-only use)."""
@@ -631,8 +684,8 @@ class DetectionService:
         path = LatencySeries()
         with self._lock:
             for stats in self._stats:
-                delivered.latencies.extend(stats.latency.latencies)
-                path.latencies.extend(stats.path_latency.latencies)
+                delivered.merge(stats.latency)
+                path.merge(stats.path_latency)
         summary = {}
         for prefix, series in (("latency", delivered), ("path", path)):
             for q in (50, 95, 99):
@@ -642,26 +695,35 @@ class DetectionService:
         return summary
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate + per-shard serving statistics."""
+        """Aggregate + per-shard serving statistics.
+
+        The totals (and the whole robustness block) are read from the
+        metrics registry — :meth:`metrics_snapshot` and this dict are two
+        views of the same counters, so they can never disagree about a
+        restart or a shed point.
+        """
         with self._lock:
             per_shard = [stats.as_dict() for stats in self._stats]
-            total_points = sum(stats.points for stats in self._stats)
-            busy = sum(stats.busy_seconds for stats in self._stats)
+            total_points = int(self.metrics.total("service.points"))
+            busy = self.metrics.total("service.busy_seconds")
             wall = (time.monotonic() - self._started_at
                     if self._started_at is not None else 0.0)
             batcher_stats = [batcher.stats() for batcher in self._batchers]
             robustness = {
                 "supervised": self.config.supervise,
-                "restarts": sum(s.restarts for s in self._stats),
-                "recovery_ms": round(1e3 * sum(s.recovery_seconds
-                                               for s in self._stats), 1),
-                "shed_points": sum(s.shed_points for s in self._stats),
-                "degraded_points": sum(s.degraded_points
-                                       for s in self._stats),
-                "quarantined_points": sum(s.quarantined_points
-                                          for s in self._stats),
-                "ipc_retries": sum(s.ipc_retries for s in self._stats),
-                "checkpoint_write_failures": self._checkpoint_write_failures,
+                "restarts": int(self.metrics.total("service.restarts")),
+                "recovery_ms": round(
+                    1e3 * self.metrics.total("service.recovery_seconds"), 1),
+                "shed_points": int(
+                    self.metrics.total("service.shed_points")),
+                "degraded_points": int(
+                    self.metrics.total("service.degraded_points")),
+                "quarantined_points": int(
+                    self.metrics.total("service.quarantined_points")),
+                "ipc_retries": int(
+                    self.metrics.total("service.ipc_retries")),
+                "checkpoint_write_failures":
+                    int(self._ckpt_write_failures.value),
                 "faults_fired": (self._faults.stats()
                                  if self._faults is not None else None),
             }
@@ -679,13 +741,30 @@ class DetectionService:
                 1),
             "producer_blocks": int(sum(b["producer_blocks"]
                                        for b in batcher_stats)),
-            "checkpoints_taken": self._checkpoints_taken,
+            "checkpoints_taken": int(self._ckpt_taken.value),
             "learning_mode": self.config.learning_mode,
             "learning": (self._coordinator.stats()
                          if self._coordinator is not None else None),
             "robustness": robustness,
             "shards": per_shard,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Stable ``spot-metrics/v1`` snapshot of the service's registry.
+
+        Control-flow state that is not counter-shaped (submission progress,
+        wall-clock age) is sampled into gauges at snapshot time.
+        """
+        with self._lock:
+            self.metrics.gauge("service.points_submitted").set(
+                self._submitted)
+            self.metrics.gauge("service.points_completed").set(
+                self._completed)
+            self.metrics.gauge("service.n_shards").set(self.config.n_shards)
+            wall = (time.monotonic() - self._started_at
+                    if self._started_at is not None else 0.0)
+            self.metrics.gauge("service.wall_seconds").set(round(wall, 4))
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -725,25 +804,32 @@ class DetectionService:
             # drain() above already covered them; quiesce() additionally
             # guarantees the worker swap itself finished before we export.
             self._supervisor.quiesce()
-        states = [worker.export_state() for worker in self._workers]
-        manager = CheckpointManager(target)
-        inject_failure = (self._faults is not None
-                          and self._faults.checkpoint_should_fail())
-        try:
-            path = manager.save(states, router_salt=self.config.router_salt,
-                                points_submitted=self.points_submitted,
-                                extra=extra if extra is not None
-                                else self._checkpoint_extra,
-                                fail_before_manifest=inject_failure)
-        except InjectedFault:
-            with self._lock:
-                self._checkpoint_write_failures += 1
-                # Deliberately *not* advancing _points_at_last_checkpoint:
-                # the periodic trigger retries on the next submit.
-            return None
+        with self._tracer.span("checkpoint.write",
+                               at_point=self.points_submitted,
+                               shards=self.config.n_shards) as span:
+            states = [worker.export_state() for worker in self._workers]
+            manager = CheckpointManager(target)
+            inject_failure = (self._faults is not None
+                              and self._faults.checkpoint_should_fail())
+            try:
+                path = manager.save(states,
+                                    router_salt=self.config.router_salt,
+                                    points_submitted=self.points_submitted,
+                                    extra=extra if extra is not None
+                                    else self._checkpoint_extra,
+                                    fail_before_manifest=inject_failure)
+            except InjectedFault:
+                span.annotate(outcome="write_failed")
+                with self._lock:
+                    self._ckpt_write_failures.inc()
+                    # Deliberately *not* advancing
+                    # _points_at_last_checkpoint: the periodic trigger
+                    # retries on the next submit.
+                return None
+            span.annotate(outcome="saved")
         if self._supervisor is not None:
             self._supervisor.install_snapshots(states)
         with self._lock:
-            self._checkpoints_taken += 1
+            self._ckpt_taken.inc()
             self._points_at_last_checkpoint = self._submitted
         return path

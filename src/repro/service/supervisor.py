@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.detector import SPOT
 from ..core.exceptions import ShardRecoveryError
+from ..obs.trace import NULL_TRACER
 from .batcher import BatchItem
 
 #: Upper bound on restore-replay-probe rounds within one recovery; a replay
@@ -73,6 +74,7 @@ class ShardSupervisor:
         self._service = service
         self.max_restarts_per_shard = max_restarts_per_shard
         self.poison_threshold = poison_threshold
+        self._tracer = getattr(service, "_tracer", None) or NULL_TRACER
         self._events: "queue.Queue[Optional[Tuple[int, List[BatchItem], str]]]" \
             = queue.Queue()
         self._state_lock = threading.Lock()
@@ -188,6 +190,14 @@ class ShardSupervisor:
     def _recover(self, shard_id: int, failed_items: List[BatchItem],
                  error: str) -> None:
         started = time.monotonic()
+        seq_first = failed_items[0].seq if failed_items else -1
+        with self._tracer.span("supervisor.recover", shard=shard_id,
+                               seq_first=seq_first) as span:
+            self._recover_traced(shard_id, failed_items, error, started,
+                                 span)
+
+    def _recover_traced(self, shard_id: int, failed_items: List[BatchItem],
+                        error: str, started: float, span) -> None:
         service = self._service
         old_worker = service._workers[shard_id]
         # The failed worker retires: it stops consuming (requeueing any batch
@@ -216,14 +226,17 @@ class ShardSupervisor:
             snapshot = self._snapshots[shard_id]
             journal = list(self._journals.get(shard_id, []))
         if budget_exhausted:
+            span.annotate(outcome="budget_exhausted")
             raise ShardRecoveryError(
                 f"restart budget ({self.max_restarts_per_shard}) exhausted; "
                 f"last failure: {error}")
+        span.annotate(restart=restarts + 1, journal_points=len(journal),
+                      failed_points=len(failed_items))
 
         replay_items = journal + failed_items
         failed_seqs = {item.seq for item in failed_items}
         detector, delivered, quarantined = \
-            self._replay(shard_id, snapshot, replay_items)
+            self._replay(shard_id, snapshot, replay_items, parent=span)
 
         # Deliver what the crash swallowed: results for the undelivered
         # points (journal points were already delivered pre-crash; replay
@@ -242,13 +255,15 @@ class ShardSupervisor:
 
         service._install_replacement(shard_id, detector)
         elapsed = time.monotonic() - started
+        span.annotate(outcome="recovered", delivered=len(recovered),
+                      quarantined=len(poisoned))
         with service._lock:
             stats = service._stats[shard_id]
-            stats.restarts += 1
-            stats.recovery_seconds += elapsed
+            stats.restarts.inc()
+            stats.recovery_seconds.inc(elapsed)
 
     def _replay(self, shard_id: int, snapshot: dict,
-                items: List[BatchItem]
+                items: List[BatchItem], parent=None
                 ) -> Tuple[SPOT, List[Tuple[BatchItem, object]],
                            List[BatchItem]]:
         """Restore a shard and re-score everything since its snapshot.
@@ -265,16 +280,24 @@ class ShardSupervisor:
             skip: Set[int] = {seq for seq, count in self._poison_counts.items()
                               if count >= self.poison_threshold}
         quarantined: List[BatchItem] = []
-        for _ in range(MAX_REPLAY_ROUNDS):
-            detector = self._restore(snapshot)
+        for round_number in range(MAX_REPLAY_ROUNDS):
+            with self._tracer.span("supervisor.restore", parent=parent,
+                                   shard=shard_id, round=round_number):
+                detector = self._restore(snapshot)
             live = [item for item in items if item.seq not in skip]
-            try:
-                results = detector.detect([item.values for item in live]) \
-                    if live else []
-                quarantined = [item for item in items if item.seq in skip]
-                return detector, list(zip(live, results)), quarantined
-            except Exception:
-                pass  # fall through to the isolating probe pass
+            with self._tracer.span("supervisor.replay", parent=parent,
+                                   shard=shard_id, round=round_number,
+                                   n=len(live)) as replay_span:
+                try:
+                    results = detector.detect(
+                        [item.values for item in live]) if live else []
+                    quarantined = [item for item in items
+                                   if item.seq in skip]
+                    replay_span.annotate(outcome="replayed")
+                    return detector, list(zip(live, results)), quarantined
+                except Exception:
+                    replay_span.annotate(outcome="probe")
+                    # fall through to the isolating probe pass
             probe = self._restore(snapshot)
             offender: Optional[BatchItem] = None
             for item in live:

@@ -35,12 +35,13 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..core.detector import SPOT
 from ..core.exceptions import ConfigurationError
 from ..metrics.throughput import LatencySeries
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from .batcher import BatchItem, MicroBatcher
 from .faults import (
     FaultInjector,
@@ -57,46 +58,79 @@ ResultsCallback = Callable[..., None]
 DEADLINE_POLICIES = ("shed", "degrade")
 
 
-@dataclass
-class ShardStats:
-    """Serving statistics of one shard (maintained by the service)."""
+#: Counter names a ShardStats registers, in reporting order.  The
+#: robustness block of :meth:`DetectionService.stats` is built from the
+#: registry totals of the tail entries, so the names are part of the
+#: ``spot-metrics/v1`` surface.
+SHARD_COUNTERS = ("points", "batches", "busy_seconds", "errors",
+                  "shed_points", "degraded_points", "quarantined_points",
+                  "ipc_retries", "restarts", "recovery_seconds")
 
-    shard_id: int
-    points: int = 0
-    batches: int = 0
-    busy_seconds: float = 0.0
-    latency: LatencySeries = field(default_factory=LatencySeries)
-    #: Detection-path latency: the time the ``process_batch`` call that
-    #: scored a point spent on the detection path (one sample per point).
-    #: Inline learning charges its MOGA searches here; deferred learning
-    #: moves them to the coordinator, which is exactly what the L2 benchmark
-    #: measures.
-    path_latency: LatencySeries = field(default_factory=LatencySeries)
-    errors: int = 0
-    #: Robustness counters (see the fault-tolerance layer): points dropped
-    #: past their deadline, points scored late under the "degrade" policy,
-    #: poison points skipped by the supervisor, IPC retries that eventually
-    #: succeeded, worker restarts, and the total time spent recovering.
-    shed_points: int = 0
-    degraded_points: int = 0
-    quarantined_points: int = 0
-    ipc_retries: int = 0
-    restarts: int = 0
-    recovery_seconds: float = 0.0
+
+class ShardStats:
+    """Serving statistics of one shard (maintained by the service).
+
+    Every field is a registry-backed instrument (``service.<name>`` with a
+    ``shard`` label), so a metrics snapshot and this object can never
+    disagree.  Mutation sites call ``.inc()`` under the service lock — the
+    same discipline the plain ``+=`` fields historically relied on.  The two
+    latency series keep their :class:`LatencySeries` type (now bounded) and
+    register their backing histograms under ``service.latency_seconds`` /
+    ``service.path_seconds``.
+    """
+
+    def __init__(self, shard_id: int,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self.shard_id = shard_id
+        self.points = registry.counter("service.points", shard=shard_id)
+        self.batches = registry.counter("service.batches", shard=shard_id)
+        self.busy_seconds = registry.counter("service.busy_seconds",
+                                             shard=shard_id)
+        self.errors = registry.counter("service.errors", shard=shard_id)
+        #: Robustness counters (see the fault-tolerance layer): points
+        #: dropped past their deadline, points scored late under the
+        #: "degrade" policy, poison points skipped by the supervisor, IPC
+        #: retries that eventually succeeded, worker restarts, and the total
+        #: time spent recovering.
+        self.shed_points = registry.counter("service.shed_points",
+                                            shard=shard_id)
+        self.degraded_points = registry.counter("service.degraded_points",
+                                                shard=shard_id)
+        self.quarantined_points = registry.counter(
+            "service.quarantined_points", shard=shard_id)
+        self.ipc_retries = registry.counter("service.ipc_retries",
+                                            shard=shard_id)
+        self.restarts = registry.counter("service.restarts", shard=shard_id)
+        self.recovery_seconds = registry.counter("service.recovery_seconds",
+                                                 shard=shard_id)
+        self.latency = LatencySeries()
+        #: Detection-path latency: the time the ``process_batch`` call that
+        #: scored a point spent on the detection path (one sample per
+        #: point).  Inline learning charges its MOGA searches here; deferred
+        #: learning moves them to the coordinator, which is exactly what the
+        #: L2 benchmark measures.
+        self.path_latency = LatencySeries()
+        registry.register_histogram("service.latency_seconds",
+                                    self.latency.histogram, shard=shard_id)
+        registry.register_histogram("service.path_seconds",
+                                    self.path_latency.histogram,
+                                    shard=shard_id)
 
     @property
     def points_per_second(self) -> float:
         """Throughput over the shard's *busy* time (excludes idle waits)."""
-        if self.busy_seconds <= 0.0:
+        if self.busy_seconds.value <= 0.0:
             return 0.0
-        return self.points / self.busy_seconds
+        return self.points.value / self.busy_seconds.value
 
     @property
     def mean_batch_size(self) -> float:
         """Average number of points coalesced per ``process_batch`` call."""
-        if self.batches == 0:
+        if self.batches.value == 0:
             return 0.0
-        return self.points / self.batches
+        return self.points.value / self.batches.value
 
     def as_dict(self) -> dict:
         """Flat reporting view (throughput + latency percentiles)."""
@@ -104,10 +138,10 @@ class ShardStats:
         path = self.path_latency.as_dict()
         return {
             "shard": self.shard_id,
-            "points": self.points,
-            "batches": self.batches,
+            "points": int(self.points.value),
+            "batches": int(self.batches.value),
             "mean_batch_size": round(self.mean_batch_size, 1),
-            "busy_seconds": round(self.busy_seconds, 4),
+            "busy_seconds": round(self.busy_seconds.value, 4),
             "points_per_second": round(self.points_per_second, 1),
             "latency_p50_ms": round(1e3 * latency["p50"], 3),
             "latency_p95_ms": round(1e3 * latency["p95"], 3),
@@ -115,13 +149,13 @@ class ShardStats:
             "path_p50_ms": round(1e3 * path["p50"], 3),
             "path_p95_ms": round(1e3 * path["p95"], 3),
             "path_p99_ms": round(1e3 * path["p99"], 3),
-            "errors": self.errors,
-            "shed_points": self.shed_points,
-            "degraded_points": self.degraded_points,
-            "quarantined_points": self.quarantined_points,
-            "ipc_retries": self.ipc_retries,
-            "restarts": self.restarts,
-            "recovery_ms": round(1e3 * self.recovery_seconds, 1),
+            "errors": int(self.errors.value),
+            "shed_points": int(self.shed_points.value),
+            "degraded_points": int(self.degraded_points.value),
+            "quarantined_points": int(self.quarantined_points.value),
+            "ipc_retries": int(self.ipc_retries.value),
+            "restarts": int(self.restarts.value),
+            "recovery_ms": round(1e3 * self.recovery_seconds.value, 1),
         }
 
 
@@ -148,7 +182,8 @@ class ShardWorker(threading.Thread):
                  learning: Optional[LearningCoordinator] = None, *,
                  faults: Optional[FaultInjector] = None,
                  deadline: float = 0.0, deadline_policy: str = "shed",
-                 quarantine_on_failure: bool = True) -> None:
+                 quarantine_on_failure: bool = True,
+                 tracer=None) -> None:
         super().__init__(name=f"spot-shard-{shard_id}", daemon=True)
         if deadline_policy not in DEADLINE_POLICIES:
             raise ConfigurationError(
@@ -160,6 +195,7 @@ class ShardWorker(threading.Thread):
         self.on_results = on_results
         self.learning = learning
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.deadline = deadline
         self.deadline_policy = deadline_policy
         self.quarantine_on_failure = quarantine_on_failure
@@ -245,46 +281,57 @@ class ShardWorker(threading.Thread):
                                 f"{type(exc).__name__}: {exc}")
                 return
         offset = 0
-        while offset < len(batch):
-            try:
-                # Apply every publication due before the next point; waits
-                # (if any) burn queue time, not detection-path time.
-                self._resolve_pending_learns()
-            except Exception as exc:
-                self.failure = exc
-                self.on_results(self.shard_id, batch[offset:], None, 0.0,
-                                f"{type(exc).__name__}: {exc}")
-                return
-            started = time.perf_counter()
-            try:
-                results = self.detector.process_batch(
-                    [item.values for item in batch[offset:]])
-                error = None
-            except Exception as exc:  # surfaced via drain()/stop()
-                self.failure = exc
-                results = None
-                error = f"{type(exc).__name__}: {exc}"
-            busy = time.perf_counter() - started
-            if error is not None:
-                self.on_results(self.shard_id, batch[offset:], None, busy,
-                                error)
-                return
-            consumed = len(results)
-            if consumed == 0:
-                # Deferred mode guarantees progress (the stop point is always
-                # *after* the triggering point); zero progress means the
-                # contract broke and looping again would hang the shard.
-                self.failure = ConfigurationError(
-                    "detector made no progress on a non-empty batch")
-                self.on_results(self.shard_id, batch[offset:], None, busy,
-                                str(self.failure))
-                return
-            self.on_results(self.shard_id, batch[offset:offset + consumed],
-                            results, busy, None)
-            offset += consumed
-            # Ship new learn requests right away: the searches run on the
-            # coordinator pool while this shard waits for its next batch.
-            self._dispatch_new_learns()
+        with self.tracer.span("shard.batch", shard=self.shard_id,
+                              seq_first=batch[0].seq, seq_last=batch[-1].seq,
+                              n=len(batch)) as batch_span:
+            while offset < len(batch):
+                try:
+                    # Apply every publication due before the next point;
+                    # waits (if any) burn queue time, not detection-path
+                    # time.
+                    self._resolve_pending_learns()
+                except Exception as exc:
+                    self.failure = exc
+                    self.on_results(self.shard_id, batch[offset:], None, 0.0,
+                                    f"{type(exc).__name__}: {exc}")
+                    return
+                started = time.perf_counter()
+                with self.tracer.span("shard.score", parent=batch_span,
+                                      shard=self.shard_id,
+                                      seq_first=batch[offset].seq) as score:
+                    try:
+                        results = self.detector.process_batch(
+                            [item.values for item in batch[offset:]])
+                        error = None
+                    except Exception as exc:  # surfaced via drain()/stop()
+                        self.failure = exc
+                        results = None
+                        error = f"{type(exc).__name__}: {exc}"
+                busy = time.perf_counter() - started
+                if error is not None:
+                    self.on_results(self.shard_id, batch[offset:], None,
+                                    busy, error)
+                    return
+                consumed = len(results)
+                score.annotate(scored=consumed)
+                if consumed == 0:
+                    # Deferred mode guarantees progress (the stop point is
+                    # always *after* the triggering point); zero progress
+                    # means the contract broke and looping again would hang
+                    # the shard.
+                    self.failure = ConfigurationError(
+                        "detector made no progress on a non-empty batch")
+                    self.on_results(self.shard_id, batch[offset:], None,
+                                    busy, str(self.failure))
+                    return
+                self.on_results(self.shard_id,
+                                batch[offset:offset + consumed],
+                                results, busy, None)
+                offset += consumed
+                # Ship new learn requests right away: the searches run on
+                # the coordinator pool while this shard waits for its next
+                # batch.
+                self._dispatch_new_learns()
 
     # ------------------------------------------------------------------ #
     # Deferred learning plumbing
@@ -298,6 +345,11 @@ class ShardWorker(threading.Thread):
         if not new:
             return
         ticket = self.learning.submit(self.shard_id, self.detector.grid, new)
+        if self.tracer.enabled:
+            for request in new:
+                self.tracer.event("learning.submit", shard=self.shard_id,
+                                  request=request.request_id,
+                                  kind=request.kind)
         for request in new:
             self._tickets[request.request_id] = ticket
 
@@ -316,8 +368,14 @@ class ShardWorker(threading.Thread):
             if ticket is None:
                 self._dispatch_new_learns()
                 ticket = self._tickets[pending[0].request_id]
-            for publication in ticket.wait(timeout=self.LEARN_TIMEOUT):
+            with self.tracer.span("learning.wait", shard=self.shard_id,
+                                  request=pending[0].request_id):
+                publications = ticket.wait(timeout=self.LEARN_TIMEOUT)
+            for publication in publications:
                 self.detector.apply_learn_publication(publication)
+                if self.tracer.enabled:
+                    self.tracer.event("learning.apply", shard=self.shard_id,
+                                      request=publication.request_id)
             for request_id in ticket.request_ids:
                 self._tickets.pop(request_id, None)
 
@@ -409,7 +467,8 @@ class ProcessShardWorker:
                  deadline: float = 0.0, deadline_policy: str = "shed",
                  quarantine_on_failure: bool = True,
                  retry_policy: Optional[RetryPolicy] = None,
-                 on_ipc_retry: Optional[Callable[[int], None]] = None) -> None:
+                 on_ipc_retry: Optional[Callable[[int], None]] = None,
+                 tracer=None) -> None:
         import multiprocessing
 
         if deadline_policy not in DEADLINE_POLICIES:
@@ -419,6 +478,7 @@ class ProcessShardWorker:
         self.shard_id = shard_id
         self.batcher = batcher
         self.on_results = on_results
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.deadline = deadline
         self.deadline_policy = deadline_policy
         self.quarantine_on_failure = quarantine_on_failure
@@ -523,6 +583,13 @@ class ProcessShardWorker:
     def _ship(self, batch: List[BatchItem]) -> None:
         seqs = [item.seq for item in batch]
         values = [item.values for item in batch]
+        if self.tracer.enabled:
+            # The scoring itself happens in the child process; the parent
+            # traces the hand-off (the IPC retry events ride on the
+            # service-level callback).
+            self.tracer.event("shard.ship", shard=self.shard_id,
+                              seq_first=seqs[0], seq_last=seqs[-1],
+                              n=len(seqs))
 
         def attempt() -> None:
             if self.faults is not None and self.faults.ipc_should_fail(seqs):

@@ -1,5 +1,7 @@
 """Tests for the command-line demo."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,3 +65,73 @@ class TestCommands:
 
         with pytest.raises(SerializationError):
             main(["replay", "--checkpoint-dir", str(tmp_path / "missing")])
+
+
+_OBS_SERVE_FLAGS = ["--tenants", "2", "--dimensions", "6", "--points", "60",
+                    "--training", "40", "--shards", "2", "--seed", "5"]
+
+
+class TestObservabilityCommands:
+    def test_metrics_emits_a_registry_snapshot(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", *_OBS_SERVE_FLAGS, "--out", str(out)]) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["schema"] == "spot-metrics/v1"
+        assert snapshot["gauges"]["service.points_completed"] == 120
+        assert any(key.startswith("service.points{")
+                   for key in snapshot["counters"])
+
+    def test_metrics_without_out_prints_json_to_stdout(self, capsys):
+        assert main(["metrics", *_OBS_SERVE_FLAGS]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == "spot-metrics/v1"
+
+    def test_trace_records_the_injected_recovery(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", *_OBS_SERVE_FLAGS, "--fault-crashes", "1",
+                     "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["schema"] == "spot-trace/v1"
+        names = {span["name"] for span in trace["spans"]}
+        assert {"enqueue", "shard.crash", "supervisor.recover",
+                "supervisor.restore", "supervisor.replay"} <= names
+
+    def test_bench_history_verbs_round_trip(self, capsys, tmp_path):
+        history_dir = str(tmp_path / "history")
+        payload = {
+            "schema": "spot-bench/v1", "benchmark": "T1", "seed": 1,
+            "provenance": {"git": "deadbee", "dirty": False}, "params": {},
+            "rows": [{"engine": "vectorized", "points_per_second": 100.0}],
+        }
+        from repro.obs import BenchHistory
+
+        history = BenchHistory(history_dir)
+        history.record("throughput", payload)
+        history.record("throughput", payload)
+
+        assert main(["bench-history", "list",
+                     "--history-dir", history_dir]) == 0
+        assert "throughput" in capsys.readouterr().out
+        assert main(["bench-history", "check",
+                     "--history-dir", history_dir]) == 0
+        assert "No regressions" in capsys.readouterr().out
+
+        slow = dict(payload)
+        slow["rows"] = [{"engine": "vectorized",
+                         "points_per_second": 10.0}]
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        assert main(["bench-history", "check", "throughput",
+                     "--payload", str(slow_path),
+                     "--history-dir", history_dir]) == 1
+        assert "points_per_second dropped" in capsys.readouterr().out
+
+        assert main(["bench-history", "trend", "throughput",
+                     "--metric", "points_per_second",
+                     "--history-dir", history_dir]) == 0
+        assert "engine=vectorized" in capsys.readouterr().out
+
+    def test_bench_history_list_on_empty_directory(self, capsys, tmp_path):
+        assert main(["bench-history", "list",
+                     "--history-dir", str(tmp_path / "none")]) == 0
+        assert "No recorded runs" in capsys.readouterr().out

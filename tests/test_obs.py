@@ -1,0 +1,389 @@
+"""Tests for the observability primitives (:mod:`repro.obs`).
+
+Three contracts are pinned here:
+
+* **Bounded, accurate histograms** — :class:`StreamingHistogram` keeps a
+  sparse set of log buckets, never the raw samples, yet its percentiles land
+  within a few percent of the exact order statistics and its extremes are
+  exact.
+* **Deterministic tracing** — span IDs derive only from names + identity
+  attributes, so two tracers fed the same operations emit the same IDs, and
+  the null tracer is a true no-op.
+* **The bench-history checker** — directed metrics are classified from
+  their names, the database is append-only JSONL, and the regression check
+  flags only moves against a metric's direction beyond tolerance.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.obs import (
+    BenchHistory,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullTracer,
+    StreamingHistogram,
+    Tracer,
+    classify_metric,
+    extract_metrics,
+    get_registry,
+)
+from repro.obs.history import DEFAULT_TOLERANCE
+from repro.obs.trace import NULL_TRACER
+
+
+def _exact_percentile(values, q):
+    ordered = sorted(values)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+class TestStreamingHistogram:
+    def test_empty_histogram_is_all_zeros(self):
+        histogram = StreamingHistogram()
+        assert histogram.count == 0
+        assert histogram.mean() == 0.0
+        assert histogram.percentile(50.0) == 0.0
+        assert histogram.as_dict() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_percentiles_track_exact_order_statistics(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+        histogram = StreamingHistogram()
+        for value in values:
+            histogram.record(value)
+        for q in (10.0, 50.0, 90.0, 95.0, 99.0):
+            exact = _exact_percentile(values, q)
+            assert histogram.percentile(q) == \
+                pytest.approx(exact, rel=0.08), f"p{q}"
+
+    def test_extremes_and_mean_are_exact(self):
+        values = [0.003, 0.4, 1.7, 22.0, 950.0]
+        histogram = StreamingHistogram()
+        for value in values:
+            histogram.record(value)
+        assert histogram.percentile(0.0) == min(values)
+        assert histogram.percentile(100.0) == max(values)
+        assert histogram.mean() == pytest.approx(sum(values) / len(values))
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+
+    def test_nonpositive_values_pin_to_zero(self):
+        histogram = StreamingHistogram()
+        for _ in range(10):
+            histogram.record(0.0)
+        assert histogram.percentile(50.0) == 0.0
+        assert histogram.max == 0.0
+        assert histogram.count == 10
+
+    def test_merge_equals_combined_recording(self):
+        rng = random.Random(3)
+        first = [rng.uniform(0.001, 10.0) for _ in range(400)]
+        second = [rng.uniform(0.001, 10.0) for _ in range(600)]
+        left, right, combined = (StreamingHistogram() for _ in range(3))
+        for value in first:
+            left.record(value)
+            combined.record(value)
+        for value in second:
+            right.record(value)
+            combined.record(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        assert left.as_dict() == pytest.approx(combined.as_dict())
+
+    def test_memory_is_bounded_by_value_range_not_count(self):
+        histogram = StreamingHistogram()
+        rng = random.Random(11)
+        for _ in range(100_000):
+            histogram.record(rng.uniform(0.001, 1000.0))
+        # Six decades at 40 buckets/decade, regardless of sample count.
+        assert len(histogram._buckets) <= 6 * 40 + 2
+        assert histogram.count == 100_000
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(ConfigurationError):
+            StreamingHistogram().percentile(101.0)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments_monotonically(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_overwrites(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+
+class TestMetricsRegistry:
+    def test_labels_are_sorted_into_the_key(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("points", shard=1, mode="thread")
+        assert counter.name == "points{mode=thread,shard=1}"
+
+    def test_get_or_create_shares_the_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("points", shard=0).inc(3)
+        registry.counter("points", shard=0).inc(2)
+        assert registry.counter("points", shard=0).value == 5
+
+    def test_total_sums_label_variants(self):
+        registry = MetricsRegistry()
+        registry.counter("points", shard=0).inc(3)
+        registry.counter("points", shard=1).inc(4)
+        registry.counter("points_other").inc(100)
+        assert registry.total("points") == 7
+
+    def test_snapshot_is_stable_json(self):
+        registry = MetricsRegistry()
+        registry.counter("restarts", shard=0).inc(2)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("latency", shard=0).record(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == "spot-metrics/v1"
+        assert snapshot["counters"] == {"restarts{shard=0}": 2}
+        assert snapshot["gauges"] == {"depth": 1.5}
+        assert set(snapshot["histograms"]) == {"latency{shard=0}"}
+        # Integral counters render as JSON ints; the export round-trips.
+        assert isinstance(snapshot["counters"]["restarts{shard=0}"], int)
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_adopted_histogram_appears_in_snapshot(self):
+        registry = MetricsRegistry()
+        histogram = StreamingHistogram()
+        registry.register_histogram("latency", histogram, shard=2)
+        histogram.record(1.0)
+        assert registry.snapshot()["histograms"]["latency{shard=2}"][
+            "count"] == 1
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestTracer:
+    def test_span_ids_are_deterministic_across_tracers(self):
+        def run(tracer):
+            with tracer.span("shard.batch", shard=0, seq_first=10) as batch:
+                with tracer.span("shard.score", parent=batch, shard=0,
+                                 seq_first=10):
+                    pass
+            tracer.event("enqueue", seq=11, shard=1)
+            return [(s.span_id, s.parent_id, s.name) for s in tracer.spans()]
+
+        assert run(Tracer()) == run(Tracer())
+
+    def test_repeated_identity_gets_occurrence_suffix(self):
+        tracer = Tracer()
+        tracer.event("retry", shard=0)
+        tracer.event("retry", shard=0)
+        tracer.event("retry", shard=0)
+        ids = [span.span_id for span in tracer.find("retry")]
+        assert ids == ["retry[shard=0]", "retry[shard=0]#1",
+                       "retry[shard=0]#2"]
+
+    def test_annotations_do_not_change_identity(self):
+        tracer = Tracer()
+        with tracer.span("checkpoint.write", at_point=100) as span:
+            span.annotate(outcome="saved")
+        recorded, = tracer.spans()
+        assert recorded.span_id == "checkpoint.write[at_point=100]"
+        assert recorded.data == {"outcome": "saved"}
+        assert recorded.duration_ms is not None
+
+    def test_tree_nests_children_under_parents(self):
+        tracer = Tracer()
+        with tracer.span("recover", shard=0) as recover:
+            with tracer.span("restore", parent=recover, shard=0):
+                pass
+            with tracer.span("replay", parent=recover, shard=0):
+                pass
+        roots = tracer.tree()
+        assert [root["name"] for root in roots] == ["recover"]
+        assert sorted(child["name"] for child in roots[0]["children"]) == \
+            ["replay", "restore"]
+
+    def test_ring_buffer_is_bounded_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for seq in range(10):
+            tracer.event("enqueue", seq=seq)
+        assert len(tracer.spans()) == 4
+        assert tracer.dropped == 6
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("shard.batch", shard=0):
+                raise ValueError("boom")
+        recorded, = tracer.spans()
+        assert recorded.data["error"] == "ValueError"
+
+    def test_export_schema_and_clear(self):
+        tracer = Tracer()
+        tracer.event("enqueue", seq=0)
+        export = tracer.to_dict()
+        assert export["schema"] == "spot-trace/v1"
+        assert len(export["spans"]) == 1
+        assert json.loads(json.dumps(export)) == export
+        tracer.clear()
+        assert tracer.spans() == []
+        # Occurrence counters reset too: the next run re-derives the same IDs.
+        assert tracer.event("enqueue", seq=0).span_id == "enqueue[seq=0]"
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", shard=0)
+        with span as entered:
+            entered.annotate(ignored=True)
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.tree() == []
+        assert NULL_TRACER.to_dict()["spans"] == []
+        assert NullTracer().span("x") is NULL_TRACER.span("y")
+
+
+def _bench_payload(points_per_second, p95_ms=4.0, benchmark="T1"):
+    """A minimal but valid ``spot-bench/v1`` payload for history tests."""
+    return {
+        "schema": "spot-bench/v1",
+        "bench": "throughput",
+        "benchmark": benchmark,
+        "provenance": {"git": "abc1234", "dirty": False},
+        "seed": 7,
+        "params": {"n_training": 60},
+        "rows": [
+            {"engine": "vectorized", "points": 1000, "generation": 3,
+             "points_per_second": points_per_second, "p95_ms": p95_ms,
+             "converged": True},
+        ],
+    }
+
+
+class TestClassifyMetric:
+    @pytest.mark.parametrize("name,direction", [
+        ("points_per_second", "higher"),
+        ("speedup", "higher"),
+        ("memo_hits", "higher"),
+        ("p95_ms", "lower"),
+        ("recovery_ms", "lower"),
+        ("busy_seconds", "lower"),
+        ("points", None),
+        ("generation", None),
+    ])
+    def test_direction_from_name(self, name, direction):
+        assert classify_metric(name) == direction
+
+
+class TestExtractMetrics:
+    def test_rows_keyed_by_string_fields_numbers_only(self):
+        metrics = extract_metrics(_bench_payload(100.0))
+        assert set(metrics) == {"engine=vectorized"}
+        row = metrics["engine=vectorized"]
+        assert row["points_per_second"] == 100.0
+        assert "converged" not in row  # bools are not metrics
+
+    def test_duplicate_row_keys_are_disambiguated(self):
+        payload = _bench_payload(100.0)
+        payload["rows"].append(dict(payload["rows"][0]))
+        metrics = extract_metrics(payload)
+        assert set(metrics) == {"engine=vectorized", "engine=vectorized#1"}
+
+
+class TestBenchHistory:
+    def test_record_appends_validated_jsonl(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        first = history.record("throughput", _bench_payload(100.0))
+        second = history.record("throughput", _bench_payload(110.0))
+        assert (first["run_index"], second["run_index"]) == (0, 1)
+        entries = history.entries("throughput")
+        assert [e["schema"] for e in entries] == ["spot-bench-history/v1"] * 2
+        assert entries[0]["provenance"]["git"] == "abc1234"
+        assert history.benches() == ["throughput"]
+
+    def test_record_rejects_foreign_schemas(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchHistory(tmp_path).record("x", {"schema": "something/v9"})
+
+    def test_corrupt_line_is_a_typed_error(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        with open(history.path_for("throughput"), "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ConfigurationError):
+            history.entries("throughput")
+
+    def test_too_little_history_never_flags(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        assert history.check("throughput") == []
+        history.record("throughput", _bench_payload(100.0))
+        assert history.check("throughput") == []
+
+    def test_injected_slowdown_is_flagged(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        for pps in (100.0, 105.0, 95.0):
+            history.record("throughput", _bench_payload(pps))
+        history.record("throughput", _bench_payload(10.0, p95_ms=40.0))
+        findings = history.check("throughput")
+        flagged = {(f.metric, f.direction) for f in findings}
+        assert flagged == {("points_per_second", "higher"), ("p95_ms", "lower")}
+        for finding in findings:
+            assert "throughput" in finding.describe()
+
+    def test_moves_within_tolerance_pass(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        history.record("throughput", _bench_payload(100.0))
+        # 30% down on a 50% tolerance: noisy, not a regression.
+        history.record("throughput", _bench_payload(70.0))
+        assert history.check("throughput",
+                             tolerance=DEFAULT_TOLERANCE) == []
+        assert len(history.check("throughput", tolerance=0.1)) == 1
+
+    def test_candidate_payload_checks_without_recording(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        history.record("throughput", _bench_payload(102.0))
+        findings = history.check("throughput",
+                                 candidate=_bench_payload(10.0))
+        assert [f.metric for f in findings] == ["points_per_second"]
+        assert findings[0].ratio == pytest.approx(10.0 / 101.0)
+        # The candidate was never appended.
+        assert len(history.entries("throughput")) == 2
+
+    def test_new_rows_and_metrics_never_trip_the_checker(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        history.record("throughput", _bench_payload(100.0))
+        candidate = _bench_payload(100.0)
+        candidate["rows"].append({"engine": "python", "brand_new_ms": 5.0})
+        candidate["rows"][0]["extra_per_second"] = 1.0
+        assert history.check("throughput", candidate=candidate) == []
+
+    def test_tolerance_must_be_nonnegative(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        with pytest.raises(ConfigurationError):
+            history.check_metrics("x", [], {}, tolerance=-0.1)
+
+    def test_trend_reports_metric_per_run(self, tmp_path):
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        history.record("throughput", _bench_payload(120.0))
+        assert history.metric_names("throughput") == \
+            ["p95_ms", "points_per_second"]
+        rows = history.trend("throughput", "points_per_second")
+        assert [row["run"] for row in rows] == [0, 1]
+        assert [row["engine=vectorized"] for row in rows] == [100.0, 120.0]
