@@ -410,9 +410,11 @@ def bench_stamp(*, repo_root: Optional[Path] = None,
     the committed ``BENCH_*.json`` reports themselves are ignored, because
     regenerating a series of reports necessarily dirties the earlier ones
     before the later ones are stamped (the failure mode behind the
-    BENCH_learning.json re-stamp of commit 33360f2).  A dirty *code* tree
-    warns loudly — a report stamped that way cannot be reproduced from any
-    commit.
+    BENCH_learning.json re-stamp of commit 33360f2).  The bench-history
+    database under ``benchmarks/history/`` is ignored for the same reason:
+    ``bench <id> --record`` appends to it before the next bench of a
+    regeneration sweep is stamped.  A dirty *code* tree warns loudly — a
+    report stamped that way cannot be reproduced from any commit.
     """
     root = Path(repo_root) if repo_root else Path(__file__).resolve().parent
 
@@ -435,6 +437,8 @@ def bench_stamp(*, repo_root: Optional[Path] = None,
             path = line[3:].strip()
             name = path.rsplit("/", 1)[-1]
             if name.startswith("BENCH_") and name.endswith(".json"):
+                continue
+            if "benchmarks/history/" in path.replace("\\", "/"):
                 continue
             dirty = True
             break

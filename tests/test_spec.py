@@ -222,6 +222,31 @@ class TestBenchPayload:
         assert set(stamp) == {"git", "dirty"}
         assert isinstance(stamp["dirty"], bool)
 
+    def test_stamp_ignores_artifacts_and_history(self, tmp_path):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(["git", *argv], cwd=tmp_path, check=True,
+                           capture_output=True)
+
+        git("init", "-q")
+        git("config", "user.email", "t@t")
+        git("config", "user.name", "t")
+        (tmp_path / "code.py").write_text("x = 1\n")
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "benchmarks" / "guard.py").write_text("y = 1\n")
+        git("add", "code.py", "benchmarks/guard.py")
+        git("commit", "-q", "-m", "seed")
+        # Artifact + history churn is what a regeneration sweep produces;
+        # neither makes the *code* tree dirty.
+        (tmp_path / "BENCH_throughput.json").write_text("{}")
+        history = tmp_path / "benchmarks" / "history"
+        history.mkdir(parents=True)
+        (history / "throughput.jsonl").write_text("{}\n")
+        assert bench_stamp(repo_root=tmp_path, warn=False)["dirty"] is False
+        (tmp_path / "code.py").write_text("x = 2\n")
+        assert bench_stamp(repo_root=tmp_path, warn=False)["dirty"] is True
+
     def test_build_payload_matches_unified_schema(self):
         spec = get_bench("serving-sweep")
         params = spec.resolve({})
