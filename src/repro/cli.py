@@ -290,6 +290,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="tracer ring-buffer capacity (oldest spans are "
                             "dropped beyond it)")
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile the detection hot path (process_batch on the T1 "
+             "throughput workload) and print the top functions")
+    profile.add_argument("--dimensions", type=int, default=10,
+                         help="stream dimensionality")
+    profile.add_argument("--points", type=int, default=20000,
+                         help="detection-segment length")
+    profile.add_argument("--training", type=int, default=500,
+                         help="training batch size (learned outside the "
+                              "profiler)")
+    profile.add_argument("--engine", default="vectorized",
+                         choices=("python", "vectorized"))
+    profile.add_argument("--top", type=int, default=25,
+                         help="rows of the profile report")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime"),
+                         help="profile ordering")
+    profile.add_argument("--seed", type=int, default=19)
+
     history = subparsers.add_parser(
         "bench-history",
         help="inspect the recorded bench-run history and check it for "
@@ -610,6 +630,47 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    """cProfile ``process_batch`` on the T1 throughput workload.
+
+    Learning runs outside the profiler so the report shows the steady-state
+    detection path — the loop whose per-point constant the fused kernel
+    exists to shrink — not the one-off MOGA search.
+    """
+    import cProfile
+    import pstats
+    import time as time_module
+
+    from .eval.experiments import t1_bench_config
+    from .eval.workloads import throughput_workload
+    from .streams import values_of
+
+    workload = throughput_workload(dimensions=args.dimensions,
+                                   n_training=args.training,
+                                   n_detection=args.points, seed=args.seed)
+    config = t1_bench_config(engine=args.engine)
+    detector = SPOT(config)
+    detector.learn(values_of(workload.training))
+    detection = values_of(workload.detection)
+    print(f"Profiling {args.engine} process_batch: {len(detection)} points "
+          f"at {args.dimensions}-d (sorted by {args.sort})", file=sys.stderr)
+
+    profiler = cProfile.Profile()
+    started = time_module.perf_counter()
+    profiler.enable()
+    results = detector.process_batch(detection)
+    profiler.disable()
+    elapsed = time_module.perf_counter() - started
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    outliers = sum(1 for r in results if r.is_outlier)
+    print(f"{len(detection)} points in {elapsed:.3f}s "
+          f"({len(detection) / elapsed:,.0f} points/s), "
+          f"{outliers} outliers flagged")
+    return 0
+
+
 def _run_replay(args: argparse.Namespace) -> int:
     from .core.exceptions import SerializationError
     from .eval.workloads import multi_tenant_workload
@@ -816,6 +877,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "replay":
         return _run_replay(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "metrics":
         return _run_metrics(args)
     if args.command == "trace":

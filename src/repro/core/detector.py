@@ -507,6 +507,17 @@ class SPOT:
             if X.ndim != 2 or (X.shape[0] and X.shape[1] != phi):
                 raise DimensionMismatchError(phi, X.shape[-1])
             return X
+        points = list(points)
+        # Fast path: a chunk of plain tuples/lists converts in one C pass.
+        if points and all(type(p) in (tuple, list) for p in points):
+            try:
+                X = np.asarray(points, dtype=np.float64)
+            except (TypeError, ValueError):
+                X = None
+            if X is not None and X.ndim == 2:
+                if X.shape[1] != phi:
+                    raise DimensionMismatchError(phi, X.shape[1])
+                return X
         coerced = [_coerce_point(point) for point in points]
         for values in coerced:
             if len(values) != phi:
@@ -576,32 +587,19 @@ class SPOT:
 
         plan = store.plan_batch(chunk, subspaces, exclude_weight=1.0)
 
+        # The fused decision kernel scores every (point, subspace) pair in a
+        # handful of array passes per subspace width; per-subspace flags stay
+        # readable through ``plan.plans[subspace].flagged`` for the evidence
+        # loop below.
         per_subspace_alpha = config.significance / max(1, n_multi)
-        flag_matrix = np.zeros((len(subspaces), n), dtype=bool)
-        min_rd = np.full(n, np.inf)
-        min_multi_tail = np.ones(n)
-        for si, subspace in enumerate(subspaces):
-            sub = plan.plans[subspace]
-            if use_poisson and len(subspace) > 1:
-                is_sparse = sub.tail <= per_subspace_alpha
-                np.minimum(min_multi_tail, sub.tail, out=min_multi_tail)
-            else:
-                is_sparse = ((sub.expected >= config.min_expected_mass)
-                             & (sub.rd <= config.rd_threshold))
-            if config.irsd_threshold is not None:
-                is_sparse = is_sparse & (sub.irsd <= config.irsd_threshold)
-            flag_matrix[si] = is_sparse
-            supported = sub.expected >= config.min_expected_mass
-            np.copyto(min_rd, sub.rd, where=supported & (sub.rd < min_rd))
-        any_flag = flag_matrix.any(axis=0)
-
-        rd_score = np.where(np.isfinite(min_rd),
-                            np.clip(1.0 - min_rd, 0.0, 1.0), 0.0)
-        if use_poisson:
-            adjusted = np.minimum(1.0, min_multi_tail * max(1, n_multi))
-            score = np.maximum(rd_score, np.maximum(0.0, 1.0 - adjusted))
-        else:
-            score = rd_score
+        any_flag, score = plan.decide(
+            use_poisson=use_poisson,
+            per_subspace_alpha=per_subspace_alpha,
+            rd_threshold=config.rd_threshold,
+            irsd_threshold=config.irsd_threshold,
+            min_expected_mass=config.min_expected_mass,
+            n_multi=n_multi,
+        )
 
         # An outlier-driven MOGA search mutates the SST mid-stream, so the
         # chunk is cut after the first flagged point that would trigger one;
@@ -619,37 +617,48 @@ class SPOT:
         plan.commit(cut)
 
         values_list = [tuple(row) for row in chunk[:cut].tolist()]
+        if self._recent_buffer is not None:
+            self._recent_buffer.extend_prepared(values_list)
+        if self._drift_detector is not None:
+            self._drift_detector.observe_cells(
+                tuple(row) for row in plan.idx[:cut].tolist())
+        flagged_idx = set(np.flatnonzero(any_flag[:cut]).tolist())
+        flag_cols = ([(plan.plans[subspace], plan.plans[subspace].flagged)
+                      for subspace in subspaces] if flagged_idx else [])
+        score_list = score[:cut].tolist()
+        index = self._processed
+        append = results.append
+        flagged_results: List[DetectionResult] = []
         for i in range(cut):
-            values = values_list[i]
-            if self._recent_buffer is not None:
-                self._recent_buffer.add(values)
-            if self._drift_detector is not None:
-                self._drift_detector.observe(values, cell=plan.base_cell_of(i))
-            if any_flag[i]:
+            if i in flagged_idx:
                 items: List[Tuple[Subspace, ProjectedCellSummary]] = []
-                for si, subspace in enumerate(subspaces):
-                    if flag_matrix[si, i]:
-                        items.append((subspace, plan.plans[subspace].pcs_at(i)))
+                for view, col in flag_cols:
+                    if col[i]:
+                        items.append((view.subspace, view.pcs_at(i)))
                 evidence = tuple(
                     SubspaceEvidence(subspace=subspace, pcs=pcs, flagged=True)
                     for subspace, pcs in items
                 )
                 ranked = sorted(items, key=lambda item: item[1].rd)
                 outlying = tuple(subspace for subspace, _ in ranked)
+                is_outlier = True
             else:
                 evidence = ()
                 outlying = ()
+                is_outlier = False
             result = DetectionResult(
-                index=self._processed,
-                point=values,
-                is_outlier=bool(any_flag[i]),
+                index=index + i,
+                point=values_list[i],
+                is_outlier=is_outlier,
                 outlying_subspaces=outlying,
                 evidence=evidence,
-                score=float(score[i]),
+                score=score_list[i],
             )
-            self._processed += 1
-            self._summary.record(result)
-            results.append(result)
+            if is_outlier:
+                flagged_results.append(result)
+            append(result)
+        self._processed += cut
+        self._summary.record_chunk(cut, flagged_results)
 
         # Period-boundary and outlier-driven adaptation can only fire at the
         # last committed point (the chunking above guarantees it); for every
@@ -799,7 +808,7 @@ class SPOT:
     # ------------------------------------------------------------------ #
     # Full-state export / restore (checkpointing)
     # ------------------------------------------------------------------ #
-    def export_state(self) -> dict:
+    def export_state(self, arrays: str = "json") -> dict:
         """Snapshot everything a mid-stream detector is, losslessly.
 
         Unlike :func:`repro.persist.save_detector` (config + SST only, for
@@ -807,9 +816,16 @@ class SPOT:
         carries the live cell summaries, the recent-points reservoir, the
         drift monitor and the online-adaptation counters/RNG state, so a
         detector rebuilt with :meth:`from_state` resumes the stream
-        decision-identically to one that was never interrupted.  The payload
-        is plain JSON-serialisable data; sharded services snapshot each shard
-        through this method.
+        decision-identically to one that was never interrupted.
+
+        ``arrays`` selects how the store's cell arrays are exported (see
+        :meth:`VectorizedSynapseStore.state_to_dict`): ``"json"`` (default)
+        keeps the payload plain JSON-serialisable data; ``"view"`` /
+        ``"copy"`` leave them as NumPy arrays for the zero-copy ``.npz``
+        checkpoint path — ``"view"`` aliases the live store and must be
+        written out before the detector processes another point, ``"copy"``
+        is safe to retain (crash-recovery snapshots).  Sharded services
+        snapshot each shard through this method.
         """
         self._require_fitted()
         assert self._store is not None and self._sst is not None
@@ -824,10 +840,11 @@ class SPOT:
             "processed": self._processed,
             "summary": self._summary.state_to_dict(),
             "learning_report": dict(self._learning_report),
-            "store": self._store.state_to_dict(),
-            "recent_buffer": (self._recent_buffer.state_to_dict()
+            "store": self._store.state_to_dict(array_mode=arrays),
+            "recent_buffer": (self._recent_buffer.state_to_dict(
+                                  array_mode=arrays)
                               if self._recent_buffer is not None else None),
-            "drift": (self._drift_detector.state_to_dict()
+            "drift": (self._drift_detector.state_to_dict(array_mode=arrays)
                       if self._drift_detector is not None else None),
             "self_evolution": (self._self_evolution.state_to_dict()
                                if self._self_evolution is not None else None),
@@ -965,4 +982,8 @@ class SPOT:
                 learning.get("training_batch_bytes", 0)),
             "recent_buffer_bytes": buffer_bytes,
         })
+        # Engine-specific storage detail: arena capacity vs live slots and
+        # the key-codec mode per cell table (int64 / two-level / bytes on the
+        # vectorized engine, plain dicts on the reference engine).
+        footprint["storage"] = self._store.storage_report()
         return footprint

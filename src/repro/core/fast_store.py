@@ -57,6 +57,8 @@ from .kernels import (
     batch_irsd,
     first_occurrence_unique,
     grouped_prefix_sums,
+    grouped_stream_stats,
+    pack_subspace_group,
     poisson_tail_vector,
     quantize_batch,
 )
@@ -75,14 +77,18 @@ _MAX_INFLATION_LOG = math.log(1e12)
 _poisson_tail_vector = poisson_tail_vector
 _first_occurrence_unique = first_occurrence_unique
 _grouped_prefix_sums = grouped_prefix_sums
+_grouped_stream_stats = grouped_stream_stats
 
 
 class _CellTable:
     """Structure-of-arrays storage for one family of cell summaries.
 
     Slot ``i`` holds the inflated (count, linear-sum, squared-sum) triplet of
-    the cell whose packed key is ``slot_keys[i]``.  Arrays grow by doubling;
-    logical size is ``n_slots``.
+    the cell whose hashable packed key is ``slot_keys[i]``.  The backing
+    arrays are an arena: capacity grows geometrically and only the live
+    prefix is ever copied on growth (everything past ``n_slots`` is zero by
+    invariant), so growth cost is amortized O(1) per new cell and never
+    re-packs the existing summaries.
     """
 
     __slots__ = ("width", "codec", "key_to_slot", "slot_keys",
@@ -102,17 +108,22 @@ class _CellTable:
     def n_slots(self) -> int:
         return len(self.slot_keys)
 
+    @property
+    def capacity(self) -> int:
+        """Allocated arena slots (``>= n_slots``)."""
+        return self.count.shape[0]
+
     def _ensure_capacity(self, needed: int) -> None:
         cap = self.count.shape[0]
         if needed <= cap:
             return
-        new_cap = max(needed, 2 * cap)
-        self.count = np.concatenate(
-            [self.count, np.zeros(new_cap - cap, dtype=np.float64)])
-        self.lin = np.concatenate(
-            [self.lin, np.zeros((new_cap - cap, self.width), dtype=np.float64)])
-        self.sq = np.concatenate(
-            [self.sq, np.zeros((new_cap - cap, self.width), dtype=np.float64)])
+        new_cap = max(needed, 2 * cap, 64)
+        live = len(self.slot_keys)
+        for name in ("count", "lin", "sq"):
+            old = getattr(self, name)
+            fresh = np.zeros((new_cap,) + old.shape[1:], dtype=np.float64)
+            fresh[:live] = old[:live]
+            setattr(self, name, fresh)
 
     def create_slot(self, key) -> int:
         """Allocate (or return) the slot of ``key``; new slots start zeroed."""
@@ -124,6 +135,21 @@ class _CellTable:
         self.slot_keys.append(key)
         self._ensure_capacity(slot + 1)
         return slot
+
+    def create_slots(self, keys: List[object]) -> np.ndarray:
+        """Allocate consecutive slots for ``keys`` (all must be new).
+
+        One capacity check for the whole batch; returns the slot numbers in
+        ``keys`` order.
+        """
+        start = len(self.slot_keys)
+        stop = start + len(keys)
+        self._ensure_capacity(stop)
+        self.slot_keys.extend(keys)
+        store = self.key_to_slot
+        for i, key in enumerate(keys, start):
+            store[key] = i
+        return np.arange(start, stop, dtype=np.int64)
 
     def scale(self, factor: float) -> None:
         """Multiply every live slot by ``factor`` (renormalisation)."""
@@ -167,9 +193,10 @@ class _GroupPlan:
         self.values = values
         self.keys = table.codec.pack(idx_sub)
         self.uniq, self.inv, self.first_idx = _first_occurrence_unique(self.keys)
+        self.uniq_keys = table.codec.hashable_list(self.uniq)
         get = table.key_to_slot.get
-        self.slots = np.fromiter((get(key, -1) for key in self.uniq),
-                                 dtype=np.int64, count=len(self.uniq))
+        self.slots = np.fromiter((get(key, -1) for key in self.uniq_keys),
+                                 dtype=np.int64, count=len(self.uniq_keys))
         self.new_mask = self.slots < 0
         # Prior (inflated) state per unique key; zeros for keys not yet stored.
         existing = np.flatnonzero(~self.new_mask)
@@ -196,17 +223,14 @@ class _GroupPlan:
             return
         table = self.table
         n_uniq = len(self.uniq)
-        slot_arr = np.empty(n_uniq, dtype=np.int64)
-        for u in range(n_uniq):
-            if self.new_mask[u]:
-                if self.first_idx[u] < upto:
-                    slot_arr[u] = table.create_slot(self.uniq[u])
-                else:
-                    # Never touched by the committed prefix: bincount below
-                    # yields exactly zero for it, so any sentinel works.
-                    slot_arr[u] = -1
-            else:
-                slot_arr[u] = self.slots[u]
+        slot_arr = self.slots.copy()
+        # Keys first touched inside the committed prefix get real slots, in
+        # first-occurrence (stream) order; keys only touched after it keep
+        # the -1 sentinel — bincount below yields exactly zero for them.
+        new_sel = np.flatnonzero(self.new_mask & (self.first_idx < upto))
+        if new_sel.size:
+            slot_arr[new_sel] = table.create_slots(
+                [self.uniq_keys[u] for u in new_sel])
         inv = self.inv[:upto]
         adds = np.bincount(inv, weights=self.a[:upto], minlength=n_uniq)
         touched = np.flatnonzero(slot_arr >= 0)
@@ -222,48 +246,110 @@ class _GroupPlan:
                 table.sq[dest, j] += sadd[touched]
 
 
-class _SubspacePlan(_GroupPlan):
-    """A :class:`_GroupPlan` plus the per-point PCS statistics of a subspace."""
+class _FusedGroupPlan:
+    """Fused per-point PCS statistics of *all* same-width SST subspaces.
 
-    def __init__(self, store: "VectorizedSynapseStore", subspace: Subspace,
-                 table: _CellTable, idx: np.ndarray, X: np.ndarray,
+    This is the fused decision kernel: instead of one pack → unique → prefix-
+    sum → score pass per subspace, every subspace of the same width shares a
+    single ``(n, S)`` key matrix (:func:`pack_subspace_group`), one
+    first-occurrence grouping over its point-major flattening, and one
+    grouped prefix-sum whose outputs are reshaped straight into ``(n, S)``
+    decision arrays (RD / IRSD / expected / tails).  Per-group contributions
+    flatten in point order (entry ``i * S + s``), so every cell's running
+    sums accumulate the exact same floats, in the exact same order, as the
+    former per-subspace plans — the prefix-commit contract is untouched.
+    """
+
+    def __init__(self, store: "VectorizedSynapseStore",
+                 subspaces: Sequence[Subspace],
+                 tables: Sequence[_CellTable], idx: np.ndarray, X: np.ndarray,
                  a: np.ndarray, defl: np.ndarray, total_true: np.ndarray,
                  marg_prefix: Dict[int, np.ndarray],
                  exclude_weight: float) -> None:
-        dims = np.fromiter(subspace.dimensions, dtype=np.int64)
-        super().__init__(table, idx[:, dims], a, X[:, dims])
-        self.subspace = subspace
-        k = len(dims)
-        n = idx.shape[0]
+        self.subspaces = tuple(subspaces)
+        self.tables = list(tables)
+        S = self.S = len(self.subspaces)
+        k = self.width = self.tables[0].width
+        n = self.n = idx.shape[0]
+        codec = self.tables[0].codec
+        dims_matrix = np.array([list(s.dimensions) for s in self.subspaces],
+                               dtype=np.int64)
 
-        prefix_count, prefix_cols = _grouped_prefix_sums(
-            self.inv, a, np.concatenate([self.av, self.av2], axis=1))
+        gkeys = pack_subspace_group(idx, dims_matrix, codec)
 
-        self.count_true = (self.prior_count[self.inv] + prefix_count) * defl
-        lin_true = (self.prior_lin[self.inv] + prefix_cols[:, :k]) \
-            * defl[:, None]
-        sq_true = (self.prior_sq[self.inv] + prefix_cols[:, k:]) \
-            * defl[:, None]
+        # One stable sort provides both the first-occurrence grouping and the
+        # per-point running (count, lin, sq) sums of every subspace at once.
+        vals = np.ascontiguousarray(X[:, dims_matrix].reshape(n * S, k))
+        self.a_flat = np.repeat(a, S)
+        self.av = self.a_flat[:, None] * vals
+        self.av2 = self.av * vals
+        (self.uniq, self.inv, self.first_idx,
+         prefix_count, prefix_cols) = _grouped_stream_stats(
+            gkeys.flat(), self.a_flat,
+            np.concatenate([self.av, self.av2], axis=1))
+        self.sub_of, self.local_keys = gkeys.split(self.uniq)
+        n_uniq = len(self.uniq)
+
+        # Prior (inflated) state per unique (subspace, cell); zeros for cells
+        # not yet stored.  Slot lookups go through each table's own hashable
+        # keys, bit-identical to what the per-table codec would produce.
+        self.slots = np.full(n_uniq, -1, dtype=np.int64)
+        prior_count = np.zeros(n_uniq, dtype=np.float64)
+        prior_lin = np.zeros((n_uniq, k), dtype=np.float64)
+        prior_sq = np.zeros((n_uniq, k), dtype=np.float64)
+        local_keys = self.local_keys
+        for s, table in enumerate(self.tables):
+            if not table.key_to_slot:
+                continue  # every cell is new; slots stay -1.
+            sel = np.flatnonzero(self.sub_of == s)
+            if not sel.size:
+                continue
+            get = table.key_to_slot.get
+            tslots = np.fromiter((get(local_keys[u], -1) for u in sel),
+                                 dtype=np.int64, count=sel.size)
+            self.slots[sel] = tslots
+            found = tslots >= 0
+            if found.any():
+                rows = sel[found]
+                src = tslots[found]
+                prior_count[rows] = table.count[src]
+                prior_lin[rows] = table.lin[src]
+                prior_sq[rows] = table.sq[src]
+        self.new_mask = self.slots < 0
+
+        self.count_true = ((prior_count[self.inv] + prefix_count)
+                           .reshape(n, S)) * defl[:, None]
+        lin_true = ((prior_lin[self.inv] + prefix_cols[:, :k])
+                    .reshape(n, S, k)) * defl[:, None, None]
+        sq_true = ((prior_sq[self.inv] + prefix_cols[:, k:])
+                   .reshape(n, S, k)) * defl[:, None, None]
 
         # Populated-cell count as seen by each point: cells known before the
         # batch plus every batch cell first touched at or before the point
         # (the sequential path materialises the arriving point's cell before
         # scoring it, so the point's own cell always counts).
-        first_touch = np.zeros(n, dtype=np.float64)
+        first_touch = np.zeros((n, S), dtype=np.float64)
         new_firsts = self.first_idx[self.new_mask]
         if new_firsts.size:
-            first_touch[new_firsts] = 1.0
-        self.cells_prefix = table.n_slots + np.cumsum(first_touch)
+            first_touch[new_firsts // S, new_firsts % S] = 1.0
+        base_slots = np.array([t.n_slots for t in self.tables],
+                              dtype=np.float64)
+        self.cells_prefix = base_slots[None, :] + np.cumsum(first_touch,
+                                                            axis=0)
 
         reference = store.density_reference
         if reference == "lattice":
-            expected = total_true / float(store.grid.cell_count(subspace))
+            cell_counts = np.array(
+                [float(store.grid.cell_count(s)) for s in self.subspaces])
+            expected = total_true[:, None] / cell_counts[None, :]
         elif reference == "populated" or (reference == "hybrid" and k == 1):
-            expected = total_true / np.maximum(1.0, self.cells_prefix)
+            expected = total_true[:, None] / np.maximum(1.0, self.cells_prefix)
         else:
-            expected = total_true.copy()
-            for d in subspace.dimensions:
-                expected *= marg_prefix[d] / total_true
+            expected = np.repeat(total_true[:, None], S, axis=1)
+            for j in range(k):
+                marg_cols = np.stack(
+                    [marg_prefix[int(d)] for d in dims_matrix[:, j]], axis=1)
+                expected *= marg_cols / total_true[:, None]
         self.expected = expected
 
         self.count_excl = np.maximum(0.0, self.count_true - exclude_weight)
@@ -272,32 +358,142 @@ class _SubspacePlan(_GroupPlan):
             rd = np.where(supported, self.count_excl / expected, 0.0)
         # IRSD from the decayed moments (full count — the arriving point's own
         # spread contribution is *not* excluded, matching compute_pcs).
+        stds = np.stack([store._uniform_stds[s] for s in self.subspaces])
         irsd = batch_irsd(self.count_true, lin_true, sq_true,
-                          store._uniform_stds[subspace][None, :],
-                          store.irsd_cap)
+                          stds[None, :, :], store.irsd_cap)
         empty = self.count_true <= 0.0
         self.rd = np.where(supported & ~empty, rd, 0.0)
         self.irsd = np.where(supported & ~empty, irsd, 0.0)
         self._tail: Optional[np.ndarray] = None
+        self._tail_cols: Dict[int, np.ndarray] = {}
+        self.flags: Optional[np.ndarray] = None
+
+    def tail_matrix(self) -> np.ndarray:
+        """All ``(n, S)`` Poisson tails (the multi-d poisson rule reads every
+        column anyway, so there is nothing to save by staying lazy)."""
+        if self._tail is None:
+            self._tail = _poisson_tail_vector(
+                self.count_excl.reshape(-1),
+                self.expected.reshape(-1)).reshape(self.n, self.S)
+        return self._tail
+
+    def tail_col(self, s: int) -> np.ndarray:
+        """Poisson tails of one subspace column, computed on first use (lazy:
+        the RD decision rule never needs them for unflagged points)."""
+        if self._tail is not None:
+            return self._tail[:, s]
+        col = self._tail_cols.get(s)
+        if col is None:
+            col = _poisson_tail_vector(self.count_excl[:, s],
+                                       self.expected[:, s])
+            self._tail_cols[s] = col
+        return col
+
+    def commit(self, upto: int) -> None:
+        """Fold points ``0..upto-1`` into every table of the group at once."""
+        if upto <= 0:
+            return
+        S = self.S
+        limit = upto * S
+        inv = self.inv[:limit]
+        n_uniq = len(self.uniq)
+        k = self.width
+        adds = np.bincount(inv, weights=self.a_flat[:limit], minlength=n_uniq)
+        ladds = np.empty((n_uniq, k), dtype=np.float64)
+        sadds = np.empty((n_uniq, k), dtype=np.float64)
+        for j in range(k):
+            ladds[:, j] = np.bincount(inv, weights=self.av[:limit, j],
+                                      minlength=n_uniq)
+            sadds[:, j] = np.bincount(inv, weights=self.av2[:limit, j],
+                                      minlength=n_uniq)
+        eligible = ~self.new_mask | (self.first_idx < limit)
+        local_keys = self.local_keys
+        for s, table in enumerate(self.tables):
+            sel_mask = self.sub_of == s
+            new_sel = np.flatnonzero(sel_mask & self.new_mask
+                                     & (self.first_idx < limit))
+            if new_sel.size:
+                # First-occurrence order of the flattening is point order for
+                # a fixed subspace, so slots are numbered in stream order —
+                # exactly as the sequential path allocates them.
+                self.slots[new_sel] = table.create_slots(
+                    [local_keys[u] for u in new_sel])
+            touched = np.flatnonzero(sel_mask & eligible)
+            if not touched.size:
+                continue
+            dest = self.slots[touched]
+            table.count[dest] += adds[touched]
+            table.lin[dest] += ladds[touched]
+            table.sq[dest] += sadds[touched]
+
+
+class _SubspaceView:
+    """Read view of one subspace's column in a :class:`_FusedGroupPlan`.
+
+    Exposes the same per-point statistics the former per-subspace plans did
+    (``rd`` / ``irsd`` / ``expected`` / ``count_excl`` / ``tail`` / ...), as
+    zero-copy column views into the group's fused arrays.
+    """
+
+    __slots__ = ("group", "s", "subspace")
+
+    def __init__(self, group: _FusedGroupPlan, s: int,
+                 subspace: Subspace) -> None:
+        self.group = group
+        self.s = s
+        self.subspace = subspace
+
+    @property
+    def count_true(self) -> np.ndarray:
+        return self.group.count_true[:, self.s]
+
+    @property
+    def count_excl(self) -> np.ndarray:
+        return self.group.count_excl[:, self.s]
+
+    @property
+    def expected(self) -> np.ndarray:
+        return self.group.expected[:, self.s]
+
+    @property
+    def rd(self) -> np.ndarray:
+        return self.group.rd[:, self.s]
+
+    @property
+    def irsd(self) -> np.ndarray:
+        return self.group.irsd[:, self.s]
+
+    @property
+    def cells_prefix(self) -> np.ndarray:
+        return self.group.cells_prefix[:, self.s]
+
+    @property
+    def flagged(self) -> np.ndarray:
+        """Decision flags of this subspace (valid after ``BatchPlan.decide``)."""
+        flags = self.group.flags
+        if flags is None:
+            raise ConfigurationError("decide() has not run on this plan")
+        return flags[:, self.s]
 
     @property
     def tail(self) -> np.ndarray:
-        """Poisson tail probabilities, computed on first use (lazy: the RD
-        decision rule never needs them for unflagged points)."""
-        if self._tail is None:
-            self._tail = _poisson_tail_vector(self.count_excl, self.expected)
-        return self._tail
+        return self.group.tail_col(self.s)
 
     def tail_at(self, i: int) -> float:
         """Tail probability of one point without materialising the vector."""
-        if self._tail is not None:
-            return float(self._tail[i])
-        if self.expected[i] <= 0.0:
+        group = self.group
+        if group._tail is not None:
+            return float(group._tail[i, self.s])
+        col = group._tail_cols.get(self.s)
+        if col is not None:
+            return float(col[i])
+        expected = float(group.expected[i, self.s])
+        if expected <= 0.0:
             return 1.0
+        count = float(group.count_excl[i, self.s])
         if _gammaincc is not None:
-            return float(_gammaincc(self.count_excl[i] + 1.0, self.expected[i]))
-        return poisson_tail_probability(float(self.count_excl[i]),
-                                        float(self.expected[i]))
+            return float(_gammaincc(count + 1.0, expected))
+        return poisson_tail_probability(count, expected)
 
     def pcs_at(self, i: int) -> ProjectedCellSummary:
         """Materialise the PCS of point ``i`` (for DetectionResult evidence)."""
@@ -334,7 +530,9 @@ class BatchPlan:
         self.total_true = (store._total_infl + self.cumsum_a) * self.defl
 
         # Marginal prefix masses, only for the dimensions some subspace's
-        # independence expectation will actually read.
+        # independence expectation will actually read — one grouped
+        # prefix-sum over offset-disjoint (dimension, interval) group ids
+        # covers every needed dimension at once.
         need_dims: List[int] = []
         for subspace in subspaces:
             reference = store.density_reference
@@ -342,35 +540,97 @@ class BatchPlan:
                     reference == "hybrid" and len(subspace) > 1):
                 need_dims.extend(subspace.dimensions)
         marg_prefix: Dict[int, np.ndarray] = {}
-        m = store.grid.cells_per_dimension
-        rows = np.arange(self.n)
-        for d in sorted(set(need_dims)):
-            col = self.idx[:, d]
-            onehot = np.zeros((self.n, m), dtype=np.float64)
-            onehot[rows, col] = self.a
-            csum = np.cumsum(onehot, axis=0)
-            marg_prefix[d] = (store._marg[d, col] + csum[rows, col]) * self.defl
+        need = sorted(set(need_dims))
+        if need:
+            m = store.grid.cells_per_dimension
+            n_need = len(need)
+            cols = self.idx[:, need]
+            gids = (cols + np.arange(n_need, dtype=np.int64)[None, :] * m)
+            prefix, _ = _grouped_prefix_sums(gids.T.reshape(-1),
+                                             np.tile(self.a, n_need))
+            prefix = prefix.reshape(n_need, self.n)
+            for j, d in enumerate(need):
+                marg_prefix[d] = (store._marg[d, cols[:, j]]
+                                  + prefix[j]) * self.defl
         self.marg_prefix = marg_prefix
 
         self.base_plan: Optional[_GroupPlan] = None
+        self._committables: List[object] = []
         if store.track_base_cells:
             self.base_plan = _GroupPlan(store._base, self.idx, self.a, X)
+            self._committables.append(self.base_plan)
 
-        self.plans: Dict[Subspace, _SubspacePlan] = {}
+        # The fused decision kernel: one plan per subspace *width*, each
+        # covering every same-width SST subspace in shared array passes.
+        self.plans: Dict[Subspace, _SubspaceView] = {}
+        self.groups: List[_FusedGroupPlan] = []
+        by_width: Dict[int, List[Subspace]] = {}
         for subspace in subspaces:
-            table = store._projected.get(subspace)
-            if table is None:
+            if subspace not in store._projected:
                 raise ConfigurationError(
                     f"subspace {subspace!r} is not registered with this store"
                 )
-            self.plans[subspace] = _SubspacePlan(
-                store, subspace, table, self.idx, X, self.a, self.defl,
-                self.total_true, marg_prefix, exclude_weight)
+            by_width.setdefault(len(subspace), []).append(subspace)
+        for group_subs in by_width.values():
+            group = _FusedGroupPlan(
+                store, group_subs, [store._projected[s] for s in group_subs],
+                self.idx, X, self.a, self.defl, self.total_true, marg_prefix,
+                exclude_weight)
+            self.groups.append(group)
+            self._committables.append(group)
+            for s, subspace in enumerate(group_subs):
+                self.plans[subspace] = _SubspaceView(group, s, subspace)
         self.committed = 0
 
     def base_cell_of(self, i: int) -> CellAddress:
         """Base-cell address tuple of point ``i`` (for drift monitoring)."""
         return tuple(int(v) for v in self.idx[i])
+
+    def decide(self, *, use_poisson: bool, per_subspace_alpha: float,
+               rd_threshold: float, irsd_threshold: Optional[float],
+               min_expected_mass: float, n_multi: int
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply the SPOT decision rule to every (point, subspace) at once.
+
+        Emits the grouped reductions straight into per-group ``(n, S)`` flag
+        matrices (readable per subspace via ``plans[subspace].flagged``) and
+        returns ``(any_flag, score)`` — the same flags and continuous scores
+        the detector's former per-subspace loop produced, in two or three
+        array passes per width group.
+        """
+        n = self.n
+        any_flag = np.zeros(n, dtype=bool)
+        min_rd = np.full(n, np.inf)
+        min_multi_tail = np.ones(n)
+        for group in self.groups:
+            if use_poisson and group.width > 1:
+                # >= 2-d cells: the independence expectation is a genuine
+                # null model, so a Poisson tail test against it is meaningful.
+                tails = group.tail_matrix()
+                flags = tails <= per_subspace_alpha
+                np.minimum(min_multi_tail, tails.min(axis=1),
+                           out=min_multi_tail)
+            else:
+                # 1-d cells (and the pure-RD rule): plain Relative-Density
+                # threshold against the populated-cell reference level.
+                flags = ((group.expected >= min_expected_mass)
+                         & (group.rd <= rd_threshold))
+            if irsd_threshold is not None:
+                flags = flags & (group.irsd <= irsd_threshold)
+            group.flags = flags
+            supported = group.expected >= min_expected_mass
+            np.minimum(min_rd,
+                       np.where(supported, group.rd, np.inf).min(axis=1),
+                       out=min_rd)
+            any_flag |= flags.any(axis=1)
+        rd_score = np.where(np.isfinite(min_rd),
+                            np.clip(1.0 - min_rd, 0.0, 1.0), 0.0)
+        if use_poisson:
+            adjusted = np.minimum(1.0, min_multi_tail * max(1, n_multi))
+            score = np.maximum(rd_score, np.maximum(0.0, 1.0 - adjusted))
+        else:
+            score = rd_score
+        return any_flag, score
 
     def commit(self, upto: Optional[int] = None) -> int:
         """Fold points ``0..upto-1`` into the store; returns #points folded.
@@ -395,9 +655,7 @@ class BatchPlan:
         for d in range(store.grid.phi):
             store._marg[d] += np.bincount(self.idx[:upto, d],
                                           weights=self.a[:upto], minlength=m)
-        if self.base_plan is not None:
-            self.base_plan.commit(upto)
-        for plan in self.plans.values():
+        for plan in self._committables:
             plan.commit(upto)
         store._tick += float(upto)
         store._points_seen += upto
@@ -560,7 +818,7 @@ class VectorizedSynapseStore:
                 inv, weights=self._base.lin[:n, d][live], minlength=n_uniq)
             table.sq[:n_uniq, j] = np.bincount(
                 inv, weights=self._base.sq[:n, d][live], minlength=n_uniq)
-        table.slot_keys = list(uniq)
+        table.slot_keys = codec.hashable_list(uniq)
         table.key_to_slot = {key: i for i, key in enumerate(table.slot_keys)}
 
     def register_subspaces(self, subspaces: Iterable[Subspace]) -> None:
@@ -583,8 +841,8 @@ class VectorizedSynapseStore:
         plan = BatchPlan(self, chunk, (), 0.0, weights)
         for subspace, table in self._projected.items():
             dims = np.fromiter(subspace.dimensions, dtype=np.int64)
-            plan.plans[subspace] = _GroupPlan(  # type: ignore[assignment]
-                table, plan.idx[:, dims], plan.a, chunk[:, dims])
+            plan._committables.append(
+                _GroupPlan(table, plan.idx[:, dims], plan.a, chunk[:, dims]))
         plan.commit()
         return plan
 
@@ -755,21 +1013,60 @@ class VectorizedSynapseStore:
             "subspaces": len(self._projected),
         }
 
+    def storage_report(self) -> Dict[str, object]:
+        """Engine-specific storage detail: arena occupancy and key layouts.
+
+        Kept separate from :meth:`memory_footprint` (which is contractually
+        engine-agnostic): per table the live slot count, the preallocated
+        arena capacity, and the codec mode (``int64`` / ``two-level`` /
+        ``bytes``), so over-allocation and fallback layouts are observable.
+        """
+        def entry(name: str, table: _CellTable) -> Dict[str, object]:
+            return {"table": name, "live_slots": table.n_slots,
+                    "capacity": table.capacity, "codec": table.codec.mode}
+
+        tables: List[Dict[str, object]] = []
+        if self.track_base_cells:
+            tables.append(entry("base", self._base))
+        tables.extend(entry(str(tuple(s.dimensions)), t)
+                      for s, t in self._projected.items())
+        codec_modes: Dict[str, int] = {}
+        for item in tables:
+            mode = item["codec"]
+            codec_modes[mode] = codec_modes.get(mode, 0) + 1
+        return {
+            "engine": "vectorized",
+            "live_slots": sum(item["live_slots"] for item in tables),
+            "capacity_slots": sum(item["capacity"] for item in tables),
+            "codec_modes": codec_modes,
+            "tables": tables,
+        }
+
     # ------------------------------------------------------------------ #
     # Full-state snapshot (checkpointing)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _table_state(table: _CellTable) -> Dict[str, object]:
+    def _table_state(table: _CellTable,
+                     array_mode: str = "json") -> Dict[str, object]:
         n = table.n_slots
-        return {
-            # Cell addresses are stored unpacked (per-dimension interval
-            # indices) so the snapshot is codec-independent: byte-fallback
-            # keys would not survive JSON, packed int64 keys would.
-            "addresses": table.codec.unpack(table.slot_keys).tolist() if n else [],
-            "count": table.count[:n].tolist(),
-            "lin": table.lin[:n].tolist(),
-            "sq": table.sq[:n].tolist(),
-        }
+        # Cell addresses are stored unpacked (per-dimension interval
+        # indices) so the snapshot is codec-independent: two-level or
+        # byte-fallback keys would not survive JSON, packed int64 keys would.
+        addresses = (table.codec.unpack(table.slot_keys) if n
+                     else np.empty((0, table.width), dtype=np.int64))
+        if array_mode == "json":
+            return {
+                "addresses": addresses.tolist(),
+                "count": table.count[:n].tolist(),
+                "lin": table.lin[:n].tolist(),
+                "sq": table.sq[:n].tolist(),
+            }
+        count = table.count[:n]
+        lin = table.lin[:n]
+        sq = table.sq[:n]
+        if array_mode == "copy":
+            count, lin, sq = count.copy(), lin.copy(), sq.copy()
+        return {"addresses": addresses, "count": count, "lin": lin, "sq": sq}
 
     def _restore_table(self, table: _CellTable,
                        payload: Dict[str, object]) -> None:
@@ -779,30 +1076,58 @@ class VectorizedSynapseStore:
             return
         keys = table.codec.pack(np.asarray(addresses, dtype=np.int64))
         table._ensure_capacity(n)
-        table.slot_keys = list(keys)
+        table.slot_keys = table.codec.hashable_list(keys)
         table.key_to_slot = {key: i for i, key in enumerate(table.slot_keys)}
         table.count[:n] = np.asarray(payload["count"], dtype=np.float64)
         table.lin[:n] = np.asarray(payload["lin"], dtype=np.float64)
         table.sq[:n] = np.asarray(payload["sq"], dtype=np.float64)
 
-    def state_to_dict(self) -> Dict[str, object]:
+    ARRAY_MODES = ("json", "view", "copy")
+
+    def state_to_dict(self, array_mode: str = "json") -> Dict[str, object]:
         """Loss-free snapshot of the store (see :meth:`SynapseStore.state_to_dict`).
 
         The inflated representation is serialised as-is together with its
         reference tick ``t0`` — no deflation pass — so restoring reproduces
         the exact float64 values and a resumed stream stays bit-identical to
-        an uninterrupted one.  ``tolist`` hands back Python floats whose
-        ``repr`` JSON round-trips exactly.
+        an uninterrupted one.
+
+        ``array_mode`` selects how the cell arrays are exported:
+
+        ``"json"``
+            Nested Python lists whose float ``repr`` JSON round-trips exactly
+            (the v1 checkpoint payload).  Cost scales with populated cells.
+        ``"view"``
+            Zero-copy NumPy views into the live arena arrays — constant-time
+            regardless of store size, but the snapshot aliases the store and
+            is only valid until the next mutation.  For callers that write
+            the snapshot out immediately (the ``.npz`` checkpoint path).
+        ``"copy"``
+            Fresh NumPy arrays — one memcpy, still far cheaper than
+            ``tolist``, safe to retain while the store keeps mutating (the
+            supervisor's in-memory recovery snapshots).
         """
+        if array_mode not in self.ARRAY_MODES:
+            raise ConfigurationError(
+                f"array_mode must be one of {self.ARRAY_MODES}, "
+                f"got {array_mode!r}"
+            )
+        if array_mode == "json":
+            marg = self._marg.tolist()
+        elif array_mode == "view":
+            marg = self._marg
+        else:
+            marg = self._marg.copy()
         return {
             "tick": self._tick,
             "t0": self._t0,
             "points_seen": self._points_seen,
             "total_infl": self._total_infl,
-            "marg": self._marg.tolist(),
-            "base": self._table_state(self._base),
+            "marg": marg,
+            "base": self._table_state(self._base, array_mode),
             "projected": [
-                dict(self._table_state(table), dims=list(subspace.dimensions))
+                dict(self._table_state(table, array_mode),
+                     dims=list(subspace.dimensions))
                 for subspace, table in self._projected.items()
             ],
         }
@@ -813,7 +1138,9 @@ class VectorizedSynapseStore:
         self._t0 = float(payload["t0"])
         self._points_seen = int(payload["points_seen"])
         self._total_infl = float(payload["total_infl"])
-        self._marg = np.asarray(payload["marg"], dtype=np.float64)
+        # Always copy: the payload may hold views of (or be retained by)
+        # another live store's arrays.
+        self._marg = np.array(payload["marg"], dtype=np.float64)
         self._base = _CellTable(self.grid.phi, self._base_codec)
         self._restore_table(self._base, payload["base"])
         self._projected = {}

@@ -68,55 +68,161 @@ class CellKeyCodec:
 
     Every per-dimension interval index lies in ``[0, m)``, so an address
     ``(i_0, ..., i_{k-1})`` packs into the single integer
-    ``sum_j i_j * m**j``.  When ``m**width`` fits in a signed 64-bit integer
-    the packed keys are an ``int64`` array (the fast path used by every SST
-    subspace); otherwise — e.g. the full-space cell of a 40-dimensional
-    stream — the codec falls back to raw row bytes, which remain hashable and
-    groupable but are not vector-arithmetic friendly.
+    ``sum_j i_j * m**j``.  Three key layouts cover the whole configuration
+    space:
+
+    ``int64``
+        ``m**width`` fits in a signed 64-bit integer and the packed keys are
+        one ``int64`` array — the fast path used by every SST subspace.
+    ``two-level``
+        ``m**width`` overflows int64, so the address is split into the
+        fewest contiguous dimension *levels* whose per-level radix each fits
+        int64 (two levels up to ~twice the int64 width cap, more beyond).
+        Keys are a structured array with one ``int64`` field per level —
+        still sortable, groupable and vector-packed, so very large
+        ``cells_per_dimension x width`` grids stay on the fused array path.
+    ``bytes``
+        Raw row bytes (one Python ``bytes`` object per address).  Hashable
+        and groupable but not vector-arithmetic friendly; kept as the
+        explicit fallback for radices a single int64 level cannot even hold
+        one dimension of, and for compatibility tests.
+
+    ``mode="auto"`` (the default) picks ``int64`` when it fits and
+    ``two-level`` otherwise; ``mode="int64"`` insists on the single-word
+    layout and raises a :class:`ConfigurationError` naming the configured
+    ``cells_per_dimension`` when it overflows; ``mode="bytes"`` forces the
+    byte fallback.
     """
 
-    def __init__(self, cells_per_dimension: int, width: int) -> None:
+    MODES = ("auto", "int64", "two-level", "bytes")
+
+    def __init__(self, cells_per_dimension: int, width: int,
+                 mode: str = "auto") -> None:
         if cells_per_dimension < 1:
             raise ConfigurationError(
                 f"cells_per_dimension must be positive, got {cells_per_dimension}"
             )
         if width < 1:
             raise ConfigurationError(f"width must be positive, got {width}")
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"mode must be one of {self.MODES}, got {mode!r}")
         self.m = cells_per_dimension
         self.width = width
-        # Exact integer check (no float log rounding): the largest packed key
-        # is m**width - 1.
-        self.packable = (cells_per_dimension ** width) - 1 <= _INT64_MAX
-        if self.packable:
+        # Exact integer checks (no float log rounding): the largest packed
+        # key of a w-dimensional level is m**w - 1.
+        fits_int64 = (cells_per_dimension ** width) - 1 <= _INT64_MAX
+        if mode == "int64" and not fits_int64:
+            raise ConfigurationError(
+                f"cells_per_dimension={cells_per_dimension} at width={width} "
+                f"overflows the int64 mixed-radix key space "
+                f"(largest packed key {cells_per_dimension ** width - 1} > "
+                f"{_INT64_MAX}); use mode='auto' for two-level keys"
+            )
+        if mode == "bytes":
+            self.mode = "bytes"
+        elif fits_int64:
+            self.mode = "int64"
+        elif cells_per_dimension - 1 <= _INT64_MAX:
+            self.mode = "two-level"
+        else:  # pragma: no cover - a radix one int64 cannot hold one digit of
+            self.mode = "bytes"
+        self.packable = self.mode == "int64"
+
+        self._radix: Optional[np.ndarray] = None
+        self._level_slices: Tuple[Tuple[int, int], ...] = ()
+        self._level_radix: Tuple[np.ndarray, ...] = ()
+        self._key_dtype: Optional[np.dtype] = None
+        if self.mode == "int64":
             self._radix = np.array(
                 [cells_per_dimension ** j for j in range(width)], dtype=np.int64
             )
-        else:
-            self._radix = None
+            self._level_slices = ((0, width),)
+            self._level_radix = (self._radix,)
+        elif self.mode == "two-level":
+            # Largest per-level width whose radix still fits int64.
+            level_width = 1
+            while (cells_per_dimension ** (level_width + 1)) - 1 <= _INT64_MAX:
+                level_width += 1
+            slices = []
+            for start in range(0, width, level_width):
+                slices.append((start, min(start + level_width, width)))
+            self._level_slices = tuple(slices)
+            self._level_radix = tuple(
+                np.array([cells_per_dimension ** j for j in range(stop - start)],
+                         dtype=np.int64)
+                for start, stop in self._level_slices)
+            self._key_dtype = np.dtype(
+                [(f"l{j}", "<i8") for j in range(len(self._level_slices))])
+
+    @property
+    def n_levels(self) -> int:
+        """Number of int64 levels a key spans (0 in ``bytes`` mode)."""
+        return len(self._level_slices)
 
     def pack(self, indices: np.ndarray) -> np.ndarray:
-        """Pack an ``(n, width)`` index matrix into ``n`` scalar keys."""
+        """Pack an ``(n, width)`` index matrix into ``n`` groupable keys.
+
+        The result is what :func:`first_occurrence_unique` groups on: an
+        ``int64`` array, a structured multi-level array, or an object array
+        of row bytes, depending on :attr:`mode`.  Use :meth:`hashable_list`
+        to turn (unique) keys into dictionary keys.
+        """
         idx = np.ascontiguousarray(indices, dtype=np.int64)
         if idx.ndim != 2 or idx.shape[1] != self.width:
             raise DimensionMismatchError(self.width, idx.shape[-1])
-        if self.packable:
+        if self.mode == "int64":
             return idx @ self._radix
+        if self.mode == "two-level":
+            n = idx.shape[0]
+            levels = np.empty((n, self.n_levels), dtype=np.int64)
+            for j, (start, stop) in enumerate(self._level_slices):
+                levels[:, j] = idx[:, start:stop] @ self._level_radix[j]
+            return levels.view(self._key_dtype).reshape(n)
         return np.fromiter((row.tobytes() for row in idx),
                            dtype=object, count=idx.shape[0])
 
+    def hashable_list(self, keys: np.ndarray) -> list:
+        """Dict-key view of packed keys (one hashable Python object each).
+
+        Plain ints for ``int64`` keys, the raw level bytes for ``two-level``
+        keys, the byte rows themselves in ``bytes`` mode.  The per-key cost
+        only matters per *unique* key — grouping stays on the packed arrays.
+        """
+        if self.mode == "int64":
+            return np.asarray(keys).tolist()
+        if self.mode == "two-level":
+            arr = np.ascontiguousarray(keys)
+            buf = arr.tobytes()
+            size = arr.dtype.itemsize
+            return [buf[i * size:(i + 1) * size] for i in range(arr.shape[0])]
+        return list(keys)
+
     def pack_one(self, address: Sequence[int]):
-        """Pack a single cell address into its scalar key."""
-        return self.pack(np.asarray(address, dtype=np.int64)[None, :])[0]
+        """Pack a single cell address into its hashable scalar key."""
+        keys = self.pack(np.asarray(address, dtype=np.int64)[None, :])
+        return self.hashable_list(keys)[0]
 
     def unpack(self, keys: Sequence) -> np.ndarray:
-        """Inverse of :meth:`pack`: keys back to an ``(n, width)`` matrix."""
-        if self.packable:
+        """Inverse of :meth:`pack` on hashable keys: an ``(n, width)`` matrix."""
+        if self.mode == "int64":
             arr = np.asarray(keys, dtype=np.int64)
             out = np.empty((arr.shape[0], self.width), dtype=np.int64)
             rest = arr
             for j in range(self.width):
                 out[:, j] = rest % self.m
                 rest = rest // self.m
+            return out
+        if self.mode == "two-level":
+            n = len(keys)
+            raw = np.frombuffer(b"".join(keys), dtype=np.int64)
+            levels = raw.reshape(n, self.n_levels)
+            out = np.empty((n, self.width), dtype=np.int64)
+            for j, (start, stop) in enumerate(self._level_slices):
+                rest = levels[:, j].copy()
+                for d in range(start, stop):
+                    out[:, d] = rest % self.m
+                    rest //= self.m
             return out
         rows = [np.frombuffer(key, dtype=np.int64) for key in keys]
         return np.array(rows, dtype=np.int64).reshape(len(rows), self.width)
@@ -178,6 +284,61 @@ def grouped_prefix_sums(group_ids: np.ndarray, values: np.ndarray,
         col_prefix = np.empty_like(columns)
         col_prefix[order] = ccsum - cbase
     return prefix, col_prefix
+
+
+def grouped_stream_stats(keys: np.ndarray, values: np.ndarray,
+                         columns: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    np.ndarray, Optional[np.ndarray]]:
+    """:func:`first_occurrence_unique` and :func:`grouped_prefix_sums` fused
+    over one stable sort.
+
+    The fused decision kernel needs both the first-occurrence grouping of a
+    chunk's packed keys *and* the per-point running sums within each group;
+    computing them separately sorts the same array twice.  Here a single
+    stable argsort provides the grouping boundaries, the first-occurrence
+    ranks and the segment layout of the cumulative sums.  Returns
+    ``(uniq, inv, first_idx, prefix, col_prefix)`` with exactly the combined
+    semantics of the two underlying kernels: within every group the running
+    sums accumulate in stream order.
+    """
+    n = keys.shape[0]
+    if n == 0:
+        empty_cols = None if columns is None else np.empty_like(columns)
+        return (keys[:0], np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64), empty_cols)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    group_start[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(group_start)
+    n_uniq = starts.shape[0]
+    gid_sorted = np.cumsum(group_start) - 1
+    first_sorted = order[starts]
+    rank_order = np.argsort(first_sorted, kind="stable")
+    rank = np.empty(n_uniq, dtype=np.int64)
+    rank[rank_order] = np.arange(n_uniq, dtype=np.int64)
+    inv = np.empty(n, dtype=np.int64)
+    inv[order] = rank[gid_sorted]
+    uniq = sorted_keys[starts][rank_order]
+    first_idx = first_sorted[rank_order]
+
+    sizes = np.diff(np.append(starts, n))
+    csum = np.cumsum(values[order])
+    shifted = np.concatenate([[0.0], csum[:-1]])
+    base = np.repeat(shifted[starts], sizes)
+    prefix = np.empty(n, dtype=np.float64)
+    prefix[order] = csum - base
+    col_prefix = None
+    if columns is not None:
+        ccsum = np.cumsum(columns[order], axis=0)
+        cshift = np.vstack([np.zeros((1, columns.shape[1])), ccsum[:-1]])
+        cbase = np.repeat(cshift[starts], sizes, axis=0)
+        col_prefix = np.empty_like(columns)
+        col_prefix[order] = ccsum - cbase
+    return uniq, inv, first_idx, prefix, col_prefix
 
 
 def group_moments(inv: np.ndarray, n_groups: int, values: np.ndarray
@@ -267,6 +428,90 @@ def batch_distances(X: np.ndarray, point: np.ndarray) -> np.ndarray:
         raise DimensionMismatchError(point.shape[-1], X.shape[-1])
     diff = X - point
     return np.sqrt(sequential_row_sums(diff * diff))
+
+
+class SubspaceGroupKeys:
+    """Packed cell keys of one batch against a *group* of same-width subspaces.
+
+    Produced by :func:`pack_subspace_group`.  ``keys`` is an ``(n, S)``
+    groupable key matrix covering all ``S`` subspaces at once: flattening it
+    point-major (``keys.reshape(-1)``) and grouping with
+    :func:`first_occurrence_unique` replaces ``S`` separate pack/unique
+    passes with one.  Two layouts:
+
+    * ``offsets`` — plain ``int64`` keys where subspace ``s`` occupies the
+      disjoint range ``[s * span, (s+1) * span)``;
+    * ``levels`` — structured keys ``(sub, l0, ..)``: the subspace index as
+      the leading field followed by the per-table codec's int64 levels, used
+      when ``S * m**k`` overflows int64 (including every two-level table).
+
+    :meth:`split` recovers, for each flattened unique key, which subspace it
+    belongs to and the *in-table* hashable key — bit-identical to what the
+    per-table :class:`CellKeyCodec` would have produced, so lookups against
+    existing ``key_to_slot`` dictionaries just work.
+    """
+
+    def __init__(self, kind: str, keys: np.ndarray, span: int,
+                 codec: CellKeyCodec) -> None:
+        self.kind = kind
+        self.keys = keys
+        self.span = span
+        self.codec = codec
+
+    def flat(self) -> np.ndarray:
+        """Point-major flattening: entry ``i * S + s`` is (point i, subspace s)."""
+        return self.keys.reshape(-1)
+
+    def split(self, uniq: np.ndarray) -> Tuple[np.ndarray, list]:
+        """``(subspace_ids, in_table_hashable_keys)`` of flattened unique keys."""
+        if self.kind == "offsets":
+            sub = uniq // self.span
+            local = uniq - sub * self.span
+            return sub, local.tolist()
+        arr = np.ascontiguousarray(uniq).view(np.int64).reshape(
+            uniq.shape[0], 1 + self.codec.n_levels)
+        sub = arr[:, 0].copy()
+        locals_ = np.ascontiguousarray(arr[:, 1:])
+        if self.codec.mode == "int64":
+            return sub, locals_[:, 0].tolist()
+        buf = locals_.tobytes()
+        size = 8 * self.codec.n_levels
+        return sub, [buf[i * size:(i + 1) * size]
+                     for i in range(arr.shape[0])]
+
+
+def pack_subspace_group(idx: np.ndarray, dims_matrix: np.ndarray,
+                        codec: CellKeyCodec) -> SubspaceGroupKeys:
+    """Pack one quantised batch against several same-width subspaces at once.
+
+    ``dims_matrix`` is an ``(S, k)`` matrix of attribute indices (one row per
+    subspace) and ``codec`` the per-table codec shared by the group (same
+    ``cells_per_dimension``, same width).  Uses the disjoint-offset ``int64``
+    layout whenever ``S * m**k`` fits, the structured ``(sub, levels)``
+    layout otherwise; byte-mode codecs are not fusable (callers keep the
+    per-subspace path for those).
+    """
+    S, k = dims_matrix.shape
+    if codec.mode == "bytes":
+        raise ConfigurationError(
+            "byte-fallback cell keys cannot be packed as a fused group")
+    if codec.mode == "int64":
+        span = codec.m ** k  # exact Python int, no overflow
+        if span * S - 1 <= _INT64_MAX:
+            keys = idx[:, dims_matrix] @ codec._radix
+            keys += np.arange(S, dtype=np.int64)[None, :] * span
+            return SubspaceGroupKeys("offsets", keys, span, codec)
+    n = idx.shape[0]
+    L = codec.n_levels
+    mat = np.empty((n, S, 1 + L), dtype=np.int64)
+    mat[:, :, 0] = np.arange(S, dtype=np.int64)[None, :]
+    gathered = idx[:, dims_matrix]  # (n, S, k)
+    for j, (start, stop) in enumerate(codec._level_slices):
+        mat[:, :, 1 + j] = gathered[:, :, start:stop] @ codec._level_radix[j]
+    dtype = np.dtype([("sub", "<i8")]
+                     + [(f"l{j}", "<i8") for j in range(L)])
+    keys = mat.reshape(n, S * (1 + L)).view(dtype)
+    return SubspaceGroupKeys("levels", keys, 0, codec)
 
 
 def pack_with_offsets(idx: np.ndarray, dims_matrix: np.ndarray,

@@ -10,7 +10,7 @@ harness) can rank points by outlier strength instead of only thresholding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cell_summary import ProjectedCellSummary
 from .subspace import Subspace
@@ -94,6 +94,23 @@ class StreamSummary:
         """Fold one detection result into the running totals."""
         self.points_processed += 1
         if result.is_outlier:
+            self.outliers_detected += 1
+            for subspace in result.outlying_subspaces:
+                self.subspace_hit_counts[subspace] = (
+                    self.subspace_hit_counts.get(subspace, 0) + 1
+                )
+
+    def record_chunk(self, n_points: int,
+                     flagged: Iterable[DetectionResult]) -> None:
+        """Fold a whole chunk's results in at once.
+
+        Equivalent to calling :meth:`record` for every result of the chunk:
+        ``n_points`` covers all of them, ``flagged`` carries only the
+        outliers (the unflagged majority contributes nothing beyond the
+        point count, so the batch path skips per-point calls).
+        """
+        self.points_processed += n_points
+        for result in flagged:
             self.outliers_detected += 1
             for subspace in result.outlying_subspaces:
                 self.subspace_hit_counts[subspace] = (

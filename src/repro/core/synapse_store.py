@@ -387,10 +387,35 @@ class SynapseStore:
             "subspaces": len(self._projected),
         }
 
+    def storage_report(self) -> Dict[str, object]:
+        """Engine-specific storage detail (dict-backed: no arena, no codec).
+
+        Mirrors :meth:`VectorizedSynapseStore.storage_report` so callers can
+        read the same shape from either engine; on the reference store every
+        cell lives in a Python dict, so capacity equals the live count and
+        the key layout is ``"dict"`` everywhere.
+        """
+        def entry(name: str, n: int) -> Dict[str, object]:
+            return {"table": name, "live_slots": n, "capacity": n,
+                    "codec": "dict"}
+
+        tables = ([entry("base", len(self._base_cells))]
+                  if self.track_base_cells else [])
+        tables.extend(entry(str(tuple(s.dimensions)), len(cells))
+                      for s, cells in self._projected.items())
+        live = sum(item["live_slots"] for item in tables)
+        return {
+            "engine": "python",
+            "live_slots": live,
+            "capacity_slots": live,
+            "codec_modes": {"dict": len(tables)} if tables else {},
+            "tables": tables,
+        }
+
     # ------------------------------------------------------------------ #
     # Full-state snapshot (checkpointing)
     # ------------------------------------------------------------------ #
-    def state_to_dict(self) -> Dict[str, object]:
+    def state_to_dict(self, array_mode: str = "json") -> Dict[str, object]:
         """Loss-free snapshot of every summary the store maintains.
 
         Unlike the template-only persistence in :mod:`repro.persist`, this
@@ -398,7 +423,9 @@ class SynapseStore:
         marginals, total mass and the logical clock) exactly as they are, so a
         store rebuilt with :meth:`restore_state` continues the stream
         bit-identically.  All values are plain Python floats/ints/lists; JSON
-        round-trips them without loss.
+        round-trips them without loss.  ``array_mode`` is accepted for
+        signature parity with the vectorized store; the dict-backed engine
+        has no arrays to view, so every mode serialises the same lists.
         """
 
         def _cells(cells) -> List[List[object]]:

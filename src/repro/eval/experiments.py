@@ -16,8 +16,10 @@ EXPERIMENTS.md generator (default sizes).  Functions return an
 from __future__ import annotations
 
 import itertools
+import tempfile
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import (
@@ -329,6 +331,8 @@ def experiment_t1_throughput(*, dimension_settings: Sequence[int] = (10, 30, 100
     default is the 20k-point acceptance workload; higher dimensionalities use
     shorter streams to keep the python reference run affordable).
     """
+    from ..persist import save_checkpoint
+
     if lengths is None:
         lengths = {10: 20000, 30: 6000, 100: 2000}
     rows: List[Row] = []
@@ -347,6 +351,17 @@ def experiment_t1_throughput(*, dimension_settings: Sequence[int] = (10, 30, 100
                                            detector_name=f"SPOT[{engine}]")
             outlier_counts[engine] = (evaluation.confusion.true_positives
                                       + evaluation.confusion.false_positives)
+            # Snapshot cost of the now-populated detector through the
+            # spot-state/v2 zero-copy path — reported next to the populated
+            # cell count so regressions back towards per-cell serialisation
+            # cost are visible in the committed bench trajectory.
+            footprint = detector.memory_footprint()
+            populated = (int(footprint.get("base_cells", 0))
+                         + int(footprint.get("projected_cells", 0)))
+            with tempfile.TemporaryDirectory() as tmp:
+                started = time.perf_counter()
+                save_checkpoint(detector, Path(tmp) / "bench-ckpt.npz")
+                checkpoint_ms = (time.perf_counter() - started) * 1000.0
             engine_rows[engine] = {
                 "dimensions": dimensions,
                 "engine": engine,
@@ -355,6 +370,8 @@ def experiment_t1_throughput(*, dimension_settings: Sequence[int] = (10, 30, 100
                 "points_per_second": round(evaluation.points_per_second, 1),
                 "outliers_flagged": outlier_counts[engine],
                 "recall": round(evaluation.confusion.recall, 3),
+                "populated_cells": populated,
+                "checkpoint_ms": round(checkpoint_ms, 2),
             }
         if "python" in engine_rows and "vectorized" in engine_rows:
             py_pps = engine_rows["python"]["points_per_second"]
@@ -371,7 +388,10 @@ def experiment_t1_throughput(*, dimension_settings: Sequence[int] = (10, 30, 100
         notes="Both engines run the identical decision rule over the same "
               "SST; the vectorized engine amortizes quantisation, decayed-"
               "summary maintenance and Poisson-tail evidence over whole "
-              "chunks, so its advantage grows with the subspace count.",
+              "chunks, so its advantage grows with the subspace count.  "
+              "checkpoint_ms times one spot-state/v2 (.npz) full-state "
+              "snapshot of the post-run detector; populated_cells is the "
+              "store size it covers.",
     )
 
 

@@ -42,7 +42,9 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.config import SPOTConfig
 from ..core.exceptions import ConfigurationError
@@ -84,6 +86,22 @@ class RecentPointsBuffer:
         self._buffer.append(tuple(float(v) for v in point))
         self._version += 1
 
+    def extend(self, points: Iterable[Sequence[float]]) -> None:
+        """Record a chunk of points in stream order (one version bump each)."""
+        append = self._buffer.append
+        count = 0
+        for point in points:
+            append(tuple(float(v) for v in point))
+            count += 1
+        self._version += count
+
+    def extend_prepared(self, points: Sequence[Tuple[float, ...]]) -> None:
+        """Record already-normalised float tuples (the batch detection path
+        hands over ``ndarray.tolist()`` output, so per-value coercion would
+        be pure overhead)."""
+        self._buffer.extend(points)
+        self._version += len(points)
+
     def snapshot(self) -> List[Tuple[float, ...]]:
         """The buffered points, oldest first."""
         return list(self._buffer)
@@ -106,19 +124,33 @@ class RecentPointsBuffer:
         """Total number of points ever added (monotonic)."""
         return self._version
 
-    def state_to_dict(self) -> dict:
-        """Snapshot for detector checkpointing (capacity + buffered points)."""
+    def state_to_dict(self, array_mode: str = "json") -> dict:
+        """Snapshot for detector checkpointing (capacity + buffered points).
+
+        ``array_mode`` other than ``"json"`` exports the reservoir as one
+        ``(n, phi)`` float64 matrix instead of nested lists — the reservoir
+        is the largest non-cell part of a checkpoint, and the array form
+        keeps ``.npz`` snapshot cost independent of its fill level.  The
+        matrix is freshly built either way, so "view" and "copy" coincide.
+        """
+        if array_mode == "json" or not self._buffer:
+            points: object = [list(point) for point in self._buffer]
+        else:
+            points = np.asarray(list(self._buffer), dtype=np.float64)
         return {"capacity": self.capacity,
                 "version": self._version,
-                "points": [list(point) for point in self._buffer]}
+                "points": points}
 
     @classmethod
     def from_state(cls, payload: dict) -> "RecentPointsBuffer":
         """Rebuild a buffer from :meth:`state_to_dict` output."""
+        points = payload["points"]
+        if isinstance(points, np.ndarray):
+            points = points.tolist()
         buffer = cls(int(payload["capacity"]))
-        for point in payload["points"]:
+        for point in points:
             buffer.add(point)
-        buffer._version = int(payload.get("version", len(payload["points"])))
+        buffer._version = int(payload.get("version", len(points)))
         return buffer
 
 

@@ -12,8 +12,11 @@ of fresh stream data.
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Union
+
+import numpy as np
 
 from ..core.config import SPOTConfig
 from ..core.detector import SPOT
@@ -27,7 +30,22 @@ FORMAT_VERSION = 1
 
 #: Format tag of *full-state* checkpoints (template + live summaries +
 #: online-adaptation state); independent of the template-only format above.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version 2 is the ``spot-state/v2`` zero-copy ``.npz`` container; version 1
+#: (plain JSON) checkpoints remain loadable.
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: Human-readable tag of the v2 container layout.
+CHECKPOINT_STATE_FORMAT = "spot-state/v2"
+
+#: Key under which an extracted array is referenced inside the JSON payload.
+_NDARRAY_REF = "__ndarray__"
+
+#: Reserved .npz member holding the UTF-8 JSON payload as a uint8 array.
+_PAYLOAD_MEMBER = "__payload__"
+
+#: Every zip file (and hence every .npz) starts with these two bytes; JSON
+#: checkpoints cannot (a JSON document never starts with "PK").
+_ZIP_MAGIC = b"PK"
 
 
 def sst_to_json(sst: SparseSubspaceTemplate) -> str:
@@ -157,9 +175,125 @@ def load_detector(path: PathLike) -> SPOT:
 
 
 # --------------------------------------------------------------------- #
+# spot-state/v2: zero-copy .npz checkpoint container
+# --------------------------------------------------------------------- #
+def _strip_arrays(node: object,
+                  arrays: Dict[str, np.ndarray]) -> object:
+    """Replace every ndarray in a nested payload with a ``{__ndarray__}`` ref.
+
+    The arrays themselves are collected into ``arrays`` (named ``a0``,
+    ``a1``, ... in encounter order) so the writer can hand them to
+    :func:`numpy.savez` as raw buffers — the JSON side of the payload never
+    sees their elements, which is what makes v2 snapshot cost independent of
+    the number of populated cells.
+    """
+    if isinstance(node, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = node
+        return {_NDARRAY_REF: name}
+    if isinstance(node, dict):
+        return {key: _strip_arrays(value, arrays)
+                for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_strip_arrays(value, arrays) for value in node]
+    return node
+
+
+def _restore_arrays(node: object,
+                    arrays: Dict[str, np.ndarray]) -> object:
+    """Inverse of :func:`_strip_arrays`: resolve refs back to ndarrays."""
+    if isinstance(node, dict):
+        if set(node) == {_NDARRAY_REF}:
+            try:
+                return arrays[node[_NDARRAY_REF]]
+            except KeyError as exc:
+                raise SerializationError(
+                    f"checkpoint references a missing array member: {exc}"
+                ) from exc
+        return {key: _restore_arrays(value, arrays)
+                for key, value in node.items()}
+    if isinstance(node, list):
+        return [_restore_arrays(value, arrays) for value in node]
+    return node
+
+
+def write_checkpoint_payload(payload: Dict[str, object],
+                             path: PathLike) -> None:
+    """Write a checkpoint payload as a ``spot-state/v2`` ``.npz`` container.
+
+    Arrays anywhere in the payload are serialised as buffer views (one
+    ``zipfile`` member each, uncompressed) and the remaining JSON document is
+    stored as a uint8 member alongside them, so writing never materialises
+    per-element Python objects.  The payload may safely contain ``"view"``
+    mode arrays: they are consumed before this function returns.
+    """
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    lean = _strip_arrays(payload, arrays)
+    doc = json.dumps(lean).encode("utf-8")
+    with open(path, "wb") as handle:
+        np.savez(handle,
+                 **{_PAYLOAD_MEMBER: np.frombuffer(doc, dtype=np.uint8)},
+                 **arrays)
+
+
+def read_checkpoint_payload(path: PathLike) -> Dict[str, object]:
+    """Read a container written by :func:`write_checkpoint_payload`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _PAYLOAD_MEMBER not in data.files:
+                raise SerializationError(
+                    f"checkpoint {path} has no {_PAYLOAD_MEMBER} member")
+            doc = data[_PAYLOAD_MEMBER].tobytes()
+            arrays = {name: data[name] for name in data.files
+                      if name != _PAYLOAD_MEMBER}
+    # Truncated or bit-rotted containers surface as BadZipFile / EOFError /
+    # KeyError (zip central directory vs member mismatch) depending on where
+    # the damage sits; all of them mean "unreadable checkpoint".
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"malformed checkpoint container {path}: {exc}") from exc
+    try:
+        lean = json.loads(doc.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"malformed checkpoint payload in {path}: {exc}") from exc
+    restored = _restore_arrays(lean, arrays)
+    if not isinstance(restored, dict):
+        raise SerializationError(
+            f"checkpoint payload in {path} is not an object")
+    return restored
+
+
+def is_npz_checkpoint(path: PathLike) -> bool:
+    """True when ``path`` holds a zip-based (v2) container, not v1 JSON."""
+    with open(path, "rb") as handle:
+        return handle.read(len(_ZIP_MAGIC)) == _ZIP_MAGIC
+
+
+def read_checkpoint_file(path: PathLike) -> Dict[str, object]:
+    """Read a checkpoint payload of either format (sniffed by magic bytes)."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"checkpoint file does not exist: {path}")
+    if is_npz_checkpoint(path):
+        return read_checkpoint_payload(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed checkpoint JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"checkpoint {path} is not a JSON object")
+    return payload
+
+
+# --------------------------------------------------------------------- #
 # Full-state checkpoints (mid-stream snapshot, exact resumption)
 # --------------------------------------------------------------------- #
-def detector_checkpoint_to_dict(detector: SPOT) -> Dict[str, object]:
+def detector_checkpoint_to_dict(detector: SPOT,
+                                arrays: str = "json") -> Dict[str, object]:
     """Full-state checkpoint payload of a fitted detector.
 
     Where :func:`detector_state_to_dict` persists only the portable template
@@ -171,11 +305,15 @@ def detector_checkpoint_to_dict(detector: SPOT) -> Dict[str, object]:
     """
     if not detector.is_fitted:
         raise SerializationError("only a fitted detector can be checkpointed")
-    return {
-        "format_version": CHECKPOINT_FORMAT_VERSION,
+    version = 1 if arrays == "json" else CHECKPOINT_FORMAT_VERSION
+    payload: Dict[str, object] = {
+        "format_version": version,
         "kind": "spot-checkpoint",
-        "state": detector.export_state(),
+        "state": detector.export_state(arrays=arrays),
     }
+    if version >= 2:
+        payload["state_format"] = CHECKPOINT_STATE_FORMAT
+    return payload
 
 
 def detector_from_checkpoint_dict(payload: Dict[str, object]) -> SPOT:
@@ -183,10 +321,10 @@ def detector_from_checkpoint_dict(payload: Dict[str, object]) -> SPOT:
     if not isinstance(payload, dict) or payload.get("kind") != "spot-checkpoint":
         raise SerializationError("payload is not a spot-checkpoint")
     version = payload.get("format_version")
-    if version != CHECKPOINT_FORMAT_VERSION:
+    if version not in (1, CHECKPOINT_FORMAT_VERSION):
         raise SerializationError(
             f"unsupported checkpoint format version {version!r} "
-            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+            f"(this build reads versions 1..{CHECKPOINT_FORMAT_VERSION})"
         )
     try:
         return SPOT.from_state(payload["state"])
@@ -194,23 +332,39 @@ def detector_from_checkpoint_dict(payload: Dict[str, object]) -> SPOT:
         raise SerializationError(f"malformed checkpoint payload: {exc}") from exc
 
 
-def save_checkpoint(detector: SPOT, path: PathLike) -> None:
-    """Write a full-state checkpoint to ``path`` (parent dirs are created)."""
+def save_checkpoint(detector: SPOT, path: PathLike, *,
+                    format: str = "npz") -> None:
+    """Write a full-state checkpoint to ``path`` (parent dirs are created).
+
+    ``format="npz"`` (default) writes the ``spot-state/v2`` container: the
+    store's cell arrays go out as zero-copy buffer views, so checkpoint cost
+    no longer scales with the number of populated cells.  ``format="json"``
+    writes the legacy v1 plain-JSON checkpoint.  :func:`load_checkpoint`
+    reads both, sniffing the format from the file's magic bytes.
+    """
+    if format not in ("npz", "json"):
+        raise SerializationError(
+            f"checkpoint format must be 'npz' or 'json', got {format!r}")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(detector_checkpoint_to_dict(detector)))
+    if format == "json":
+        path.write_text(json.dumps(
+            detector_checkpoint_to_dict(detector, arrays="json")))
+        return
+    # "view" arrays alias the live store but are written out before this
+    # call returns, which is exactly the contract they carry.
+    write_checkpoint_payload(
+        detector_checkpoint_to_dict(detector, arrays="view"), path)
 
 
 def load_checkpoint(path: PathLike) -> SPOT:
-    """Read a checkpoint previously written by :func:`save_checkpoint`."""
-    path = Path(path)
-    if not path.exists():
-        raise SerializationError(f"checkpoint file does not exist: {path}")
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"malformed checkpoint JSON: {exc}") from exc
-    return detector_from_checkpoint_dict(payload)
+    """Read a checkpoint previously written by :func:`save_checkpoint`.
+
+    Accepts both the v1 JSON layout and the ``spot-state/v2`` ``.npz``
+    container; the two are distinguished by the file's leading magic bytes,
+    not its extension.
+    """
+    return detector_from_checkpoint_dict(read_checkpoint_file(path))
 
 
 def clone_detector(detector: SPOT) -> SPOT:

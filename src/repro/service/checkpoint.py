@@ -2,15 +2,18 @@
 
 A service checkpoint is a directory::
 
-    <dir>/shard-0-<gen>.json    full-state detector checkpoint of shard 0
-    <dir>/shard-1-<gen>.json    ...
+    <dir>/shard-0-<gen>.npz     full-state detector checkpoint of shard 0
+    <dir>/shard-1-<gen>.npz     ...
     <dir>/manifest.json         shard count, router salt, stream offset, extras
     <dir>/manifest-prev.json    the previous good manifest (fallback)
 
 Shard files reuse the single-detector checkpoint format of
-:mod:`repro.persist` (each one can be loaded standalone with
-``load_checkpoint``); the manifest ties them together and records everything
-a restored service needs to route and resume exactly like the original.
+:mod:`repro.persist` — the ``spot-state/v2`` zero-copy ``.npz`` container,
+each loadable standalone with ``load_checkpoint`` (directories written by
+older builds with ``.json`` shard files still restore: the loader sniffs the
+layout from the magic bytes, not the extension); the manifest ties them
+together and records everything a restored service needs to route and resume
+exactly like the original.
 
 Crash safety: shard files are tagged with the checkpoint's generation (its
 stream offset) so a re-checkpoint into the same directory never touches the
@@ -41,7 +44,10 @@ from ..core.detector import SPOT
 from ..core.exceptions import CheckpointCorruptionError, SerializationError
 from ..persist.serialization import (
     CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_STATE_FORMAT,
     detector_from_checkpoint_dict,
+    read_checkpoint_file,
+    write_checkpoint_payload,
 )
 from .faults import InjectedFault
 
@@ -55,7 +61,7 @@ PREV_MANIFEST_NAME = "manifest-prev.json"
 
 
 def _shard_file(shard_id: int, generation: int) -> str:
-    return f"shard-{shard_id}-{generation}.json"
+    return f"shard-{shard_id}-{generation}.npz"
 
 
 class CheckpointManager:
@@ -88,9 +94,11 @@ class CheckpointManager:
         for shard_id, state in enumerate(shard_states):
             path = self.directory / _shard_file(shard_id, generation)
             payload = {"format_version": CHECKPOINT_FORMAT_VERSION,
-                       "kind": "spot-checkpoint", "state": state}
+                       "kind": "spot-checkpoint",
+                       "state_format": CHECKPOINT_STATE_FORMAT,
+                       "state": state}
             temp = self.directory / (path.name + ".tmp")
-            temp.write_text(json.dumps(payload))
+            write_checkpoint_payload(payload, temp)
             os.replace(temp, path)
             shards.append({
                 "shard": shard_id,
@@ -139,13 +147,19 @@ class CheckpointManager:
             return set()
 
     def _collect_stale(self, keep: set) -> None:
-        """Best-effort removal of shard files no manifest references anymore."""
-        for path in self.directory.glob("shard-*.json"):
-            if path.name not in keep:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass  # a stale file is harmless; losing the race is fine
+        """Best-effort removal of shard files no manifest references anymore.
+
+        Both shard-file layouts are swept so a directory upgraded from v1
+        JSON checkpoints to v2 ``.npz`` ones does not keep orphaned JSON
+        generations around forever.
+        """
+        for pattern in ("shard-*.json", "shard-*.npz"):
+            for path in self.directory.glob(pattern):
+                if path.name not in keep:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass  # stale file is harmless; losing the race is fine
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -180,11 +194,9 @@ class CheckpointManager:
                 raise CheckpointCorruptionError(
                     f"manifest names a missing shard file: {path}")
             try:
-                payload = json.loads(path.read_text())
-            except json.JSONDecodeError as exc:
-                raise CheckpointCorruptionError(
-                    f"malformed shard checkpoint {path}: {exc}") from exc
-            try:
+                # Sniffs the layout from the magic bytes, so v1 JSON shard
+                # files written before the .npz container remain loadable.
+                payload = read_checkpoint_file(path)
                 detectors.append(detector_from_checkpoint_dict(payload))
             except SerializationError as exc:
                 raise CheckpointCorruptionError(

@@ -323,8 +323,11 @@ class DetectionService:
                 poison_threshold=self.config.poison_threshold).start()
             # The shards' starting states are the zeroth "checkpoint": a
             # crash before the first on-disk save replays from here.
+            # "copy" arrays: the supervisor retains these snapshots while
+            # the live stores keep mutating, so they must not alias them.
             self._supervisor.install_snapshots(
-                [detector.export_state() for detector in self._detectors])
+                [detector.export_state(arrays="copy")
+                 for detector in self._detectors])
         for shard_id, detector in enumerate(self._detectors):
             batcher = self._make_batcher()
             worker = self._build_worker(shard_id, detector, batcher)

@@ -390,9 +390,12 @@ class ShardWorker(threading.Thread):
         Only safe while the shard is quiescent (the service drains before
         checkpointing, so no batch is in flight).  In deferred-learning mode
         the snapshot carries any still-unapplied learn requests — a restored
-        shard re-evaluates them before touching its next point.
+        shard re-evaluates them before touching its next point.  Cell arrays
+        are exported in ``"copy"`` mode: the service both writes the snapshot
+        to disk and hands it to the supervisor's in-memory recovery cache, so
+        it must not alias the live store.
         """
-        return self.detector.export_state()
+        return self.detector.export_state(arrays="copy")
 
 
 def _process_worker_main(state_payload: dict, inbox, outbox,
@@ -438,7 +441,9 @@ def _process_worker_main(state_payload: dict, inbox, outbox,
                             time.perf_counter() - started,
                             f"{type(exc).__name__}: {exc}"))
         elif kind == "export":
-            outbox.put(("state", detector.export_state()))
+            # "copy" arrays pickle across the pipe as independent buffers —
+            # far cheaper than the per-element list payload of "json" mode.
+            outbox.put(("state", detector.export_state(arrays="copy")))
         elif kind == "stop":
             outbox.put(("stopped",))
             return
@@ -494,7 +499,8 @@ class ProcessShardWorker:
         self._outbox = context.Queue()
         self._process = context.Process(
             target=_process_worker_main,
-            args=(detector.export_state(), self._inbox, self._outbox,
+            args=(detector.export_state(arrays="copy"), self._inbox,
+                  self._outbox,
                   fault_plan.to_dict() if fault_plan is not None else None),
             daemon=True,
             name=f"spot-shard-{shard_id}",

@@ -18,7 +18,9 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional, Sequence
+from typing import Deque, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.exceptions import ConfigurationError
 from ..core.grid import Grid
@@ -167,19 +169,62 @@ class DriftDetector:
             self._drift_count += 1
         return DriftSignal(drift_detected=drift, novelty_rate=rate)
 
+    def observe_cells(self, cells: Iterable[tuple]) -> None:
+        """Feed a chunk of already-quantised base cells in stream order.
+
+        Same per-point semantics as :meth:`observe` (novelty, window, drift
+        counting) without building a :class:`DriftSignal` per point — the
+        batch detection path discards the signals anyway.
+        """
+        seen = self._seen_cells
+        recent = self._recent
+        maxlen = recent.maxlen
+        warmup = self._warmup
+        threshold = self._threshold
+        points = self._points
+        drifts = 0
+        # Running window count instead of re-summing the deque per point:
+        # count / maxlen is exactly novelty_rate() whenever the window is
+        # full, which is the only case the drift test reads it.
+        count = sum(recent)
+        for cell in cells:
+            novel = cell not in seen
+            if novel:
+                seen.add(cell)
+            if len(recent) == maxlen:
+                count -= recent[0]
+            recent.append(novel)
+            count += novel
+            points += 1
+            if (points > warmup and len(recent) == maxlen
+                    and count / maxlen >= threshold):
+                drifts += 1
+        self._points = points
+        self._drift_count += drifts
+
     def reset(self) -> None:
         """Forget the seen-cell set and the recent window (after adaptation)."""
         self._seen_cells.clear()
         self._recent.clear()
         self._points = 0
 
-    def state_to_dict(self) -> dict:
-        """Snapshot for detector checkpointing (seen cells + recent window)."""
+    def state_to_dict(self, array_mode: str = "json") -> dict:
+        """Snapshot for detector checkpointing (seen cells + recent window).
+
+        ``array_mode`` other than ``"json"`` exports the seen-cell set as a
+        sorted ``(n, phi)`` int64 matrix — it grows with every populated
+        base cell, so the array form keeps ``.npz`` snapshot cost flat.
+        Built fresh either way, so "view" and "copy" coincide.
+        """
+        if array_mode == "json" or not self._seen_cells:
+            seen: object = sorted(list(cell) for cell in self._seen_cells)
+        else:
+            seen = np.asarray(sorted(self._seen_cells), dtype=np.int64)
         return {
             "window": self._window,
             "threshold": self._threshold,
             "warmup": self._warmup,
-            "seen_cells": sorted(list(cell) for cell in self._seen_cells),
+            "seen_cells": seen,
             "recent": [bool(flag) for flag in self._recent],
             "points": self._points,
             "drift_count": self._drift_count,
@@ -190,8 +235,10 @@ class DriftDetector:
         self._window = int(payload["window"])
         self._threshold = float(payload["threshold"])
         self._warmup = int(payload["warmup"])
-        self._seen_cells = {tuple(int(i) for i in cell)
-                            for cell in payload["seen_cells"]}
+        seen = payload["seen_cells"]
+        if isinstance(seen, np.ndarray):
+            seen = seen.tolist()
+        self._seen_cells = {tuple(int(i) for i in cell) for cell in seen}
         self._recent = deque((bool(flag) for flag in payload["recent"]),
                              maxlen=self._window)
         self._points = int(payload["points"])

@@ -1,0 +1,103 @@
+"""Cell-key codec behaviour at exactly the int64 width cap.
+
+The two-level key layout exists for one boundary: the first
+``cells_per_dimension ** width`` that no longer fits a signed 64-bit
+integer.  These tests pin the codec's mode selection, round-trip fidelity
+and error reporting at that cap plus/minus one dimension — the places where
+an off-by-one in the exact-integer overflow check would silently corrupt
+keys or push huge grids off the fused path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.kernels import CellKeyCodec, first_occurrence_unique
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _random_addresses(m: int, width: int, n: int, seed: int) -> np.ndarray:
+    rng = random.Random(seed)
+    return np.array([[rng.randrange(m) for _ in range(width)]
+                     for _ in range(n)], dtype=np.int64)
+
+
+class TestWidthCapBoundary:
+    def test_binary_radix_cap_is_exact(self):
+        # 2**63 - 1 == int64 max, so width 63 is the *last* int64 width of a
+        # binary radix and width 64 is the first two-level one.  A float-log
+        # based check would misclassify one of the two.
+        assert CellKeyCodec(2, 62).mode == "int64"
+        assert CellKeyCodec(2, 63).mode == "int64"
+        codec = CellKeyCodec(2, 64)
+        assert codec.mode == "two-level"
+        assert codec.n_levels == 2
+
+    def test_large_radix_cap_is_exact(self):
+        # 1000**6 = 1e18 fits; 1000**7 = 1e21 does not.
+        assert CellKeyCodec(1000, 6).mode == "int64"
+        codec = CellKeyCodec(1000, 7)
+        assert codec.mode == "two-level"
+        assert codec.n_levels == 2
+
+    def test_forced_int64_overflow_names_the_configuration(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            CellKeyCodec(1000, 7, mode="int64")
+        message = str(excinfo.value)
+        assert "cells_per_dimension=1000" in message
+        assert "width=7" in message
+
+    @pytest.mark.parametrize("m,width", [(2, 63), (2, 64), (1000, 6),
+                                         (1000, 7), (1000, 8)])
+    def test_round_trip_across_the_cap(self, m, width):
+        codec = CellKeyCodec(m, width)
+        addresses = _random_addresses(m, width, 100, seed=m + width)
+        # The extreme corners are where packed-key overflow shows first.
+        addresses[0] = 0
+        addresses[1] = m - 1
+        keys = codec.pack(addresses)
+        assert np.array_equal(codec.unpack(codec.hashable_list(keys)),
+                              addresses)
+        distinct = {tuple(row) for row in addresses.tolist()}
+        assert len(set(codec.hashable_list(keys))) == len(distinct)
+
+    def test_two_level_keys_group_like_int64_keys(self):
+        # first_occurrence_unique must behave identically on the structured
+        # two-level dtype: same group structure, same stream-order ranks.
+        addresses = _random_addresses(9, 21, 400, seed=23)
+        wide = CellKeyCodec(9, 21)          # 9**21 > int64 max -> two-level
+        assert wide.mode == "two-level"
+        # Oracle grouping via the bytes layout (mode-independent identity).
+        oracle = CellKeyCodec(9, 21, mode="bytes")
+        _, inv_a, first_a = first_occurrence_unique(wide.pack(addresses))
+        _, inv_b, first_b = first_occurrence_unique(oracle.pack(addresses))
+        assert np.array_equal(inv_a, inv_b)
+        assert np.array_equal(first_a, first_b)
+
+
+class TestByteFallbackBoundary:
+    @pytest.mark.parametrize("m,width", [(1000, 6), (1000, 7)])
+    def test_bytes_mode_round_trips_at_the_cap(self, m, width):
+        codec = CellKeyCodec(m, width, mode="bytes")
+        assert codec.mode == "bytes"
+        assert not codec.packable
+        addresses = _random_addresses(m, width, 60, seed=width)
+        keys = codec.pack(addresses)
+        hashables = codec.hashable_list(keys)
+        assert all(isinstance(key, bytes) for key in hashables)
+        assert np.array_equal(codec.unpack(hashables), addresses)
+        for row in addresses[:5].tolist():
+            assert codec.unpack_one(codec.pack_one(row)) == tuple(row)
+
+    def test_bytes_keys_are_dict_safe(self):
+        codec = CellKeyCodec(1000, 7, mode="bytes")
+        addresses = _random_addresses(1000, 7, 40, seed=7)
+        mapping = {key: i for i, key in
+                   enumerate(codec.hashable_list(codec.pack(addresses)))}
+        again = codec.hashable_list(codec.pack(addresses))
+        assert [mapping[key] for key in again] == list(range(40))

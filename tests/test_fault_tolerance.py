@@ -454,7 +454,7 @@ class TestCheckpointCorruption:
         _checkpointed_service(prototype, tenant_workload.detection, directory)
         manifest = CheckpointManager(directory).manifest()
         victim = directory / manifest["shards"][0]["file"]
-        victim.write_text(victim.read_text()[:40])
+        victim.write_bytes(victim.read_bytes()[:40])
         fallback, detectors = CheckpointManager(directory).load_fleet()
         assert fallback["points_submitted"] == 100
         assert all(d.is_fitted for d in detectors)

@@ -196,7 +196,7 @@ class TestFullStateCheckpoints:
                                              tmp_path):
         detector, _ = _mid_stream_detector(small_stream_points, "vectorized")
         path = tmp_path / "checkpoint.json"
-        save_checkpoint(detector, path)
+        save_checkpoint(detector, path, format="json")
         payload = json.loads(path.read_text())
         payload["format_version"] = 999
         path.write_text(json.dumps(payload))

@@ -314,12 +314,12 @@ class TestServiceCheckpointing:
         # Retention keeps exactly the latest generation plus the previous
         # good one (the corruption fallback); older generations are
         # collected.  Here: gen 140 + gen 100 survive, gen 60 is gone.
-        shard_files = sorted(p.name for p in directory.glob("shard-*.json"))
+        shard_files = sorted(p.name for p in directory.glob("shard-*.npz"))
         latest = {entry["file"] for entry in manifest["shards"]}
         previous = {entry["file"]
                     for entry in manager.manifest("manifest-prev.json")["shards"]}
         assert shard_files == sorted(latest | previous)
-        assert not any(name.endswith("-60.json") for name in shard_files)
+        assert not any(name.endswith("-60.npz") for name in shard_files)
         restored = DetectionService.restore(directory)
         assert restored.points_submitted == 140
 

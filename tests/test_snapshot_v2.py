@@ -1,0 +1,198 @@
+"""spot-state/v2 zero-copy checkpoints and storage reporting.
+
+Covers the .npz checkpoint container (round trip, v1 JSON compatibility,
+format sniffing), the export array modes ("json"/"view"/"copy" and their
+aliasing contracts), and the arena/codec storage report both engines expose.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SPOTConfig
+from repro.core.detector import SPOT
+from repro.core.exceptions import ConfigurationError, SerializationError
+from repro.persist import (
+    CHECKPOINT_STATE_FORMAT,
+    detector_checkpoint_to_dict,
+    is_npz_checkpoint,
+    load_checkpoint,
+    read_checkpoint_file,
+    save_checkpoint,
+)
+from repro.service import CheckpointManager
+from repro.streams import GaussianStreamGenerator, values_of
+
+
+@pytest.fixture(scope="module")
+def stream_values():
+    stream = GaussianStreamGenerator(dimensions=5, n_points=700,
+                                     outlier_rate=0.03, seed=11)
+    return values_of(stream)
+
+
+def _mid_stream_detector(values, engine):
+    config = SPOTConfig(engine=engine, max_dimension=2, omega=300,
+                        moga_generations=5, moga_population=10)
+    detector = SPOT(config)
+    detector.learn(values[:400])
+    detector.process_batch(values[400:550])
+    return detector, values[550:700]
+
+
+class TestNpzCheckpointContainer:
+    def test_default_save_writes_a_zip_container(self, stream_values,
+                                                 tmp_path):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(detector, path)
+        assert is_npz_checkpoint(path)
+        payload = read_checkpoint_file(path)
+        assert payload["format_version"] == 2
+        assert payload["state_format"] == CHECKPOINT_STATE_FORMAT
+
+    def test_cell_arrays_live_outside_the_json_payload(self, stream_values,
+                                                       tmp_path):
+        # The point of v2: the store's cell arrays are zip members, not
+        # JSON-encoded elements, so the JSON document stays O(template).
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(detector, path)
+        with np.load(path, allow_pickle=False) as data:
+            members = set(data.files)
+            doc = json.loads(data["__payload__"].tobytes().decode("utf-8"))
+        assert len(members) > 1  # payload + at least one array member
+        store = doc["state"]["store"]
+        assert set(store["base"]["count"]) == {"__ndarray__"}
+
+    def test_npz_round_trip_resumes_decision_identically(self, stream_values,
+                                                         tmp_path):
+        detector, tail = _mid_stream_detector(stream_values, "vectorized")
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path)
+        expected = detector.process_batch(tail)
+        resumed = restored.process_batch(tail)
+        assert [r.is_outlier for r in resumed] == \
+            [r.is_outlier for r in expected]
+        assert [r.score for r in resumed] == [r.score for r in expected]
+
+    def test_v1_json_checkpoint_still_loads(self, stream_values, tmp_path):
+        detector, tail = _mid_stream_detector(stream_values, "vectorized")
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(detector, path, format="json")
+        assert not is_npz_checkpoint(path)
+        assert json.loads(path.read_text())["format_version"] == 1
+        restored = load_checkpoint(path)
+        expected = detector.process_batch(tail)
+        resumed = restored.process_batch(tail)
+        assert [r.is_outlier for r in resumed] == \
+            [r.is_outlier for r in expected]
+
+    def test_unknown_format_rejected(self, stream_values, tmp_path):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        with pytest.raises(SerializationError):
+            save_checkpoint(detector, tmp_path / "x", format="pickle")
+
+    def test_truncated_container_raises_serialization_error(
+            self, stream_values, tmp_path):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(detector, path)
+        path.write_bytes(path.read_bytes()[:64])
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)
+
+    def test_legacy_json_shard_files_still_restore_a_fleet(
+            self, stream_values, tmp_path):
+        # A checkpoint directory written by a pre-npz build: .json shard
+        # files named by an ordinary manifest.  The loader must sniff the
+        # layout per file rather than trusting extensions.
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        directory = tmp_path / "legacy"
+        directory.mkdir()
+        payload = detector_checkpoint_to_dict(detector, arrays="json")
+        payload["format_version"] = 1
+        shard_name = "shard-0-150.json"
+        (directory / shard_name).write_text(json.dumps(payload))
+        (directory / "manifest.json").write_text(json.dumps({
+            "format_version": 1,
+            "n_shards": 1,
+            "router_salt": 0,
+            "points_submitted": 150,
+            "shards": [{"shard": 0, "file": shard_name,
+                        "points_processed": 150,
+                        "pending_learn_requests": 0}],
+            "extra": {},
+        }))
+        detectors = CheckpointManager(directory).load_detectors()
+        assert len(detectors) == 1
+        assert detectors[0].points_processed == detector.points_processed
+
+
+class TestExportArrayModes:
+    def test_view_mode_aliases_the_live_store(self, stream_values):
+        detector, tail = _mid_stream_detector(stream_values, "vectorized")
+        state = detector.export_state(arrays="view")
+        before = state["store"]["base"]["count"].copy()
+        detector.process_batch(tail[:50])
+        after = state["store"]["base"]["count"]
+        # The view tracked the store's mutations (decay changes every mass).
+        assert not np.array_equal(before, after)
+
+    def test_copy_mode_is_isolated_from_the_live_store(self, stream_values):
+        detector, tail = _mid_stream_detector(stream_values, "vectorized")
+        state = detector.export_state(arrays="copy")
+        before = state["store"]["base"]["count"].copy()
+        detector.process_batch(tail[:50])
+        assert np.array_equal(before, state["store"]["base"]["count"])
+
+    def test_copy_mode_state_restores_decision_identically(self,
+                                                           stream_values):
+        detector, tail = _mid_stream_detector(stream_values, "vectorized")
+        state = detector.export_state(arrays="copy")
+        restored = SPOT.from_state(state)
+        expected = detector.process_batch(tail)
+        resumed = restored.process_batch(tail)
+        assert [r.score for r in resumed] == [r.score for r in expected]
+
+    def test_invalid_mode_rejected(self, stream_values):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        with pytest.raises(ConfigurationError):
+            detector.export_state(arrays="mmap")
+
+    def test_json_mode_stays_plain(self, stream_values):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        state = detector.export_state()
+        json.dumps(state)  # must not raise: no ndarrays anywhere
+
+
+class TestStorageReport:
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_footprint_carries_a_storage_section(self, stream_values, engine):
+        detector, _ = _mid_stream_detector(stream_values, engine)
+        report = detector.memory_footprint()["storage"]
+        assert report["engine"] == ("vectorized" if engine == "vectorized"
+                                    else "python")
+        assert report["live_slots"] >= report["tables"][0]["live_slots"]
+        assert report["capacity_slots"] >= report["live_slots"]
+
+    def test_vectorized_report_shows_arena_headroom_and_codecs(
+            self, stream_values):
+        detector, _ = _mid_stream_detector(stream_values, "vectorized")
+        report = detector.memory_footprint()["storage"]
+        assert report["engine"] == "vectorized"
+        # Geometric arena growth leaves headroom beyond the live prefix.
+        assert report["capacity_slots"] > report["live_slots"]
+        assert set(report["codec_modes"]) <= {"int64", "two-level", "bytes"}
+        for item in report["tables"]:
+            assert item["capacity"] >= item["live_slots"]
+
+    def test_python_report_capacity_equals_live(self, stream_values):
+        detector, _ = _mid_stream_detector(stream_values, "python")
+        report = detector.memory_footprint()["storage"]
+        assert report["capacity_slots"] == report["live_slots"]
+        assert set(report["codec_modes"]) <= {"dict"}
