@@ -13,13 +13,20 @@ and asserts that
 * the vectorized engine is decisively faster.  The committed
   ``BENCH_throughput.json`` (regenerated with ``spot-demo bench``) records
   ~10-15x on the 10-d/20k acceptance workload; the assertion here uses a 2x
-  floor so shared-CI jitter cannot flake the suite.
+  floor so shared-CI jitter cannot flake the suite, and
+* the observability hooks stay within budget: the ``obs_overhead`` mode's
+  ``vectorized+obs`` row measures evidence capture + flight-ring stamping,
+  and its ``disabled_overhead_pct`` (a noise-robust A/A statistic over
+  repeated disabled-path runs) must stay under the 3% detection-path
+  budget the bench payloads advertise.
 
 The sizes here are trimmed relative to ``spot-demo bench`` defaults so the
 tier-1 run stays fast.
 """
 
 from repro.eval.experiments import experiment_t1_throughput
+from repro.eval.registry import BENCHES
+from repro.eval.spec import build_bench_payload
 
 
 def test_bench_t1_throughput(experiment_runner):
@@ -27,6 +34,7 @@ def test_bench_t1_throughput(experiment_runner):
         experiment_t1_throughput,
         dimension_settings=(10, 30),
         lengths={10: 6000, 30: 3000},
+        obs_overhead=True,
     )
     rows = {(row["dimensions"], row["engine"]): row for row in report.rows}
     for phi in (10, 30):
@@ -40,3 +48,31 @@ def test_bench_t1_throughput(experiment_runner):
             f"vectorized engine only {vectorized_row['speedup']}x faster "
             f"at {phi}-d"
         )
+        obs_row = rows[(phi, "vectorized+obs")]
+        assert obs_row["points"] == vectorized_row["points"]
+        # Every decision of the run fits the ring's view of recent history
+        # (the ring is bounded; entries just must have been stamped).
+        assert obs_row["flight_entries"] > 0
+        # The disabled path must be indistinguishable from the plain
+        # engine: under the 3% budget the payload telemetry advertises.
+        assert obs_row["disabled_overhead_pct"] < 3.0, (
+            f"obs hooks cost {obs_row['disabled_overhead_pct']}% at {phi}-d "
+            f"with evidence and recording off"
+        )
+
+
+def test_bench_payload_reports_recorder_overhead(experiment_runner):
+    report = experiment_runner(
+        experiment_t1_throughput,
+        dimension_settings=(10,),
+        lengths={10: 2000},
+        obs_overhead=True,
+    )
+    spec = BENCHES["throughput"]
+    params = spec.schema.resolve({})
+    payload = build_bench_payload(
+        spec, params, report, stamp={"git": "test", "dirty": False})
+    telemetry = payload["telemetry"]
+    assert telemetry["detection_path_overhead_budget_pct"] == 3.0
+    assert "recorder_on_overhead_pct" in telemetry
+    assert telemetry["recorder_off_overhead_pct"] < 3.0

@@ -290,6 +290,62 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="tracer ring-buffer capacity (oldest spans are "
                             "dropped beyond it)")
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="run a short serve with decision provenance on and explain why "
+             "a point was (or was not) flagged: contributing subspaces, cell "
+             "keys, densities, rule margins, SST version")
+    add_obs_serve_flags(explain)
+    explain.add_argument("--seq", type=int, default=None,
+                         help="global sequence number of the point to "
+                              "explain (default: the first flagged outlier)")
+
+    flight = subparsers.add_parser(
+        "flight",
+        help="run a short serve with the flight recorder on and inspect the "
+             "per-shard rings of recent decisions + service events")
+    flight.add_argument("action", choices=("list", "show"),
+                        help="list per-shard ring occupancy; show the full "
+                             "spot-flight/v1 export")
+    add_obs_serve_flags(flight)
+    flight.add_argument("--shard", type=int, default=None,
+                        help="show: restrict to one shard's ring")
+    flight.add_argument("--capacity", type=int, default=256,
+                        help="flight-ring capacity per shard")
+
+    diag = subparsers.add_parser(
+        "diag",
+        help="run a short serve with the recorder on (optionally crashing a "
+             "shard via the seeded fault plan) and emit a spot-diag/v1 "
+             "diagnostics bundle")
+    add_obs_serve_flags(diag)
+    diag.add_argument("--fault-crashes", type=int, default=0,
+                      help="seeded worker crashes to inject (adds crash-time "
+                           "bundles when --diag-dir is set)")
+    diag.add_argument("--fault-seed", type=int, default=0,
+                      help="seed of the fault plan")
+    diag.add_argument("--capacity", type=int, default=256,
+                      help="flight-ring capacity per shard")
+    diag.add_argument("--diag-dir", default=None,
+                      help="directory for crash-time diagnostics bundles")
+
+    slo = subparsers.add_parser(
+        "slo",
+        help="run a short serve with per-tenant SLO tracking and report "
+             "burn-rate classifications (ok/warn/breach)")
+    add_obs_serve_flags(slo)
+    slo.add_argument("--latency-p95-ms", type=float, default=50.0,
+                     help="per-tenant delivery-latency p95 objective")
+    slo.add_argument("--max-shed", type=float, default=0.01,
+                     help="per-tenant shed-fraction budget")
+    slo.add_argument("--max-quarantine", type=float, default=0.01,
+                     help="per-tenant quarantine-fraction budget")
+    slo.add_argument("--window", type=int, default=200,
+                     help="classification window in points")
+    slo.add_argument("--deadline-ms", type=float, default=0.0,
+                     help="per-point deadline (shed policy) to exercise "
+                          "shedding against the budget; 0 disables")
+
     profile = subparsers.add_parser(
         "profile",
         help="cProfile the detection hot path (process_batch on the T1 "
@@ -728,11 +784,14 @@ def _emit_json(payload: dict, out: Optional[str]) -> None:
 
 
 def _serve_for_obs(args: argparse.Namespace, *, tracer=None,
-                   supervise: bool = False, fault_plan=None):
+                   supervise: bool = False, fault_plan=None,
+                   config_kwargs: Optional[dict] = None):
     """One short multi-tenant serve for the observability verbs.
 
     Progress goes to stderr so stdout stays a clean JSON stream when
-    ``--out`` is not given.  Returns the stopped service.
+    ``--out`` is not given.  ``config_kwargs`` adds verb-specific
+    :class:`ServiceConfig` fields (evidence, flight recorder, SLOs...).
+    Returns the stopped service.
     """
     from .eval.experiments import t1_bench_config
     from .eval.workloads import multi_tenant_workload
@@ -751,6 +810,7 @@ def _serve_for_obs(args: argparse.Namespace, *, tracer=None,
         supervise=supervise,
         fault_plan=fault_plan,
         tracer=tracer,
+        **(config_kwargs or {}),
     ))
     service.start()
     print(f"Serving {len(workload.detection)} points across {args.shards} "
@@ -789,6 +849,133 @@ def _run_trace(args: argparse.Namespace) -> int:
     print(f"Recorded {sum(counts.values())} spans "
           f"({tracer.dropped} dropped): {summary}", file=sys.stderr)
     _emit_json(tracer.to_dict(), args.out)
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from .obs import explain_result, format_explanation
+
+    service = _serve_for_obs(args, config_kwargs={"evidence": True})
+    scored = [r for r in service.results() if r.result is not None]
+    if args.seq is not None:
+        matches = [r for r in scored if r.seq == args.seq]
+        if not matches:
+            raise ConfigurationError(
+                f"no scored point with seq {args.seq} "
+                f"(served seqs 0..{len(service.results()) - 1}; shed or "
+                f"quarantined points carry no decision)")
+        target = matches[0]
+    else:
+        flagged = [r for r in scored if r.result.is_outlier]
+        if not flagged:
+            print("No outliers flagged in this serve; explaining the first "
+                  "scored point instead (pass --seq to pick one).",
+                  file=sys.stderr)
+        target = flagged[0] if flagged else scored[0]
+    payload = explain_result(target.result)
+    payload["seq"] = target.seq
+    payload["stream"] = target.stream_id
+    payload["shard"] = target.shard
+    print(format_explanation(payload), file=sys.stderr)
+    _emit_json(payload, args.out)
+    return 0
+
+
+def _run_flight(args: argparse.Namespace) -> int:
+    service = _serve_for_obs(args, config_kwargs={
+        "evidence": True,
+        "flight_recorder": True,
+        "flight_capacity": args.capacity,
+    })
+    recorder = service.flight_recorder
+    if args.action == "list":
+        rows = []
+        for shard in range(args.shards):
+            records = recorder.records(shard)
+            kinds: Dict[str, int] = {}
+            for record in records:
+                kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+            rows.append({
+                "shard": shard,
+                "entries": len(records),
+                "capacity": args.capacity,
+                "kinds": " ".join(f"{kind}={count}" for kind, count
+                                  in sorted(kinds.items())) or "-",
+            })
+        print(format_table(rows))
+        print(f"{recorder.dropped} records dropped (ring overflow)")
+        return 0
+    payload = recorder.to_dict()
+    if args.shard is not None:
+        shards = payload.get("shards", {})
+        key = str(args.shard)
+        if key not in shards:
+            raise ConfigurationError(
+                f"no flight ring for shard {args.shard}; "
+                f"recorded shards: {sorted(shards)}")
+        payload["shards"] = {key: shards[key]}
+    _emit_json(payload, args.out)
+    return 0
+
+
+def _run_diag(args: argparse.Namespace) -> int:
+    from .obs import Tracer, validate_diag_payload
+    from .service import FaultPlan
+
+    tracer = Tracer(capacity=8192)
+    fault_plan = None
+    if args.fault_crashes:
+        fault_plan = FaultPlan.random(seed=args.fault_seed,
+                                      n_points=args.tenants * args.points,
+                                      n_crashes=args.fault_crashes)
+    service = _serve_for_obs(args, tracer=tracer,
+                             supervise=fault_plan is not None,
+                             fault_plan=fault_plan,
+                             config_kwargs={
+                                 "evidence": True,
+                                 "flight_recorder": True,
+                                 "flight_capacity": args.capacity,
+                                 "diag_dir": args.diag_dir,
+                             })
+    payload = validate_diag_payload(service.diagnose())
+    if service.last_diagnostics is not None:
+        print("Crash-time diagnostics bundle captured by the supervisor "
+              "(reason: "
+              f"{service.last_diagnostics.get('reason')!r}).", file=sys.stderr)
+    _emit_json(payload, args.out)
+    return 0
+
+
+def _run_slo(args: argparse.Namespace) -> int:
+    from .obs import SLOObjectives
+
+    objectives = SLOObjectives(
+        latency_p95_ms=args.latency_p95_ms,
+        max_shed_fraction=args.max_shed,
+        max_quarantine_fraction=args.max_quarantine,
+        window_points=args.window,
+    )
+    config_kwargs: dict = {"slo": objectives}
+    if args.deadline_ms:
+        config_kwargs["deadline"] = args.deadline_ms / 1e3
+        config_kwargs["deadline_policy"] = "shed"
+    service = _serve_for_obs(args, config_kwargs=config_kwargs)
+    report = service.slo_report()
+    rows = []
+    for stream_id, tenant in sorted(report["tenants"].items()):
+        rows.append({
+            "tenant": stream_id,
+            "status": tenant["status"],
+            "p95_ms": f"{tenant['latency_p95_ms']:.3f}",
+            "lat_burn": f"{tenant['latency_burn']:.3f}",
+            "shed": f"{tenant['shed_fraction']:.4f}",
+            "quar": f"{tenant['quarantine_fraction']:.4f}",
+            "points": tenant["total_points"],
+        })
+    if rows:
+        print(format_table(rows), file=sys.stderr)
+    print(f"Overall SLO status: {report['status']}", file=sys.stderr)
+    _emit_json(report, args.out)
     return 0
 
 
@@ -883,6 +1070,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_metrics(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "explain":
+        return _run_explain(args)
+    if args.command == "flight":
+        return _run_flight(args)
+    if args.command == "diag":
+        return _run_diag(args)
+    if args.command == "slo":
+        return _run_slo(args)
     if args.command == "bench-history":
         return _run_bench_history(args)
     parser.error(f"unknown command {args.command!r}")

@@ -41,7 +41,13 @@ from .config import SPOTConfig
 from .exceptions import ConfigurationError, DimensionMismatchError, NotFittedError
 from .fast_store import VectorizedSynapseStore
 from .grid import DomainBounds, Grid
-from .results import DetectionResult, StreamSummary, SubspaceEvidence
+from .results import (
+    DecisionEvidence,
+    DetectionResult,
+    StreamSummary,
+    SubspaceDecision,
+    SubspaceEvidence,
+)
 from .sst import SparseSubspaceTemplate
 from .subspace import Subspace
 from .synapse_store import SynapseStore
@@ -116,6 +122,14 @@ class SPOT:
         # (sst version, subspace union, multi-d count) — rebuilt only when
         # the SST mutates, not per processed point.
         self._sst_view_cache: Optional[Tuple[int, Tuple[Subspace, ...], int]] = None
+        # Decision-provenance capture.  Off by default: the disabled path
+        # must cost one boolean per point (NULL_TRACER-style), so this is a
+        # runtime toggle rather than a config field.  The bound obs objects
+        # are held only so memory_footprint() can size their rings.
+        self._evidence_enabled = False
+        self._obs_tracer = None
+        self._obs_recorder = None
+        self._obs_registry = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -361,6 +375,8 @@ class SPOT:
         per_subspace_alpha = config.significance / max(1, n_multi)
         flagged: List[Tuple[Subspace, ProjectedCellSummary]] = []
         evidence: List[SubspaceEvidence] = []
+        capture = self._evidence_enabled
+        decisions: List[SubspaceDecision] = []
         min_rd = float("inf")
         min_multi_tail = 1.0
         for subspace in subspaces:
@@ -385,6 +401,25 @@ class SPOT:
                 flagged.append((subspace, pcs))
                 evidence.append(SubspaceEvidence(subspace=subspace, pcs=pcs,
                                                  flagged=True))
+                if capture:
+                    if use_poisson and len(subspace) > 1:
+                        rule, threshold = "poisson", per_subspace_alpha
+                        margin = per_subspace_alpha - pcs.tail_probability
+                    else:
+                        rule, threshold = "rd", config.rd_threshold
+                        margin = config.rd_threshold - pcs.rd
+                    decisions.append(SubspaceDecision(
+                        subspace=subspace.dimensions,
+                        cell=store.grid.projected_cell(values, subspace),
+                        rule=rule,
+                        rd=pcs.rd,
+                        irsd=pcs.irsd,
+                        count=pcs.count,
+                        expected=pcs.expected,
+                        tail_probability=pcs.tail_probability,
+                        threshold=threshold,
+                        margin=margin,
+                    ))
             # The RD-based score only considers cells whose expectation is
             # substantial enough for "sparser than expected" to mean anything.
             if pcs.expected >= config.min_expected_mass and pcs.rd < min_rd:
@@ -407,6 +442,9 @@ class SPOT:
             outlying_subspaces=tuple(subspace for subspace, _ in flagged),
             evidence=tuple(evidence),
             score=score,
+            decision=(DecisionEvidence(sst_version=self._sst.version,
+                                       subspaces=tuple(decisions))
+                      if capture else None),
         )
         self._processed += 1
         self._summary.record(result)
@@ -628,13 +666,48 @@ class SPOT:
         score_list = score[:cut].tolist()
         index = self._processed
         append = results.append
+        capture = self._evidence_enabled
+        sst_version = self._sst.version
+        empty_decision = (DecisionEvidence(sst_version=sst_version)
+                          if capture else None)
         flagged_results: List[DetectionResult] = []
         for i in range(cut):
+            decision = empty_decision
             if i in flagged_idx:
                 items: List[Tuple[Subspace, ProjectedCellSummary]] = []
+                decisions: List[SubspaceDecision] = []
                 for view, col in flag_cols:
                     if col[i]:
-                        items.append((view.subspace, view.pcs_at(i)))
+                        pcs = view.pcs_at(i)
+                        items.append((view.subspace, pcs))
+                        if capture:
+                            dims = view.subspace.dimensions
+                            # Same quantised row the plan scored the point
+                            # in: cell keys are byte-identical to the
+                            # oracle's Grid.projected_cell.
+                            cell = tuple(int(v)
+                                         for v in plan.idx[i][list(dims)])
+                            if use_poisson and len(dims) > 1:
+                                rule = "poisson"
+                                threshold = per_subspace_alpha
+                                margin = (per_subspace_alpha
+                                          - pcs.tail_probability)
+                            else:
+                                rule = "rd"
+                                threshold = config.rd_threshold
+                                margin = config.rd_threshold - pcs.rd
+                            decisions.append(SubspaceDecision(
+                                subspace=dims,
+                                cell=cell,
+                                rule=rule,
+                                rd=pcs.rd,
+                                irsd=pcs.irsd,
+                                count=pcs.count,
+                                expected=pcs.expected,
+                                tail_probability=pcs.tail_probability,
+                                threshold=threshold,
+                                margin=margin,
+                            ))
                 evidence = tuple(
                     SubspaceEvidence(subspace=subspace, pcs=pcs, flagged=True)
                     for subspace, pcs in items
@@ -642,6 +715,9 @@ class SPOT:
                 ranked = sorted(items, key=lambda item: item[1].rd)
                 outlying = tuple(subspace for subspace, _ in ranked)
                 is_outlier = True
+                if capture:
+                    decision = DecisionEvidence(sst_version=sst_version,
+                                                subspaces=tuple(decisions))
             else:
                 evidence = ()
                 outlying = ()
@@ -653,6 +729,7 @@ class SPOT:
                 outlying_subspaces=outlying,
                 evidence=evidence,
                 score=score_list[i],
+                decision=decision,
             )
             if is_outlier:
                 flagged_results.append(result)
@@ -705,6 +782,42 @@ class SPOT:
         """Process a batch and return only the results flagged as outliers."""
         return [result for result in self.detect(points)
                 if result.is_outlier]
+
+    # ------------------------------------------------------------------ #
+    # Decision provenance (the observability seam)
+    # ------------------------------------------------------------------ #
+    def set_evidence_enabled(self, enabled: bool) -> None:
+        """Toggle decision-provenance capture on scored points.
+
+        When enabled, every result carries a typed
+        :class:`~repro.core.results.DecisionEvidence` — SST version plus,
+        per flagged subspace, the projected cell key, decayed density
+        statistics, the rule that fired and its margin — extracted from
+        statistics both engines already compute, so the enabled cost is the
+        record construction itself and the disabled cost is one boolean per
+        point.  The toggle survives :meth:`export_state` /
+        :meth:`from_state`, so restored shards keep producing evidence.
+        """
+        self._evidence_enabled = bool(enabled)
+
+    @property
+    def evidence_enabled(self) -> bool:
+        """Whether scored points carry decision provenance."""
+        return self._evidence_enabled
+
+    def bind_obs(self, *, tracer=None, recorder=None, registry=None) -> None:
+        """Attach observability objects for footprint reporting.
+
+        The detector never writes to these — services record decisions
+        centrally — but :meth:`memory_footprint` sizes their rings so
+        operators can budget the recorder.
+        """
+        if tracer is not None:
+            self._obs_tracer = tracer
+        if recorder is not None:
+            self._obs_recorder = recorder
+        if registry is not None:
+            self._obs_registry = registry
 
     # ------------------------------------------------------------------ #
     # Deferred learning (the learning-service seam)
@@ -862,6 +975,8 @@ class SPOT:
                 "pending": [request.to_dict()
                             for request in self._pending_learns],
             },
+            # Additive: pre-obs snapshots restore with evidence off.
+            "obs": {"evidence_enabled": self._evidence_enabled},
         }
 
     @classmethod
@@ -920,6 +1035,8 @@ class SPOT:
         detector._deferred_prune = bool(learning.get("deferred_prune", False))
         detector._pending_learns = [request_from_dict(entry)
                                     for entry in learning.get("pending", [])]
+        obs = payload.get("obs") or {}
+        detector._evidence_enabled = bool(obs.get("evidence_enabled", False))
         return detector
 
     # ------------------------------------------------------------------ #
@@ -986,4 +1103,19 @@ class SPOT:
         # the key-codec mode per cell table (int64 / two-level / bytes on the
         # vectorized engine, plain dicts on the reference engine).
         footprint["storage"] = self._store.storage_report()
+        # Observability working set: the bound tracer/flight rings and
+        # registry instrument count, so operators can budget the recorder.
+        # Unbound objects report zeros.
+        tracer = self._obs_tracer
+        recorder = self._obs_recorder
+        registry = self._obs_registry
+        footprint["obs"] = {
+            "evidence_enabled": self._evidence_enabled,
+            "tracer": (tracer.memory_footprint() if tracer is not None
+                       else {"spans": 0, "capacity": 0, "approx_bytes": 0}),
+            "flight": (recorder.memory_footprint() if recorder is not None
+                       else {"entries": 0, "capacity": 0, "approx_bytes": 0}),
+            "registry_instruments": (registry.instrument_count()
+                                     if registry is not None else 0),
+        }
         return footprint

@@ -36,6 +36,48 @@ class SubspaceEvidence:
 
 
 @dataclass(frozen=True)
+class SubspaceDecision:
+    """Why one SST subspace flagged a point — the full decision inputs.
+
+    Unlike :class:`SubspaceEvidence` (which carries the raw PCS object for
+    in-process consumers), this is a provenance record: it names the
+    projected *cell* the point landed in, the decayed density statistics the
+    rule saw, which rule fired (``"rd"`` for the relative-density threshold,
+    ``"poisson"`` for the Poisson-tail significance test on multi-d
+    subspaces), the threshold the rule compared against, and the margin by
+    which the comparison passed (``threshold - observed``; always >= 0 for a
+    flagged subspace).  Everything here is engine-independent: the fast
+    batch path must produce byte-identical cells/rules and float-identical
+    statistics to the sequential oracle.
+    """
+
+    subspace: Tuple[int, ...]
+    cell: Tuple[int, ...]
+    rule: str
+    rd: float
+    irsd: float
+    count: float
+    expected: float
+    tail_probability: float
+    threshold: float
+    margin: float
+
+
+@dataclass(frozen=True)
+class DecisionEvidence:
+    """Provenance for one scored point: SST version + per-subspace decisions.
+
+    ``sst_version`` pins which learned Sparse Subspace Template produced the
+    decision, so an ``explain`` long after a relearn can say *which* model
+    flagged the point.  ``subspaces`` holds one :class:`SubspaceDecision`
+    per flagged subspace, in SST iteration order.
+    """
+
+    sst_version: int
+    subspaces: Tuple[SubspaceDecision, ...] = ()
+
+
+@dataclass(frozen=True)
 class DetectionResult:
     """Outcome of checking one stream point against the SST.
 
@@ -66,6 +108,7 @@ class DetectionResult:
     outlying_subspaces: Tuple[Subspace, ...]
     evidence: Tuple[SubspaceEvidence, ...] = ()
     score: float = 0.0
+    decision: Optional[DecisionEvidence] = None
 
     @property
     def strongest_subspace(self) -> Optional[Subspace]:

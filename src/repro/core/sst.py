@@ -232,6 +232,11 @@ class SparseSubspaceTemplate:
         """JSON-serialisable view of the template."""
         return {
             "phi": self.phi,
+            # The mutation counter rides along (additively) so decision
+            # provenance captured after a snapshot-restore names the same
+            # SST version as before it; older payloads restore with the
+            # counter the rebuild accumulated.
+            "version": self._version,
             "cs_capacity": self.cs_capacity,
             "os_capacity": self.os_capacity,
             "fixed": [list(s.dimensions) for s in self._fixed],
@@ -263,6 +268,8 @@ class SparseSubspaceTemplate:
                 (Subspace(entry["dims"]), float(entry["score"]))
                 for entry in payload.get("outlier_driven", [])
             )
+            if "version" in payload:
+                template._version = int(payload["version"])
         except (KeyError, TypeError, ValueError) as exc:
             raise SubspaceError(f"malformed SST payload: {exc}") from exc
         return template

@@ -80,13 +80,14 @@ def _seed(default: int) -> Param:
 # Experiment specs
 # --------------------------------------------------------------------- #
 def _run_t1(*, dimension_settings, length_override, n_training, engines,
-            seed) -> ExperimentReport:
+            obs_overhead, seed) -> ExperimentReport:
     """Adapter: the spec's flat ``length_override`` becomes T1's lengths map."""
     lengths = ({d: length_override for d in dimension_settings}
                if length_override else None)
     return experiment_t1_throughput(
         dimension_settings=tuple(dimension_settings), lengths=lengths,
-        n_training=n_training, engines=tuple(engines), seed=seed)
+        n_training=n_training, engines=tuple(engines),
+        obs_overhead=obs_overhead, seed=seed)
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {}
@@ -239,6 +240,11 @@ _T1_SCHEMA = _schema(
           help="training batch size"),
     Param(name="engines", type="str_list", default=("python", "vectorized"),
           help="detection engines to compare"),
+    Param(name="obs_overhead", type="bool", default=False,
+          flag="--obs-overhead",
+          help="add a vectorized+obs row per dimensionality: evidence "
+               "capture + flight-ring stamping overhead vs the plain engine, "
+               "plus the disabled-path hook cost"),
     _seed(19),
 )
 

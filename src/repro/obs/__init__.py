@@ -1,7 +1,7 @@
-"""Observability: metrics registry, span tracing, bench-history pipeline.
+"""Observability: metrics, tracing, provenance, flight recorder, SLOs.
 
-Three small, dependency-free pieces that the serving layer threads through
-every hot path:
+Small, dependency-free pieces that the serving layer threads through every
+hot path:
 
 * :mod:`repro.obs.metrics` — typed counters/gauges and bounded streaming
   histograms behind a process-wide (or per-service) :class:`MetricsRegistry`,
@@ -14,6 +14,15 @@ every hot path:
 * :mod:`repro.obs.history` — the append-only bench-run database under
   ``benchmarks/history/`` plus the regression checker and trend reports
   (ROADMAP item 4).
+* :mod:`repro.obs.explain` — decision provenance: the ``spot-explain/v1``
+  serialisation of the typed :class:`~repro.core.results.DecisionEvidence`
+  both engines attach to scored points, answering "*why* was this point
+  flagged?".
+* :mod:`repro.obs.recorder` — the flight recorder: bounded per-shard rings
+  of recent decisions + service events (``spot-flight/v1``) and the
+  crash-time / on-demand diagnostics bundle (``spot-diag/v1``).
+* :mod:`repro.obs.slo` — per-tenant latency/shed/quarantine objectives with
+  window-based burn-rate classification (``spot-slo/v1``).
 """
 
 from .metrics import (
@@ -32,11 +41,32 @@ from .history import (
     classify_metric,
     extract_metrics,
 )
+from .explain import (
+    EXPLAIN_SCHEMA,
+    decision_from_dict,
+    decision_to_dict,
+    explain_result,
+    format_explanation,
+)
+from .recorder import (
+    DIAG_SCHEMA,
+    FLIGHT_SCHEMA,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    build_diag_payload,
+    validate_diag_payload,
+)
+from .slo import SLO_SCHEMA, SLOObjectives, SLOTracker, classify_burn
 
 __all__ = [
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
     "HISTORY_SCHEMA",
+    "EXPLAIN_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "DIAG_SCHEMA",
+    "SLO_SCHEMA",
     "Counter",
     "Gauge",
     "StreamingHistogram",
@@ -50,4 +80,16 @@ __all__ = [
     "RegressionFinding",
     "classify_metric",
     "extract_metrics",
+    "decision_to_dict",
+    "decision_from_dict",
+    "explain_result",
+    "format_explanation",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "build_diag_payload",
+    "validate_diag_payload",
+    "SLOObjectives",
+    "SLOTracker",
+    "classify_burn",
 ]

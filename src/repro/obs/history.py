@@ -193,15 +193,20 @@ class BenchHistory:
                 f"tolerance must be >= 0, got {tolerance}")
         findings: List[RegressionFinding] = []
         for row_key, row_metrics in candidate_metrics.items():
+            if not isinstance(row_metrics, Mapping):
+                continue
             for metric, candidate in row_metrics.items():
                 direction = classify_metric(metric)
                 if direction is None:
                     continue
+                # Older generations may predate a row or a metric (or hold a
+                # malformed row value); such entries are simply not baseline
+                # for this comparison, never a KeyError/TypeError.
                 history = [
                     entry["metrics"][row_key][metric]
                     for entry in baseline_entries
                     if isinstance(entry.get("metrics"), Mapping)
-                    and row_key in entry["metrics"]
+                    and isinstance(entry["metrics"].get(row_key), Mapping)
                     and metric in entry["metrics"][row_key]
                 ]
                 if not history:
@@ -250,7 +255,12 @@ class BenchHistory:
         """Every directed metric name recorded for one bench, sorted."""
         names = set()
         for entry in self.entries(bench_id):
-            for row_metrics in (entry.get("metrics") or {}).values():
+            metrics = entry.get("metrics")
+            if not isinstance(metrics, Mapping):
+                continue
+            for row_metrics in metrics.values():
+                if not isinstance(row_metrics, Mapping):
+                    continue
                 for name in row_metrics:
                     if classify_metric(name) is not None:
                         names.add(name)
@@ -265,9 +275,11 @@ class BenchHistory:
                 "git": (entry.get("provenance") or {}).get("git"),
                 "dirty": (entry.get("provenance") or {}).get("dirty"),
             }
-            for row_key, row_metrics in sorted(
-                    (entry.get("metrics") or {}).items()):
-                if metric in row_metrics:
-                    row[row_key] = row_metrics[metric]
+            metrics = entry.get("metrics")
+            if isinstance(metrics, Mapping):
+                for row_key, row_metrics in sorted(metrics.items()):
+                    if isinstance(row_metrics, Mapping) \
+                            and metric in row_metrics:
+                        row[row_key] = row_metrics[metric]
             rows.append(row)
         return rows

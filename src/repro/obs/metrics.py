@@ -262,6 +262,12 @@ class MetricsRegistry:
             self._histograms[key] = histogram
         return histogram
 
+    def instrument_count(self) -> int:
+        """How many instruments (counters + gauges + histograms) exist."""
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._histograms))
+
     def total(self, name: str) -> float:
         """Sum of a counter across all of its label variants."""
         prefix = name + "{"

@@ -1,0 +1,273 @@
+"""Flight recorder: bounded per-shard rings of decisions + service events.
+
+When a shard crashes or a tenant degrades, aggregate counters say *that*
+something happened; the flight recorder says *what the service was doing in
+the seconds before*.  It keeps one bounded ring per shard holding the most
+recent committed decision records and service events (shed / degrade /
+quarantine / restart / checkpoint / crash / learn-apply), each stamped with
+a deterministic monotone sequence number — never a wall clock — so rings are
+diffable across runs and across a crash-recovery.
+
+Two export shapes:
+
+* ``spot-flight/v1`` — the rings themselves (:meth:`FlightRecorder.to_dict`
+  for JSON, :meth:`FlightRecorder.write_jsonl` for line-per-record spill).
+* ``spot-diag/v1`` — the incident **diagnostics bundle** the
+  :class:`~repro.service.supervisor.ShardSupervisor` snapshots on a crash
+  (and :meth:`DetectionService.diagnose` exports on demand): metrics
+  snapshot + trace tree + flight rings + config + fault log + git
+  provenance, assembled by :func:`build_diag_payload` and checked by
+  :func:`validate_diag_payload`.
+
+Like ``NULL_TRACER``, :data:`NULL_RECORDER` makes every call a constant-time
+no-op so the serving hot path holds a recorder reference unconditionally and
+pays one boolean when recording is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Dict, List, Mapping, Optional
+
+from .explain import decision_to_dict
+
+#: Schema tag of every flight-ring export.
+FLIGHT_SCHEMA = "spot-flight/v1"
+
+#: Schema tag of every diagnostics bundle.
+DIAG_SCHEMA = "spot-diag/v1"
+
+#: Event kinds the serving layer records (decisions use kind="decision").
+EVENT_KINDS = ("shed", "degrade", "quarantine", "restart", "checkpoint",
+               "crash", "learn.apply")
+
+
+class FlightRecorder:
+    """Bounded per-shard rings of recent decisions and service events."""
+
+    #: A recorder that records; call sites check this to skip packing work.
+    enabled = True
+
+    def __init__(self, capacity: int = 256, n_shards: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._rings: Dict[int, "deque[Dict[str, object]]"] = {
+            shard: deque(maxlen=self.capacity)
+            for shard in range(max(1, int(n_shards)))
+        }
+        self._stamp = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _append(self, shard: int, record: Dict[str, object]) -> None:
+        with self._lock:
+            ring = self._rings.get(shard)
+            if ring is None:
+                ring = self._rings[shard] = deque(maxlen=self.capacity)
+            self._stamp += 1
+            record["stamp"] = self._stamp
+            if len(ring) == ring.maxlen:
+                self.dropped += 1
+            ring.append(record)
+
+    def record_decision(self, shard: int, seq: int, stream_id: str,
+                        outcome: str, result) -> None:
+        """Record one committed decision (a scored point's outcome).
+
+        ``result`` is a :class:`~repro.core.results.DetectionResult`; when
+        it carries :class:`~repro.core.results.DecisionEvidence` the full
+        provenance record rides along in ``spot-explain/v1`` shape.
+        """
+        record: Dict[str, object] = {
+            "kind": "decision",
+            "shard": int(shard),
+            "seq": int(seq),
+            "stream": str(stream_id),
+            "outcome": str(outcome),
+            "index": result.index,
+            "is_outlier": bool(result.is_outlier),
+            "score": float(result.score),
+            "subspaces": [list(s.dimensions)
+                          for s in result.outlying_subspaces],
+        }
+        if result.decision is not None:
+            record["decision"] = decision_to_dict(result.decision)
+        self._append(int(shard), record)
+
+    def record_event(self, kind: str, *, shard: int = 0, **data) -> None:
+        """Record one service event (shed/crash/restart/checkpoint/...)."""
+        record: Dict[str, object] = {"kind": str(kind), "shard": int(shard)}
+        if data:
+            record["data"] = {key: data[key] for key in sorted(data)}
+        self._append(int(shard), record)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / export
+    # ------------------------------------------------------------------ #
+    def records(self, shard: Optional[int] = None) -> List[Dict[str, object]]:
+        """Retained records (one shard or all), oldest first by stamp."""
+        with self._lock:
+            if shard is not None:
+                rows = list(self._rings.get(int(shard), ()))
+            else:
+                rows = [record for ring in self._rings.values()
+                        for record in ring]
+        return sorted((dict(row) for row in rows),
+                      key=lambda row: row["stamp"])
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable ``spot-flight/v1`` export (per-shard rings, stamp order)."""
+        with self._lock:
+            shards = {str(shard): [dict(record) for record in ring]
+                      for shard, ring in sorted(self._rings.items())}
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "shards": shards,
+        }
+
+    def write_jsonl(self, path) -> int:
+        """Spill every retained record as one JSON object per line.
+
+        Records carry their shard, so the flat stamp-ordered stream loses
+        nothing; returns the number of lines written.
+        """
+        rows = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Approximate resident size of the rings (budgeting estimate)."""
+        with self._lock:
+            entries = sum(len(ring) for ring in self._rings.values())
+            payload = sum(48 * len(record)
+                          for ring in self._rings.values()
+                          for record in ring)
+            shards = len(self._rings)
+        return {
+            "entries": entries,
+            "capacity": self.capacity * shards,
+            "approx_bytes": entries * 96 + payload,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            for ring in self._rings.values():
+                ring.clear()
+            self._stamp = 0
+            self.dropped = 0
+
+
+class NullFlightRecorder:
+    """Null object: the disabled recorder the service holds by default."""
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def record_decision(self, shard, seq, stream_id, outcome, result) -> None:
+        pass
+
+    def record_event(self, kind, *, shard: int = 0, **data) -> None:
+        pass
+
+    def records(self, shard: Optional[int] = None) -> List[Dict[str, object]]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": FLIGHT_SCHEMA, "capacity": 0, "dropped": 0,
+                "shards": {}}
+
+    def write_jsonl(self, path) -> int:
+        return 0
+
+    def memory_footprint(self) -> Dict[str, int]:
+        return {"entries": 0, "capacity": 0, "approx_bytes": 0}
+
+    def clear(self) -> None:
+        pass
+
+
+#: The shared disabled recorder.
+NULL_RECORDER = NullFlightRecorder()
+
+
+def build_diag_payload(*, reason: str, shard: Optional[int],
+                       provenance: Mapping[str, object],
+                       config: Mapping[str, object],
+                       metrics: Mapping[str, object],
+                       trace: Mapping[str, object],
+                       flight: Mapping[str, object],
+                       faults: List[str],
+                       slo: Optional[Mapping[str, object]] = None
+                       ) -> Dict[str, object]:
+    """Assemble one ``spot-diag/v1`` diagnostics bundle."""
+    payload: Dict[str, object] = {
+        "schema": DIAG_SCHEMA,
+        "reason": str(reason),
+        "shard": None if shard is None else int(shard),
+        "provenance": dict(provenance),
+        "config": dict(config),
+        "metrics": dict(metrics),
+        "trace": dict(trace),
+        "flight": dict(flight),
+        "faults": [str(entry) for entry in faults],
+    }
+    if slo is not None:
+        payload["slo"] = dict(slo)
+    return payload
+
+
+def validate_diag_payload(payload: Mapping[str, object]) -> Dict[str, object]:
+    """Check a diagnostics bundle against the ``spot-diag/v1`` contract.
+
+    Returns the payload (as a plain dict) on success; raises ``ValueError``
+    naming the first violated field otherwise.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("diagnostics payload must be a mapping")
+    if payload.get("schema") != DIAG_SCHEMA:
+        raise ValueError(
+            f"expected schema {DIAG_SCHEMA!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("reason"), str) or not payload["reason"]:
+        raise ValueError("diagnostics reason must be a non-empty string")
+    shard = payload.get("shard")
+    if shard is not None and not isinstance(shard, int):
+        raise ValueError("diagnostics shard must be an int or null")
+    for field in ("provenance", "config", "metrics", "trace", "flight"):
+        if not isinstance(payload.get(field), Mapping):
+            raise ValueError(f"diagnostics {field!r} must be a mapping")
+    if not isinstance(payload.get("faults"), list):
+        raise ValueError("diagnostics 'faults' must be a list")
+    from .metrics import METRICS_SCHEMA
+    from .trace import TRACE_SCHEMA
+
+    if payload["metrics"].get("schema") != METRICS_SCHEMA:
+        raise ValueError("diagnostics metrics snapshot has the wrong schema")
+    if payload["trace"].get("schema") != TRACE_SCHEMA:
+        raise ValueError("diagnostics trace export has the wrong schema")
+    flight = payload["flight"]
+    if flight.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError("diagnostics flight export has the wrong schema")
+    if not isinstance(flight.get("shards"), Mapping):
+        raise ValueError("flight export 'shards' must be a mapping")
+    for shard_key, ring in flight["shards"].items():
+        if not isinstance(ring, list):
+            raise ValueError(f"flight ring {shard_key!r} must be a list")
+        for record in ring:
+            if not isinstance(record, Mapping) or "kind" not in record \
+                    or "stamp" not in record:
+                raise ValueError(
+                    f"flight ring {shard_key!r} holds a malformed record")
+    if "slo" in payload and not isinstance(payload["slo"], Mapping):
+        raise ValueError("diagnostics 'slo' must be a mapping when present")
+    return dict(payload)

@@ -1,0 +1,239 @@
+"""Per-tenant SLO tracking: latency / shed / quarantine burn rates.
+
+A fleet serving millions of tenants cannot eyeball raw histograms; it needs
+each tenant classified against explicit objectives.  :class:`SLOObjectives`
+names the targets (delivery-latency p95, shed fraction, quarantine
+fraction); :class:`SLOTracker` folds every delivered point into bounded
+per-tenant accumulators — the same :class:`~repro.obs.metrics.StreamingHistogram`
+machinery the registry already uses, mirrored into the service registry so
+metrics snapshots see them — and classifies each tenant with a window-based
+burn rate:
+
+* observations accumulate into a rolling window of ``window_points`` points
+  (the previous completed window is kept, so classification always sees
+  between one and two windows of trailing data — a tenant that was shedding
+  an hour ago but is healthy now decays back to ``ok``);
+* the **burn rate** of an objective is observed/objective (p95 over target
+  for latency, fraction over budget for shed/quarantine);
+* burn >= 1 is a ``breach``, burn >= ``warn_burn_rate`` a ``warn``,
+  otherwise ``ok``; a tenant's status is its worst objective, the service's
+  status its worst tenant.
+
+The report (``spot-slo/v1``) is surfaced by ``DetectionService.stats()``
+and the ``slo`` CLI verb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.exceptions import ConfigurationError
+from .metrics import MetricsRegistry, StreamingHistogram
+
+#: Schema tag of every SLO report.
+SLO_SCHEMA = "spot-slo/v1"
+
+#: Status levels, worst last.
+STATUSES = ("ok", "warn", "breach")
+
+
+@dataclass(frozen=True)
+class SLOObjectives:
+    """Per-tenant service objectives.
+
+    ``latency_p95_ms`` bounds the delivery latency p95 (submit to result
+    delivery); ``max_shed_fraction`` / ``max_quarantine_fraction`` budget
+    the fraction of a tenant's points the service may shed or quarantine;
+    ``warn_burn_rate`` is the burn threshold separating ``ok`` from
+    ``warn``; ``window_points`` sizes the rolling classification window.
+    """
+
+    latency_p95_ms: float = 50.0
+    max_shed_fraction: float = 0.01
+    max_quarantine_fraction: float = 0.01
+    warn_burn_rate: float = 0.5
+    window_points: int = 200
+
+    def __post_init__(self) -> None:
+        if self.latency_p95_ms <= 0:
+            raise ConfigurationError("latency_p95_ms must be positive")
+        if not 0.0 < self.max_shed_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_shed_fraction must lie in (0, 1]")
+        if not 0.0 < self.max_quarantine_fraction <= 1.0:
+            raise ConfigurationError(
+                "max_quarantine_fraction must lie in (0, 1]")
+        if not 0.0 < self.warn_burn_rate <= 1.0:
+            raise ConfigurationError("warn_burn_rate must lie in (0, 1]")
+        if self.window_points <= 0:
+            raise ConfigurationError("window_points must be positive")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "latency_p95_ms": self.latency_p95_ms,
+            "max_shed_fraction": self.max_shed_fraction,
+            "max_quarantine_fraction": self.max_quarantine_fraction,
+            "warn_burn_rate": self.warn_burn_rate,
+            "window_points": self.window_points,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SLOObjectives":
+        known = {field: payload[field] for field in (
+            "latency_p95_ms", "max_shed_fraction", "max_quarantine_fraction",
+            "warn_burn_rate", "window_points") if field in payload}
+        return cls(**known)
+
+
+def classify_burn(burn: float, warn_burn_rate: float) -> str:
+    """Map one burn rate onto ``ok`` / ``warn`` / ``breach``."""
+    if burn >= 1.0:
+        return "breach"
+    if burn >= warn_burn_rate:
+        return "warn"
+    return "ok"
+
+
+def _worst(a: str, b: str) -> str:
+    return a if STATUSES.index(a) >= STATUSES.index(b) else b
+
+
+class _Window:
+    """One classification window's accumulators for one tenant."""
+
+    __slots__ = ("points", "shed", "quarantined", "latency")
+
+    def __init__(self) -> None:
+        self.points = 0
+        self.shed = 0
+        self.quarantined = 0
+        self.latency = StreamingHistogram()
+
+
+class SLOTracker:
+    """Folds delivery outcomes into per-tenant burn-rate classifications.
+
+    Call sites run under the service lock (mirroring the registry
+    instruments they sit next to), so mutation needs no lock of its own.
+    """
+
+    def __init__(self, objectives: Optional[SLOObjectives] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.objectives = objectives or SLOObjectives()
+        self._registry = registry
+        self._current: Dict[str, _Window] = {}
+        self._previous: Dict[str, _Window] = {}
+        self._totals: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _window_for(self, stream_id: str) -> _Window:
+        window = self._current.get(stream_id)
+        if window is None:
+            window = self._current[stream_id] = _Window()
+            self._totals[stream_id] = {"points": 0, "shed": 0,
+                                       "quarantined": 0}
+            if self._registry is not None:
+                self._registry.register_histogram(
+                    "slo.latency_seconds", window.latency, stream=stream_id)
+        elif window.points >= self.objectives.window_points:
+            self._previous[stream_id] = window
+            window = self._current[stream_id] = _Window()
+            if self._registry is not None:
+                self._registry.register_histogram(
+                    "slo.latency_seconds", window.latency, stream=stream_id)
+        return window
+
+    def _count(self, stream_id: str, outcome: str) -> _Window:
+        window = self._window_for(stream_id)
+        window.points += 1
+        totals = self._totals[stream_id]
+        totals["points"] += 1
+        if self._registry is not None:
+            self._registry.counter("slo.points", stream=stream_id).inc()
+        if outcome in ("shed", "quarantined"):
+            key = "shed" if outcome == "shed" else "quarantined"
+            setattr(window, key, getattr(window, key) + 1)
+            totals[key] += 1
+            if self._registry is not None:
+                self._registry.counter(f"slo.{key}", stream=stream_id).inc()
+        return window
+
+    def observe_delivery(self, stream_id: str, latency_seconds: float,
+                         outcome: str = "ok") -> None:
+        """Fold one delivered point (ok or degraded) into the window."""
+        window = self._count(stream_id, outcome)
+        window.latency.record(float(latency_seconds))
+
+    def observe_shed(self, stream_id: str) -> None:
+        """Fold one shed point into the window."""
+        self._count(stream_id, "shed")
+
+    def observe_quarantined(self, stream_id: str) -> None:
+        """Fold one quarantined point into the window."""
+        self._count(stream_id, "quarantined")
+
+    # ------------------------------------------------------------------ #
+    # Classification / export
+    # ------------------------------------------------------------------ #
+    def _trailing(self, stream_id: str) -> _Window:
+        merged = _Window()
+        for source in (self._previous.get(stream_id),
+                       self._current.get(stream_id)):
+            if source is None:
+                continue
+            merged.points += source.points
+            merged.shed += source.shed
+            merged.quarantined += source.quarantined
+            merged.latency.merge(source.latency)
+        return merged
+
+    def tenant_report(self, stream_id: str) -> Dict[str, object]:
+        """Burn rates + status for one tenant over its trailing window."""
+        objectives = self.objectives
+        window = self._trailing(stream_id)
+        p95_ms = 1e3 * window.latency.percentile(95.0)
+        latency_burn = p95_ms / objectives.latency_p95_ms
+        points = max(1, window.points)
+        shed_fraction = window.shed / points
+        shed_burn = shed_fraction / objectives.max_shed_fraction
+        quarantine_fraction = window.quarantined / points
+        quarantine_burn = (quarantine_fraction
+                           / objectives.max_quarantine_fraction)
+        status = "ok"
+        burns = {"latency": latency_burn, "shed": shed_burn,
+                 "quarantine": quarantine_burn}
+        for burn in burns.values():
+            status = _worst(status,
+                            classify_burn(burn, objectives.warn_burn_rate))
+        totals = self._totals.get(stream_id,
+                                  {"points": 0, "shed": 0, "quarantined": 0})
+        return {
+            "status": status,
+            "window_points": window.points,
+            "latency_p95_ms": p95_ms,
+            "latency_burn": latency_burn,
+            "shed_fraction": shed_fraction,
+            "shed_burn": shed_burn,
+            "quarantine_fraction": quarantine_fraction,
+            "quarantine_burn": quarantine_burn,
+            "total_points": totals["points"],
+            "total_shed": totals["shed"],
+            "total_quarantined": totals["quarantined"],
+        }
+
+    def report(self) -> Dict[str, object]:
+        """Stable ``spot-slo/v1`` report: every tenant + the worst status."""
+        tenants = {stream_id: self.tenant_report(stream_id)
+                   for stream_id in sorted(self._totals)}
+        status = "ok"
+        for entry in tenants.values():
+            status = _worst(status, entry["status"])
+        return {
+            "schema": SLO_SCHEMA,
+            "objectives": self.objectives.to_dict(),
+            "status": status,
+            "tenants": tenants,
+        }

@@ -187,6 +187,24 @@ class Tracer:
             self._occurrences.clear()
             self.dropped = 0
 
+    def memory_footprint(self) -> Dict[str, int]:
+        """Approximate resident size of the span ring.
+
+        The byte figure prices each retained span at its ID/attr payload
+        plus a fixed per-object overhead — an operator budgeting estimate,
+        not an exact ``sys.getsizeof`` walk.
+        """
+        with self._lock:
+            spans = len(self._ring)
+            payload = sum(
+                len(span.span_id) + 16 * (len(span.attrs) + len(span.data))
+                for span in self._ring)
+        return {
+            "spans": spans,
+            "capacity": self.capacity,
+            "approx_bytes": spans * 120 + payload,
+        }
+
 
 class _NullSpan:
     """Shared no-op span: every disabled call returns this one object."""
@@ -246,6 +264,9 @@ class NullTracer:
 
     def clear(self) -> None:
         pass
+
+    def memory_footprint(self) -> Dict[str, int]:
+        return {"spans": 0, "capacity": 0, "approx_bytes": 0}
 
 
 #: The shared disabled tracer.

@@ -37,6 +37,8 @@ from ..core.detector import SPOT
 from ..core.exceptions import BackpressureTimeout, ConfigurationError
 from ..core.results import DetectionResult
 from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import NULL_RECORDER, FlightRecorder, build_diag_payload
+from ..obs.slo import SLOObjectives, SLOTracker
 from ..obs.trace import NULL_TRACER
 from ..persist.serialization import clone_detector
 from ..streams.tagged import TaggedStreamPoint
@@ -111,6 +113,20 @@ class ServiceConfig:
     #: lives in the parent process only — process shards trace the hand-off,
     #: not the child-side scoring.
     tracer: Optional[object] = None
+    #: Decision provenance: enable evidence capture on every shard detector,
+    #: so delivered results (and flight-ring records) carry the typed
+    #: per-subspace DecisionEvidence behind ``explain``.
+    evidence: bool = False
+    #: Flight recorder: keep a bounded per-shard ring of recent decisions +
+    #: service events (``spot-flight/v1``), snapshot into a ``spot-diag/v1``
+    #: bundle on crash or on demand via :meth:`DetectionService.diagnose`.
+    flight_recorder: bool = False
+    flight_capacity: int = 256
+    #: Where crash-time diagnostics bundles are written (``None`` keeps them
+    #: in-memory only: ``diagnose()`` still works on demand).
+    diag_dir: Optional[str] = None
+    #: Per-tenant SLO objectives; ``None`` disables SLO tracking.
+    slo: Optional[SLOObjectives] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -154,6 +170,12 @@ class ServiceConfig:
                 self.put_timeout is None or self.put_timeout <= 0.0):
             raise ConfigurationError(
                 "full_policy='timeout' needs a positive put_timeout")
+        if self.flight_capacity < 1:
+            raise ConfigurationError(
+                f"flight_capacity must be positive, got {self.flight_capacity}")
+        if self.slo is not None and not isinstance(self.slo, SLOObjectives):
+            raise ConfigurationError(
+                "slo must be an SLOObjectives instance or None")
 
     def learning_config(self) -> LearningServiceConfig:
         """The coordinator configuration this service config implies.
@@ -256,6 +278,22 @@ class DetectionService:
             FaultInjector(self.config.fault_plan) \
             if self.config.fault_plan is not None \
             and not self.config.fault_plan.empty else None
+        #: Flight recorder (NULL_RECORDER when off: one boolean per point).
+        self._recorder = (FlightRecorder(self.config.flight_capacity,
+                                         n_shards=self.config.n_shards)
+                          if self.config.flight_recorder else NULL_RECORDER)
+        self._record_on = bool(self._recorder.enabled)
+        self._slo = (SLOTracker(self.config.slo, registry=self.metrics)
+                     if self.config.slo is not None else None)
+        self._diag_seq = 0
+        #: The most recent crash-time diagnostics bundle (spot-diag/v1).
+        self.last_diagnostics: Optional[Dict[str, object]] = None
+        if self.config.evidence:
+            for detector in self._detectors:
+                detector.set_evidence_enabled(True)
+        for detector in self._detectors:
+            detector.bind_obs(tracer=self._tracer, recorder=self._recorder,
+                              registry=self.metrics)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -363,7 +401,8 @@ class DetectionService:
                                deadline=self.config.deadline,
                                deadline_policy=self.config.deadline_policy,
                                quarantine_on_failure=not self.config.supervise,
-                               tracer=self._tracer)
+                               tracer=self._tracer,
+                               recorder=self._recorder)
         return ProcessShardWorker(shard_id, detector, batcher,
                                   self._on_results,
                                   fault_plan=self.config.fault_plan,
@@ -372,7 +411,8 @@ class DetectionService:
                                   deadline_policy=self.config.deadline_policy,
                                   quarantine_on_failure=not self.config.supervise,
                                   on_ipc_retry=self._note_ipc_retry,
-                                  tracer=self._tracer)
+                                  tracer=self._tracer,
+                                  recorder=self._recorder)
 
     def stop(self, timeout: Optional[float] = 60.0) -> None:
         """Drain every queue, stop every worker, surface any failure."""
@@ -501,6 +541,10 @@ class DetectionService:
                 self._tracer.event("shard.crash", shard=shard_id,
                                    seq_first=items[0].seq if items else -1,
                                    n=len(items))
+            if self._record_on:
+                self._recorder.record_event(
+                    "crash", shard=shard_id, error=str(error),
+                    seq_first=items[0].seq if items else -1, n=len(items))
             return
         degrade = (self.config.deadline > 0.0
                    and self.config.deadline_policy == "degrade")
@@ -514,10 +558,16 @@ class DetectionService:
                         shard=shard_id, result=None,
                         latency_seconds=now - item.enqueued_at,
                         outcome="shed"))
+                    if self._slo is not None:
+                        self._slo.observe_shed(item.stream_id)
                 if self._trace_on:
                     self._tracer.event("shard.shed", shard=shard_id,
                                        seq_first=items[0].seq,
                                        n=len(items))
+                if self._record_on:
+                    self._recorder.record_event(
+                        "shed", shard=shard_id, seq_first=items[0].seq,
+                        n=len(items))
             elif error is not None:
                 stats.batches.inc()
                 stats.busy_seconds.inc(busy_seconds)
@@ -549,8 +599,19 @@ class DetectionService:
                         latency_seconds=latency,
                         outcome=outcome,
                     ))
+                    if self._record_on:
+                        self._recorder.record_decision(
+                            shard_id, item.seq, item.stream_id, outcome,
+                            result)
+                    if self._slo is not None:
+                        self._slo.observe_delivery(item.stream_id, latency,
+                                                   outcome)
                 if degraded:
                     stats.degraded_points.inc(degraded)
+                    if self._record_on:
+                        self._recorder.record_event("degrade",
+                                                    shard=shard_id,
+                                                    n=degraded)
                 if self._trace_on:
                     self._tracer.event("shard.commit", shard=shard_id,
                                        seq_first=items[0].seq,
@@ -571,6 +632,10 @@ class DetectionService:
         if self._trace_on and items:
             self._tracer.event("shard.quarantine", shard=shard_id,
                                seq_first=items[0].seq, n=len(items))
+        if self._record_on and items:
+            self._recorder.record_event("quarantine", shard=shard_id,
+                                        seq_first=items[0].seq,
+                                        n=len(items))
         with self._all_done:
             stats = self._stats[shard_id]
             stats.quarantined_points.inc(len(items))
@@ -579,6 +644,8 @@ class DetectionService:
                     seq=item.seq, stream_id=item.stream_id, shard=shard_id,
                     result=None, latency_seconds=now - item.enqueued_at,
                     outcome="quarantined"))
+                if self._slo is not None:
+                    self._slo.observe_quarantined(item.stream_id)
             self._completed += len(items)
             if self._completed >= self._submitted or self._errors:
                 self._all_done.notify_all()
@@ -596,10 +663,14 @@ class DetectionService:
             # the restarted shard's searches build from its own snapshots.
             self._coordinator.evict_shard(shard_id)
         batcher = self._batchers[shard_id]
+        detector.bind_obs(tracer=self._tracer, recorder=self._recorder,
+                          registry=self.metrics)
         worker = self._build_worker(shard_id, detector, batcher)
         with self._lock:
             self._detectors[shard_id] = detector
             self._workers[shard_id] = worker
+        if self._record_on:
+            self._recorder.record_event("restart", shard=shard_id)
         worker.start()
 
     def _note_ipc_retry(self, shard_id: int) -> None:
@@ -712,6 +783,7 @@ class DetectionService:
             wall = (time.monotonic() - self._started_at
                     if self._started_at is not None else 0.0)
             batcher_stats = [batcher.stats() for batcher in self._batchers]
+            slo_report = self._slo.report() if self._slo is not None else None
             robustness = {
                 "supervised": self.config.supervise,
                 "restarts": int(self.metrics.total("service.restarts")),
@@ -749,6 +821,7 @@ class DetectionService:
             "learning": (self._coordinator.stats()
                          if self._coordinator is not None else None),
             "robustness": robustness,
+            "slo": slo_report,
             "shards": per_shard,
         }
 
@@ -768,6 +841,97 @@ class DetectionService:
                     if self._started_at is not None else 0.0)
             self.metrics.gauge("service.wall_seconds").set(round(wall, 4))
         return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics (flight recorder / SLOs)
+    # ------------------------------------------------------------------ #
+    @property
+    def flight_recorder(self):
+        """The flight recorder (:data:`NULL_RECORDER` unless configured)."""
+        return self._recorder
+
+    def slo_report(self) -> Optional[Dict[str, object]]:
+        """The ``spot-slo/v1`` per-tenant report (``None`` when untracked)."""
+        with self._lock:
+            return self._slo.report() if self._slo is not None else None
+
+    def _diag_config_summary(self) -> Dict[str, object]:
+        config = self.config
+        return {
+            "n_shards": config.n_shards,
+            "worker_mode": config.worker_mode,
+            "learning_mode": config.learning_mode,
+            "supervise": config.supervise,
+            "deadline": config.deadline,
+            "deadline_policy": config.deadline_policy,
+            "full_policy": config.full_policy,
+            "evidence": config.evidence,
+            "flight_recorder": config.flight_recorder,
+            "flight_capacity": config.flight_capacity,
+            "slo": (config.slo.to_dict() if config.slo is not None
+                    else None),
+        }
+
+    def diagnose(self, reason: str = "on-demand",
+                 shard: Optional[int] = None) -> Dict[str, object]:
+        """Assemble a ``spot-diag/v1`` diagnostics bundle.
+
+        Snapshots everything an incident review needs — metrics, trace,
+        flight rings, config, fault log, git provenance, SLO report — as
+        one self-contained payload.  The supervisor calls this (via
+        :meth:`_emit_crash_diagnostics`) when a shard crashes; operators
+        call it on demand through the ``diag`` CLI verb.
+        """
+        # Function-level import: eval.experiments imports the service layer,
+        # so a module-level import here would be a cycle.
+        from ..eval.spec import bench_stamp
+
+        with self._lock:
+            faults = (self._faults.stats()
+                      if self._faults is not None else {})
+            slo = self._slo.report() if self._slo is not None else None
+        fault_log = [f"{key}={faults[key]}" for key in sorted(faults)] \
+            if isinstance(faults, dict) else [str(faults)]
+        return build_diag_payload(
+            reason=reason,
+            shard=shard,
+            provenance=bench_stamp(warn=False),
+            config=self._diag_config_summary(),
+            metrics=self.metrics_snapshot(),
+            trace=self._tracer.to_dict(),
+            flight=self._recorder.to_dict(),
+            faults=fault_log,
+            slo=slo,
+        )
+
+    def _emit_crash_diagnostics(self, shard_id: int,
+                                error: str) -> Optional[str]:
+        """Snapshot a crash-time diagnostics bundle (supervisor hook).
+
+        Called on the supervisor thread *before* replay mutates anything,
+        so the flight ring still shows the decisions committed right up to
+        the crash.  The bundle is kept on the service (``last_diagnostics``)
+        and, when ``diag_dir`` is configured, written to
+        ``diag-<n>-shard<id>.json``; returns the path written (or ``None``).
+        """
+        if not self._record_on:
+            return None
+        payload = self.diagnose(reason=f"crash: {error}", shard=shard_id)
+        self.last_diagnostics = payload
+        if not self.config.diag_dir:
+            return None
+        import json
+        import os
+
+        os.makedirs(self.config.diag_dir, exist_ok=True)
+        with self._lock:
+            self._diag_seq += 1
+            seq = self._diag_seq
+        path = os.path.join(self.config.diag_dir,
+                            f"diag-{seq}-shard{shard_id}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        return path
 
     # ------------------------------------------------------------------ #
     # Checkpointing
@@ -832,6 +996,9 @@ class DetectionService:
             span.annotate(outcome="saved")
         if self._supervisor is not None:
             self._supervisor.install_snapshots(states)
+        if self._record_on:
+            self._recorder.record_event("checkpoint",
+                                        at_point=self.points_submitted)
         with self._lock:
             self._ckpt_taken.inc()
             self._points_at_last_checkpoint = self._submitted

@@ -233,6 +233,13 @@ class ShardSupervisor:
         span.annotate(restart=restarts + 1, journal_points=len(journal),
                       failed_points=len(failed_items))
 
+        # Crash-time flight snapshot: taken before replay mutates anything,
+        # so the diagnostics bundle's ring still shows the decisions
+        # committed right up to the crash (no-op when recording is off).
+        diag_path = service._emit_crash_diagnostics(shard_id, error)
+        if diag_path is not None:
+            span.annotate(diagnostics=str(diag_path))
+
         replay_items = journal + failed_items
         failed_seqs = {item.seq for item in failed_items}
         detector, delivered, quarantined = \

@@ -41,6 +41,7 @@ from ..core.detector import SPOT
 from ..core.exceptions import ConfigurationError
 from ..metrics.throughput import LatencySeries
 from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import NULL_RECORDER
 from ..obs.trace import NULL_TRACER
 from .batcher import BatchItem, MicroBatcher
 from .faults import (
@@ -183,7 +184,7 @@ class ShardWorker(threading.Thread):
                  faults: Optional[FaultInjector] = None,
                  deadline: float = 0.0, deadline_policy: str = "shed",
                  quarantine_on_failure: bool = True,
-                 tracer=None) -> None:
+                 tracer=None, recorder=None) -> None:
         super().__init__(name=f"spot-shard-{shard_id}", daemon=True)
         if deadline_policy not in DEADLINE_POLICIES:
             raise ConfigurationError(
@@ -196,6 +197,7 @@ class ShardWorker(threading.Thread):
         self.learning = learning
         self.faults = faults
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.deadline = deadline
         self.deadline_policy = deadline_policy
         self.quarantine_on_failure = quarantine_on_failure
@@ -361,7 +363,11 @@ class ShardWorker(threading.Thread):
             if self.learning is None:
                 # No coordinator (synchronous service, or a restored shard
                 # before one is attached): replay the searches inline.
-                self.detector.resolve_pending_learns()
+                resolved = self.detector.resolve_pending_learns()
+                if resolved and self.recorder.enabled:
+                    self.recorder.record_event("learn.apply",
+                                               shard=self.shard_id,
+                                               inline=resolved)
                 return
             ticket: Optional[LearnTicket] = \
                 self._tickets.get(pending[0].request_id)
@@ -376,6 +382,10 @@ class ShardWorker(threading.Thread):
                 if self.tracer.enabled:
                     self.tracer.event("learning.apply", shard=self.shard_id,
                                       request=publication.request_id)
+                if self.recorder.enabled:
+                    self.recorder.record_event(
+                        "learn.apply", shard=self.shard_id,
+                        request=publication.request_id)
             for request_id in ticket.request_ids:
                 self._tickets.pop(request_id, None)
 
@@ -473,7 +483,7 @@ class ProcessShardWorker:
                  quarantine_on_failure: bool = True,
                  retry_policy: Optional[RetryPolicy] = None,
                  on_ipc_retry: Optional[Callable[[int], None]] = None,
-                 tracer=None) -> None:
+                 tracer=None, recorder=None) -> None:
         import multiprocessing
 
         if deadline_policy not in DEADLINE_POLICIES:
@@ -484,6 +494,9 @@ class ProcessShardWorker:
         self.batcher = batcher
         self.on_results = on_results
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Process shards record on the parent side only (the delivery path
+        # runs there); the child scores, the parent stamps the ring.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.deadline = deadline
         self.deadline_policy = deadline_policy
         self.quarantine_on_failure = quarantine_on_failure

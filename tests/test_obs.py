@@ -1,6 +1,6 @@
 """Tests for the observability primitives (:mod:`repro.obs`).
 
-Three contracts are pinned here:
+Six contracts are pinned here:
 
 * **Bounded, accurate histograms** — :class:`StreamingHistogram` keeps a
   sparse set of log buckets, never the raw samples, yet its percentiles land
@@ -12,6 +12,15 @@ Three contracts are pinned here:
 * **The bench-history checker** — directed metrics are classified from
   their names, the database is append-only JSONL, and the regression check
   flags only moves against a metric's direction beyond tolerance.
+* **Decision provenance** — evidence dicts round-trip through the
+  ``spot-explain/v1`` schema, survive ``export_state``/``from_state`` and
+  ``spot-state/v2`` (.npz) snapshots, and restored detectors keep producing
+  identical evidence.
+* **The flight recorder** — per-shard rings are bounded, deterministically
+  stamped, exportable as ``spot-flight/v1``, and the ``spot-diag/v1``
+  bundle validator rejects malformed bundles with named problems.
+* **SLO tracking** — per-tenant burn rates classify as ok/warn/breach from
+  windowed latency/shed/quarantine observations.
 """
 
 import json
@@ -20,21 +29,35 @@ import random
 
 import pytest
 
+from repro.core.config import SPOTConfig
+from repro.core.detector import SPOT
 from repro.core.exceptions import ConfigurationError
 from repro.obs import (
     BenchHistory,
     Counter,
+    FlightRecorder,
     Gauge,
     MetricsRegistry,
     NullTracer,
+    SLOObjectives,
+    SLOTracker,
     StreamingHistogram,
     Tracer,
+    build_diag_payload,
+    classify_burn,
     classify_metric,
+    decision_from_dict,
+    decision_to_dict,
+    explain_result,
     extract_metrics,
+    format_explanation,
     get_registry,
+    validate_diag_payload,
 )
 from repro.obs.history import DEFAULT_TOLERANCE
+from repro.obs.recorder import NULL_RECORDER
 from repro.obs.trace import NULL_TRACER
+from repro.streams import GaussianStreamGenerator, values_of
 
 
 def _exact_percentile(values, q):
@@ -387,3 +410,365 @@ class TestBenchHistory:
         rows = history.trend("throughput", "points_per_second")
         assert [row["run"] for row in rows] == [0, 1]
         assert [row["engine=vectorized"] for row in rows] == [100.0, 120.0]
+
+    def test_older_generations_missing_metrics_are_skipped(self, tmp_path):
+        """Entries predating a row/metric (or malformed) are not baseline.
+
+        Regression test: ``check``/``trend``/``metric_names`` must *skip*
+        history generations that lack a row or metric — or hold a malformed
+        row value — instead of raising KeyError/TypeError.
+        """
+        history = BenchHistory(tmp_path)
+        history.record("throughput", _bench_payload(100.0))
+        # Simulate an older-generation entry: one row key missing entirely,
+        # another holding a non-mapping value, a third lacking the metric.
+        old = {
+            "schema": "spot-bench-history/v1", "bench": "throughput",
+            "benchmark": "T1", "run_index": 1,
+            "provenance": {"git": "old0000", "dirty": False}, "seed": 7,
+            "params": {},
+            "metrics": {"engine=vectorized": 12.5,
+                        "engine=python": {"other_per_second": 1.0}},
+        }
+        no_metrics = dict(old)
+        no_metrics["run_index"] = 2
+        no_metrics["metrics"] = "not-a-mapping"
+        with open(history.path_for("throughput"), "a") as handle:
+            handle.write(json.dumps(old, sort_keys=True) + "\n")
+            handle.write(json.dumps(no_metrics, sort_keys=True) + "\n")
+        history.record("throughput", _bench_payload(101.0))
+        # The newest run compares only against generations that carry the
+        # row+metric; the malformed entries contribute nothing and nothing
+        # raises.
+        assert history.check("throughput") == []
+        assert history.metric_names("throughput") == \
+            ["other_per_second", "p95_ms", "points_per_second"]
+        rows = history.trend("throughput", "points_per_second")
+        assert len(rows) == 4
+        assert "engine=vectorized" not in rows[1]  # malformed row skipped
+        assert "engine=vectorized" not in rows[2]  # metrics not a mapping
+        # A candidate row whose historical counterpart is malformed is
+        # likewise simply unbaselined, not an error.
+        findings = history.check("throughput",
+                                 candidate=_bench_payload(99.0))
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# Decision provenance
+# --------------------------------------------------------------------- #
+_EVIDENCE_CONFIG = dict(max_dimension=2, omega=300, moga_generations=4,
+                        moga_population=10, cells_per_dimension=4,
+                        rd_threshold=0.05, min_expected_mass=3.0,
+                        engine="vectorized")
+
+
+@pytest.fixture(scope="module")
+def evidence_stream():
+    stream = GaussianStreamGenerator(dimensions=5, n_points=900,
+                                     outlier_rate=0.05,
+                                     outlier_subspace_dim=2,
+                                     n_outlier_subspaces=2, seed=11)
+    training, detection = stream.split(400, 500)
+    return values_of(training), values_of(detection)
+
+
+@pytest.fixture(scope="module")
+def evidence_results(evidence_stream):
+    training, detection = evidence_stream
+    detector = SPOT(SPOTConfig(**_EVIDENCE_CONFIG))
+    detector.learn(training)
+    detector.set_evidence_enabled(True)
+    return detector, detector.process_batch(detection)
+
+
+class TestExplain:
+    def test_decision_dict_round_trip(self, evidence_results):
+        _, results = evidence_results
+        flagged = next(r for r in results if r.is_outlier)
+        payload = decision_to_dict(flagged.decision)
+        assert payload["schema"] == "spot-explain/v1"
+        assert payload["subspaces"]
+        assert json.loads(json.dumps(payload)) == payload
+        assert decision_from_dict(payload) == flagged.decision
+
+    def test_round_trip_rejects_foreign_schema(self, evidence_results):
+        _, results = evidence_results
+        flagged = next(r for r in results if r.is_outlier)
+        payload = decision_to_dict(flagged.decision)
+        payload["schema"] = "something/v9"
+        with pytest.raises(ValueError):
+            decision_from_dict(payload)
+
+    def test_explain_result_names_cells_rules_margins(self, evidence_results):
+        _, results = evidence_results
+        flagged = next(r for r in results if r.is_outlier)
+        payload = explain_result(flagged)
+        assert payload["is_outlier"] is True
+        assert payload["decision"]["subspaces"]
+        for entry in payload["decision"]["subspaces"]:
+            assert entry["rule"] in ("rd", "poisson")
+            assert len(entry["cell"]) == len(entry["subspace"])
+            assert entry["margin"] >= 0.0
+        text = format_explanation(payload)
+        assert "OUTLIER" in text
+        assert "SST version" in text
+
+    def test_export_state_round_trip_preserves_evidence(
+            self, evidence_stream):
+        training, detection = evidence_stream
+        detector = SPOT(SPOTConfig(**_EVIDENCE_CONFIG))
+        detector.learn(training)
+        detector.set_evidence_enabled(True)
+        first = detector.process_batch(detection[:200])
+        restored = SPOT.from_state(detector.export_state())
+        assert restored.evidence_enabled
+        rest_a = detector.process_batch(detection[200:400])
+        rest_b = restored.process_batch(detection[200:400])
+        assert [r.decision for r in rest_a] == [r.decision for r in rest_b]
+        assert any(r.decision.subspaces for r in rest_a
+                   if r.is_outlier), "no flagged evidence in replay segment"
+        del first
+
+    def test_npz_snapshot_round_trip_preserves_evidence(
+            self, evidence_stream, tmp_path):
+        from repro.persist import load_checkpoint, save_checkpoint
+
+        training, detection = evidence_stream
+        detector = SPOT(SPOTConfig(**_EVIDENCE_CONFIG))
+        detector.learn(training)
+        detector.set_evidence_enabled(True)
+        detector.process_batch(detection[:200])
+        path = tmp_path / "evidence-ckpt.npz"
+        save_checkpoint(detector, path)
+        restored = load_checkpoint(path)
+        assert restored.evidence_enabled
+        rest_a = detector.process_batch(detection[200:400])
+        rest_b = restored.process_batch(detection[200:400])
+        assert [r.decision for r in rest_a] == [r.decision for r in rest_b]
+
+    def test_pre_obs_snapshots_restore_with_evidence_off(
+            self, evidence_stream):
+        training, _ = evidence_stream
+        detector = SPOT(SPOTConfig(**_EVIDENCE_CONFIG))
+        detector.learn(training)
+        state = detector.export_state()
+        state.pop("obs", None)  # a snapshot written before this layer
+        assert not SPOT.from_state(state).evidence_enabled
+
+    def test_memory_footprint_reports_obs_section(self, evidence_results):
+        detector, _ = evidence_results
+        recorder = FlightRecorder(capacity=8)
+        recorder.record_event("checkpoint", at_point=1)
+        tracer = Tracer(capacity=16)
+        tracer.event("enqueue", seq=0)
+        registry = MetricsRegistry()
+        registry.counter("points").inc()
+        detector.bind_obs(tracer=tracer, recorder=recorder, registry=registry)
+        obs = detector.memory_footprint()["obs"]
+        assert obs["evidence_enabled"] is True
+        assert obs["flight"]["entries"] == 1
+        assert obs["flight"]["approx_bytes"] > 0
+        assert obs["tracer"]["spans"] == 1
+        assert obs["tracer"]["capacity"] == 16
+        assert obs["registry_instruments"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Flight recorder + diagnostics bundles
+# --------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_rings_are_bounded_per_shard_and_stamped(self, evidence_results):
+        _, results = evidence_results
+        recorder = FlightRecorder(capacity=4, n_shards=2)
+        for seq, result in enumerate(results[:10]):
+            recorder.record_decision(seq % 2, seq, f"tenant-{seq % 2}",
+                                     "ok", result)
+        assert len(recorder.records(0)) == 4
+        assert len(recorder.records(1)) == 4
+        assert recorder.dropped == 2
+        stamps = [r["stamp"] for r in recorder.records()]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_decision_records_carry_provenance(self, evidence_results):
+        _, results = evidence_results
+        flagged = next(r for r in results if r.is_outlier)
+        recorder = FlightRecorder(capacity=8)
+        recorder.record_decision(0, 7, "tenant-a", "ok", flagged)
+        record, = recorder.records()
+        assert record["kind"] == "decision"
+        assert record["is_outlier"] is True
+        assert record["decision"]["schema"] == "spot-explain/v1"
+        assert decision_from_dict(record["decision"]) == flagged.decision
+
+    def test_events_sort_their_data(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record_event("shed", shard=1, n=3, seq_first=10)
+        record, = recorder.records()
+        assert record == {"kind": "shed", "shard": 1, "stamp": 1,
+                          "data": {"n": 3, "seq_first": 10}}
+
+    def test_to_dict_and_jsonl_spill(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, n_shards=2)
+        recorder.record_event("restart", shard=1)
+        recorder.record_event("checkpoint", at_point=5)
+        export = recorder.to_dict()
+        assert export["schema"] == "spot-flight/v1"
+        assert set(export["shards"]) == {"0", "1"}
+        assert json.loads(json.dumps(export)) == export
+        path = tmp_path / "flight.jsonl"
+        assert recorder.write_jsonl(path) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["restart", "checkpoint"]
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.record_event("crash", shard=0, error="x")
+        NULL_RECORDER.record_decision(0, 0, "t", "ok", None)
+        assert NULL_RECORDER.enabled is False
+        assert NULL_RECORDER.records() == []
+        assert NULL_RECORDER.to_dict()["shards"] == {}
+        assert NULL_RECORDER.memory_footprint()["entries"] == 0
+
+
+class TestDiagBundle:
+    def _bundle(self, **overrides):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record_event("crash", shard=0, error="boom")
+        payload = build_diag_payload(
+            reason="crash: boom", shard=0,
+            provenance={"git": "abc1234", "dirty": False},
+            config={"n_shards": 2},
+            metrics=MetricsRegistry().snapshot(),
+            trace=Tracer().to_dict(),
+            flight=recorder.to_dict(),
+            faults=["crash_points=(5,)"],
+        )
+        payload.update(overrides)
+        return payload
+
+    def test_valid_bundle_passes_and_is_json(self):
+        payload = validate_diag_payload(self._bundle())
+        assert payload["schema"] == "spot-diag/v1"
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_slo_section_is_optional_but_checked(self):
+        good = self._bundle(slo={"schema": "spot-slo/v1", "tenants": {}})
+        assert "slo" in validate_diag_payload(good)
+        with pytest.raises(ValueError, match="slo"):
+            validate_diag_payload(self._bundle(slo="nope"))
+
+    @pytest.mark.parametrize("mutation,match", [
+        ({"schema": "spot-diag/v2"}, "schema"),
+        ({"reason": ""}, "reason"),
+        ({"shard": "zero"}, "shard"),
+        ({"metrics": {"schema": "wrong/v1"}}, "metrics"),
+        ({"trace": {"schema": "wrong/v1"}}, "trace"),
+        ({"flight": {"schema": "wrong/v1"}}, "flight"),
+        ({"faults": "none"}, "faults"),
+    ])
+    def test_malformed_bundles_are_named(self, mutation, match):
+        with pytest.raises(ValueError, match=match):
+            validate_diag_payload(self._bundle(**mutation))
+
+    def test_malformed_flight_record_is_rejected(self):
+        bundle = self._bundle()
+        bundle["flight"]["shards"]["0"].append({"kind": "decision"})  # no stamp
+        with pytest.raises(ValueError, match="malformed record"):
+            validate_diag_payload(bundle)
+
+
+# --------------------------------------------------------------------- #
+# SLO tracking
+# --------------------------------------------------------------------- #
+class TestSLO:
+    def test_objectives_validate_and_round_trip(self):
+        objectives = SLOObjectives(latency_p95_ms=20.0, window_points=50)
+        assert SLOObjectives.from_dict(objectives.to_dict()) == objectives
+        with pytest.raises(ConfigurationError):
+            SLOObjectives(latency_p95_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            SLOObjectives(max_shed_fraction=1.5)
+
+    def test_classify_burn_thresholds(self):
+        assert classify_burn(0.1, 0.5) == "ok"
+        assert classify_burn(0.5, 0.5) == "warn"
+        assert classify_burn(0.99, 0.5) == "warn"
+        assert classify_burn(1.0, 0.5) == "breach"
+
+    def test_within_objective_tenant_is_ok(self):
+        tracker = SLOTracker(SLOObjectives(latency_p95_ms=50.0,
+                                           window_points=100))
+        for _ in range(80):
+            tracker.observe_delivery("tenant-a", 0.001)
+        report = tracker.report()
+        assert report["schema"] == "spot-slo/v1"
+        assert report["status"] == "ok"
+        tenant = report["tenants"]["tenant-a"]
+        assert tenant["status"] == "ok"
+        assert tenant["total_points"] == 80
+
+    def test_slow_tenant_breaches_latency(self):
+        tracker = SLOTracker(SLOObjectives(latency_p95_ms=1.0,
+                                           window_points=100))
+        for _ in range(50):
+            tracker.observe_delivery("tenant-a", 0.050)  # 50ms vs 1ms target
+        report = tracker.report()
+        assert report["tenants"]["tenant-a"]["status"] == "breach"
+        assert report["tenants"]["tenant-a"]["latency_burn"] >= 1.0
+        assert report["status"] == "breach"
+
+    def test_shed_budget_burn(self):
+        tracker = SLOTracker(SLOObjectives(max_shed_fraction=0.10,
+                                           warn_burn_rate=0.5,
+                                           window_points=1000))
+        for index in range(100):
+            if index % 20 == 0:  # 5% shed against a 10% budget -> warn
+                tracker.observe_shed("tenant-b")
+            else:
+                tracker.observe_delivery("tenant-b", 0.001)
+        tenant = tracker.report()["tenants"]["tenant-b"]
+        assert tenant["shed_fraction"] == pytest.approx(0.05)
+        assert tenant["status"] == "warn"
+
+    def test_worst_tenant_wins_overall_status(self):
+        tracker = SLOTracker(SLOObjectives(latency_p95_ms=1.0,
+                                           window_points=100))
+        tracker.observe_delivery("fast", 0.0001)
+        for _ in range(30):
+            tracker.observe_delivery("slow", 0.030)
+        report = tracker.report()
+        assert report["tenants"]["fast"]["status"] == "ok"
+        assert report["tenants"]["slow"]["status"] == "breach"
+        assert report["status"] == "breach"
+
+    def test_window_rolls_and_keeps_trailing_context(self):
+        tracker = SLOTracker(SLOObjectives(latency_p95_ms=50.0,
+                                           window_points=10))
+        for _ in range(25):
+            tracker.observe_delivery("tenant-c", 0.001)
+        tenant = tracker.report()["tenants"]["tenant-c"]
+        # Trailing view = last completed window + current partial.
+        assert tenant["window_points"] == 15
+        assert tenant["total_points"] == 25
+
+    def test_quarantine_budget(self):
+        tracker = SLOTracker(SLOObjectives(max_quarantine_fraction=0.01,
+                                           window_points=100))
+        for _ in range(9):
+            tracker.observe_delivery("tenant-d", 0.001)
+        tracker.observe_quarantined("tenant-d")
+        tenant = tracker.report()["tenants"]["tenant-d"]
+        assert tenant["quarantine_fraction"] == pytest.approx(0.1)
+        assert tenant["status"] == "breach"
+
+    def test_registry_integration(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(SLOObjectives(), registry=registry)
+        tracker.observe_delivery("tenant-e", 0.002)
+        tracker.observe_shed("tenant-e")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["slo.points{stream=tenant-e}"] == 2
+        assert snapshot["counters"]["slo.shed{stream=tenant-e}"] == 1
+        assert "slo.latency_seconds{stream=tenant-e}" in \
+            snapshot["histograms"]

@@ -30,6 +30,7 @@ STATS_KEYS = {
     "n_shards", "worker_mode", "points", "wall_seconds", "busy_seconds",
     "aggregate_points_per_second", "mean_batch_size", "producer_blocks",
     "checkpoints_taken", "learning_mode", "learning", "robustness", "shards",
+    "slo",
 }
 ROBUSTNESS_KEYS = {
     "supervised", "restarts", "recovery_ms", "shed_points",
