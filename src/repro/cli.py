@@ -6,15 +6,16 @@ identifier with ``--set key=value`` overrides validated against the declared
 parameter schemas.
 
 ``spot-demo experiment [ID] [--set k=v ...]``
-    Run one registered experiment (F1, E1–E5, T1, L1–L3, R1, A1–A4) and print
+    Run one registered experiment (F1, E1–E5, T1, L1–L3, R1–R2, A1–A4) and print
     its result table.  ``--list`` prints the registry index (``--markdown``
     for the README table), ``--dry-run`` resolves and prints the parameters
     (and grid cells) without running.
 
 ``spot-demo bench [ID] [--set k=v ...] [--out FILE]``
     Run one registered benchmark (throughput, learning, service,
-    learning-service, serving-sweep, chaos; default: throughput) and write
-    its unified ``spot-bench/v1`` JSON report, stamped with git provenance.
+    learning-service, serving-sweep, chaos, rebalance; default: throughput)
+    and write its unified ``spot-bench/v1`` JSON report, stamped with git
+    provenance.
 
 ``spot-demo bench-learn`` / ``spot-demo bench-learn-service``
     Thin aliases of ``bench learning`` / ``bench learning-service`` keeping
@@ -28,6 +29,13 @@ parameter schemas.
     Run the sharded multi-tenant detection service (optionally
     checkpointing), or restore a checkpoint and resume its recorded
     workload.  ``serve --bench-out`` delegates to the ``service`` bench spec.
+
+``spot-demo fleet``
+    Elastic-fleet verbs: ``fleet rebalance`` runs the R2 live-reshard suite
+    (mid-stream shard split/merge with decision/SST parity against the
+    topology-reenacting oracle), ``fleet status`` serves the workload —
+    resizing mid-run when ``--to-shards`` is given — and emits the
+    rebalancer's status JSON (topology, queue depths, migration history).
 
 ``spot-demo metrics`` / ``spot-demo trace``
     Observability demos: run a short multi-tenant serve and emit the
@@ -94,7 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a registered experiment by id")
     experiment.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS),
                             help="experiment identifier (F1, E1-E5, T1, "
-                                 "L1-L3, R1, A1-A4)")
+                                 "L1-L3, R1-R2, A1-A4)")
     experiment.add_argument("--set", action="append", default=[],
                             metavar="KEY=VALUE", dest="assignments",
                             help="override one declared parameter "
@@ -182,6 +190,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "points")
     serve.add_argument("--workers", choices=("thread", "process"),
                        default="thread", help="shard worker flavour")
+    serve.add_argument("--router", choices=("static", "ring"),
+                       default="static",
+                       help="shard router: static modulo placement, or the "
+                            "consistent-hash ring (minimal key movement on "
+                            "a fleet resize)")
     serve.add_argument("--learning-mode", choices=("sync", "async"),
                        default="sync",
                        help="sync = online MOGA searches run inline in the "
@@ -245,6 +258,45 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run the E5 serving benchmark through the "
                             "'service' bench spec and write its report "
                             "(e.g. BENCH_service.json)")
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="elastic-fleet operations: live-reshard a served workload with "
+             "oracle parity checks, or report the fleet's topology and "
+             "migration history")
+    fleet.add_argument("action", choices=("rebalance", "status"),
+                       help="rebalance = run the R2 live-reshard suite at "
+                            "the given sizes and verify zero decision "
+                            "drift; status = serve the workload (resizing "
+                            "mid-run when --to-shards is given) and emit "
+                            "the rebalancer's status JSON")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="initial fleet size")
+    fleet.add_argument("--tenants", type=int, default=8)
+    fleet.add_argument("--dimensions", type=int, default=8)
+    fleet.add_argument("--points", type=int, default=400,
+                       help="detection points per tenant")
+    fleet.add_argument("--training", type=int, default=60,
+                       help="training points per tenant (shared prototype)")
+    fleet.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch coalescing limit per shard")
+    fleet.add_argument("--router", choices=("static", "ring"),
+                       default="ring",
+                       help="shard router of the fleet (the ring keeps "
+                            "survivor shards' tenants in place on a resize)")
+    fleet.add_argument("--to-shards", type=int, action="append", default=None,
+                       metavar="N",
+                       help="fleet size to resize to mid-run (repeatable, "
+                            "applied in order; rebalance defaults to a "
+                            "split to shards+2 then a merge to shards-1)")
+    fleet.add_argument("--at", type=float, action="append", default=None,
+                       metavar="FRACTION",
+                       help="stream fraction at which each resize fires "
+                            "(one per --to-shards; default: evenly spaced)")
+    fleet.add_argument("--seed", type=int, default=19)
+    fleet.add_argument("--out", default=None,
+                       help="status: write the JSON export to this file "
+                            "(default: stdout)")
 
     replay = subparsers.add_parser(
         "replay", help="restore a service checkpoint and resume its workload")
@@ -625,6 +677,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                 "without online learning; use 'bench learning-service' for "
                 "the learning-on-vs-off-the-hot-path comparison (L2) or "
                 "'bench serving-sweep' for the learning-pressure grid (L3)")
+        if args.router != "static":
+            raise ConfigurationError(
+                "--bench-out runs the E5 serving benchmark, which serves "
+                "with the static router; use 'bench rebalance' for the "
+                "elastic-fleet benchmark (R2)")
         overrides = dict(workload_params)
         overrides.update(n_shards=args.shards, max_batch=args.max_batch,
                          max_delay=args.max_delay, worker_mode=args.workers)
@@ -649,6 +706,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         worker_mode=args.workers,
+        router=args.router,
         learning_mode=args.learning_mode,
         learning_workers=args.learning_workers,
         checkpoint_every=args.checkpoint_every,
@@ -683,6 +741,68 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"Flagged {outliers} projected outliers across "
           f"{len(workload.tenants)} tenants\n")
     _print_service_stats(service.stats())
+    return 0
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    """Elastic-fleet verbs: a parity-checked live reshard, or a status dump."""
+    from .eval.experiments import experiment_r2_rebalance, t1_bench_config
+    from .eval.workloads import multi_tenant_workload
+    from .service import DetectionService, FleetRebalancer, ServiceConfig
+
+    if args.action == "rebalance":
+        steps = list(args.to_shards
+                     or (args.shards + 2, max(1, args.shards - 1)))
+    else:
+        steps = list(args.to_shards or ())
+    fractions = list(args.at if args.at is not None else
+                     (round((i + 1) / (len(steps) + 1), 3)
+                      for i in range(len(steps))))
+    if len(fractions) != len(steps):
+        raise ConfigurationError(
+            "--at needs exactly one stream fraction per --to-shards step")
+    if any(not 0.0 < fraction < 1.0 for fraction in fractions):
+        raise ConfigurationError("--at fractions must lie in (0, 1)")
+
+    if args.action == "rebalance":
+        report = experiment_r2_rebalance(
+            n_tenants=args.tenants, dimensions=args.dimensions,
+            n_training_per_tenant=args.training,
+            n_detection_per_tenant=args.points,
+            shard_plan=(args.shards, *steps), boundaries=tuple(fractions),
+            max_batch=args.max_batch, router=args.router, seed=args.seed)
+        _print_report(report)
+        reshard = next(row for row in report.rows
+                       if row["variant"] == "live-reshard")
+        parity = bool(reshard["decisions_identical"]
+                      and reshard["sst_identical"])
+        print(f"\nreshard plan {[args.shards, *steps]}: "
+              f"{'parity ok (zero decision drift)' if parity else 'DRIFT'}")
+        return 0 if parity else 1
+
+    workload = multi_tenant_workload(
+        n_tenants=args.tenants, dimensions=args.dimensions,
+        n_training_per_tenant=args.training,
+        n_detection_per_tenant=args.points, seed=args.seed)
+    prototype = SPOT(t1_bench_config(engine="vectorized"))
+    prototype.learn(workload.training_values)
+    service = DetectionService.from_prototype(prototype, ServiceConfig(
+        n_shards=args.shards, max_batch=args.max_batch, router=args.router))
+    service.start()
+    rebalancer = FleetRebalancer(service)
+    points = workload.detection
+    marks = {int(fraction * len(points)): target
+             for fraction, target in zip(fractions, steps)}
+    try:
+        for index, point in enumerate(points):
+            if index in marks:
+                rebalancer.resize(marks[index])
+            service.submit(point.stream_id, point.values)
+        service.drain()
+        status = rebalancer.status()
+    finally:
+        service.stop()
+    _emit_json(status, args.out)
     return 0
 
 
@@ -1062,6 +1182,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "replay":
         return _run_replay(args)
     if args.command == "profile":

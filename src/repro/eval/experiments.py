@@ -1320,6 +1320,162 @@ def experiment_r1_chaos(*, n_tenants: int = 4, dimensions: int = 8,
     )
 
 
+def experiment_r2_rebalance(*, n_tenants: int = 8, dimensions: int = 8,
+                            n_training_per_tenant: int = 60,
+                            n_detection_per_tenant: int = 400,
+                            shard_plan: Sequence[int] = (4, 6, 3),
+                            boundaries: Sequence[float] = (0.4, 0.7),
+                            max_batch: int = 64, max_delay: float = 0.004,
+                            router: str = "ring",
+                            seed: int = 19) -> ExperimentReport:
+    """Rebalance bench: live fleet resharding with zero decision drift.
+
+    Two runs of the same multiplexed tenant workload:
+
+    * ``steady-state`` — the fleet at its initial size, never resharded.
+      Its delivery-latency p95 is the yardstick the migration stall is
+      judged against.
+    * ``live-reshard`` — the same traffic, but the fleet is resized through
+      every step of ``shard_plan`` (default 4 -> 6 -> 3: a split, then a
+      merge) at the ``boundaries`` fractions of the stream, live, by
+      :class:`~repro.service.rebalance.FleetRebalancer`.  Parity is checked
+      against a single-threaded oracle that reenacts the same topology
+      changes with reference detectors: clone the donor at each boundary on
+      a grow, drop the retired detectors on a shrink, route every point
+      with the same ring.  ``decisions_identical`` and ``sst_identical``
+      assert the drain/export/ship/restore machinery is lossless.
+
+    The hot-path cost of a migration is the routing-gate hold time
+    (``stall_ms`` per migration row); ``stall_bounded`` records whether the
+    worst stall stayed under twice the steady-state delivery p95.
+    """
+    from ..core.exceptions import ConfigurationError
+    from ..service import DetectionService, FleetRebalancer, ServiceConfig
+    from ..service import make_router
+
+    plan = [int(n) for n in shard_plan]
+    if len(plan) < 2 or any(n <= 0 for n in plan):
+        raise ConfigurationError(
+            "shard_plan needs at least two positive sizes")
+    if len(boundaries) != len(plan) - 1:
+        raise ConfigurationError(
+            "boundaries must have one fraction per resize step")
+
+    workload = multi_tenant_workload(
+        n_tenants=n_tenants, dimensions=dimensions,
+        n_training_per_tenant=n_training_per_tenant,
+        n_detection_per_tenant=n_detection_per_tenant, seed=seed)
+    config = t1_bench_config(engine="vectorized")
+    prototype = SPOT(config)
+    prototype.learn(workload.training_values)
+    points = workload.detection
+    n_points = len(points)
+    marks = {int(fraction * n_points): target
+             for fraction, target in zip(boundaries, plan[1:])}
+
+    def serve(resizes) -> Tuple[object, object, float]:
+        service = DetectionService.from_prototype(prototype, ServiceConfig(
+            n_shards=plan[0], max_batch=max_batch, max_delay=max_delay,
+            router=router))
+        service.start()
+        rebalancer = FleetRebalancer(service)
+        started = time.perf_counter()
+        for index, point in enumerate(points):
+            if index in resizes:
+                rebalancer.resize(resizes[index])
+            service.submit(point.stream_id, point.values)
+        service.drain()
+        wall = time.perf_counter() - started
+        service.stop()
+        return service, rebalancer, wall
+
+    def oracle() -> Tuple[List[bool], List[Dict[str, object]]]:
+        """Reenact the reshard plan with single-threaded reference shards."""
+        refs = [SPOT.from_state(prototype.export_state(arrays="copy"))
+                for _ in range(plan[0])]
+        route = make_router(router, plan[0])
+        flags: List[bool] = []
+        for index, point in enumerate(points):
+            if index in marks:
+                target = marks[index]
+                if target > len(refs):
+                    old_n = len(refs)
+                    for shard in range(old_n, target):
+                        refs.append(SPOT.from_state(
+                            refs[shard % old_n].export_state(arrays="copy")))
+                else:
+                    del refs[target:]
+                route = make_router(router, target)
+            shard = route.shard_of(point.stream_id)
+            flags.append(
+                refs[shard].process_batch([point.values])[0].is_outlier)
+        return flags, [detector.sst.to_dict() for detector in refs]
+
+    def row_of(variant: str, service, wall: float, **extra) -> Row:
+        return {
+            "variant": variant,
+            "points": n_points,
+            "n_shards": service.config.n_shards,
+            "seconds": round(wall, 4),
+            "points_per_second": round(n_points / wall, 1)
+            if wall > 0 else 0.0,
+            "latency_p95_ms": service.latency_summary()["latency_p95_ms"],
+            **extra,
+        }
+
+    rows: List[Row] = []
+
+    steady, _, steady_wall = serve({})
+    steady_p95 = float(steady.latency_summary()["latency_p95_ms"])
+    rows.append(row_of("steady-state", steady, steady_wall))
+
+    reshard, rebalancer, reshard_wall = serve(marks)
+    oracle_flags, oracle_ssts = oracle()
+    results = reshard.results()
+    decisions_identical = (
+        len(results) == n_points
+        and [r.is_outlier for r in results] == oracle_flags)
+    sst_identical = ([d.sst.to_dict() for d in reshard.shard_detectors()]
+                     == oracle_ssts)
+    stalls_ms = [round(1e3 * report.stall_seconds, 3)
+                 for report in rebalancer.history]
+    worst_stall = max(stalls_ms) if stalls_ms else 0.0
+    rows.append(row_of(
+        "live-reshard", reshard, reshard_wall,
+        shard_plan=list(plan),
+        reshard_points=sorted(marks),
+        decisions_identical=decisions_identical,
+        sst_identical=sst_identical,
+        migration_stall_ms=worst_stall,
+        steady_p95_ms=steady_p95,
+        stall_bounded=worst_stall < 2.0 * steady_p95))
+
+    for report in rebalancer.history:
+        migration = report.to_dict()
+        rows.append({
+            "variant": f"migration-{migration['op']}-"
+                       f"{migration['from_shards']}to{migration['to_shards']}",
+            "op": migration["op"],
+            "from_shards": migration["from_shards"],
+            "to_shards": migration["to_shards"],
+            "boundary": migration["boundary"],
+            "stall_ms": migration["stall_ms"],
+            "committed": migration["committed"],
+        })
+
+    return ExperimentReport(
+        experiment_id="R2",
+        title="Elastic fleet: live resharding with zero decision drift",
+        rows=tuple(rows),
+        notes="Each resize drains the fleet to one consistent boundary "
+              "under the routing gate, ships detector state zero-copy "
+              "(spot-state/v2 views) to the new topology and reopens the "
+              "gate; the consistent-hash ring keeps survivor shards' "
+              "tenants in place, so only the ring-mandated keys move and "
+              "the oracle parity holds point for point.",
+    )
+
+
 # The experiment index itself lives in repro.eval.registry, which declares
 # one ExperimentSpec per function above (plus the BenchSpecs the CLI's bench
 # harness runs); ALL_EXPERIMENTS is re-exported from there for compatibility.

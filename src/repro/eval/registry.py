@@ -1,6 +1,6 @@
 """The declared experiment & benchmark index.
 
-Every experiment of the reproduction (F1, E1–E5, T1, L1–L3, R1, A1–A4) is
+Every experiment of the reproduction (F1, E1–E5, T1, L1–L3, R1–R2, A1–A4) is
 registered here as an :class:`~repro.eval.spec.ExperimentSpec`: an
 identifier, a typed parameter schema (the single source of the CLI flags,
 the ``--set`` overrides and the recorded report parameters) and a runner
@@ -35,6 +35,7 @@ from .experiments import (
     experiment_l2_learning_service,
     experiment_l3_serving_pressure,
     experiment_r1_chaos,
+    experiment_r2_rebalance,
     experiment_t1_throughput,
     t1_bench_config,
 )
@@ -404,6 +405,41 @@ _register(ExperimentSpec(
     runner=experiment_r1_chaos,
 ))
 
+_R2_SCHEMA = _schema(
+    Param(name="n_tenants", type="int", default=8, flag="--tenants",
+          help="number of independent tenant streams"),
+    Param(name="dimensions", type="int", default=8,
+          help="stream dimensionality"),
+    Param(name="n_training_per_tenant", type="int", default=60,
+          flag="--training", help="training points per tenant (shared "
+                                  "prototype)"),
+    Param(name="n_detection_per_tenant", type="int", default=400,
+          flag="--points", help="detection points per tenant"),
+    Param(name="shard_plan", type="int_list", default=(4, 6, 3),
+          help="fleet sizes the live reshard walks through "
+               "(first = initial size)"),
+    Param(name="boundaries", type="float_list", default=(0.4, 0.7),
+          help="stream fractions at which each resize fires"),
+    Param(name="max_batch", type="int", default=64,
+          help="micro-batch coalescing limit per shard"),
+    Param(name="max_delay", type="float", default=0.004,
+          help="max seconds a partial micro-batch waits for more points"),
+    Param(name="router", type="str", default="ring",
+          choices=("static", "ring"),
+          help="shard router the fleet (and the oracle) use"),
+    _seed(19),
+)
+
+_register(ExperimentSpec(
+    id="R2",
+    title="Elastic fleet: live resharding with zero decision drift",
+    description="Live shard split/merge under traffic: ring-routed fleet "
+                "resized mid-stream with decision/SST parity against a "
+                "topology-reenacting oracle, plus the migration stall cost.",
+    schema=_R2_SCHEMA,
+    runner=experiment_r2_rebalance,
+))
+
 _register(ExperimentSpec(
     id="A1",
     title="SST composition ablation (FS / CS / OS supplement each other)",
@@ -582,6 +618,21 @@ _register_bench(BenchSpec(
 ))
 
 _register_bench(BenchSpec(
+    id="rebalance",
+    title=EXPERIMENTS["R2"].title,
+    description="Run the R2 live-reshard suite (mid-stream shard split and "
+                "merge with oracle parity) and record BENCH_rebalance.json.",
+    schema=_R2_SCHEMA,
+    runner=experiment_r2_rebalance,
+    benchmark="rebalance",
+    workload_desc="multiplexed multi-tenant e4-style streams resharded "
+                  "mid-run",
+    default_out="BENCH_rebalance.json",
+    config_builder=lambda params: t1_bench_config(
+        engine="vectorized").to_dict(),
+))
+
+_register_bench(BenchSpec(
     id="chaos",
     title=EXPERIMENTS["R1"].title,
     description="Run the R1 chaos suite (crash recovery parity + deadline "
@@ -601,7 +652,7 @@ _register_bench(BenchSpec(
 # Lookup + introspection helpers
 # --------------------------------------------------------------------- #
 def get_experiment(experiment_id: str) -> ExperimentSpec:
-    """The registered spec of one experiment id (F1, E1–E5, T1, L1–L3, R1, A1–A4)."""
+    """The registered spec of one experiment id (F1, E1–E5, T1, L1–L3, R1–R2, A1–A4)."""
     try:
         return EXPERIMENTS[experiment_id]
     except KeyError as exc:

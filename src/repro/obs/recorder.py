@@ -40,8 +40,13 @@ FLIGHT_SCHEMA = "spot-flight/v1"
 DIAG_SCHEMA = "spot-diag/v1"
 
 #: Event kinds the serving layer records (decisions use kind="decision").
+#: The ``migrate-*`` triple is the rebalancer's commit protocol: ``start``
+#: when the routing gate closes, ``commit`` when the new topology owns the
+#: traffic, ``abort`` when a migration-window fault rolled everything back
+#: (the source kept ownership throughout).
 EVENT_KINDS = ("shed", "degrade", "quarantine", "restart", "checkpoint",
-               "crash", "learn.apply")
+               "crash", "learn.apply", "migrate-start", "migrate-commit",
+               "migrate-abort")
 
 
 class FlightRecorder:

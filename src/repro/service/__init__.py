@@ -7,6 +7,13 @@ detector shards.
 * :class:`~repro.service.router.ShardRouter` — stable hash partitioning of
   stream ids onto shards (a stream's points always reach the same shard, in
   arrival order).
+* :class:`~repro.service.ring.RingRouter` — the elastic alternative: a
+  consistent-hash ring with virtual nodes, so resizing the fleet moves only
+  ~K/n of the tenants (``ServiceConfig.router="ring"`` selects it).
+* :class:`~repro.service.rebalance.FleetRebalancer` — live fleet elasticity
+  on a running service: shard split/merge and tenant migration that drain,
+  ship detector state zero-copy, and commit a new topology with decision-
+  and SST-identical parity across the migration window.
 * :class:`~repro.service.batcher.MicroBatcher` — per-shard FIFO queues that
   coalesce arrivals into ``process_batch``-sized chunks under a
   max-batch-size / max-delay policy, with bounded-queue backpressure.
@@ -52,6 +59,8 @@ from .learning import (
     LearningServiceConfig,
     LearnTicket,
 )
+from .rebalance import FleetRebalancer, MigrationReport
+from .ring import DEFAULT_VNODES, ROUTER_KINDS, RingRouter, make_router
 from .router import ShardRouter
 from .service import DetectionService, ServiceConfig, ServiceResult
 from .supervisor import ShardSupervisor
@@ -66,17 +75,22 @@ __all__ = [
     "BatchItem",
     "CheckpointManager",
     "DEADLINE_POLICIES",
+    "DEFAULT_VNODES",
     "DetectionService",
     "FULL_POLICIES",
     "FaultInjector",
     "FaultPlan",
+    "FleetRebalancer",
     "InjectedFault",
     "LearnTicket",
     "LearningCoordinator",
     "LearningServiceConfig",
     "MicroBatcher",
+    "MigrationReport",
     "ProcessShardWorker",
+    "ROUTER_KINDS",
     "RetryPolicy",
+    "RingRouter",
     "SERVICE_MANIFEST_VERSION",
     "ServiceConfig",
     "ServiceResult",
@@ -86,4 +100,5 @@ __all__ = [
     "ShardWorker",
     "TransientIPCError",
     "call_with_retry",
+    "make_router",
 ]

@@ -74,7 +74,8 @@ class CheckpointManager:
     # Saving
     # ------------------------------------------------------------------ #
     def save(self, shard_states: List[dict], *, router_salt: int,
-             points_submitted: int,
+             points_submitted: int, router: str = "static",
+             router_pins: Optional[Dict[str, int]] = None,
              extra: Optional[Dict[str, object]] = None,
              fail_before_manifest: bool = False) -> Path:
         """Write one checkpoint (all shards + manifest); returns the directory.
@@ -117,6 +118,11 @@ class CheckpointManager:
             "format_version": SERVICE_MANIFEST_VERSION,
             "n_shards": len(shard_states),
             "router_salt": int(router_salt),
+            # Router kind + tenant pins (additive keys: manifests written by
+            # older builds restore as the historical static router).
+            "router": str(router),
+            "router_pins": {str(stream): int(shard) for stream, shard
+                            in (router_pins or {}).items()},
             "points_submitted": int(points_submitted),
             "shards": shards,
             "extra": dict(extra or {}),

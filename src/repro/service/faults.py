@@ -64,6 +64,11 @@ class FaultPlan:
     checkpoint_failures: Tuple[int, ...] = ()
     #: Seqs whose first IPC ship attempt raises a transient error.
     ipc_failures: Tuple[int, ...] = ()
+    #: 1-based indices of fleet migrations that crash inside the migration
+    #: window — after the donor states are exported, before the new topology
+    #: commits.  The rebalancer rolls the attempt back (the source keeps
+    #: ownership) and serving continues on the old topology.
+    migration_crashes: Tuple[int, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,12 +83,17 @@ class FaultPlan:
             if index < 1:
                 raise ConfigurationError(
                     f"checkpoint failure index is 1-based, got {index}")
+        for index in self.migration_crashes:
+            if index < 1:
+                raise ConfigurationError(
+                    f"migration crash index is 1-based, got {index}")
 
     @property
     def empty(self) -> bool:
         """Whether this plan injects nothing at all."""
         return not (self.crash_points or self.stall_points
-                    or self.checkpoint_failures or self.ipc_failures)
+                    or self.checkpoint_failures or self.ipc_failures
+                    or self.migration_crashes)
 
     @classmethod
     def random(cls, *, seed: int, n_points: int, n_crashes: int = 1,
@@ -126,6 +136,7 @@ class FaultPlan:
                              for seq, seconds in self.stall_points],
             "checkpoint_failures": list(self.checkpoint_failures),
             "ipc_failures": list(self.ipc_failures),
+            "migration_crashes": list(self.migration_crashes),
             "seed": self.seed,
         }
 
@@ -141,6 +152,8 @@ class FaultPlan:
                 int(i) for i in payload.get("checkpoint_failures", ())),
             ipc_failures=tuple(
                 int(s) for s in payload.get("ipc_failures", ())),
+            migration_crashes=tuple(
+                int(i) for i in payload.get("migration_crashes", ())),
             seed=int(payload.get("seed", 0)),
         )
 
@@ -163,6 +176,8 @@ class FaultInjector:
         self._fired_ipc: set = set()
         self._checkpoint_saves = 0
         self._checkpoint_failures = 0
+        self._migration_attempts = 0
+        self._migration_crashes = 0
 
     # ------------------------------------------------------------------ #
     # Worker-side triggers (keyed on the seqs of the batch in hand)
@@ -219,15 +234,35 @@ class FaultInjector:
                 return True
         return False
 
+    def migration_should_crash(self) -> bool:
+        """Whether the fleet migration being attempted right now must crash.
+
+        Counted per migration attempt (1-based), mirroring the
+        checkpoint-save trigger: the n-th ``resize`` call crashes inside its
+        migration window when ``n`` is listed in ``migration_crashes``.
+        """
+        with self._lock:
+            self._migration_attempts += 1
+            if self._migration_attempts in self.plan.migration_crashes:
+                self._migration_crashes += 1
+                return True
+        return False
+
     def stats(self) -> Dict[str, int]:
         """How many faults of each kind actually fired."""
         with self._lock:
-            return {
+            stats = {
                 "crashes_fired": len(self._fired_crashes),
                 "stalls_fired": len(self._fired_stalls),
                 "ipc_failures_fired": len(self._fired_ipc),
                 "checkpoint_failures_fired": self._checkpoint_failures,
             }
+            # Conditional so plans written before the migration fault
+            # existed keep their exact committed stats shape (the chaos
+            # bench artifact and diag fault logs embed this dict).
+            if self.plan.migration_crashes:
+                stats["migration_crashes_fired"] = self._migration_crashes
+        return stats
 
 
 @dataclass(frozen=True)

@@ -30,15 +30,24 @@ class ShardRouter:
         so restored services route identically.
     """
 
+    kind = "static"
+
     def __init__(self, n_shards: int, *, salt: int = 0) -> None:
         if n_shards < 1:
             raise ConfigurationError(
                 f"n_shards must be positive, got {n_shards}")
         self.n_shards = n_shards
         self.salt = int(salt)
+        #: Explicit stream-id → shard overrides (live tenant migration);
+        #: consulted before the hash, persisted in service checkpoints.
+        self.pins: Dict[str, int] = {}
 
     def shard_of(self, stream_id: str) -> int:
         """The shard index that owns ``stream_id`` (deterministic)."""
+        if self.pins:
+            pinned = self.pins.get(stream_id)
+            if pinned is not None:
+                return pinned
         digest = zlib.crc32(f"{self.salt}:{stream_id}".encode("utf-8"))
         return digest % self.n_shards
 

@@ -46,6 +46,7 @@ from .batcher import FULL_POLICIES, BatchItem, MicroBatcher
 from .checkpoint import CheckpointManager
 from .faults import FaultInjector, FaultPlan, InjectedFault
 from .learning import LearningCoordinator, LearningServiceConfig
+from .ring import ROUTER_KINDS, make_router
 from .router import ShardRouter
 from .supervisor import ShardSupervisor
 from .worker import (
@@ -71,6 +72,11 @@ class ServiceConfig:
     max_delay: float = 0.002
     max_pending: int = 8192
     worker_mode: str = "thread"
+    #: ``"static"`` routes with CRC-32 mod over a fixed pool (historical
+    #: default); ``"ring"`` routes over a consistent-hash ring with virtual
+    #: nodes, so the fleet can grow/shrink with minimal key movement (see
+    #: :mod:`repro.service.ring` and :mod:`repro.service.rebalance`).
+    router: str = "static"
     router_salt: int = 0
     #: ``"sync"`` keeps online MOGA searches inline in the detection path
     #: (the historical behaviour); ``"async"`` defers them to a shared
@@ -142,10 +148,9 @@ class ServiceConfig:
                 f"got {self.learning_mode!r}")
         if self.learning_workers < 1:
             raise ConfigurationError("learning_workers must be positive")
-        if self.learning_mode == "async" and self.worker_mode == "process":
+        if self.router not in ROUTER_KINDS:
             raise ConfigurationError(
-                "learning_mode='async' requires worker_mode='thread' "
-                "(process shards run their searches inline in the child)")
+                f"router must be one of {ROUTER_KINDS}, got {self.router!r}")
         if self.checkpoint_every < 0:
             raise ConfigurationError("checkpoint_every must be >= 0")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
@@ -245,7 +250,7 @@ class DetectionService:
                 raise ConfigurationError(
                     f"shard {i} detector has not been fitted (run learn())")
         self._detectors = list(detectors)
-        self.router = ShardRouter(self.config.n_shards,
+        self.router = make_router(self.config.router, self.config.n_shards,
                                   salt=self.config.router_salt)
         #: Per-service instrument registry; every ShardStats counter and the
         #: checkpoint counters below live here, so ``metrics_snapshot()``
@@ -259,6 +264,12 @@ class DetectionService:
         self._stats = [ShardStats(shard_id=i, registry=self.metrics)
                        for i in range(self.config.n_shards)]
         self._results: List[ServiceResult] = []
+        #: Routing gate: ``submit()`` holds it across route → seq → enqueue,
+        #: and the rebalancer holds it exclusively while it swaps the router
+        #: and the shard registries.  Separate from ``_lock`` so result
+        #: delivery never waits behind a migration, and the migration's
+        #: hot-path cost is exactly the gate hold time.
+        self._route_gate = threading.RLock()
         self._lock = threading.Lock()
         self._all_done = threading.Condition(self._lock)
         self._submitted = 0
@@ -334,8 +345,12 @@ class DetectionService:
             span.annotate(at_point=int(manifest["points_submitted"]),
                           shards=int(manifest["n_shards"]))
         merged = replace(base, n_shards=int(manifest["n_shards"]),
-                         router_salt=int(manifest["router_salt"]))
+                         router_salt=int(manifest["router_salt"]),
+                         router=str(manifest.get("router", "static")))
         service = cls(detectors, merged)
+        service.router.pins.update(
+            {str(stream): int(shard) for stream, shard
+             in (manifest.get("router_pins") or {}).items()})
         service._submitted = int(manifest["points_submitted"])
         service._completed = service._submitted
         service._points_at_last_checkpoint = service._submitted
@@ -405,6 +420,7 @@ class DetectionService:
                                recorder=self._recorder)
         return ProcessShardWorker(shard_id, detector, batcher,
                                   self._on_results,
+                                  learning=self._coordinator,
                                   fault_plan=self.config.fault_plan,
                                   faults=self._faults,
                                   deadline=self.config.deadline,
@@ -467,24 +483,25 @@ class DetectionService:
                 and self._submitted - self._points_at_last_checkpoint
                 >= self.config.checkpoint_every):
             self.checkpoint()
-        shard = self.router.shard_of(stream_id)
-        with self._lock:
-            seq = self._submitted
-            self._submitted += 1
-        item = BatchItem(seq=seq, stream_id=stream_id,
-                         values=tuple(float(v) for v in values),
-                         enqueued_at=time.monotonic())
-        if self._trace_on:
-            self._tracer.event("enqueue", seq=seq, shard=shard,
-                               stream=stream_id)
-        try:
-            accepted = self._batchers[shard].put(item)
-        except BackpressureTimeout:
-            # The point was never enqueued; complete it as shed so the
-            # accounting stays consistent (drain() must not wait for it),
-            # then surface the bounded-wait failure to the caller.
-            self._on_results(shard, [item], None, 0.0, None, shed=True)
-            raise
+        with self._route_gate:
+            shard = self.router.shard_of(stream_id)
+            with self._lock:
+                seq = self._submitted
+                self._submitted += 1
+            item = BatchItem(seq=seq, stream_id=stream_id,
+                             values=tuple(float(v) for v in values),
+                             enqueued_at=time.monotonic())
+            if self._trace_on:
+                self._tracer.event("enqueue", seq=seq, shard=shard,
+                                   stream=stream_id)
+            try:
+                accepted = self._batchers[shard].put(item)
+            except BackpressureTimeout:
+                # The point was never enqueued; complete it as shed so the
+                # accounting stays consistent (drain() must not wait for
+                # it), then surface the bounded-wait failure to the caller.
+                self._on_results(shard, [item], None, 0.0, None, shed=True)
+                raise
         if not accepted:  # full_policy="shed": admission-shed the point
             self._on_results(shard, [item], None, 0.0, None, shed=True)
         return seq
@@ -981,6 +998,8 @@ class DetectionService:
             try:
                 path = manager.save(states,
                                     router_salt=self.config.router_salt,
+                                    router=self.config.router,
+                                    router_pins=dict(self.router.pins),
                                     points_submitted=self.points_submitted,
                                     extra=extra if extra is not None
                                     else self._checkpoint_extra,

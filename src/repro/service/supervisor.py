@@ -133,6 +133,25 @@ class ShardSupervisor:
                 self._snapshots[shard_id] = state
                 self._journals[shard_id] = []
 
+    def adopt_shard(self, shard_id: int, state: dict) -> None:
+        """Start supervising one (new) shard from a fresh quiescent snapshot.
+
+        The rebalancer calls this when a fleet grows: the migrated detector
+        state is the shard's zeroth checkpoint, and its journal starts
+        empty — a crash before the next full checkpoint replays from here.
+        """
+        with self._state_lock:
+            self._snapshots[shard_id] = state
+            self._journals[shard_id] = []
+            self._restarts.pop(shard_id, None)
+
+    def drop_shard(self, shard_id: int) -> None:
+        """Forget a retired shard (fleet shrink): snapshot, journal, budget."""
+        with self._state_lock:
+            self._snapshots.pop(shard_id, None)
+            self._journals.pop(shard_id, None)
+            self._restarts.pop(shard_id, None)
+
     def record_committed(self, shard_id: int, items: List[BatchItem]) -> None:
         """Journal points folded into a shard's detector since its snapshot."""
         with self._state_lock:

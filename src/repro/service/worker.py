@@ -52,6 +52,7 @@ from .faults import (
     TransientIPCError,
     call_with_retry,
 )
+from ..learning.requests import request_from_dict
 from .learning import LearningCoordinator, LearnTicket
 
 ResultsCallback = Callable[..., None]
@@ -409,22 +410,89 @@ class ShardWorker(threading.Thread):
 
 
 def _process_worker_main(state_payload: dict, inbox, outbox,
-                         fault_plan: Optional[dict] = None) -> None:
-    """Child-process loop: rebuild the detector, then serve commands."""
+                         fault_plan: Optional[dict] = None,
+                         deferred: bool = False) -> None:
+    """Child-process loop: rebuild the detector, then serve commands.
+
+    With ``deferred=False`` (sync service) the child runs learning inline: a
+    state restored from a deferred-mode checkpoint replays its in-flight
+    searches now, then stays sync.  With ``deferred=True`` the child runs
+    the request/publication protocol *over the IPC queues*: learn requests
+    emitted by the detector are shipped to the parent as ``("learn", gid,
+    grid, requests)`` groups (everything JSON round-trippable), the parent
+    evaluates them on the shared :class:`LearningCoordinator` pool, and the
+    publications come back through the inbox as ``("publications", gid,
+    payloads)`` — applied here in group order at the detector's
+    deterministic apply points, so process-shard async decisions are
+    identical to sync ones.
+    """
     import os
+    from collections import deque
+
+    from ..learning.requests import LearnPublication
+    from .learning import _grid_payload
 
     detector = SPOT.from_state(state_payload)
-    # Process shards run learning inline: a state restored from a deferred-
-    # mode checkpoint replays its in-flight searches now, then stays sync.
-    detector.set_deferred_learning(False)
-    if detector.pending_learn_requests:
+    detector.set_deferred_learning(bool(deferred))
+    if not deferred and detector.pending_learn_requests:
         detector.resolve_pending_learns()
     faults = FaultInjector(FaultPlan.from_dict(fault_plan)) \
         if fault_plan else None
+    #: Commands that arrived on the inbox while blocked for publications;
+    #: replayed (in order) before anything newly read.
+    backlog: "deque" = deque()
+    sent: dict = {}      # request_id -> group id already shipped
+    received: dict = {}  # group id -> publication payloads (None = failed)
+    next_gid = [0]
+
+    def dispatch_new_learns() -> None:
+        new = [request for request in detector.pending_learn_requests
+               if request.request_id not in sent]
+        if not new:
+            return
+        gid = next_gid[0]
+        next_gid[0] += 1
+        outbox.put(("learn", gid, _grid_payload(detector.grid),
+                    [request.to_dict() for request in new]))
+        for request in new:
+            sent[request.request_id] = gid
+
+    def resolve_pending_learns() -> None:
+        while True:
+            pending = detector.pending_learn_requests
+            if not pending:
+                return
+            gid = sent.get(pending[0].request_id)
+            if gid is None:
+                dispatch_new_learns()
+                gid = sent[pending[0].request_id]
+            while gid not in received:
+                # Only publications unblock the detector; any other command
+                # the parent pipelined behind them waits in the backlog.
+                message = inbox.get(timeout=ShardWorker.LEARN_TIMEOUT)
+                if message[0] == "publications":
+                    received[message[1]] = message[2]
+                else:
+                    backlog.append(message)
+            payloads = received.pop(gid)
+            if payloads is None:
+                raise ConfigurationError(
+                    "the learning coordinator failed to evaluate a "
+                    "request group")
+            for payload in payloads:
+                detector.apply_learn_publication(
+                    LearnPublication.from_dict(payload))
+            for request_id in [rid for rid, g in sent.items() if g == gid]:
+                sent.pop(request_id, None)
+
     while True:
-        command = inbox.get()
+        command = backlog.popleft() if backlog else inbox.get()
         kind = command[0]
-        if kind == "batch":
+        if kind == "publications":
+            # A search finished while this shard sat idle between batches;
+            # bank it for the resolve that will eventually need it.
+            received[command[1]] = command[2]
+        elif kind == "batch":
             seqs, values = command[1], command[2]
             if faults is not None:
                 stall = faults.stall_seconds(seqs)
@@ -441,20 +509,53 @@ def _process_worker_main(state_payload: dict, inbox, outbox,
                         pass
                     outbox.close()
                     os._exit(23)
-            started = time.perf_counter()
-            try:
-                results = detector.process_batch(values)
-                outbox.put(("results", seqs,
-                            results, time.perf_counter() - started, None))
-            except Exception as exc:
-                outbox.put(("results", seqs, None,
-                            time.perf_counter() - started,
-                            f"{type(exc).__name__}: {exc}"))
+            # The same offset loop as the thread worker: score up to the
+            # next apply point, reply with the chunk immediately (the
+            # parent delivers per-seq, so partial replies are fine), apply
+            # due publications, continue.  Sync mode never stops early, so
+            # the loop degenerates to the historical one-reply path.
+            offset = 0
+            while offset < len(seqs):
+                try:
+                    resolve_pending_learns()
+                except Exception as exc:
+                    outbox.put(("results", seqs[offset:], None, 0.0,
+                                f"{type(exc).__name__}: {exc}"))
+                    break
+                started = time.perf_counter()
+                try:
+                    results = detector.process_batch(values[offset:])
+                except Exception as exc:
+                    outbox.put(("results", seqs[offset:], None,
+                                time.perf_counter() - started,
+                                f"{type(exc).__name__}: {exc}"))
+                    break
+                busy = time.perf_counter() - started
+                consumed = len(results)
+                if consumed == 0:
+                    outbox.put(("results", seqs[offset:], None, busy,
+                                "detector made no progress on a non-empty "
+                                "batch"))
+                    break
+                outbox.put(("results", seqs[offset:offset + consumed],
+                            results, busy, None))
+                offset += consumed
+                dispatch_new_learns()
         elif kind == "export":
             # "copy" arrays pickle across the pipe as independent buffers —
             # far cheaper than the per-element list payload of "json" mode.
             outbox.put(("state", detector.export_state(arrays="copy")))
         elif kind == "stop":
+            if deferred and detector.pending_learn_requests:
+                # Graceful shutdown mirrors the thread worker: apply any
+                # still-outstanding publication so the stopped fleet holds
+                # the same SSTs an uninterrupted synchronous run would.
+                try:
+                    resolve_pending_learns()
+                except Exception as exc:
+                    outbox.put(("results", [], None, 0.0,
+                                f"final learn resolution failed: "
+                                f"{type(exc).__name__}: {exc}"))
             outbox.put(("stopped",))
             return
 
@@ -483,6 +584,7 @@ class ProcessShardWorker:
                  quarantine_on_failure: bool = True,
                  retry_policy: Optional[RetryPolicy] = None,
                  on_ipc_retry: Optional[Callable[[int], None]] = None,
+                 learning: Optional[LearningCoordinator] = None,
                  tracer=None, recorder=None) -> None:
         import multiprocessing
 
@@ -506,6 +608,11 @@ class ProcessShardWorker:
         #: Parent-side injector (IPC faults fire in the parent; crash and
         #: stall faults ship to the child inside ``fault_plan``).
         self.faults = faults
+        #: Shared learning coordinator for ``learning_mode="async"``.  When
+        #: set, the child runs in deferred mode and ships its learn-request
+        #: groups over the outbox; the parent evaluates them on the
+        #: coordinator pool and feeds publications back through the inbox.
+        self.learning = learning
         self.failure: Optional[BaseException] = None
         context = multiprocessing.get_context()
         self._inbox = context.Queue()
@@ -514,7 +621,8 @@ class ProcessShardWorker:
             target=_process_worker_main,
             args=(detector.export_state(arrays="copy"), self._inbox,
                   self._outbox,
-                  fault_plan.to_dict() if fault_plan is not None else None),
+                  fault_plan.to_dict() if fault_plan is not None else None,
+                  learning is not None),
             daemon=True,
             name=f"spot-shard-{shard_id}",
         )
@@ -706,11 +814,51 @@ class ProcessShardWorker:
                                         error)
                         return
                 self.on_results(self.shard_id, items, results, busy, error)
+            elif kind == "learn":
+                self._handle_learn(message[1], message[2], message[3])
             elif kind == "state":
                 self._state_box.append(message[1])
                 self._state_ready.set()
             elif kind == "stopped":
                 return
+
+    def _handle_learn(self, gid: int, grid_payload: dict,
+                      request_payloads: list) -> None:
+        """Bridge one child learn-request group onto the coordinator pool.
+
+        The submit + wait runs on its own daemon thread so the collector
+        keeps delivering results while a MOGA search is in flight — exactly
+        the latency-hiding the thread flavour gets from deferred learning.
+        The reply (``("publications", gid, payloads)``, with ``None``
+        signalling a failed evaluation) goes back through the child's inbox.
+        """
+        from .learning import _grid_from_payload
+
+        def evaluate() -> None:
+            try:
+                if self.learning is None:
+                    raise ConfigurationError(
+                        f"shard {self.shard_id} sent a learn request but no "
+                        f"learning coordinator is attached")
+                grid = _grid_from_payload(grid_payload)
+                requests = [request_from_dict(payload)
+                            for payload in request_payloads]
+                ticket = self.learning.submit(self.shard_id, grid, requests)
+                publications = ticket.wait(timeout=ShardWorker.LEARN_TIMEOUT)
+                reply = [publication.to_dict()
+                         for publication in publications]
+            except Exception:
+                reply = None
+            try:
+                self._inbox.put(("publications", gid, reply))
+            except (OSError, ValueError):
+                # Queues already released (worker retired mid-search); the
+                # child is gone, nobody is waiting for this reply.
+                pass
+
+        threading.Thread(target=evaluate,
+                         name=f"spot-learn-{self.shard_id}-{gid}",
+                         daemon=True).start()
 
     # ------------------------------------------------------------------ #
     # Checkpointing

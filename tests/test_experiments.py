@@ -23,8 +23,8 @@ from repro.eval.experiments import (
 class TestRegistry:
     def test_every_design_md_experiment_is_registered(self):
         assert set(ALL_EXPERIMENTS) == {"F1", "E1", "E2", "E3", "E4", "E5",
-                                        "T1", "L1", "L2", "L3", "R1", "A1",
-                                        "A2", "A3", "A4"}
+                                        "T1", "L1", "L2", "L3", "R1", "R2",
+                                        "A1", "A2", "A3", "A4"}
 
 
 class TestPipelineExperiment:

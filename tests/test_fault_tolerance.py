@@ -31,11 +31,13 @@ from repro.service import (
     DetectionService,
     FaultInjector,
     FaultPlan,
+    FleetRebalancer,
     MicroBatcher,
     RetryPolicy,
     ServiceConfig,
     TransientIPCError,
     call_with_retry,
+    make_router,
 )
 
 
@@ -286,6 +288,77 @@ class TestCrashRecovery:
         service.submit_tagged(tenant_workload.detection[:200])
         with pytest.raises(ConfigurationError, match="InjectedFault"):
             service.drain()
+
+
+# --------------------------------------------------------------------- #
+# Migration-window crashes: the source keeps ownership until commit
+# --------------------------------------------------------------------- #
+class TestMigrationCrash:
+    def test_crash_mid_migration_rolls_back_and_recovers_identically(
+            self, prototype, tenant_workload):
+        # The first resize crashes inside its migration window (after the
+        # donor export, before the commit); the second commits.  The run
+        # must match an oracle in which only the committed resize ever
+        # happened — proof that the aborted attempt mutated nothing and the
+        # source shards kept ownership throughout.
+        points = tenant_workload.detection
+        plan = FaultPlan(migration_crashes=(1,))
+        service = DetectionService.from_prototype(prototype, ServiceConfig(
+            n_shards=2, max_batch=64, router="ring", supervise=True,
+            fault_plan=plan))
+        service.start()
+        rebalancer = FleetRebalancer(service)
+        for index, point in enumerate(points):
+            if index == 200:
+                aborted = rebalancer.resize(3)
+                assert aborted.committed is False
+                assert service.config.n_shards == 2
+                assert len(service._workers) == 2
+            if index == 420:
+                committed = rebalancer.resize(3)
+                assert committed.committed is True
+                assert service.config.n_shards == 3
+            service.submit(point.stream_id, point.values)
+        service.drain()
+        service.stop()
+
+        refs = [SPOT.from_state(prototype.export_state(arrays="copy"))
+                for _ in range(2)]
+        router = make_router("ring", 2)
+        flags = []
+        for index, point in enumerate(points):
+            if index == 420:  # only the committed resize changes topology
+                refs.append(SPOT.from_state(
+                    refs[0].export_state(arrays="copy")))
+                router = make_router("ring", 3)
+            shard = router.shard_of(point.stream_id)
+            flags.append(
+                refs[shard].process_batch([point.values])[0].is_outlier)
+        assert [r.is_outlier for r in service.results()] == flags
+        assert [d.sst.to_dict() for d in service.shard_detectors()] == \
+            [d.sst.to_dict() for d in refs]
+
+        faults_fired = service.stats()["robustness"]["faults_fired"]
+        assert faults_fired["migration_crashes_fired"] == 1
+        assert [r.committed for r in rebalancer.history] == [False, True]
+
+    def test_migration_crash_plan_round_trips_and_fires_once(self):
+        plan = FaultPlan(migration_crashes=(2,))
+        assert plan == FaultPlan.from_dict(plan.to_dict())
+        assert not plan.empty
+        injector = FaultInjector(plan)
+        assert not injector.migration_should_crash()  # attempt 1 passes
+        assert injector.migration_should_crash()      # attempt 2 crashes
+        assert not injector.migration_should_crash()
+        assert injector.stats()["migration_crashes_fired"] == 1
+        with pytest.raises(ConfigurationError):
+            FaultPlan(migration_crashes=(0,))
+
+    def test_plans_without_migration_faults_keep_their_stats_shape(self):
+        # The chaos bench artifact embeds the fired-faults dict; plans that
+        # never schedule a migration crash must not grow a new key.
+        injector = FaultInjector(FaultPlan(crash_points=(5,)))
+        assert "migration_crashes_fired" not in injector.stats()
 
 
 # --------------------------------------------------------------------- #

@@ -352,7 +352,7 @@ class TestLearningCoordinator:
         with pytest.raises(ConfigurationError):
             ServiceConfig(learning_mode="lazy")
         with pytest.raises(ConfigurationError):
-            ServiceConfig(learning_mode="async", worker_mode="process")
+            ServiceConfig(router="bogus")
         with pytest.raises(ConfigurationError):
             ServiceConfig(learning_workers=0)
 

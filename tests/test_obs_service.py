@@ -23,8 +23,14 @@ from repro import SPOT
 from repro.eval.experiments import t1_bench_config
 from repro.eval.workloads import multi_tenant_workload
 from repro.obs import Tracer
+from repro.obs.slo import SLOObjectives
 from repro.obs.trace import NULL_TRACER
-from repro.service import DetectionService, FaultPlan, ServiceConfig
+from repro.service import (
+    DetectionService,
+    FaultPlan,
+    FleetRebalancer,
+    ServiceConfig,
+)
 
 STATS_KEYS = {
     "n_shards", "worker_mode", "points", "wall_seconds", "busy_seconds",
@@ -208,6 +214,86 @@ class TestChaosTraceAndCounters:
         export = tracer.to_dict()
         assert export["schema"] == "spot-trace/v1"
         assert json.loads(json.dumps(export)) == export
+
+
+class TestFleetMigrationObservability:
+    """Migration events in the flight ring + SLO continuity across one."""
+
+    def _serve_with_resize(self, prototype, points, *, fault_plan=None,
+                           **config_kwargs):
+        service = DetectionService.from_prototype(
+            prototype, ServiceConfig(n_shards=2, max_batch=64, router="ring",
+                                     flight_recorder=True,
+                                     fault_plan=fault_plan, **config_kwargs))
+        service.start()
+        rebalancer = FleetRebalancer(service)
+        half = len(points) // 2
+        for index, point in enumerate(points):
+            if index == half:
+                rebalancer.resize(3)
+            service.submit(point.stream_id, point.values)
+        service.drain()
+        service.stop()
+        return service, rebalancer
+
+    def test_migration_records_start_and_commit_events(
+            self, prototype, tenant_workload):
+        points = tenant_workload.detection
+        service, rebalancer = self._serve_with_resize(prototype, points)
+        kinds = [record["kind"] for record in service.flight_recorder.records()
+                 if record["kind"].startswith("migrate-")]
+        assert kinds == ["migrate-start", "migrate-commit"]
+        start, commit = [record for record
+                         in service.flight_recorder.records()
+                         if record["kind"].startswith("migrate-")]
+        boundary = rebalancer.history[0].boundary
+        for record in (start, commit):
+            assert record["data"]["op"] == "grow"
+            assert record["data"]["from_shards"] == 2
+            assert record["data"]["to_shards"] == 3
+            assert record["data"]["boundary"] == boundary
+        # The ring is stamp-ordered, so the window is reconstructible.
+        assert start["stamp"] < commit["stamp"]
+
+    def test_aborted_migration_records_the_abort(
+            self, prototype, tenant_workload):
+        points = tenant_workload.detection[:200]
+        service, rebalancer = self._serve_with_resize(
+            prototype, points,
+            fault_plan=FaultPlan(migration_crashes=(1,)))
+        assert rebalancer.history[0].committed is False
+        kinds = [record["kind"] for record in service.flight_recorder.records()
+                 if record["kind"].startswith("migrate-")]
+        assert kinds == ["migrate-start", "migrate-abort"]
+
+    def test_slo_window_survives_a_migration(
+            self, prototype, tenant_workload):
+        # Per-tenant SLO accounting is keyed by stream, not shard: resizing
+        # the fleet mid-stream must not reset a tenant's window or degrade
+        # its status.
+        points = tenant_workload.detection
+        objectives = SLOObjectives(latency_p95_ms=60_000.0,
+                                   window_points=50)
+        service, rebalancer = self._serve_with_resize(
+            prototype, points, slo=objectives)
+        assert rebalancer.history[0].committed
+        report = service.slo_report()
+        assert report["schema"] == "spot-slo/v1"
+        assert report["status"] == "ok"
+        tenants = {point.stream_id for point in points}
+        assert set(report["tenants"]) == tenants
+        per_tenant = {point.stream_id: 0 for point in points}
+        for point in points:
+            per_tenant[point.stream_id] += 1
+        for stream_id, entry in report["tenants"].items():
+            # Every point of every tenant is accounted for across the
+            # migration window — nothing reset, shed, or dropped.
+            assert entry["total_points"] == per_tenant[stream_id]
+            assert entry["status"] == "ok"
+        # The stats dict keeps its pinned shape with the report attached.
+        stats = service.stats()
+        assert set(stats) == STATS_KEYS
+        assert stats["slo"] == report
 
 
 class TestReplayTraceIdentity:

@@ -171,14 +171,14 @@ class TestGrid:
 class TestRegistry:
     def test_every_design_md_experiment_is_registered(self):
         assert set(EXPERIMENTS) == {"F1", "E1", "E2", "E3", "E4", "E5",
-                                    "T1", "L1", "L2", "L3", "R1",
+                                    "T1", "L1", "L2", "L3", "R1", "R2",
                                     "A1", "A2", "A3", "A4"}
         assert set(ALL_EXPERIMENTS) == set(EXPERIMENTS)
 
     def test_every_bench_is_registered(self):
         assert set(BENCHES) == {"throughput", "learning", "service",
                                 "learning-service", "serving-sweep",
-                                "chaos"}
+                                "chaos", "rebalance"}
 
     def test_specs_resolve_their_defaults(self):
         for spec in list(EXPERIMENTS.values()) + list(BENCHES.values()):
